@@ -1,0 +1,48 @@
+//! Criterion end-to-end benchmarks: all four partitioners on a small
+//! evaluation graph (wall time of the implementations; the paper-shape
+//! comparison uses the modeled times in the `evaluation` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpm_graph::gen::delaunay_like;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = delaunay_like(10_000, 42);
+    let k = 16;
+    let mut group = c.benchmark_group("end_to_end_10k_k16");
+    group.bench_function("metis", |b| {
+        b.iter(|| gpm_metis::partition(&g, &gpm_metis::MetisConfig::new(k).with_seed(1)))
+    });
+    group.bench_function("mtmetis", |b| {
+        b.iter(|| {
+            gpm_mtmetis::partition(
+                &g,
+                &gpm_mtmetis::MtMetisConfig::new(k).with_threads(4).with_seed(1),
+            )
+        })
+    });
+    group.bench_function("parmetis", |b| {
+        b.iter(|| {
+            gpm_parmetis::partition(
+                &g,
+                &gpm_parmetis::ParMetisConfig::new(k).with_ranks(4).with_seed(1),
+            )
+        })
+    });
+    group.bench_function("gpmetis", |b| {
+        b.iter(|| {
+            gp_metis::partition(
+                &g,
+                &gp_metis::GpMetisConfig::new(k).with_seed(1).with_gpu_threshold(2_000),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_partitioners
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks of the GPU-simulator substrate: device scan,
+//! reduce, and kernel-launch machinery (host execution speed of the
+//! simulation itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_gpu_sim::{exclusive_scan_u32, inclusive_scan_u32, reduce_sum_u32, Device, GpuConfig};
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_scan");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("inclusive", n), &n, |b, &n| {
+            let dev = Device::new(GpuConfig::gtx_titan());
+            let data: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
+            b.iter(|| {
+                let buf = dev.h2d(&data).unwrap();
+                inclusive_scan_u32(&dev, &buf).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exclusive", n), &n, |b, &n| {
+            let dev = Device::new(GpuConfig::gtx_titan());
+            let data: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
+            b.iter(|| {
+                let buf = dev.h2d(&data).unwrap();
+                exclusive_scan_u32(&dev, &buf).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let dev = Device::new(GpuConfig::gtx_titan());
+    let data: Vec<u32> = vec![3; 100_000];
+    let buf = dev.h2d(&data).unwrap();
+    c.bench_function("device_reduce_sum_100k", |b| {
+        b.iter(|| reduce_sum_u32(&dev, &buf).unwrap())
+    });
+}
+
+fn bench_kernel_launch(c: &mut Criterion) {
+    let dev = Device::new(GpuConfig::gtx_titan());
+    let buf = dev.alloc::<u32>(100_000).unwrap();
+    c.bench_function("kernel_saxpy_like_100k", |b| {
+        b.iter(|| {
+            dev.launch("bench", 100_000, |lane| {
+                let v = lane.ld(&buf, lane.tid);
+                lane.st(&buf, lane.tid, v.wrapping_mul(3).wrapping_add(1));
+            })
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scan, bench_reduce, bench_kernel_launch
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Banded-refinement ablation (the PT-Scotch technique of §II.B): refine
+//! on the full graph versus on bands of increasing width around the
+//! separators, comparing work, cut, and band size.
+//!
+//! ```text
+//! cargo run --release -p gpm-bench --bin ablation_banded [n]
+//! ```
+
+use gpm_graph::gen::delaunay_like;
+use gpm_graph::metrics::edge_cut;
+use gpm_graph::rng::SplitMix64;
+use gpm_metis::band::banded_kway_refine;
+use gpm_metis::cost::{CpuModel, Work};
+use gpm_metis::kway::kway_refine;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let k = 64;
+    let g = delaunay_like(n, 12);
+    // an unrefined starting point: partition, then perturb the boundary
+    let base = gpm_metis::partition(&g, &gpm_metis::MetisConfig::new(k).with_seed(2));
+    let mut start = base.part.clone();
+    for u in 0..g.n() {
+        if u % 29 == 0 {
+            start[u] = (start[u] + 1) % k as u32;
+        }
+    }
+    let model = CpuModel::serial();
+    println!("{:?}, k={k}; perturbed cut {}\n", g, edge_cut(&g, &start));
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12}",
+        "refiner", "cut", "band frac", "work (s)", "moves"
+    );
+
+    // full-graph refinement
+    {
+        let mut part = start.clone();
+        let mut rng = SplitMix64::new(9);
+        let mut w = Work::default().with_ws(g.bytes());
+        let stats = kway_refine(&g, &mut part, k, 1.03, 6, &mut rng, &mut w);
+        println!(
+            "{:<10} {:>10} {:>12} {:>12.5} {:>12}",
+            "full",
+            edge_cut(&g, &part),
+            "1.00",
+            w.seconds(&model),
+            stats.moves
+        );
+    }
+    // banded refinement at several widths
+    for width in [0u32, 1, 2, 4] {
+        let mut part = start.clone();
+        let mut rng = SplitMix64::new(9);
+        let mut w = Work::default().with_ws(g.bytes());
+        let stats = banded_kway_refine(&g, &mut part, k, 1.03, width, 6, &mut rng, &mut w);
+        println!(
+            "{:<10} {:>10} {:>12.3} {:>12.5} {:>12}",
+            format!("band w={width}"),
+            edge_cut(&g, &part),
+            stats.band_fraction,
+            w.seconds(&model),
+            stats.moves
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation for §III.A's two contraction merge strategies: quicksort +
+//! dedup versus the clustered hash table ("the hash table approach is
+//! faster than the sorting"). Reports modeled contraction-kernel time on
+//! each evaluation graph family.
+//!
+//! ```text
+//! cargo run --release -p gpm-bench --bin ablation_contraction [n]
+//! ```
+
+use gp_metis::{partition, ContractStrategy, GpMetisConfig};
+use gpm_graph::gen::{delaunay_like, ldoor_like, usa_roads_like};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    println!(
+        "{:<14} {:>14} {:>14} {:>10}",
+        "graph", "sort-merge", "hash-table", "hash wins"
+    );
+    let graphs: Vec<(&str, gpm_graph::CsrGraph)> = vec![
+        ("ldoor-like", ldoor_like(n / 4)),
+        ("delaunay-like", delaunay_like(n, 1)),
+        ("roads-like", usa_roads_like(n, 1)),
+    ];
+    for (name, g) in &graphs {
+        let mut times = Vec::new();
+        for strategy in [ContractStrategy::SortMerge, ContractStrategy::Hash] {
+            let mut cfg = GpMetisConfig::new(64).with_seed(2);
+            cfg.merge = strategy;
+            let r = partition(g, &cfg).unwrap();
+            // contraction cost = total of the contraction kernels
+            let t: f64 = r
+                .gpu
+                .kernel_log
+                .iter()
+                .filter(|k| k.name.starts_with("gp:contract"))
+                .map(|k| k.seconds)
+                .sum();
+            times.push(t);
+        }
+        println!(
+            "{:<14} {:>13.5}s {:>13.5}s {:>9.2}x",
+            name,
+            times[0],
+            times[1],
+            times[0] / times[1]
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Partition-count sweep: cut and modeled time versus k for all four
+//! partitioners (the paper fixes k = 64; this shows the behaviour around
+//! that point).
+//!
+//! ```text
+//! cargo run --release -p gpm-bench --bin ablation_k [n]
+//! ```
+
+use gpm_graph::gen::delaunay_like;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(60_000);
+    let g = delaunay_like(n, 4);
+    println!("{:?}\n", g);
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9} {:>9}",
+        "k", "Metis", "ParMetis", "mt-metis", "GP-Metis", "t(Metis)", "t(Par)", "t(mt)", "t(GP)"
+    );
+    for k in [2usize, 8, 16, 64, 128] {
+        let m = gpm_metis::partition(&g, &gpm_metis::MetisConfig::new(k).with_seed(1));
+        let p = gpm_parmetis::partition(&g, &gpm_parmetis::ParMetisConfig::new(k).with_seed(1));
+        let t = gpm_mtmetis::partition(&g, &gpm_mtmetis::MtMetisConfig::new(k).with_seed(1));
+        let h = gp_metis::partition(&g, &gp_metis::GpMetisConfig::new(k).with_seed(1)).unwrap();
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10} | {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            k,
+            m.edge_cut,
+            p.edge_cut,
+            t.edge_cut,
+            h.result.edge_cut,
+            m.modeled_seconds(),
+            p.modeled_seconds(),
+            t.modeled_seconds(),
+            h.result.modeled_seconds(),
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Ablation for the lock-free matching's conflict behaviour: with one
+//! proposal/resolve round per level (exactly the paper's kernels),
+//! conflict losers wait for the next *level*; with more rounds they retry
+//! within the level. Reports conflicts, level counts, modeled time, and
+//! final cut.
+//!
+//! ```text
+//! cargo run --release -p gpm-bench --bin ablation_match_rounds [n]
+//! ```
+
+use gp_metis::{partition, GpMetisConfig};
+use gpm_graph::gen::delaunay_like;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let g = delaunay_like(n, 9);
+    println!("GP-metis on {:?}, k = 64\n", g);
+    println!(
+        "{:<8} {:>10} {:>7} {:>7} {:>12} {:>9}",
+        "rounds", "conflicts", "gpuL", "cpuL", "total (s)", "cut"
+    );
+    for rounds in [1usize, 2, 4, 8] {
+        let mut cfg = GpMetisConfig::new(64).with_seed(5);
+        cfg.match_rounds = rounds;
+        let r = partition(&g, &cfg).unwrap();
+        println!(
+            "{:<8} {:>10} {:>7} {:>7} {:>12.5} {:>9}",
+            rounds,
+            r.gpu.match_conflicts,
+            r.gpu.gpu_levels,
+            r.gpu.cpu_levels,
+            r.result.modeled_seconds(),
+            r.result.edge_cut,
+        );
+    }
+}

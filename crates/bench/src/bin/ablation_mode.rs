@@ -1,0 +1,37 @@
+//! kmetis vs pmetis: the paper's pipeline partitions the coarsest graph
+//! by recursive bisection and refines k-way (`kmetis` mode); classic
+//! Metis also ships a pure multilevel-recursive-bisection mode
+//! (`pmetis`). This ablation compares their cut and modeled time.
+//!
+//! ```text
+//! cargo run --release -p gpm-bench --bin ablation_mode [n]
+//! ```
+
+use gpm_graph::gen::{delaunay_like, ldoor_like, usa_roads_like};
+use gpm_metis::{partition, pmetis::partition_rb, MetisConfig};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(60_000);
+    let k = 64;
+    println!(
+        "{:<14} {:>12} {:>12} {:>11} {:>11}",
+        "graph", "kmetis cut", "pmetis cut", "kmetis (s)", "pmetis (s)"
+    );
+    let graphs: Vec<(&str, gpm_graph::CsrGraph)> = vec![
+        ("ldoor-like", ldoor_like(n / 4)),
+        ("delaunay-like", delaunay_like(n, 1)),
+        ("roads-like", usa_roads_like(n, 1)),
+    ];
+    for (name, g) in &graphs {
+        let kway = partition(g, &MetisConfig::new(k).with_seed(2));
+        let rb = partition_rb(g, &MetisConfig::new(k).with_seed(2));
+        println!(
+            "{:<14} {:>12} {:>12} {:>11.4} {:>11.4}",
+            name,
+            kway.edge_cut,
+            rb.edge_cut,
+            kway.modeled_seconds(),
+            rb.modeled_seconds(),
+        );
+    }
+}

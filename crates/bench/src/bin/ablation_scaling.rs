@@ -1,0 +1,34 @@
+//! Strong-scaling ablation: modeled speedup of mt-metis (threads) and
+//! ParMetis (ranks) over serial Metis as the core count grows — the
+//! scaling context behind the paper's fixed 8-core comparison.
+//!
+//! ```text
+//! cargo run --release -p gpm-bench --bin ablation_scaling [n]
+//! ```
+
+use gpm_graph::gen::delaunay_like;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let g = delaunay_like(n, 6);
+    let k = 64;
+    let serial = gpm_metis::partition(&g, &gpm_metis::MetisConfig::new(k).with_seed(1));
+    println!("{:?}, k = {k}; Metis baseline {:.4}s\n", g, serial.modeled_seconds());
+    println!("{:<8} {:>12} {:>12}", "cores", "mt-metis", "ParMetis");
+    for p in [1usize, 2, 4, 8, 16] {
+        let mt = gpm_mtmetis::partition(
+            &g,
+            &gpm_mtmetis::MtMetisConfig::new(k).with_threads(p).with_seed(1),
+        );
+        let par = gpm_parmetis::partition(
+            &g,
+            &gpm_parmetis::ParMetisConfig::new(k).with_ranks(p).with_seed(1),
+        );
+        println!(
+            "{:<8} {:>11.2}x {:>11.2}x",
+            p,
+            serial.modeled_seconds() / mt.modeled_seconds(),
+            serial.modeled_seconds() / par.modeled_seconds(),
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Ablation for the CPU/GPU switchover threshold (§III): sweeps the level
+//! size at which GP-metis hands the graph to the CPU and reports modeled
+//! total time, GPU time, CPU time, and transfer time. The minimum is the
+//! paper's "last level in which coarsening executes faster on the GPU
+//! than the CPU".
+//!
+//! ```text
+//! cargo run --release -p gpm-bench --bin ablation_threshold [n]
+//! ```
+
+use gp_metis::{partition, GpMetisConfig};
+use gpm_graph::gen::delaunay_like;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let g = delaunay_like(n, 3);
+    println!("GP-metis on {:?}, k = 64\n", g);
+    println!(
+        "{:<12} {:>6} {:>6} {:>11} {:>11} {:>11} {:>11} {:>9}",
+        "threshold", "gpuL", "cpuL", "total (s)", "gpu (s)", "cpu (s)", "xfer (s)", "cut"
+    );
+    for threshold in [500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, n + 1] {
+        let cfg = GpMetisConfig::new(64).with_seed(4).with_gpu_threshold(threshold);
+        let r = partition(&g, &cfg).unwrap();
+        let cpu: f64 = r.result.ledger.total_for("cpu:");
+        println!(
+            "{:<12} {:>6} {:>6} {:>11.5} {:>11.5} {:>11.5} {:>11.5} {:>9}",
+            threshold,
+            r.gpu.gpu_levels,
+            r.gpu.cpu_levels,
+            r.result.modeled_seconds(),
+            r.gpu.gpu_seconds,
+            cpu,
+            r.gpu.transfer_seconds,
+            r.result.edge_cut,
+        );
+    }
+}

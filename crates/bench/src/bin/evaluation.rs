@@ -1,0 +1,27 @@
+//! Runs the full evaluation once and prints Fig. 5 + Table II +
+//! Table III together (the cheap way to regenerate all three).
+//!
+//! ```text
+//! GPM_SCALE=small GPM_RUNS=3 cargo run --release -p gpm-bench --bin evaluation
+//! ```
+
+use gpm_bench::{print_fig5, print_table2, print_table3, run_suite, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    let results = run_suite(&cfg);
+    print_fig5(&results);
+    print_table2(&results);
+    print_table3(&results);
+    println!("\n(imbalance check)");
+    for r in &results {
+        println!(
+            "{:<12} Metis {:.3}  ParMetis {:.3}  mt-metis {:.3}  GP-Metis {:.3}",
+            r.graph.name(),
+            r.metis.imbalance,
+            r.parmetis.imbalance,
+            r.mtmetis.imbalance,
+            r.gpmetis.imbalance,
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 5: speedup of the three parallel partitioners over
+//! serial Metis on the four evaluation graphs (k = 64, 3% imbalance).
+//!
+//! ```text
+//! GPM_SCALE=small cargo run --release -p gpm-bench --bin fig5_speedup
+//! ```
+
+use gpm_bench::{print_fig5, run_suite, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    let results = run_suite(&cfg);
+    print_fig5(&results);
+}

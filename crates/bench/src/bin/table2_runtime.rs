@@ -1,0 +1,14 @@
+//! Regenerates Table II: absolute runtimes of the three parallel
+//! partitioners (GP-metis including CPU↔GPU transfer time; I/O excluded).
+//!
+//! ```text
+//! GPM_SCALE=small cargo run --release -p gpm-bench --bin table2_runtime
+//! ```
+
+use gpm_bench::{print_table2, run_suite, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    let results = run_suite(&cfg);
+    print_table2(&results);
+}

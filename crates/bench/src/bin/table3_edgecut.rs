@@ -1,0 +1,14 @@
+//! Regenerates Table III: edge-cut ratio of each parallel partitioner
+//! relative to serial Metis.
+//!
+//! ```text
+//! GPM_SCALE=small cargo run --release -p gpm-bench --bin table3_edgecut
+//! ```
+
+use gpm_bench::{print_table3, run_suite, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    let results = run_suite(&cfg);
+    print_table3(&results);
+}

@@ -1,0 +1,118 @@
+//! The four cmap-construction kernels of §III.A (Fig. 4): flag
+//! initialization, CUB-style inclusive prefix sum, subtract-one, and the
+//! final gather through the matching array. All in place, no auxiliary
+//! memory beyond the scan's own — exactly the paper's pipeline.
+
+use crate::gpu_graph::{assigned_vertices, launch_threads, Distribution};
+use gpm_gpu_sim::{inclusive_scan_u32, DBuf, Device, GpuOom};
+
+/// Build the fine→coarse label map from a device matching array.
+/// Returns `(cmap, n_coarse)`.
+pub fn gpu_cmap(
+    dev: &Device,
+    mat: &DBuf<u32>,
+    dist: Distribution,
+    max_threads: usize,
+) -> Result<(DBuf<u32>, usize), GpuOom> {
+    let n = mat.len();
+    let cmap = dev.alloc::<u32>(n)?;
+    if n == 0 {
+        return Ok((cmap, 0));
+    }
+    let nt = launch_threads(n, max_threads);
+    // Kernel 1: PV[u] = 1 if u is the pair representative else 0.
+    dev.launch("gp:cmap:flags", nt, |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let m = lane.ld(mat, u);
+            lane.st(&cmap, u, u32::from(u as u32 <= m));
+        }
+    });
+    // Kernel 2: inclusive prefix sum (the paper uses the CUB scan). The
+    // last element is the coarse vertex count.
+    let nc = inclusive_scan_u32(dev, &cmap)? as usize;
+    // Kernel 3: subtract one from every entry (labels become 0-based).
+    dev.launch("gp:cmap:subtract", nt, |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let v = lane.ld(&cmap, u);
+            lane.st(&cmap, u, v.wrapping_sub(1));
+        }
+    });
+    // Kernel 4: non-representatives gather their partner's label.
+    dev.launch("gp:cmap:gather", nt, |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let m = lane.ld(mat, u);
+            if (u as u32) > m {
+                let label = lane.ld(&cmap, m as usize);
+                lane.st(&cmap, u, label);
+            }
+        }
+    });
+    Ok((cmap, nc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_gpu_sim::GpuConfig;
+    use gpm_metis::contract::build_cmap;
+
+    fn dev() -> Device {
+        Device::new(GpuConfig::gtx_titan())
+    }
+
+    #[test]
+    fn matches_paper_example() {
+        // Fig. 4's example: 8 vertices, matching pairs (0,2),(1,4),(3,6),(5,7)
+        let mat: Vec<u32> = vec![2, 4, 0, 6, 1, 7, 3, 5];
+        let d = dev();
+        let dm = d.h2d(&mat).unwrap();
+        let (cmap, nc) = gpu_cmap(&d, &dm, crate::gpu_graph::Distribution::Cyclic, 64).unwrap();
+        let (expect, enc) = build_cmap(&mat);
+        assert_eq!(nc, enc);
+        assert_eq!(cmap.to_vec(), expect);
+        assert_eq!(nc, 4);
+    }
+
+    #[test]
+    fn matches_serial_reference_on_random_matchings() {
+        use gpm_graph::rng::SplitMix64;
+        let d = dev();
+        let mut rng = SplitMix64::new(5);
+        for n in [1usize, 2, 17, 300, 1000] {
+            // random involution
+            let mut mat: Vec<u32> = (0..n as u32).collect();
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            gpm_graph::rng::shuffle(&mut ids, &mut rng);
+            for pair in ids.chunks_exact(2) {
+                if rng.chance(0.7) {
+                    mat[pair[0] as usize] = pair[1];
+                    mat[pair[1] as usize] = pair[0];
+                }
+            }
+            let dm = d.h2d(&mat).unwrap();
+            let (cmap, nc) =
+                gpu_cmap(&d, &dm, crate::gpu_graph::Distribution::Cyclic, 256).unwrap();
+            let (expect, enc) = build_cmap(&mat);
+            assert_eq!(nc, enc, "n={n}");
+            assert_eq!(cmap.to_vec(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn identity_matching() {
+        let d = dev();
+        let mat: Vec<u32> = (0..10).collect();
+        let dm = d.h2d(&mat).unwrap();
+        let (cmap, nc) = gpu_cmap(&d, &dm, crate::gpu_graph::Distribution::Cyclic, 32).unwrap();
+        assert_eq!(nc, 10);
+        assert_eq!(cmap.to_vec(), mat);
+    }
+
+    #[test]
+    fn empty_matching() {
+        let d = dev();
+        let dm = d.h2d(&Vec::<u32>::new()).unwrap();
+        let (_, nc) = gpu_cmap(&d, &dm, crate::gpu_graph::Distribution::Cyclic, 32).unwrap();
+        assert_eq!(nc, 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The GPU contraction step (§III.A): two phases plus compaction, exactly
+//! as the paper decomposes it.
+//!
+//! 1. A counting kernel computes, per thread, the maximum number of
+//!    adjacency entries its coarse vertices can need (`temp`); an
+//!    exclusive prefix sum turns that into provisional offsets into the
+//!    temporary `tmp_adjncy` / `tmp_adjwgt` arrays.
+//! 2. The merge kernel collapses each matched pair's adjacency lists —
+//!    either by **sort-merge** (quicksort + dedup, the paper's first
+//!    strategy) or through a per-thread **clustered hash table** (the
+//!    second, faster strategy) — writing merged rows to the temporaries
+//!    and the actual entry counts to `temp2`.
+//! 3. After prefix sums over `temp2` and the per-vertex degrees, a
+//!    compaction kernel copies the rows into the final CSR arrays.
+//!
+//! All temporaries are freed afterwards ("no extra memory overhead for
+//! the contraction").
+
+use crate::gpu_graph::{launch_threads, GpuCsr};
+use gpm_gpu_sim::{exclusive_scan_u32, DBuf, Device, GpuOom, Lane};
+
+/// Which adjacency-merge strategy the merge kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Sort the concatenated neighbor lists and combine duplicates.
+    SortMerge,
+    /// Per-thread clustered (chained) hash table keyed by coarse id.
+    Hash,
+}
+
+/// Contract the device graph given the matching and cmap. Returns the
+/// coarse device graph.
+#[allow(clippy::too_many_arguments)]
+pub fn gpu_contract(
+    dev: &Device,
+    g: &GpuCsr,
+    mat: &DBuf<u32>,
+    cmap: &DBuf<u32>,
+    nc: usize,
+    strategy: MergeStrategy,
+    max_threads: usize,
+) -> Result<GpuCsr, GpuOom> {
+    let n = g.n;
+    // Representative fine vertex of each coarse vertex, so threads can be
+    // assigned contiguous coarse-id ranges (keeps the final copy phase's
+    // regions contiguous).
+    let rep_of = dev.alloc::<u32>(nc.max(1))?;
+    dev.launch("gp:contract:repof", launch_threads(n, max_threads), |lane| {
+        let mut u = lane.tid;
+        while u < n {
+            let m = lane.ld(mat, u);
+            if u as u32 <= m {
+                let c = lane.ld(cmap, u);
+                lane.st(&rep_of, c as usize, u as u32);
+            }
+            u += lane.n_threads;
+        }
+    });
+
+    let nt = launch_threads(nc, max_threads);
+    let chunk = nc.div_ceil(nt.max(1));
+    let my_range = move |tid: usize| {
+        let lo = (tid * chunk).min(nc);
+        let hi = ((tid + 1) * chunk).min(nc);
+        (lo, hi)
+    };
+
+    // --- phase 1: per-thread upper bounds -> provisional offsets ---------
+    let temp = dev.alloc::<u32>(nt)?;
+    dev.launch("gp:contract:count", nt, |lane| {
+        let (lo, hi) = my_range(lane.tid);
+        let mut total = 0u32;
+        for c in lo..hi {
+            let u = lane.ld(&rep_of, c) as usize;
+            let v = lane.ld(mat, u) as usize;
+            let du = lane.ld(&g.xadj, u + 1) - lane.ld(&g.xadj, u);
+            let dv = if v != u {
+                lane.ld(&g.xadj, v + 1) - lane.ld(&g.xadj, v)
+            } else {
+                0
+            };
+            total += du + dv;
+        }
+        lane.st(&temp, lane.tid, total);
+    });
+    let tmp_total = exclusive_scan_u32(dev, &temp)? as usize;
+
+    let tmp_adjncy = dev.alloc::<u32>(tmp_total.max(1))?;
+    let tmp_adjwgt = dev.alloc::<u32>(tmp_total.max(1))?;
+    let deg = dev.alloc::<u32>(nc + 1)?; // degree per coarse vertex (+1 scan slot)
+    let cvwgt = dev.alloc::<u32>(nc.max(1))?;
+    let temp2 = dev.alloc::<u32>(nt)?;
+
+    // --- phase 2: merge into the temporaries ------------------------------
+    dev.launch("gp:contract:merge", nt, |lane| {
+        let (lo, hi) = my_range(lane.tid);
+        let mut cursor = lane.ld(&temp, lane.tid) as usize;
+        let mut actual = 0u32;
+        // lane-local scratch (GPU local memory)
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
+        for c in lo..hi {
+            let u = lane.ld(&rep_of, c) as usize;
+            let v = lane.ld(mat, u) as usize;
+            let wu = lane.ld(&g.vwgt, u);
+            let wv = if v != u { lane.ld(&g.vwgt, v) } else { 0 };
+            lane.st(&cvwgt, c, wu + wv);
+            // gather both adjacency lists mapped to coarse ids
+            scratch.clear();
+            let gather = |x: usize, lane: &mut Lane, scratch: &mut Vec<(u32, u32)>| {
+                let s = lane.ld(&g.xadj, x) as usize;
+                let e = lane.ld(&g.xadj, x + 1) as usize;
+                for i in s..e {
+                    let nb = lane.ld(&g.adjncy, i);
+                    let w = lane.ld(&g.adjwgt, i);
+                    let cn = lane.ld(cmap, nb as usize);
+                    if cn != c as u32 {
+                        scratch.push((cn, w));
+                    }
+                }
+            };
+            gather(u, lane, &mut scratch);
+            if v != u {
+                gather(v, lane, &mut scratch);
+            }
+            let row_len = match strategy {
+                MergeStrategy::SortMerge => merge_by_sort(lane, &mut scratch),
+                MergeStrategy::Hash => merge_by_hash(lane, &mut scratch),
+            };
+            lane.st(&deg, c, row_len as u32);
+            for (i, &(cn, w)) in scratch[..row_len].iter().enumerate() {
+                lane.st(&tmp_adjncy, cursor + i, cn);
+                lane.st(&tmp_adjwgt, cursor + i, w);
+            }
+            cursor += row_len;
+            actual += row_len as u32;
+        }
+        lane.st(&temp2, lane.tid, actual);
+    });
+
+    // --- prefix sums for the final layout ---------------------------------
+    let final_total = exclusive_scan_u32(dev, &temp2)? as usize;
+    // coarse xadj = exclusive scan over the degree array (nc + 1 slots; the
+    // trailing slot's input value is irrelevant)
+    dev.launch("gp:contract:degtail", 1, |lane| {
+        lane.st(&deg, nc, 0);
+    });
+    let cxadj = deg; // scanned in place below
+    exclusive_scan_u32(dev, &cxadj)?;
+
+    // --- compaction ---------------------------------------------------------
+    let cadjncy = dev.alloc::<u32>(final_total.max(1))?;
+    let cadjwgt = dev.alloc::<u32>(final_total.max(1))?;
+    dev.launch("gp:contract:compact", nt, |lane| {
+        let (lo, hi) = my_range(lane.tid);
+        let mut src = lane.ld(&temp, lane.tid) as usize;
+        for c in lo..hi {
+            let dst = lane.ld(&cxadj, c) as usize;
+            let len = (lane.ld(&cxadj, c + 1) - lane.ld(&cxadj, c)) as usize;
+            for i in 0..len {
+                let a = lane.ld(&tmp_adjncy, src + i);
+                let w = lane.ld(&tmp_adjwgt, src + i);
+                lane.st(&cadjncy, dst + i, a);
+                lane.st(&cadjwgt, dst + i, w);
+            }
+            src += len;
+        }
+    });
+    // temp, temp2, tmp_adjncy, tmp_adjwgt, rep_of are freed on drop here —
+    // the paper's "we can free the arrays at the end of the contraction".
+    Ok(GpuCsr { n: nc, m2: final_total, xadj: cxadj, adjncy: cadjncy, adjwgt: cadjwgt, vwgt: cvwgt })
+}
+
+/// Sort-merge strategy: sort the scratch row by coarse id, combine equal
+/// ids in place; returns the merged length. ALU cost ~ len·log2(len).
+fn merge_by_sort(lane: &mut Lane, scratch: &mut [(u32, u32)]) -> usize {
+    let len = scratch.len();
+    if len == 0 {
+        return 0;
+    }
+    scratch.sort_unstable_by_key(|&(c, _)| c);
+    // quicksort of the row scratch lives in per-thread local memory
+    lane.local_mem(2 * (len as u64) * (usize::BITS - len.leading_zeros()) as u64);
+    let mut out = 0usize;
+    let mut i = 0usize;
+    while i < len {
+        let (c, mut w) = scratch[i];
+        let mut j = i + 1;
+        while j < len && scratch[j].0 == c {
+            w += scratch[j].1;
+            j += 1;
+        }
+        scratch[out] = (c, w);
+        out += 1;
+        i = j;
+        lane.alu(1);
+    }
+    out
+}
+
+/// Clustered-hash-table strategy: open addressing with linear probing
+/// over a power-of-two table (the paper's chained buckets collapse to
+/// probing for our fixed-size rows); returns the merged length.
+fn merge_by_hash(lane: &mut Lane, scratch: &mut Vec<(u32, u32)>) -> usize {
+    let len = scratch.len();
+    if len == 0 {
+        return 0;
+    }
+    let cap = (2 * len).next_power_of_two();
+    let mask = cap - 1;
+    // (key+1, value) — 0 key = empty
+    let mut table: Vec<(u32, u32)> = vec![(0, 0); cap];
+    let mut keys_in_order: Vec<u32> = Vec::with_capacity(len);
+    let mut probes = 0u64;
+    for idx in 0..len {
+        let (c, w) = scratch[idx];
+        let mut h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize >> (64 - cap.trailing_zeros()) as usize & mask;
+        loop {
+            probes += 1; // one probe of the clustered table (local memory)
+            let (k, _) = table[h];
+            if k == 0 {
+                table[h] = (c + 1, w);
+                keys_in_order.push(c);
+                break;
+            }
+            if k == c + 1 {
+                table[h].1 += w;
+                break;
+            }
+            h = (h + 1) & mask;
+        }
+    }
+    lane.local_mem(2 * probes + len as u64);
+    scratch.clear();
+    for &c in &keys_in_order {
+        let mut h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize >> (64 - cap.trailing_zeros()) as usize & mask;
+        loop {
+            let (k, w) = table[h];
+            if k == c + 1 {
+                scratch.push((c, w));
+                break;
+            }
+            h = (h + 1) & mask;
+        }
+    }
+    scratch.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu_graph::Distribution;
+    use crate::kernels::cmap::gpu_cmap;
+    use crate::kernels::matching::gpu_matching;
+    use gpm_gpu_sim::GpuConfig;
+    use gpm_graph::csr::CsrGraph;
+    use gpm_graph::gen::{delaunay_like, grid2d, rmat};
+    use gpm_metis::contract::contract;
+    use gpm_metis::cost::Work;
+
+    /// Compare GPU contraction against the serial reference for the same
+    /// matching.
+    fn check_against_serial(g: &CsrGraph, strategy: MergeStrategy, seed: u64) {
+        let dev = Device::new(GpuConfig::gtx_titan());
+        let gg = GpuCsr::upload(&dev, g).unwrap();
+        let (dmat, _) = gpu_matching(
+            &dev,
+            &gg,
+            u32::MAX,
+            3,
+            g.uniform_edge_weights(),
+            seed,
+            Distribution::Cyclic,
+            2048,
+        )
+        .unwrap();
+        let mat = dmat.to_vec();
+        let (dcmap, nc) = gpu_cmap(&dev, &dmat, Distribution::Cyclic, 2048).unwrap();
+        let coarse_dev =
+            gpu_contract(&dev, &gg, &dmat, &dcmap, nc, strategy, 512).unwrap();
+        let coarse = coarse_dev.download(&dev);
+        coarse.validate().unwrap();
+
+        let mut w = Work::default();
+        let (serial, scmap) = contract(g, &mat, &mut w);
+        assert_eq!(dcmap.to_vec(), scmap);
+        assert_eq!(coarse.n(), serial.n());
+        assert_eq!(coarse.total_vwgt(), serial.total_vwgt());
+        assert_eq!(coarse.m(), serial.m());
+        for c in 0..coarse.n() as u32 {
+            let mut a: Vec<_> = coarse.edges(c).collect();
+            let mut b: Vec<_> = serial.edges(c).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "row {c}");
+        }
+    }
+
+    #[test]
+    fn sort_merge_matches_serial_grid() {
+        check_against_serial(&grid2d(14, 14), MergeStrategy::SortMerge, 1);
+    }
+
+    #[test]
+    fn hash_matches_serial_grid() {
+        check_against_serial(&grid2d(14, 14), MergeStrategy::Hash, 1);
+    }
+
+    #[test]
+    fn both_strategies_on_delaunay() {
+        let g = delaunay_like(900, 4);
+        check_against_serial(&g, MergeStrategy::SortMerge, 7);
+        check_against_serial(&g, MergeStrategy::Hash, 7);
+    }
+
+    #[test]
+    fn skewed_graph_contract() {
+        let g = rmat(8, 6, 3);
+        check_against_serial(&g, MergeStrategy::Hash, 5);
+    }
+
+    #[test]
+    fn merge_helpers_agree() {
+        let dev = Device::new(GpuConfig::gtx_titan());
+        let buf = dev.alloc::<u32>(1).unwrap();
+        dev.launch("t", 1, |lane| {
+            let rows: Vec<Vec<(u32, u32)>> = vec![
+                vec![],
+                vec![(5, 1)],
+                vec![(3, 1), (3, 2), (1, 5)],
+                vec![(9, 1), (2, 1), (9, 1), (2, 1), (9, 3)],
+            ];
+            for row in rows {
+                let mut a = row.clone();
+                let mut b = row.clone();
+                let la = merge_by_sort(lane, &mut a);
+                let lb = merge_by_hash(lane, &mut b);
+                let mut ra: Vec<_> = a[..la].to_vec();
+                let mut rb: Vec<_> = b[..lb].to_vec();
+                ra.sort_unstable();
+                rb.sort_unstable();
+                assert_eq!(ra, rb);
+            }
+            lane.st(&buf, 0, 1);
+        });
+        assert_eq!(buf.load(0), 1);
+    }
+}

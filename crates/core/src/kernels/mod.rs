@@ -1,0 +1,9 @@
+//! The CUDA kernels of GP-metis (§III), expressed against the
+//! [`gpm_gpu_sim`] device: matching + conflict resolution, the 4-kernel
+//! cmap construction, two-phase contraction with both merge strategies,
+//! projection, and the buffered lock-free refinement.
+
+pub mod cmap;
+pub mod contract;
+pub mod matching;
+pub mod refine;

@@ -1,0 +1,347 @@
+//! GPU un-coarsening kernels (§III.C): projection, and the lock-free
+//! buffered refinement — a boundary kernel in which threads find each
+//! boundary vertex's best destination partition (under the alternating
+//! direction ordering) and append movement requests to per-partition
+//! buffers through an atomically incremented size counter, and an explore
+//! kernel with one thread per partition that sorts its buffer by gain and
+//! commits the moves that keep the partition under its maximum weight.
+
+use crate::gpu_graph::{assigned_vertices, launch_threads, Distribution, GpuCsr};
+use gpm_gpu_sim::{DBuf, Device, GpuOom};
+
+/// Project a coarse partition onto the fine graph through the per-level
+/// cmap (the paper's saved pointer arrays).
+pub fn gpu_project(
+    dev: &Device,
+    cmap: &DBuf<u32>,
+    part_coarse: &DBuf<u32>,
+    dist: Distribution,
+    max_threads: usize,
+) -> Result<DBuf<u32>, GpuOom> {
+    let n = cmap.len();
+    let part_fine = dev.alloc::<u32>(n)?;
+    dev.launch("gp:project", launch_threads(n, max_threads), |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let c = lane.ld(cmap, u);
+            let p = lane.ld(part_coarse, c as usize);
+            lane.st(&part_fine, u, p);
+        }
+    });
+    Ok(part_fine)
+}
+
+/// Statistics of one refinement invocation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GpuRefineStats {
+    /// Committed moves.
+    pub moves: u64,
+    /// Requests rejected at the explore kernel (balance).
+    pub rejected: u64,
+    /// Requests dropped because a partition buffer overflowed.
+    pub overflowed: u64,
+    /// Passes executed.
+    pub passes: u32,
+}
+
+/// Run the two-kernel lock-free refinement in place on the device
+/// partition vector. `pw` must hold the current partition weights; it is
+/// kept up to date on the device.
+#[allow(clippy::too_many_arguments)]
+pub fn gpu_refine(
+    dev: &Device,
+    g: &GpuCsr,
+    part: &DBuf<u32>,
+    pw: &DBuf<u32>,
+    k: usize,
+    maxw: u32,
+    max_passes: usize,
+    dist: Distribution,
+    max_threads: usize,
+) -> Result<GpuRefineStats, GpuOom> {
+    let n = g.n;
+    let mut stats = GpuRefineStats::default();
+    // per-partition request buffers: vertex ids and gains, plus a size
+    // counter S per partition (the paper's scheme)
+    let cap = (n / k + 64).min(n.max(1));
+    let req_vertex = dev.alloc::<u32>(k * cap)?;
+    let req_gain = dev.alloc::<u32>(k * cap)?;
+    let bufsize = dev.alloc::<u32>(k)?;
+    let moved = dev.alloc::<u32>(1)?;
+
+    for pass in 0..max_passes {
+        stats.passes += 1;
+        let mut pass_moves = 0u64;
+        // one movement direction per pass, reversed each round (the same
+        // ordering method the CPU refiners use; prevents concurrent A-B
+        // swaps between neighbor partitions)
+        {
+            let dir_up = if pass % 2 == 0 { 1u32 } else { 0u32 };
+            bufsize.fill(0);
+            moved.store(0, 0);
+            // --- boundary/request kernel --------------------------------
+            dev.launch("gp:refine:request", launch_threads(n, max_threads), |lane| {
+                for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+                    let pu = lane.ld(part, u);
+                    let s = lane.ld(&g.xadj, u) as usize;
+                    let e = lane.ld(&g.xadj, u + 1) as usize;
+                    // connectivity to each adjacent partition (lane-local)
+                    let mut parts: [u32; 24] = [0; 24];
+                    let mut wgts: [i64; 24] = [0; 24];
+                    let mut np = 0usize;
+                    let mut boundary = false;
+                    for i in s..e {
+                        let v = lane.ld(&g.adjncy, i);
+                        let w = lane.ld(&g.adjwgt, i) as i64;
+                        let pv = lane.ld(part, v as usize);
+                        if pv != pu {
+                            boundary = true;
+                        }
+                        // the connectivity table is per-thread scratch in
+                        // local memory; the linear scan is the
+                        // degree-dependent cost that makes dense graphs
+                        // expensive for the GPU refiner
+                        lane.local_mem((np as u64 / 2).max(1));
+                        match parts[..np].iter().position(|&x| x == pv) {
+                            Some(j) => wgts[j] += w,
+                            None if np < 24 => {
+                                parts[np] = pv;
+                                wgts[np] = w;
+                                np += 1;
+                            }
+                            None => {} // >24 adjacent partitions: ignore rest
+                        }
+                    }
+                    if !boundary {
+                        continue;
+                    }
+                    let w_own =
+                        parts[..np].iter().position(|&x| x == pu).map_or(0, |j| wgts[j]);
+                    let vw = lane.ld(&g.vwgt, u);
+                    let mut best: Option<(u32, i64)> = None;
+                    for j in 0..np {
+                        let q = parts[j];
+                        if q == pu || (dir_up == 1) != (q > pu) {
+                            continue;
+                        }
+                        let gain = wgts[j] - w_own;
+                        let improves_balance = lane.ld(pw, q as usize) + vw
+                            < lane.ld(pw, pu as usize);
+                        if gain > 0 || (gain == 0 && improves_balance) {
+                            match best {
+                                Some((_, bg)) if bg >= gain => {}
+                                _ => best = Some((q, gain)),
+                            }
+                        }
+                    }
+                    if let Some((q, gain)) = best {
+                        // atomically claim a slot in q's buffer
+                        let slot = lane.atomic_add(&bufsize, q as usize, 1) as usize;
+                        if slot < cap {
+                            lane.st(&req_vertex, q as usize * cap + slot, u as u32);
+                            lane.st(&req_gain, q as usize * cap + slot, gain as u32);
+                        }
+                    }
+                }
+            });
+            // --- explore kernel: one thread per partition -----------------
+            dev.launch("gp:refine:explore", k, |lane| {
+                let q = lane.tid;
+                let submitted = lane.ld(&bufsize, q) as usize;
+                let cnt = submitted.min(cap);
+                // read and sort this partition's requests by gain (desc)
+                let mut reqs: Vec<(u32, u32)> = Vec::with_capacity(cnt);
+                for i in 0..cnt {
+                    let gain = lane.ld(&req_gain, q * cap + i);
+                    let v = lane.ld(&req_vertex, q * cap + i);
+                    reqs.push((gain, v));
+                }
+                reqs.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+                lane.local_mem((cnt as u64) * (usize::BITS - cnt.leading_zeros()) as u64);
+                // conservative local view of q's weight: starting value
+                // plus own additions (concurrent explore threads only ever
+                // *decrement* pw[q], so the cap check stays safe)
+                let mut myw = lane.ld(pw, q);
+                for &(_gain, u) in &reqs {
+                    let vw = lane.ld(&g.vwgt, u as usize);
+                    if myw + vw > maxw {
+                        continue; // would overweight this partition
+                    }
+                    let from = lane.ld(part, u as usize);
+                    lane.st(part, u as usize, q as u32);
+                    myw += vw;
+                    lane.atomic_add(pw, q, vw);
+                    lane.atomic_add(pw, from as usize, vw.wrapping_neg());
+                    lane.atomic_add(&moved, 0, 1);
+                }
+            });
+            let m = moved.load(0) as u64;
+            pass_moves += m;
+            stats.moves += m;
+            // accounting for rejected/overflow (host-side inspection)
+            for q in 0..k {
+                let submitted = bufsize.load(q) as u64;
+                let capu = cap as u64;
+                if submitted > capu {
+                    stats.overflowed += submitted - capu;
+                }
+            }
+        }
+        if pass_moves == 0 {
+            break;
+        }
+    }
+    Ok(stats)
+}
+
+/// Compute partition weights on the device (one pass of atomic adds).
+pub fn gpu_part_weights(
+    dev: &Device,
+    g: &GpuCsr,
+    part: &DBuf<u32>,
+    k: usize,
+    dist: Distribution,
+    max_threads: usize,
+) -> Result<DBuf<u32>, GpuOom> {
+    let pw = dev.alloc::<u32>(k)?;
+    let n = g.n;
+    dev.launch("gp:refine:weights", launch_threads(n, max_threads), |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let p = lane.ld(part, u);
+            let vw = lane.ld(&g.vwgt, u);
+            lane.atomic_add(&pw, p as usize, vw);
+        }
+    });
+    Ok(pw)
+}
+
+/// Count boundary vertices on the device (for stats and tests).
+pub fn gpu_boundary_count(
+    dev: &Device,
+    g: &GpuCsr,
+    part: &DBuf<u32>,
+    dist: Distribution,
+    max_threads: usize,
+) -> Result<u64, GpuOom> {
+    let n = g.n;
+    let counter = dev.alloc::<u32>(1)?;
+    dev.launch("gp:refine:boundary", launch_threads(n, max_threads), |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let pu = lane.ld(part, u);
+            let s = lane.ld(&g.xadj, u) as usize;
+            let e = lane.ld(&g.xadj, u + 1) as usize;
+            for i in s..e {
+                let v = lane.ld(&g.adjncy, i);
+                if lane.ld(part, v as usize) != pu {
+                    lane.atomic_add(&counter, 0, 1);
+                    break;
+                }
+            }
+        }
+    });
+    Ok(counter.load(0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_gpu_sim::GpuConfig;
+    use gpm_graph::gen::{delaunay_like, grid2d};
+    use gpm_graph::metrics::{edge_cut, max_part_weight, part_weights};
+    use gpm_graph::rng::SplitMix64;
+
+    fn dev() -> Device {
+        Device::new(GpuConfig::gtx_titan())
+    }
+
+    #[test]
+    fn projection_gathers_labels() {
+        let d = dev();
+        let cmap = d.h2d(&[0u32, 0, 1, 1, 2]).unwrap();
+        let cpart = d.h2d(&[7u32, 8, 9]).unwrap();
+        let fine = gpu_project(&d, &cmap, &cpart, Distribution::Cyclic, 8).unwrap();
+        assert_eq!(fine.to_vec(), vec![7, 7, 8, 8, 9]);
+    }
+
+    #[test]
+    fn part_weights_on_device() {
+        let d = dev();
+        let g = grid2d(4, 4);
+        let gg = GpuCsr::upload(&d, &g).unwrap();
+        let part = d.h2d(&vec![0u32, 1].repeat(8)).unwrap();
+        let pw = gpu_part_weights(&d, &gg, &part, 2, Distribution::Cyclic, 64).unwrap();
+        assert_eq!(pw.to_vec(), vec![8, 8]);
+    }
+
+    #[test]
+    fn refine_improves_random_partition() {
+        let g = grid2d(16, 16);
+        let k = 4;
+        let mut rng = SplitMix64::new(3);
+        let init: Vec<u32> = (0..g.n()).map(|_| rng.below(k as u64) as u32).collect();
+        let before = edge_cut(&g, &init);
+        let d = dev();
+        let gg = GpuCsr::upload(&d, &g).unwrap();
+        let part = d.h2d(&init).unwrap();
+        let pw = gpu_part_weights(&d, &gg, &part, k, Distribution::Cyclic, 512).unwrap();
+        let maxw = max_part_weight(g.total_vwgt(), k, 1.05) as u32;
+        let stats =
+            gpu_refine(&d, &gg, &part, &pw, k, maxw, 8, Distribution::Cyclic, 512).unwrap();
+        let after_part = part.to_vec();
+        let after = edge_cut(&g, &after_part);
+        assert!(after < before, "{before} -> {after}");
+        assert!(stats.moves > 0);
+        // device weights stayed consistent
+        let host_pw = part_weights(&g, &after_part, k);
+        let dev_pw: Vec<u64> = pw.to_vec().into_iter().map(|x| x as u64).collect();
+        assert_eq!(host_pw, dev_pw);
+        // balance
+        assert!(host_pw.iter().all(|&w| w <= maxw as u64), "{host_pw:?} vs {maxw}");
+    }
+
+    #[test]
+    fn refine_respects_cap_under_pressure() {
+        let g = delaunay_like(400, 9);
+        let k = 4;
+        // heavily unbalanced start: most vertices in part 0
+        let init: Vec<u32> = (0..g.n()).map(|u| if u % 10 == 0 { (u % 4) as u32 } else { 0 }).collect();
+        let d = dev();
+        let gg = GpuCsr::upload(&d, &g).unwrap();
+        let part = d.h2d(&init).unwrap();
+        let pw = gpu_part_weights(&d, &gg, &part, k, Distribution::Cyclic, 512).unwrap();
+        let maxw = max_part_weight(g.total_vwgt(), k, 1.10) as u32;
+        gpu_refine(&d, &gg, &part, &pw, k, maxw, 6, Distribution::Cyclic, 512).unwrap();
+        let host_pw = part_weights(&g, &part.to_vec(), k);
+        // destinations never exceed maxw (part 0 may stay overweight — the
+        // paper relies on further refinement at finer levels for balance)
+        for q in 1..k {
+            assert!(host_pw[q] <= maxw as u64, "{host_pw:?}");
+        }
+    }
+
+    #[test]
+    fn converged_partition_stops() {
+        let g = grid2d(8, 8);
+        let init: Vec<u32> = (0..64u32).map(|i| (i % 8) / 4).collect();
+        let d = dev();
+        let gg = GpuCsr::upload(&d, &g).unwrap();
+        let part = d.h2d(&init).unwrap();
+        let pw = gpu_part_weights(&d, &gg, &part, 2, Distribution::Cyclic, 64).unwrap();
+        let maxw = max_part_weight(g.total_vwgt(), 2, 1.03) as u32;
+        let before = edge_cut(&g, &init);
+        let stats =
+            gpu_refine(&d, &gg, &part, &pw, 2, maxw, 10, Distribution::Cyclic, 64).unwrap();
+        assert!(stats.passes <= 3);
+        assert!(edge_cut(&g, &part.to_vec()) <= before);
+    }
+
+    #[test]
+    fn boundary_count_kernel() {
+        let g = grid2d(8, 8);
+        let d = dev();
+        let gg = GpuCsr::upload(&d, &g).unwrap();
+        let part: Vec<u32> = (0..64u32).map(|i| (i % 8) / 4).collect();
+        let dpart = d.h2d(&part).unwrap();
+        let cnt = gpu_boundary_count(&d, &gg, &dpart, Distribution::Cyclic, 64).unwrap();
+        assert_eq!(cnt, gpm_graph::metrics::boundary_count(&g, &part) as u64);
+    }
+}

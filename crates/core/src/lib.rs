@@ -1,0 +1,454 @@
+//! GP-metis — the paper's primary contribution: a lock-free multilevel
+//! k-way graph partitioner for a heterogeneous CPU-GPU system.
+//!
+//! Pipeline (Fig. 1 of the paper):
+//!
+//! 1. the CSR graph is copied to GPU global memory;
+//! 2. the GPU runs coarsening levels (lock-free matching + conflict
+//!    resolution, 4-kernel cmap construction, two-phase contraction)
+//!    while the graph is large enough to keep its thousands of threads
+//!    busy;
+//! 3. below the threshold the coarse graph moves to the CPU, which
+//!    finishes coarsening, computes the initial k-way partition, and
+//!    refines back up to the threshold level (all via the mt-metis
+//!    engine, as in the paper);
+//! 4. the partition returns to the GPU, which projects and refines
+//!    through the remaining (large) levels with the buffered lock-free
+//!    refinement;
+//! 5. the final partition vector is copied back to the host.
+//!
+//! The GPU is simulated (see `gpm-gpu-sim` and DESIGN.md §1): the kernels
+//! run with real host-thread concurrency and CUDA-like memory semantics,
+//! and their time is modeled from coalesced-transaction and warp-
+//! instruction counts with GTX Titan constants.
+
+pub mod gpu_graph;
+pub mod kernels;
+pub mod multi_gpu;
+
+use gpm_gpu_sim::{Device, GpuConfig, GpuOom, KernelStats};
+use gpm_graph::csr::CsrGraph;
+use gpm_metis::coarsen::CoarsenConfig;
+use gpm_metis::cost::{CostLedger, CpuModel};
+use gpm_metis::PartitionResult;
+use gpm_mtmetis::MtMetisConfig;
+use gpu_graph::{Distribution, GpuCsr};
+use kernels::cmap::gpu_cmap;
+use kernels::contract::{gpu_contract, MergeStrategy};
+use kernels::matching::gpu_matching;
+use kernels::refine::{gpu_part_weights, gpu_project, gpu_refine};
+
+pub use gpu_graph::Distribution as VertexDistribution;
+pub use kernels::contract::MergeStrategy as ContractStrategy;
+
+/// Configuration of the hybrid partitioner.
+#[derive(Debug, Clone)]
+pub struct GpMetisConfig {
+    /// Number of partitions (the paper evaluates k = 64).
+    pub k: usize,
+    /// Balance tolerance (the paper uses 1.03).
+    pub ubfactor: f64,
+    /// The CPU/GPU switchover: levels with more vertices than this run on
+    /// the GPU, smaller ones on the CPU (the paper's threshold, tuned so
+    /// the GPU always has enough parallel work).
+    pub gpu_threshold: usize,
+    /// Proposal/resolve rounds per coarsening level (1 = exactly the
+    /// paper's single match + resolve kernel pair; more rounds let
+    /// conflict losers retry within the level).
+    pub match_rounds: usize,
+    /// Adjacency-merge strategy for the contraction kernel.
+    pub merge: MergeStrategy,
+    /// Refinement passes per GPU uncoarsening level.
+    pub refine_passes: usize,
+    /// Vertex→thread assignment (Cyclic = coalesced; Blocked for the
+    /// ablation).
+    pub distribution: Distribution,
+    /// Maximum GPU threads per kernel launch (shrinks automatically with
+    /// the graph).
+    pub max_threads: usize,
+    /// CPU threads for the middle phase (the paper's 8-core Xeon).
+    pub cpu_threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// GPU machine model.
+    pub gpu: GpuConfig,
+}
+
+impl GpMetisConfig {
+    /// Paper defaults: k parts, 3% imbalance, GTX Titan, 8 CPU threads.
+    pub fn new(k: usize) -> Self {
+        GpMetisConfig {
+            k,
+            ubfactor: 1.03,
+            gpu_threshold: 5_000,
+            match_rounds: 4,
+            merge: MergeStrategy::Hash,
+            refine_passes: 8,
+            distribution: Distribution::Cyclic,
+            max_threads: 1 << 15,
+            cpu_threads: 8,
+            seed: 1,
+            gpu: GpuConfig::gtx_titan(),
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style switchover-threshold override.
+    pub fn with_gpu_threshold(mut self, t: usize) -> Self {
+        self.gpu_threshold = t;
+        self
+    }
+}
+
+/// GPU-side report accompanying a run.
+#[derive(Debug, Clone)]
+pub struct GpuReport {
+    /// Coarsening levels executed on the GPU.
+    pub gpu_levels: usize,
+    /// Coarsening levels executed on the CPU middle phase.
+    pub cpu_levels: usize,
+    /// Total matching conflicts observed by the resolve kernels.
+    pub match_conflicts: u64,
+    /// Total refinement moves committed by the explore kernels.
+    pub refine_moves: u64,
+    /// PCIe seconds (all transfers, both directions).
+    pub transfer_seconds: f64,
+    /// PCIe bytes moved.
+    pub transfer_bytes: u64,
+    /// Modeled GPU kernel seconds.
+    pub gpu_seconds: f64,
+    /// Peak device memory in use, bytes.
+    pub peak_device_bytes: u64,
+    /// Per-kernel statistics log.
+    pub kernel_log: Vec<KernelStats>,
+}
+
+/// Result of a GP-metis run.
+#[derive(Debug, Clone)]
+pub struct GpMetisResult {
+    /// The partition, quality numbers and modeled-time ledger (same shape
+    /// as every other partitioner in the workspace).
+    pub result: PartitionResult,
+    /// GPU-side details.
+    pub gpu: GpuReport,
+}
+
+/// A device-resident multilevel level.
+pub(crate) struct GpuLevel {
+    pub(crate) graph: GpuCsr,
+    pub(crate) cmap: gpm_gpu_sim::DBuf<u32>,
+}
+
+/// Outcome of a device coarsening loop.
+pub(crate) struct CoarsenOutcome {
+    pub(crate) levels: Vec<GpuLevel>,
+    pub(crate) coarsest: GpuCsr,
+    pub(crate) conflicts: u64,
+    pub(crate) peak_mem: u64,
+}
+
+/// Run GPU coarsening levels on `dev` until the graph drops below the
+/// threshold or matching stalls. Shared by the single-GPU pipeline and
+/// the multi-GPU extension.
+pub(crate) fn gpu_coarsen_loop(
+    dev: &Device,
+    g0: GpuCsr,
+    mut uniform: bool,
+    max_vwgt: u32,
+    cfg: &GpMetisConfig,
+) -> Result<CoarsenOutcome, GpuOom> {
+    let ccfg = CoarsenConfig::for_k(cfg.k);
+    let mut levels: Vec<GpuLevel> = Vec::new();
+    let mut cur = g0;
+    let mut conflicts = 0u64;
+    let mut peak_mem = 0u64;
+    while cur.n > cfg.gpu_threshold && levels.len() < ccfg.max_levels {
+        let lvl = levels.len();
+        let (mat, mstats) = gpu_matching(
+            dev,
+            &cur,
+            max_vwgt,
+            cfg.match_rounds,
+            uniform,
+            cfg.seed.wrapping_add(lvl as u64),
+            cfg.distribution,
+            cfg.max_threads,
+        )?;
+        conflicts += mstats.conflicts;
+        let (cmap, nc) = gpu_cmap(dev, &mat, cfg.distribution, cfg.max_threads)?;
+        if nc as f64 / cur.n as f64 > ccfg.reduction_cutoff {
+            break; // stalled; hand over to the CPU
+        }
+        let coarse = gpu_contract(dev, &cur, &mat, &cmap, nc, cfg.merge, cfg.max_threads)?;
+        peak_mem = peak_mem.max(dev.mem_used());
+        uniform = false; // contraction sums weights; HEM has signal now
+        levels.push(GpuLevel { graph: std::mem::replace(&mut cur, coarse), cmap });
+    }
+    Ok(CoarsenOutcome { levels, coarsest: cur, conflicts, peak_mem })
+}
+
+/// Project + refine back up through the device levels. Shared by the
+/// single-GPU pipeline and the multi-GPU extension. Returns the fine
+/// device partition and the number of committed moves.
+pub(crate) fn gpu_uncoarsen_loop(
+    dev: &Device,
+    levels: &[GpuLevel],
+    mut dpart: gpm_gpu_sim::DBuf<u32>,
+    maxw: u32,
+    cfg: &GpMetisConfig,
+) -> Result<(gpm_gpu_sim::DBuf<u32>, u64), GpuOom> {
+    let mut refine_moves = 0u64;
+    for lvl in (0..levels.len()).rev() {
+        let fine = &levels[lvl].graph;
+        dpart = gpu_project(dev, &levels[lvl].cmap, &dpart, cfg.distribution, cfg.max_threads)?;
+        let pw = gpu_part_weights(dev, fine, &dpart, cfg.k, cfg.distribution, cfg.max_threads)?;
+        let stats = gpu_refine(
+            dev,
+            fine,
+            &dpart,
+            &pw,
+            cfg.k,
+            maxw,
+            cfg.refine_passes,
+            cfg.distribution,
+            cfg.max_threads,
+        )?;
+        refine_moves += stats.moves;
+    }
+    Ok((dpart, refine_moves))
+}
+
+/// Partition `g` into `cfg.k` parts with the hybrid CPU-GPU algorithm.
+///
+/// Fails with [`GpuOom`] when the graph (plus the level hierarchy) does
+/// not fit in device memory — the constraint the paper's future-work
+/// multi-GPU extension targets (see [`crate::multi_gpu`]).
+///
+/// ```
+/// use gpm_graph::gen::delaunay_like;
+/// use gp_metis::{partition, GpMetisConfig};
+///
+/// let g = delaunay_like(2_000, 42);
+/// let cfg = GpMetisConfig::new(8).with_gpu_threshold(500);
+/// let r = partition(&g, &cfg).unwrap();
+/// assert!(r.gpu.gpu_levels >= 1);
+/// gpm_graph::metrics::validate_partition(&g, &r.result.part, 8, 1.15).unwrap();
+/// ```
+pub fn partition(g: &CsrGraph, cfg: &GpMetisConfig) -> Result<GpMetisResult, GpuOom> {
+    let t0 = std::time::Instant::now();
+    let dev = Device::new(cfg.gpu.clone());
+    let mut ledger = CostLedger::new();
+    let ccfg = CoarsenConfig::for_k(cfg.k);
+    let max_vwgt = ccfg.max_vwgt(g.total_vwgt());
+    let mut peak_mem = 0u64;
+    let mut conflicts = 0u64;
+
+    // 1. H2D: the whole CSR graph.
+    let mut mark = dev.elapsed();
+    let charge = |ledger: &mut CostLedger, dev: &Device, name: &str, mark: &mut f64| {
+        let now = dev.elapsed();
+        ledger.seconds(name, now - *mark);
+        *mark = now;
+    };
+    let g0 = GpuCsr::upload(&dev, g)?;
+    charge(&mut ledger, &dev, "xfer:h2d:graph", &mut mark);
+
+    // 2. GPU coarsening levels.
+    let outcome = gpu_coarsen_loop(&dev, g0, g.uniform_edge_weights(), max_vwgt, cfg)?;
+    let CoarsenOutcome { levels, coarsest, conflicts: c, peak_mem: pm } = outcome;
+    conflicts += c;
+    peak_mem = peak_mem.max(pm);
+    charge(&mut ledger, &dev, "gpu:coarsen", &mut mark);
+
+    // 3. D2H: the coarse graph moves to the CPU.
+    let coarse_host = coarsest.download(&dev);
+    charge(&mut ledger, &dev, "xfer:d2h:coarse", &mut mark);
+
+    // 4. CPU middle phase (mt-metis): finish coarsening, initial
+    //    partitioning, refine back up to the threshold level.
+    let mt = MtMetisConfig {
+        k: cfg.k,
+        threads: cfg.cpu_threads,
+        ubfactor: cfg.ubfactor,
+        seed: cfg.seed,
+        ..MtMetisConfig::new(cfg.k)
+    };
+    let model = CpuModel::xeon_e5540(cfg.cpu_threads);
+    let mut cpu_ledger = CostLedger::new();
+    let hierarchy = gpm_mtmetis::parallel_coarsen(&coarse_host, &mt, &model, &mut cpu_ledger);
+    let (cpart, init_crit) = gpm_mtmetis::pinit::parallel_init_partition(
+        hierarchy.coarsest(),
+        cfg.k,
+        cfg.ubfactor,
+        mt.gggp_trials,
+        mt.fm_passes,
+        cfg.seed,
+        cfg.cpu_threads,
+    );
+    cpu_ledger.parallel("initpart", &model, &[init_crit], 1);
+    let part_at_entry =
+        gpm_mtmetis::uncoarsen_with_refine(&hierarchy, cpart, &mt, &model, &mut cpu_ledger);
+    for (name, secs) in &cpu_ledger.phases {
+        ledger.seconds(&format!("cpu:{name}"), *secs);
+    }
+
+    // 5. H2D: partition vector returns to the GPU.
+    mark = dev.elapsed();
+    let dpart = dev.h2d(&part_at_entry)?;
+    charge(&mut ledger, &dev, "xfer:h2d:part", &mut mark);
+
+    // 6. GPU uncoarsening: project + lock-free refinement per level.
+    let maxw = gpm_graph::metrics::max_part_weight(g.total_vwgt(), cfg.k, cfg.ubfactor);
+    let maxw = u32::try_from(maxw).expect("total vertex weight exceeds device word");
+    let (dpart, refine_moves) = gpu_uncoarsen_loop(&dev, &levels, dpart, maxw, cfg)?;
+    peak_mem = peak_mem.max(dev.mem_used());
+    charge(&mut ledger, &dev, "gpu:uncoarsen", &mut mark);
+
+    // 7. D2H: final partition.
+    let part = dev.d2h(&dpart);
+    charge(&mut ledger, &dev, "xfer:d2h:part", &mut mark);
+
+    let edge_cut = gpm_graph::metrics::edge_cut(g, &part);
+    let imbalance = gpm_graph::metrics::imbalance(g, &part, cfg.k);
+    let gpu_levels = levels.len();
+    let total_levels = gpu_levels + hierarchy.depth() + 1;
+    Ok(GpMetisResult {
+        result: PartitionResult {
+            part,
+            k: cfg.k,
+            edge_cut,
+            imbalance,
+            ledger,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            levels: total_levels,
+        },
+        gpu: GpuReport {
+            gpu_levels,
+            cpu_levels: hierarchy.depth(),
+            match_conflicts: conflicts,
+            refine_moves,
+            transfer_seconds: dev.transfer_seconds_total(),
+            transfer_bytes: dev.transfer_bytes_total(),
+            gpu_seconds: dev.elapsed() - dev.transfer_seconds_total(),
+            peak_device_bytes: peak_mem,
+            kernel_log: dev.kernel_log(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen::{delaunay_like, grid2d, hugebubbles_like, usa_roads_like};
+    use gpm_graph::metrics::validate_partition;
+
+    fn small_cfg(k: usize) -> GpMetisConfig {
+        // low threshold so tests exercise real GPU levels on small graphs
+        GpMetisConfig::new(k).with_gpu_threshold(400)
+    }
+
+    #[test]
+    fn partitions_grid_k4_with_gpu_levels() {
+        let g = grid2d(40, 40);
+        let r = partition(&g, &small_cfg(4)).unwrap();
+        validate_partition(&g, &r.result.part, 4, 1.10).unwrap();
+        assert!(r.gpu.gpu_levels >= 1, "expected GPU coarsening levels");
+        assert!(r.gpu.transfer_bytes > 0);
+        assert!(r.gpu.gpu_seconds > 0.0);
+        assert!(r.result.modeled_seconds() > 0.0);
+    }
+
+    #[test]
+    fn partitions_delaunay_k8() {
+        let g = delaunay_like(3_000, 2);
+        let r = partition(&g, &small_cfg(8).with_seed(3)).unwrap();
+        validate_partition(&g, &r.result.part, 8, 1.12).unwrap();
+        assert!(r.result.edge_cut < g.total_adjwgt() / 4, "cut {}", r.result.edge_cut);
+        assert!(r.gpu.gpu_levels >= 1);
+        assert!(r.gpu.refine_moves > 0);
+    }
+
+    #[test]
+    fn partitions_road_k16() {
+        let g = usa_roads_like(4_000, 5);
+        let r = partition(&g, &small_cfg(16).with_seed(5)).unwrap();
+        validate_partition(&g, &r.result.part, 16, 1.15).unwrap();
+    }
+
+    #[test]
+    fn partitions_hex_k64() {
+        let g = hugebubbles_like(15_000);
+        let r = partition(&g, &small_cfg(64).with_seed(9)).unwrap();
+        validate_partition(&g, &r.result.part, 64, 1.20).unwrap();
+        let used: std::collections::HashSet<u32> = r.result.part.iter().copied().collect();
+        assert_eq!(used.len(), 64);
+    }
+
+    #[test]
+    fn small_graph_runs_entirely_on_cpu() {
+        let g = grid2d(10, 10);
+        let r = partition(&g, &GpMetisConfig::new(4)).unwrap(); // threshold 5000 > n
+        assert_eq!(r.gpu.gpu_levels, 0);
+        validate_partition(&g, &r.result.part, 4, 1.25).unwrap();
+    }
+
+    #[test]
+    fn oom_reported_for_tiny_device() {
+        let g = grid2d(30, 30);
+        let mut cfg = small_cfg(4);
+        cfg.gpu = GpuConfig::tiny(1024);
+        assert!(partition(&g, &cfg).is_err());
+    }
+
+    #[test]
+    fn quality_comparable_to_serial_metis() {
+        let g = delaunay_like(3_000, 11);
+        let serial = gpm_metis::partition(&g, &gpm_metis::MetisConfig::new(8).with_seed(4));
+        let hybrid = partition(&g, &small_cfg(8).with_seed(4)).unwrap();
+        // paper Table III: GP-metis cut within ~10-20% of Metis
+        assert!(
+            (hybrid.result.edge_cut as f64) < 1.8 * serial.edge_cut as f64,
+            "gp {} vs serial {}",
+            hybrid.result.edge_cut,
+            serial.edge_cut
+        );
+    }
+
+    #[test]
+    fn both_merge_strategies_work() {
+        let g = delaunay_like(1_500, 6);
+        for merge in [MergeStrategy::SortMerge, MergeStrategy::Hash] {
+            let mut cfg = small_cfg(4);
+            cfg.merge = merge;
+            let r = partition(&g, &cfg).unwrap();
+            validate_partition(&g, &r.result.part, 4, 1.12)
+                .unwrap_or_else(|e| panic!("{merge:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn ledger_has_all_pipeline_phases() {
+        let g = delaunay_like(2_000, 8);
+        let r = partition(&g, &small_cfg(4)).unwrap();
+        let l = &r.result.ledger;
+        assert!(l.total_for("xfer:") > 0.0);
+        assert!(l.total_for("gpu:coarsen") > 0.0);
+        assert!(l.total_for("cpu:") > 0.0);
+        assert!(l.total_for("gpu:uncoarsen") > 0.0);
+    }
+
+    #[test]
+    fn deterministic_gpu_level_structure() {
+        // racing threads make labels nondeterministic, but the level count
+        // and validity must be stable
+        let g = grid2d(30, 30);
+        let a = partition(&g, &small_cfg(4).with_seed(3)).unwrap();
+        let b = partition(&g, &small_cfg(4).with_seed(3)).unwrap();
+        assert_eq!(a.gpu.gpu_levels, b.gpu.gpu_levels);
+    }
+}

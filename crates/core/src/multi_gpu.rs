@@ -1,0 +1,317 @@
+//! Multi-GPU partitioning — the paper's stated future work ("partitioning
+//! of bigger graphs that do not fit to the global memory can be done on a
+//! cluster of GPUs").
+//!
+//! Scheme (PT-Scotch-style folding, adapted to the hybrid pipeline): the
+//! vertex range is split into one contiguous block per device; each
+//! device independently coarsens the subgraph induced by its block (the
+//! cross-block edges are held out), exactly as the single-GPU coarsening
+//! does. The coarse subgraphs are then downloaded, stitched together with
+//! the held-out edges mapped through the per-device cmap chains, and the
+//! CPU partitions the merged coarse graph with the mt-metis engine. Each
+//! device then projects and refines its own block back up, and a final
+//! CPU refinement pass cleans the cross-device boundaries the devices
+//! could not see.
+//!
+//! Devices run concurrently in the model: per stage, the modeled time is
+//! the maximum over devices.
+
+use crate::gpu_graph::GpuCsr;
+use crate::{gpu_coarsen_loop, gpu_uncoarsen_loop, CoarsenOutcome, GpMetisConfig};
+use gpm_gpu_sim::{Device, GpuOom};
+use gpm_graph::builder::GraphBuilder;
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::subgraph::induced_subgraph;
+use gpm_metis::coarsen::CoarsenConfig;
+use gpm_metis::cost::{CostLedger, CpuModel};
+use gpm_metis::PartitionResult;
+
+/// Configuration: a per-device [`GpMetisConfig`] plus the device count.
+#[derive(Debug, Clone)]
+pub struct MultiGpuConfig {
+    /// Per-device settings (including each device's memory capacity).
+    pub base: GpMetisConfig,
+    /// Number of simulated devices.
+    pub devices: usize,
+}
+
+impl MultiGpuConfig {
+    /// `devices` GPUs with the given per-device base configuration.
+    pub fn new(base: GpMetisConfig, devices: usize) -> Self {
+        assert!(devices >= 1);
+        MultiGpuConfig { base, devices }
+    }
+}
+
+/// Result of a multi-GPU run.
+#[derive(Debug, Clone)]
+pub struct MultiGpuResult {
+    /// The partition and modeled-time ledger.
+    pub result: PartitionResult,
+    /// Devices used.
+    pub devices: usize,
+    /// GPU coarsening levels per device.
+    pub gpu_levels: Vec<usize>,
+    /// Peak device memory per device (each must fit its own capacity).
+    pub peak_device_bytes: Vec<u64>,
+    /// Total PCIe bytes moved (all devices).
+    pub transfer_bytes: u64,
+}
+
+/// Partition `g` across `cfg.devices` simulated GPUs. Each device only
+/// ever holds `~1/devices` of the graph, so graphs exceeding a single
+/// device's memory become partitionable.
+pub fn partition_multi(g: &CsrGraph, cfg: &MultiGpuConfig) -> Result<MultiGpuResult, GpuOom> {
+    let t0 = std::time::Instant::now();
+    let d = cfg.devices;
+    let base = &cfg.base;
+    let n = g.n();
+    let mut ledger = CostLedger::new();
+    let max_vwgt = CoarsenConfig::for_k(base.k).max_vwgt(g.total_vwgt());
+
+    // --- split into contiguous blocks and hold out cross edges ---------
+    let block_of = |u: usize| (u * d / n.max(1)).min(d - 1);
+    let mut cross: Vec<(Vid, Vid, u32)> = Vec::new();
+    for u in 0..n as Vid {
+        for (v, w) in g.edges(u) {
+            if u < v && block_of(u as usize) != block_of(v as usize) {
+                cross.push((u, v, w));
+            }
+        }
+    }
+    let mut subgraphs: Vec<(CsrGraph, Vec<Vid>)> = Vec::with_capacity(d);
+    for dev_id in 0..d {
+        let select: Vec<bool> = (0..n).map(|u| block_of(u) == dev_id).collect();
+        subgraphs.push(induced_subgraph(g, &select));
+    }
+    // old -> (device, local id)
+    let mut local_of = vec![(0u32, 0u32); n];
+    for (dev_id, (_, map)) in subgraphs.iter().enumerate() {
+        for (lid, &old) in map.iter().enumerate() {
+            local_of[old as usize] = (dev_id as u32, lid as u32);
+        }
+    }
+
+    // --- per-device GPU coarsening (modeled as concurrent) --------------
+    struct DeviceState {
+        dev: Device,
+        levels: Vec<crate::GpuLevel>,
+        coarse_host: CsrGraph,
+        composed_cmap: Vec<u32>,
+        peak: u64,
+    }
+    let mut states: Vec<DeviceState> = Vec::with_capacity(d);
+    for (sub, _) in &subgraphs {
+        let dev = Device::new(base.gpu.clone());
+        let g0 = GpuCsr::upload(&dev, sub)?;
+        let outcome: CoarsenOutcome =
+            gpu_coarsen_loop(&dev, g0, sub.uniform_edge_weights(), max_vwgt, base)?;
+        // compose the cmap chain on the host (the merge step needs the
+        // fine-to-coarsest mapping for the held-out cross edges)
+        let mut composed: Vec<u32> = (0..sub.n() as u32).collect();
+        for level in &outcome.levels {
+            let cm = dev.d2h(&level.cmap);
+            for c in composed.iter_mut() {
+                *c = cm[*c as usize];
+            }
+        }
+        let coarse_host = outcome.coarsest.download(&dev);
+        let peak = outcome.peak_mem.max(dev.mem_used());
+        states.push(DeviceState {
+            dev,
+            levels: outcome.levels,
+            coarse_host,
+            composed_cmap: composed,
+            peak,
+        });
+    }
+    // devices ran concurrently: charge the slowest
+    let coarsen_max =
+        states.iter().map(|s| s.dev.elapsed()).fold(0.0f64, f64::max);
+    ledger.seconds("gpu:coarsen(multi,max)", coarsen_max);
+
+    // --- merge the coarse subgraphs + cross edges on the host -----------
+    let mut offsets = vec![0u32; d + 1];
+    for (i, s) in states.iter().enumerate() {
+        offsets[i + 1] = offsets[i] + s.coarse_host.n() as u32;
+    }
+    let nc_total = offsets[d] as usize;
+    let mut b = GraphBuilder::new(nc_total);
+    let mut vwgt = vec![0u32; nc_total];
+    for (i, s) in states.iter().enumerate() {
+        let off = offsets[i];
+        for c in 0..s.coarse_host.n() as Vid {
+            vwgt[(off + c) as usize] = s.coarse_host.vwgt[c as usize];
+            for (x, w) in s.coarse_host.edges(c) {
+                if c < x {
+                    b.add_edge(off + c, off + x, w);
+                }
+            }
+        }
+    }
+    for &(u, v, w) in &cross {
+        let (du, lu) = local_of[u as usize];
+        let (dv, lv) = local_of[v as usize];
+        let cu = offsets[du as usize] + states[du as usize].composed_cmap[lu as usize];
+        let cv = offsets[dv as usize] + states[dv as usize].composed_cmap[lv as usize];
+        if cu != cv {
+            b.add_edge(cu, cv, w);
+        }
+    }
+    let merged = b.vertex_weights(vwgt).build();
+    let model = CpuModel::xeon_e5540(base.cpu_threads);
+    ledger.serial(
+        "cpu:merge",
+        &model,
+        gpm_metis::cost::Work::new(merged.adjncy.len() as u64, nc_total as u64)
+            .with_ws(merged.bytes()),
+    );
+
+    // --- CPU partitions the merged coarse graph --------------------------
+    let mt = gpm_mtmetis::MtMetisConfig {
+        k: base.k,
+        threads: base.cpu_threads,
+        ubfactor: base.ubfactor,
+        seed: base.seed,
+        ..gpm_mtmetis::MtMetisConfig::new(base.k)
+    };
+    let mid = gpm_mtmetis::partition(&merged, &mt);
+    ledger.extend(&mid.ledger);
+    let merged_part = mid.part;
+
+    // --- per-device GPU uncoarsening -------------------------------------
+    let maxw = gpm_graph::metrics::max_part_weight(g.total_vwgt(), base.k, base.ubfactor);
+    let maxw = u32::try_from(maxw).expect("total vertex weight exceeds device word");
+    let mut part = vec![0u32; n];
+    let mut uncoarsen_max = 0.0f64;
+    let mut gpu_levels = Vec::with_capacity(d);
+    let mut peaks = Vec::with_capacity(d);
+    let mut transfer_bytes = 0u64;
+    for (i, s) in states.iter().enumerate() {
+        let before = s.dev.elapsed();
+        let slice: Vec<u32> = (offsets[i]..offsets[i + 1])
+            .map(|c| merged_part[c as usize])
+            .collect();
+        let dpart = s.dev.h2d(&slice)?;
+        let (dpart, _) = gpu_uncoarsen_loop(&s.dev, &s.levels, dpart, maxw, base)?;
+        let fine = s.dev.d2h(&dpart);
+        for (lid, &old) in subgraphs[i].1.iter().enumerate() {
+            part[old as usize] = fine[lid];
+        }
+        uncoarsen_max = uncoarsen_max.max(s.dev.elapsed() - before);
+        gpu_levels.push(s.levels.len());
+        peaks.push(s.peak.max(s.dev.mem_used()));
+        transfer_bytes += s.dev.transfer_bytes_total();
+    }
+    ledger.seconds("gpu:uncoarsen(multi,max)", uncoarsen_max);
+
+    // --- final CPU pass over the cross-device boundaries -----------------
+    // devices never saw each other's blocks, so both balance and the
+    // cross-block cut need one host-side repair + refinement pass
+    {
+        let mut w = gpm_metis::cost::Work::default().with_ws(g.bytes());
+        gpm_metis::kway::kway_balance(g, &mut part, base.k, base.ubfactor, &mut w);
+        ledger.serial("cpu:boundary-balance", &model, w);
+    }
+    let (_stats, works) = gpm_mtmetis::prefine::parallel_refine(
+        g,
+        &mut part,
+        base.k,
+        base.ubfactor,
+        2,
+        base.cpu_threads,
+    );
+    ledger.parallel("cpu:boundary-refine", &model, &works, 2);
+
+    let edge_cut = gpm_graph::metrics::edge_cut(g, &part);
+    let imbalance = gpm_graph::metrics::imbalance(g, &part, base.k);
+    let levels = gpu_levels.iter().max().copied().unwrap_or(0) + mid.levels;
+    Ok(MultiGpuResult {
+        result: PartitionResult {
+            part,
+            k: base.k,
+            edge_cut,
+            imbalance,
+            ledger,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            levels,
+        },
+        devices: d,
+        gpu_levels,
+        peak_device_bytes: peaks,
+        transfer_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_gpu_sim::GpuConfig;
+    use gpm_graph::gen::{delaunay_like, hugebubbles_like};
+    use gpm_graph::metrics::validate_partition;
+
+    fn base(k: usize) -> GpMetisConfig {
+        GpMetisConfig::new(k).with_seed(1).with_gpu_threshold(500)
+    }
+
+    #[test]
+    fn partitions_across_two_devices() {
+        let g = delaunay_like(4_000, 3);
+        let r = partition_multi(&g, &MultiGpuConfig::new(base(8), 2)).unwrap();
+        validate_partition(&g, &r.result.part, 8, 1.15).unwrap();
+        assert_eq!(r.devices, 2);
+        assert_eq!(r.gpu_levels.len(), 2);
+        assert!(r.gpu_levels.iter().all(|&l| l >= 1));
+    }
+
+    #[test]
+    fn graph_too_big_for_one_device_fits_on_four() {
+        let g = hugebubbles_like(6_000);
+        // capacity: enough for the graph but not the level hierarchy a
+        // single device needs; a quarter-block plus its hierarchy fits
+        let cap = g.bytes() + g.bytes() / 8;
+        let mut b = base(8);
+        b.gpu = GpuConfig::tiny(cap);
+        // single GPU fails mid-pipeline
+        assert!(crate::partition(&g, &b).is_err(), "single device should OOM");
+        // four devices succeed, each within its own capacity
+        let r = partition_multi(&g, &MultiGpuConfig::new(b, 4)).unwrap();
+        validate_partition(&g, &r.result.part, 8, 1.20).unwrap();
+        for &p in &r.peak_device_bytes {
+            assert!(p <= cap);
+        }
+    }
+
+    #[test]
+    fn quality_in_league_of_single_gpu() {
+        let g = delaunay_like(4_000, 7);
+        let single = crate::partition(&g, &base(8)).unwrap();
+        let multi = partition_multi(&g, &MultiGpuConfig::new(base(8), 3)).unwrap();
+        // folding loses some coarsening quality on the held-out edges but
+        // must stay in the same league
+        assert!(
+            (multi.result.edge_cut as f64) < 1.6 * single.result.edge_cut as f64,
+            "multi {} vs single {}",
+            multi.result.edge_cut,
+            single.result.edge_cut
+        );
+    }
+
+    #[test]
+    fn single_device_degenerate_case() {
+        let g = delaunay_like(2_000, 5);
+        let r = partition_multi(&g, &MultiGpuConfig::new(base(4), 1)).unwrap();
+        validate_partition(&g, &r.result.part, 4, 1.15).unwrap();
+        assert_eq!(r.devices, 1);
+    }
+
+    #[test]
+    fn ledger_shows_multi_phases() {
+        let g = delaunay_like(3_000, 9);
+        let r = partition_multi(&g, &MultiGpuConfig::new(base(8), 2)).unwrap();
+        let l = &r.result.ledger;
+        assert!(l.total_for("gpu:coarsen(multi") > 0.0);
+        assert!(l.total_for("cpu:merge") > 0.0);
+        assert!(l.total_for("cpu:boundary-refine") > 0.0);
+    }
+}

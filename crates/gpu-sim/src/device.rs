@@ -1,0 +1,468 @@
+//! The simulated device: memory management, transfers, and kernel launch.
+
+use crate::buffer::{DBuf, DeviceWord};
+use crate::config::GpuConfig;
+use crate::lane::Lane;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Device memory exhausted — the paper's central constraint ("currently we
+/// assume the graph size is small enough to fit into the GPU's memory").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuOom {
+    pub requested: u64,
+    pub in_use: u64,
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for GpuOom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B with {} / {} B in use",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for GpuOom {}
+
+/// Statistics of one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel name (for the ledger).
+    pub name: String,
+    /// Threads launched.
+    pub n_threads: usize,
+    /// Warps executed.
+    pub warps: u64,
+    /// Σ over warps of max-lane instructions (lockstep/SIMD cost).
+    pub warp_instr: u64,
+    /// Σ over lanes of instructions (useful work).
+    pub lane_instr: u64,
+    /// Memory transactions after coalescing.
+    pub transactions: u64,
+    /// Raw memory accesses before coalescing.
+    pub accesses: u64,
+    /// Modeled memory time (s).
+    pub mem_seconds: f64,
+    /// Modeled compute time (s).
+    pub compute_seconds: f64,
+    /// Modeled total kernel time (s), including launch overhead.
+    pub seconds: f64,
+}
+
+impl KernelStats {
+    /// Branch-divergence waste: fraction of SIMD issue slots that did no
+    /// useful work (0 = perfectly converged).
+    pub fn divergence(&self) -> f64 {
+        if self.warp_instr == 0 {
+            return 0.0;
+        }
+        1.0 - self.lane_instr as f64 / (self.warp_instr as f64 * 32.0)
+    }
+
+    /// Coalescing efficiency: accesses served per transaction (32 =
+    /// perfect, 1 = fully scattered).
+    pub fn coalescing(&self) -> f64 {
+        if self.transactions == 0 {
+            return 1.0;
+        }
+        self.accesses as f64 / self.transactions as f64
+    }
+}
+
+/// Aggregated statistics for one kernel name (see
+/// [`Device::kernel_summary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    pub name: String,
+    pub launches: u64,
+    pub seconds: f64,
+    pub transactions: u64,
+    pub accesses: u64,
+    pub warp_instr: u64,
+}
+
+#[derive(Default)]
+struct DevState {
+    clock: f64,
+    log: Vec<KernelStats>,
+    transfers: Vec<(String, u64, f64)>, // (direction, bytes, seconds)
+}
+
+/// A simulated CUDA device.
+pub struct Device {
+    cfg: GpuConfig,
+    mem_used: Arc<AtomicU64>,
+    next_buf_id: AtomicU64,
+    state: Mutex<DevState>,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        Device {
+            cfg,
+            mem_used: Arc::new(AtomicU64::new(0)),
+            next_buf_id: AtomicU64::new(1),
+            state: Mutex::new(DevState::default()),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used.load(Ordering::Relaxed)
+    }
+
+    /// Allocate a zero-initialized buffer of `len` elements.
+    pub fn alloc<T: DeviceWord>(&self, len: usize) -> Result<DBuf<T>, GpuOom> {
+        let bytes = len as u64 * 4;
+        let in_use = self.mem_used.load(Ordering::Relaxed);
+        if in_use + bytes > self.cfg.mem_capacity {
+            return Err(GpuOom { requested: bytes, in_use, capacity: self.cfg.mem_capacity });
+        }
+        self.mem_used.fetch_add(bytes, Ordering::Relaxed);
+        let id = self.next_buf_id.fetch_add(1, Ordering::Relaxed);
+        Ok(DBuf::new(len, id, self.mem_used.clone()))
+    }
+
+    /// Host-to-device transfer: allocate and fill, charging PCIe time.
+    pub fn h2d<T: DeviceWord>(&self, data: &[T]) -> Result<DBuf<T>, GpuOom> {
+        let buf = self.alloc::<T>(data.len())?;
+        buf.copy_from_slice(data);
+        let secs = self.cfg.transfer_seconds(buf.bytes());
+        let mut st = self.state.lock();
+        st.clock += secs;
+        st.transfers.push(("h2d".into(), buf.bytes(), secs));
+        Ok(buf)
+    }
+
+    /// Device-to-host transfer, charging PCIe time.
+    pub fn d2h<T: DeviceWord>(&self, buf: &DBuf<T>) -> Vec<T> {
+        let secs = self.cfg.transfer_seconds(buf.bytes());
+        let mut st = self.state.lock();
+        st.clock += secs;
+        st.transfers.push(("d2h".into(), buf.bytes(), secs));
+        drop(st);
+        buf.to_vec()
+    }
+
+    /// Simulated device time elapsed (kernels + transfers), in seconds.
+    pub fn elapsed(&self) -> f64 {
+        self.state.lock().clock
+    }
+
+    /// All kernel launches so far (cloned).
+    pub fn kernel_log(&self) -> Vec<KernelStats> {
+        self.state.lock().log.clone()
+    }
+
+    /// Per-kernel-name aggregation of the launch log: launches, modeled
+    /// seconds, transactions, accesses, warp instructions — sorted by
+    /// total time descending.
+    pub fn kernel_summary(&self) -> Vec<KernelSummary> {
+        let mut agg: std::collections::BTreeMap<String, KernelSummary> =
+            std::collections::BTreeMap::new();
+        for k in self.state.lock().log.iter() {
+            let e = agg.entry(k.name.clone()).or_insert_with(|| KernelSummary {
+                name: k.name.clone(),
+                launches: 0,
+                seconds: 0.0,
+                transactions: 0,
+                accesses: 0,
+                warp_instr: 0,
+            });
+            e.launches += 1;
+            e.seconds += k.seconds;
+            e.transactions += k.transactions;
+            e.accesses += k.accesses;
+            e.warp_instr += k.warp_instr;
+        }
+        let mut v: Vec<KernelSummary> = agg.into_values().collect();
+        v.sort_by(|a, b| b.seconds.partial_cmp(&a.seconds).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Total PCIe transfer seconds so far.
+    pub fn transfer_seconds_total(&self) -> f64 {
+        self.state.lock().transfers.iter().map(|&(_, _, s)| s).sum()
+    }
+
+    /// Total PCIe bytes moved so far.
+    pub fn transfer_bytes_total(&self) -> u64 {
+        self.state.lock().transfers.iter().map(|&(_, b, _)| b).sum()
+    }
+
+    /// Launch `n_threads` copies of `kernel`, grouped into warps of 32.
+    ///
+    /// Execution: warps are distributed over host worker threads (real
+    /// concurrency, so lock-free algorithms race for real); lanes within a
+    /// warp run sequentially, with their memory traces replayed in
+    /// lockstep to count coalesced transactions. Timing: roofline —
+    /// `max(compute, memory) + launch overhead`.
+    pub fn launch<F>(&self, name: &str, n_threads: usize, kernel: F) -> KernelStats
+    where
+        F: Fn(&mut Lane) + Sync,
+    {
+        let ws = self.cfg.warp_size;
+        let n_warps = n_threads.div_ceil(ws).max(0);
+        let next_warp = AtomicUsize::new(0);
+        let workers = self.cfg.host_workers.max(1).min(n_warps.max(1));
+
+        #[derive(Default)]
+        struct Acc {
+            warp_instr: u64,
+            lane_instr: u64,
+            transactions: u64,
+            accesses: u64,
+        }
+
+        let total = Mutex::new(Acc::default());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut traces: Vec<Vec<u64>> =
+                        (0..ws).map(|_| Vec::with_capacity(self.cfg.trace_cap.min(256))).collect();
+                    let mut lane_instrs = vec![0u64; ws];
+                    let mut local = Acc::default();
+                    // Chunk warps to reduce fetch_add contention.
+                    const CHUNK: usize = 8;
+                    loop {
+                        let start = next_warp.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n_warps {
+                            break;
+                        }
+                        for w in start..(start + CHUNK).min(n_warps) {
+                            let base = w * ws;
+                            let mut max_instr = 0u64;
+                            let mut overflow = 0u64;
+                            for l in 0..ws {
+                                traces[l].clear();
+                                lane_instrs[l] = 0;
+                                let tid = base + l;
+                                if tid >= n_threads {
+                                    continue;
+                                }
+                                let mut lane = Lane {
+                                    tid,
+                                    n_threads,
+                                    instr: 0,
+                                    trace: &mut traces[l],
+                                    overflow: 0,
+                                    trace_cap: self.cfg.trace_cap,
+                                    segment_bytes: self.cfg.segment_bytes,
+                                    recent: [0; 4],
+                                    recent_pos: 0,
+                                };
+                                kernel(&mut lane);
+                                lane_instrs[l] = lane.instr;
+                                overflow += lane.overflow;
+                                max_instr = max_instr.max(lane.instr);
+                            }
+                            // Replay traces in lockstep: the k-th access of
+                            // each lane coalesces into distinct segments.
+                            let maxlen = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+                            let mut txns = 0u64;
+                            let mut segs = [0u64; 64];
+                            for k in 0..maxlen {
+                                let mut cnt = 0usize;
+                                for t in traces.iter() {
+                                    if let Some(&s) = t.get(k) {
+                                        if !segs[..cnt].contains(&s) {
+                                            segs[cnt] = s;
+                                            cnt += 1;
+                                        }
+                                    }
+                                }
+                                txns += cnt as u64;
+                            }
+                            local.transactions += txns + overflow;
+                            local.accesses +=
+                                traces.iter().map(|t| t.len() as u64).sum::<u64>() + overflow;
+                            local.warp_instr += max_instr;
+                            local.lane_instr += lane_instrs.iter().sum::<u64>();
+                        }
+                    }
+                    let mut t = total.lock();
+                    t.warp_instr += local.warp_instr;
+                    t.lane_instr += local.lane_instr;
+                    t.transactions += local.transactions;
+                    t.accesses += local.accesses;
+                });
+            }
+        });
+
+        let acc = total.into_inner();
+        let mem_seconds = self.cfg.mem_seconds_occupancy(acc.transactions, n_warps as u64);
+        let compute_seconds = self.cfg.compute_seconds(acc.warp_instr);
+        let seconds = mem_seconds.max(compute_seconds) + self.cfg.kernel_launch_overhead;
+        let stats = KernelStats {
+            name: name.to_string(),
+            n_threads,
+            warps: n_warps as u64,
+            warp_instr: acc.warp_instr,
+            lane_instr: acc.lane_instr,
+            transactions: acc.transactions,
+            accesses: acc.accesses,
+            mem_seconds,
+            compute_seconds,
+            seconds,
+        };
+        let mut st = self.state.lock();
+        st.clock += seconds;
+        st.log.push(stats.clone());
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::new(GpuConfig::gtx_titan())
+    }
+
+    #[test]
+    fn alloc_tracks_memory() {
+        let d = dev();
+        let a = d.alloc::<u32>(1000).unwrap();
+        assert_eq!(d.mem_used(), 4000);
+        drop(a);
+        assert_eq!(d.mem_used(), 0);
+    }
+
+    #[test]
+    fn oom_when_capacity_exceeded() {
+        let d = Device::new(GpuConfig::tiny(1000));
+        let _a = d.alloc::<u32>(200).unwrap(); // 800 B
+        let err = d.alloc::<u32>(100).unwrap_err(); // +400 B > 1000
+        assert_eq!(err.capacity, 1000);
+        assert_eq!(err.in_use, 800);
+    }
+
+    #[test]
+    fn transfers_advance_clock() {
+        let d = dev();
+        let buf = d.h2d(&[1u32, 2, 3]).unwrap();
+        let t1 = d.elapsed();
+        assert!(t1 >= d.config().pcie_latency);
+        let back = d.d2h(&buf);
+        assert_eq!(back, vec![1, 2, 3]);
+        assert!(d.elapsed() > t1);
+        assert_eq!(d.transfer_bytes_total(), 24);
+    }
+
+    #[test]
+    fn simple_kernel_writes_every_element() {
+        let d = dev();
+        let buf = d.alloc::<u32>(1000).unwrap();
+        let stats = d.launch("fill", 1000, |lane| {
+            let v = lane.tid as u32 * 2;
+            lane.st(&buf, lane.tid, v);
+        });
+        assert_eq!(buf.load(7), 14);
+        assert_eq!(buf.load(999), 1998);
+        assert_eq!(stats.warps, 32); // ceil(1000/32)
+        assert!(stats.seconds > d.config().kernel_launch_overhead);
+    }
+
+    #[test]
+    fn coalesced_vs_strided_transactions() {
+        let d = dev();
+        let n = 32 * 64;
+        let buf = d.alloc::<u32>(n * 32).unwrap();
+        // contiguous: lane tid accesses element tid -> 1 txn / warp
+        let coalesced = d.launch("coalesced", n, |lane| {
+            let _ = lane.ld(&buf, lane.tid);
+        });
+        // strided by 32 words (=128 B): every lane hits its own segment
+        let strided = d.launch("strided", n, |lane| {
+            let _ = lane.ld(&buf, lane.tid * 32);
+        });
+        assert_eq!(coalesced.transactions, 64);
+        assert_eq!(strided.transactions, (n) as u64);
+        assert!(strided.seconds > coalesced.seconds);
+        assert!(coalesced.coalescing() > 30.0);
+        assert!(strided.coalescing() < 1.5);
+    }
+
+    #[test]
+    fn divergence_measured() {
+        let d = dev();
+        let buf = d.alloc::<u32>(64).unwrap();
+        // half the lanes do 10x the work
+        let stats = d.launch("divergent", 64, |lane| {
+            if lane.tid % 2 == 0 {
+                for _ in 0..9 {
+                    lane.alu(1);
+                }
+            }
+            lane.st(&buf, lane.tid, 1);
+        });
+        assert!(stats.divergence() > 0.3, "divergence {}", stats.divergence());
+    }
+
+    #[test]
+    fn atomics_race_correctly() {
+        let d = dev();
+        let counter = d.alloc::<u32>(1).unwrap();
+        d.launch("count", 10_000, |lane| {
+            lane.atomic_add(&counter, 0, 1);
+        });
+        assert_eq!(counter.load(0), 10_000);
+    }
+
+    #[test]
+    fn kernel_log_accumulates() {
+        let d = dev();
+        let b = d.alloc::<u32>(10).unwrap();
+        d.launch("a", 10, |l| {
+            let _ = lane_noop(l, &b);
+        });
+        d.launch("b", 10, |l| {
+            let _ = lane_noop(l, &b);
+        });
+        let log = d.kernel_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].name, "a");
+        assert_eq!(log[1].name, "b");
+    }
+
+    fn lane_noop(l: &mut crate::lane::Lane, b: &DBuf<u32>) -> u32 {
+        l.ld(b, l.tid % b.len())
+    }
+
+    #[test]
+    fn kernel_summary_aggregates() {
+        let d = dev();
+        let b = d.alloc::<u32>(64).unwrap();
+        for _ in 0..3 {
+            d.launch("x", 64, |l| {
+                let _ = l.ld(&b, l.tid);
+            });
+        }
+        d.launch("y", 64, |l| l.alu(5));
+        let s = d.kernel_summary();
+        assert_eq!(s.len(), 2);
+        let x = s.iter().find(|k| k.name == "x").unwrap();
+        assert_eq!(x.launches, 3);
+        assert!(x.seconds > 0.0);
+        assert!(x.transactions > 0);
+    }
+
+    #[test]
+    fn zero_thread_launch_is_safe() {
+        let d = dev();
+        let stats = d.launch("empty", 0, |_l| {});
+        assert_eq!(stats.warps, 0);
+        assert_eq!(stats.transactions, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Device-wide reductions (sum / max), built the same way as the scan:
+//! per-thread sequential partials, recursively reduced.
+
+use crate::buffer::DBuf;
+use crate::device::{Device, GpuOom};
+
+const CHUNK: usize = 256;
+
+/// Device-wide wrapping sum of a `u32` buffer.
+pub fn reduce_sum_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> {
+    reduce(dev, buf, "reduce:sum", |a, b| a.wrapping_add(b), 0)
+}
+
+/// Device-wide max of a `u32` buffer (0 for an empty buffer).
+pub fn reduce_max_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> {
+    reduce(dev, buf, "reduce:max", |a, b| a.max(b), 0)
+}
+
+fn reduce(
+    dev: &Device,
+    buf: &DBuf<u32>,
+    name: &str,
+    op: impl Fn(u32, u32) -> u32 + Sync + Copy,
+    identity: u32,
+) -> Result<u32, GpuOom> {
+    let n = buf.len();
+    if n == 0 {
+        return Ok(identity);
+    }
+    let n_chunks = n.div_ceil(CHUNK);
+    if n_chunks == 1 {
+        // small enough: single lane folds it
+        let out = dev.alloc::<u32>(1)?;
+        dev.launch(name, 1, |lane| {
+            let mut acc = identity;
+            for i in 0..n {
+                acc = op(acc, lane.ld(buf, i));
+            }
+            lane.st(&out, 0, acc);
+        });
+        return Ok(out.load(0));
+    }
+    let aux = dev.alloc::<u32>(n_chunks)?;
+    dev.launch(name, n_chunks, |lane| {
+        let start = lane.tid * CHUNK;
+        let end = (start + CHUNK).min(n);
+        let mut acc = identity;
+        for i in start..end {
+            acc = op(acc, lane.ld(buf, i));
+        }
+        lane.st(&aux, lane.tid, acc);
+    });
+    reduce(dev, &aux, name, op, identity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn dev() -> Device {
+        Device::new(GpuConfig::gtx_titan())
+    }
+
+    #[test]
+    fn sum_small() {
+        let d = dev();
+        let b = d.h2d(&[1u32, 2, 3, 4, 5]).unwrap();
+        assert_eq!(reduce_sum_u32(&d, &b).unwrap(), 15);
+    }
+
+    #[test]
+    fn sum_large() {
+        let d = dev();
+        let n = 100_000u32;
+        let b = d.h2d(&vec![3u32; n as usize]).unwrap();
+        assert_eq!(reduce_sum_u32(&d, &b).unwrap(), 3 * n);
+    }
+
+    #[test]
+    fn max_finds_peak() {
+        let d = dev();
+        let mut data: Vec<u32> = (0..5_000).map(|i| i % 97).collect();
+        data[3_333] = 1_000_000;
+        let b = d.h2d(&data).unwrap();
+        assert_eq!(reduce_max_u32(&d, &b).unwrap(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_reduction() {
+        let d = dev();
+        let b = d.alloc::<u32>(0).unwrap();
+        assert_eq!(reduce_sum_u32(&d, &b).unwrap(), 0);
+        assert_eq!(reduce_max_u32(&d, &b).unwrap(), 0);
+    }
+}

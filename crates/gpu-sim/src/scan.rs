@@ -1,0 +1,173 @@
+//! Device-wide prefix sums — the CUB-style inclusive scan the paper uses
+//! for cmap construction and contraction offsets (§III.A, kernels 2 of the
+//! cmap pipeline and the offset computations of the contraction step).
+//!
+//! Implementation mirrors the classic chained two-level scan: each thread
+//! sequentially scans a contiguous chunk and contributes a chunk total;
+//! the totals are scanned (recursively); a final kernel adds each chunk's
+//! offset back. All passes run as ordinary kernels, so the timing model
+//! charges them like the CUB scan the paper calls.
+
+use crate::buffer::DBuf;
+use crate::device::{Device, GpuOom};
+
+/// Elements each thread scans sequentially.
+const CHUNK: usize = 256;
+
+/// In-place device-wide *inclusive* prefix sum over `buf` (wrapping u32
+/// arithmetic, like the 32-bit CUB scan). Returns the total (the last
+/// element after the scan).
+pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> {
+    let n = buf.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    let n_chunks = n.div_ceil(CHUNK);
+    if n_chunks == 1 {
+        dev.launch("scan:single", 1, |lane| {
+            let mut acc = 0u32;
+            for i in 0..n {
+                acc = acc.wrapping_add(lane.ld(buf, i));
+                lane.st(buf, i, acc);
+            }
+        });
+        return Ok(buf.load(n - 1));
+    }
+    let aux = dev.alloc::<u32>(n_chunks)?;
+    dev.launch("scan:partial", n_chunks, |lane| {
+        let start = lane.tid * CHUNK;
+        let end = (start + CHUNK).min(n);
+        let mut acc = 0u32;
+        for i in start..end {
+            acc = acc.wrapping_add(lane.ld(buf, i));
+            lane.st(buf, i, acc);
+        }
+        lane.st(&aux, lane.tid, acc);
+    });
+    // Scan the chunk totals (recursive; depth log_CHUNK(n)).
+    inclusive_scan_u32(dev, &aux)?;
+    dev.launch("scan:add", n_chunks, |lane| {
+        if lane.tid == 0 {
+            return;
+        }
+        let offset = lane.ld(&aux, lane.tid - 1);
+        let start = lane.tid * CHUNK;
+        let end = (start + CHUNK).min(n);
+        for i in start..end {
+            let v = lane.ld(buf, i);
+            lane.st(buf, i, v.wrapping_add(offset));
+        }
+    });
+    Ok(buf.load(n - 1))
+}
+
+/// In-place device-wide *exclusive* prefix sum. Returns the total of all
+/// input elements.
+pub fn exclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> {
+    let n = buf.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    let tmp = dev.alloc::<u32>(n)?;
+    dev.launch("scan:copy", n, |lane| {
+        let v = lane.ld(buf, lane.tid);
+        lane.st(&tmp, lane.tid, v);
+    });
+    let total = inclusive_scan_u32(dev, &tmp)?;
+    dev.launch("scan:shift", n, |lane| {
+        let v = if lane.tid == 0 { 0 } else { lane.ld(&tmp, lane.tid - 1) };
+        lane.st(buf, lane.tid, v);
+    });
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn dev() -> Device {
+        Device::new(GpuConfig::gtx_titan())
+    }
+
+    fn host_inclusive(xs: &[u32]) -> Vec<u32> {
+        let mut acc = 0u32;
+        xs.iter()
+            .map(|&x| {
+                acc = acc.wrapping_add(x);
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inclusive_small() {
+        let d = dev();
+        let buf = d.h2d(&[1u32, 2, 3, 4]).unwrap();
+        let total = inclusive_scan_u32(&d, &buf).unwrap();
+        assert_eq!(buf.to_vec(), vec![1, 3, 6, 10]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn inclusive_crosses_chunks() {
+        let d = dev();
+        let n = CHUNK * 3 + 17;
+        let data: Vec<u32> = (0..n as u32).map(|i| i % 7).collect();
+        let buf = d.h2d(&data).unwrap();
+        let total = inclusive_scan_u32(&d, &buf).unwrap();
+        let expect = host_inclusive(&data);
+        assert_eq!(buf.to_vec(), expect);
+        assert_eq!(total, *expect.last().unwrap());
+    }
+
+    #[test]
+    fn inclusive_recursive_level() {
+        // force the aux array itself to exceed one chunk
+        let d = dev();
+        let n = CHUNK * CHUNK + 5;
+        let data: Vec<u32> = vec![1; n];
+        let buf = d.h2d(&data).unwrap();
+        let total = inclusive_scan_u32(&d, &buf).unwrap();
+        assert_eq!(total, n as u32);
+        assert_eq!(buf.load(0), 1);
+        assert_eq!(buf.load(n - 1), n as u32);
+        assert_eq!(buf.load(12345), 12346);
+    }
+
+    #[test]
+    fn exclusive_matches_host() {
+        let d = dev();
+        let data: Vec<u32> = (0..1000u32).map(|i| (i * 13) % 11).collect();
+        let buf = d.h2d(&data).unwrap();
+        let total = exclusive_scan_u32(&d, &buf).unwrap();
+        let mut expect = vec![0u32; data.len()];
+        let mut acc = 0u32;
+        for (i, &x) in data.iter().enumerate() {
+            expect[i] = acc;
+            acc = acc.wrapping_add(x);
+        }
+        assert_eq!(buf.to_vec(), expect);
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let d = dev();
+        let e = d.alloc::<u32>(0).unwrap();
+        assert_eq!(inclusive_scan_u32(&d, &e).unwrap(), 0);
+        let s = d.h2d(&[9u32]).unwrap();
+        assert_eq!(inclusive_scan_u32(&d, &s).unwrap(), 9);
+        assert_eq!(exclusive_scan_u32(&d, &s).unwrap(), 9);
+        assert_eq!(s.load(0), 0);
+    }
+
+    #[test]
+    fn scan_charges_device_time() {
+        let d = dev();
+        let buf = d.h2d(&vec![1u32; 10_000]).unwrap();
+        let before = d.elapsed();
+        inclusive_scan_u32(&d, &buf).unwrap();
+        assert!(d.elapsed() > before);
+    }
+}

@@ -1,0 +1,224 @@
+//! Graph analysis utilities: connectivity, BFS, degree statistics, and
+//! vertex relabeling — used by the generators' self-checks, the locality
+//! ablations, and downstream applications inspecting partitions.
+
+use crate::csr::{CsrGraph, Vid};
+use crate::rng::SplitMix64;
+
+/// Breadth-first search from `src`; returns the distance array
+/// (`u32::MAX` = unreachable).
+pub fn bfs(g: &CsrGraph, src: Vid) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Number of connected components.
+pub fn connected_components(g: &CsrGraph) -> usize {
+    let mut comp = vec![false; g.n()];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for s in 0..g.n() {
+        if comp[s] {
+            continue;
+        }
+        count += 1;
+        comp[s] = true;
+        stack.push(s as Vid);
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !comp[v as usize] {
+                    comp[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    count
+}
+
+/// True if the graph is connected (vacuously true when empty).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    g.n() == 0 || connected_components(g) == 1
+}
+
+/// Degree distribution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    pub stddev: f64,
+}
+
+/// Compute degree statistics.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.n();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, stddev: 0.0 };
+    }
+    let degs: Vec<usize> = (0..n as Vid).map(|u| g.degree(u)).collect();
+    let mean = degs.iter().sum::<usize>() as f64 / n as f64;
+    let var = degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    DegreeStats {
+        min: *degs.iter().min().unwrap(),
+        max: *degs.iter().max().unwrap(),
+        mean,
+        stddev: var.sqrt(),
+    }
+}
+
+/// Relabel the graph's vertices by `perm` (`perm[old] = new`). Weights
+/// follow their vertices; adjacency stays sorted per row. Used to destroy
+/// (random permutation) or restore (BFS order) locality in ablations.
+pub fn relabel(g: &CsrGraph, perm: &[Vid]) -> CsrGraph {
+    let n = g.n();
+    assert_eq!(perm.len(), n);
+    let mut inv = vec![0 as Vid; n];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as Vid;
+    }
+    let mut xadj = vec![0u32; n + 1];
+    for new in 0..n {
+        xadj[new + 1] = xadj[new] + g.degree(inv[new]) as u32;
+    }
+    let mut adjncy = vec![0 as Vid; g.adjncy.len()];
+    let mut adjwgt = vec![0u32; g.adjwgt.len()];
+    let mut vwgt = vec![0u32; n];
+    let mut row: Vec<(Vid, u32)> = Vec::new();
+    for new in 0..n {
+        let old = inv[new];
+        vwgt[new] = g.vwgt[old as usize];
+        row.clear();
+        row.extend(g.edges(old).map(|(v, w)| (perm[v as usize], w)));
+        row.sort_unstable_by_key(|&(v, _)| v);
+        let s = xadj[new] as usize;
+        for (i, &(v, w)) in row.iter().enumerate() {
+            adjncy[s + i] = v;
+            adjwgt[s + i] = w;
+        }
+    }
+    let out = CsrGraph { xadj, adjncy, adjwgt, vwgt };
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+/// Random relabeling (destroys locality).
+pub fn shuffle_labels(g: &CsrGraph, seed: u64) -> (CsrGraph, Vec<Vid>) {
+    let mut rng = SplitMix64::new(seed);
+    let perm = crate::rng::random_permutation(g.n(), &mut rng);
+    (relabel(g, &perm), perm)
+}
+
+/// BFS relabeling from vertex 0 (restores locality in bands).
+pub fn bfs_order(g: &CsrGraph) -> (CsrGraph, Vec<Vid>) {
+    let n = g.n();
+    let mut perm = vec![Vid::MAX; n];
+    let mut next = 0 as Vid;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as Vid {
+        if perm[s as usize] != Vid::MAX {
+            continue;
+        }
+        perm[s as usize] = next;
+        next += 1;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if perm[v as usize] == Vid::MAX {
+                    perm[v as usize] = next;
+                    next += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    (relabel(g, &perm), perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen::{delaunay_like, grid2d, path, ring};
+    use crate::metrics::edge_cut;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1)]).build();
+        let d = bfs(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (2, 3)]).build();
+        assert_eq!(connected_components(&g), 4); // {0,1} {2,3} {4} {5}
+        assert!(!is_connected(&g));
+        assert!(is_connected(&ring(5)));
+    }
+
+    #[test]
+    fn degree_stats_on_grid() {
+        let s = degree_stats(&grid2d(4, 4));
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 4);
+        assert!(s.mean > 2.9 && s.mean < 3.1);
+        assert!(s.stddev > 0.0);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = delaunay_like(400, 3);
+        let (shuffled, perm) = shuffle_labels(&g, 9);
+        shuffled.validate().unwrap();
+        assert_eq!(shuffled.m(), g.m());
+        assert_eq!(shuffled.total_vwgt(), g.total_vwgt());
+        // degrees follow the permutation
+        for old in 0..g.n() as Vid {
+            assert_eq!(shuffled.degree(perm[old as usize]), g.degree(old));
+        }
+        // cuts translate through the permutation
+        let part_old: Vec<u32> = (0..g.n() as u32).map(|u| u % 3).collect();
+        let mut part_new = vec![0u32; g.n()];
+        for old in 0..g.n() {
+            part_new[perm[old] as usize] = part_old[old];
+        }
+        assert_eq!(edge_cut(&g, &part_old), edge_cut(&shuffled, &part_new));
+    }
+
+    #[test]
+    fn bfs_order_roundtrip_valid() {
+        let g = delaunay_like(300, 5);
+        let (shuffled, _) = shuffle_labels(&g, 1);
+        let (ordered, _) = bfs_order(&shuffled);
+        ordered.validate().unwrap();
+        assert_eq!(ordered.m(), g.m());
+    }
+
+    #[test]
+    fn identity_relabel_is_identity() {
+        let g = grid2d(5, 5);
+        let perm: Vec<Vid> = (0..25).collect();
+        assert_eq!(relabel(&g, &perm), g);
+    }
+}

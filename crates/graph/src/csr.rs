@@ -1,0 +1,324 @@
+//! Compressed Sparse Row graph representation.
+//!
+//! This is the memory layout the paper mandates for the GPU (§III): an
+//! adjacency-pointer array of length `n + 1`, an adjacency array of length
+//! `2|E|`, and parallel edge- and vertex-weight arrays. All partitioners in
+//! the workspace consume this exact structure so that the CPU and GPU code
+//! paths operate on identical data.
+
+use std::fmt;
+
+/// Vertex identifier. 32 bits suffice for every workload in the evaluation
+/// (the largest paper input has ~24 M vertices) and halve memory traffic
+/// versus `usize`, which matters for the coalescing model.
+pub type Vid = u32;
+
+/// An undirected graph in CSR form with integer vertex and edge weights.
+///
+/// Invariants (checked by [`CsrGraph::validate`]):
+/// * `xadj.len() == n + 1`, `xadj[0] == 0`, `xadj` is non-decreasing,
+///   `xadj[n] == adjncy.len()`;
+/// * `adjncy.len() == adjwgt.len()`, every entry `< n`;
+/// * no self-loops;
+/// * symmetry: edge `(u, v, w)` appears iff `(v, u, w)` appears.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Adjacency pointers (`adjp` in the paper), length `n + 1`.
+    pub xadj: Vec<u32>,
+    /// Concatenated adjacency lists, length `2|E|`.
+    pub adjncy: Vec<Vid>,
+    /// Edge weights, parallel to `adjncy`.
+    pub adjwgt: Vec<u32>,
+    /// Vertex weights, length `n`.
+    pub vwgt: Vec<u32>,
+}
+
+/// Error produced by [`CsrGraph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    BadPointerArray(String),
+    BadVertex { index: usize, value: Vid },
+    SelfLoop { vertex: Vid },
+    Asymmetric { u: Vid, v: Vid },
+    WeightMismatch { u: Vid, v: Vid },
+    LengthMismatch(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::BadPointerArray(s) => write!(f, "bad xadj array: {s}"),
+            GraphError::BadVertex { index, value } => {
+                write!(f, "adjncy[{index}] = {value} out of range")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self loop at vertex {vertex}"),
+            GraphError::Asymmetric { u, v } => {
+                write!(f, "edge ({u}, {v}) present but ({v}, {u}) missing")
+            }
+            GraphError::WeightMismatch { u, v } => {
+                write!(f, "edge ({u}, {v}) weight differs from ({v}, {u})")
+            }
+            GraphError::LengthMismatch(s) => write!(f, "array length mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl CsrGraph {
+    /// An empty graph (zero vertices, zero edges).
+    pub fn empty() -> Self {
+        CsrGraph { xadj: vec![0], adjncy: Vec::new(), adjwgt: Vec::new(), vwgt: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Degree of vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: Vid) -> usize {
+        (self.xadj[u as usize + 1] - self.xadj[u as usize]) as usize
+    }
+
+    /// Adjacency list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: Vid) -> &[Vid] {
+        &self.adjncy[self.xadj[u as usize] as usize..self.xadj[u as usize + 1] as usize]
+    }
+
+    /// Edge weights parallel to [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn neighbor_weights(&self, u: Vid) -> &[u32] {
+        &self.adjwgt[self.xadj[u as usize] as usize..self.xadj[u as usize + 1] as usize]
+    }
+
+    /// Iterate `(neighbor, edge_weight)` pairs of `u`.
+    #[inline]
+    pub fn edges(&self, u: Vid) -> impl Iterator<Item = (Vid, u32)> + '_ {
+        self.neighbors(u).iter().copied().zip(self.neighbor_weights(u).iter().copied())
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_adjwgt(&self) -> u64 {
+        let twice: u64 = self.adjwgt.iter().map(|&w| w as u64).sum();
+        twice / 2
+    }
+
+    /// Average degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.adjncy.len() as f64 / self.n() as f64
+        }
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as Vid).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Approximate resident size in bytes of the four CSR arrays — used by
+    /// the GPU simulator to enforce the device-memory capacity the paper
+    /// identifies as a core constraint.
+    pub fn bytes(&self) -> u64 {
+        (self.xadj.len() * 4 + self.adjncy.len() * 4 + self.adjwgt.len() * 4 + self.vwgt.len() * 4)
+            as u64
+    }
+
+    /// Full structural validation of the CSR invariants. `O(m log d)`.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let n = self.n();
+        if self.xadj.len() != n + 1 {
+            return Err(GraphError::LengthMismatch(format!(
+                "xadj.len() = {}, expected n + 1 = {}",
+                self.xadj.len(),
+                n + 1
+            )));
+        }
+        if self.adjncy.len() != self.adjwgt.len() {
+            return Err(GraphError::LengthMismatch(format!(
+                "adjncy.len() = {} != adjwgt.len() = {}",
+                self.adjncy.len(),
+                self.adjwgt.len()
+            )));
+        }
+        if self.xadj[0] != 0 {
+            return Err(GraphError::BadPointerArray("xadj[0] != 0".into()));
+        }
+        if self.xadj[n] as usize != self.adjncy.len() {
+            return Err(GraphError::BadPointerArray("xadj[n] != adjncy.len()".into()));
+        }
+        for i in 0..n {
+            if self.xadj[i] > self.xadj[i + 1] {
+                return Err(GraphError::BadPointerArray(format!("xadj decreasing at {i}")));
+            }
+        }
+        for (i, &v) in self.adjncy.iter().enumerate() {
+            if v as usize >= n {
+                return Err(GraphError::BadVertex { index: i, value: v });
+            }
+        }
+        for u in 0..n as Vid {
+            for &v in self.neighbors(u) {
+                if v == u {
+                    return Err(GraphError::SelfLoop { vertex: u });
+                }
+            }
+        }
+        // Symmetry: for every (u, v, w) there must be a matching (v, u, w).
+        // Sort each adjacency list's (neighbor, weight) pairs once, then
+        // binary-search the reverse edge.
+        let mut sorted: Vec<Vec<(Vid, u32)>> = Vec::with_capacity(n);
+        for u in 0..n as Vid {
+            let mut l: Vec<(Vid, u32)> = self.edges(u).collect();
+            l.sort_unstable();
+            sorted.push(l);
+        }
+        for u in 0..n as Vid {
+            for &(v, w) in &sorted[u as usize] {
+                let rev = &sorted[v as usize];
+                match rev.binary_search_by_key(&u, |&(x, _)| x) {
+                    Err(_) => return Err(GraphError::Asymmetric { u, v }),
+                    Ok(i) => {
+                        if rev[i].1 != w {
+                            return Err(GraphError::WeightMismatch { u, v });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of edge weights incident to `u` (the `adjwgtsum` of Metis).
+    pub fn adjwgt_sum(&self, u: Vid) -> u64 {
+        self.neighbor_weights(u).iter().map(|&w| w as u64).sum()
+    }
+
+    /// True if every edge weight equals `w`.
+    pub fn uniform_edge_weights(&self) -> bool {
+        self.adjwgt.windows(2).all(|p| p[0] == p[1])
+    }
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrGraph {{ n: {}, m: {}, avg_deg: {:.2}, total_vwgt: {} }}",
+            self.n(),
+            self.m(),
+            self.avg_degree(),
+            self.total_vwgt()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.total_vwgt(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.avg_degree(), 2.0);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.total_vwgt(), 3);
+        assert_eq!(g.total_adjwgt(), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbors_and_weights() {
+        let g = triangle();
+        let mut nb: Vec<Vid> = g.neighbors(1).to_vec();
+        nb.sort_unstable();
+        assert_eq!(nb, vec![0, 2]);
+        assert_eq!(g.neighbor_weights(1), &[1, 1]);
+        assert_eq!(g.adjwgt_sum(1), 2);
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        let mut g = triangle();
+        g.adjncy[0] = 2; // vertex 0 now lists 2 twice and 1 zero times
+        assert!(matches!(g.validate(), Err(GraphError::Asymmetric { .. })));
+    }
+
+    #[test]
+    fn validate_catches_self_loop() {
+        let mut g = triangle();
+        g.adjncy[0] = 0;
+        assert!(matches!(g.validate(), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn validate_catches_bad_pointer() {
+        let mut g = triangle();
+        g.xadj[1] = 5;
+        assert!(matches!(g.validate(), Err(GraphError::BadPointerArray(_))));
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut g = triangle();
+        g.adjncy[0] = 99;
+        assert!(matches!(g.validate(), Err(GraphError::BadVertex { .. })));
+    }
+
+    #[test]
+    fn validate_catches_weight_mismatch() {
+        let mut g = triangle();
+        g.adjwgt[0] = 7;
+        assert!(matches!(g.validate(), Err(GraphError::WeightMismatch { .. })));
+    }
+
+    #[test]
+    fn uniform_weights_detected() {
+        let g = triangle();
+        assert!(g.uniform_edge_weights());
+        let mut g2 = g.clone();
+        if let Some(w) = g2.adjwgt.first_mut() {
+            *w = 3;
+        }
+        assert!(!g2.uniform_edge_weights());
+    }
+
+    #[test]
+    fn bytes_counts_all_arrays() {
+        let g = triangle();
+        assert_eq!(g.bytes(), (4 * 4 + 6 * 4 + 6 * 4 + 3 * 4) as u64);
+    }
+}

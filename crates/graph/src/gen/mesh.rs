@@ -1,0 +1,202 @@
+//! Structured mesh generators: 2D/3D grids, FEM-like bricks, hex meshes.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vid};
+
+/// 2D grid with 4-neighbor connectivity, `w * h` vertices. Connected for
+/// `w, h >= 1`.
+pub fn grid2d(w: usize, h: usize) -> CsrGraph {
+    let idx = |x: usize, y: usize| (y * w + x) as Vid;
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(idx(x, y), idx(x + 1, y), 1);
+            }
+            if y + 1 < h {
+                b.add_edge(idx(x, y), idx(x, y + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3D grid with 6-neighbor connectivity.
+pub fn grid3d(nx: usize, ny: usize, nz: usize) -> CsrGraph {
+    let idx = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as Vid;
+    let mut b = GraphBuilder::new(nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    b.add_edge(idx(x, y, z), idx(x + 1, y, z), 1);
+                }
+                if y + 1 < ny {
+                    b.add_edge(idx(x, y, z), idx(x, y + 1, z), 1);
+                }
+                if z + 1 < nz {
+                    b.add_edge(idx(x, y, z), idx(x, y, z + 1), 1);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// FEM-style 3D brick with a dense 26-neighbor stencil plus second-shell
+/// axis neighbors (interior degree 32) — the stand-in for `ldoor`, whose
+/// average degree is ≈ 48; like `ldoor`, it is a high-degree, very regular
+/// 3D solid-mechanics discretization. `n_target` is an approximate vertex
+/// count; the brick is shaped 4:2:1 like a door panel.
+pub fn ldoor_like(n_target: usize) -> CsrGraph {
+    // nx : ny : nz = 4 : 2 : 1 => nz = cbrt(n/8)
+    let nz = ((n_target as f64 / 8.0).cbrt().round() as usize).max(2);
+    let ny = 2 * nz;
+    let nx = 4 * nz;
+    let idx = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as Vid;
+    let mut b = GraphBuilder::new(nx * ny * nz);
+    let offsets: Vec<(i64, i64, i64)> = {
+        let mut o = Vec::new();
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if (dx, dy, dz) != (0, 0, 0) {
+                        o.push((dx, dy, dz));
+                    }
+                }
+            }
+        }
+        // second shell along the axes
+        o.extend([(2, 0, 0), (-2, 0, 0), (0, 2, 0), (0, -2, 0), (0, 0, 2), (0, 0, -2)]);
+        o
+    };
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                for &(dx, dy, dz) in &offsets {
+                    let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                    if xx < 0 || yy < 0 || zz < 0 {
+                        continue;
+                    }
+                    let (xx, yy, zz) = (xx as usize, yy as usize, zz as usize);
+                    if xx >= nx || yy >= ny || zz >= nz {
+                        continue;
+                    }
+                    let (u, v) = (idx(x, y, z), idx(xx, yy, zz));
+                    if u < v {
+                        // add each undirected edge once
+                        b.add_edge(u, v, 1);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Hexagonal ("brick wall") lattice: every interior vertex has degree 3.
+/// `rows x cols` bricks.
+pub fn hexmesh(rows: usize, cols: usize) -> CsrGraph {
+    // Model as a grid where vertical edges exist only on alternating
+    // columns per row (the classic brick-wall representation of a hex
+    // lattice): horizontal chains fully connected, vertical connections at
+    // every other lattice point, offset by row parity.
+    let w = cols;
+    let h = rows;
+    let idx = |x: usize, y: usize| (y * w + x) as Vid;
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(idx(x, y), idx(x + 1, y), 1);
+            }
+            if y + 1 < h && (x % 2 == y % 2) {
+                b.add_edge(idx(x, y), idx(x, y + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Stand-in for `hugebubbles`: a large, low-degree (≈ 3), highly regular
+/// planar simulation mesh.
+pub fn hugebubbles_like(n_target: usize) -> CsrGraph {
+    let side = (n_target as f64).sqrt().round() as usize;
+    hexmesh(side.max(2), side.max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_connected(g: &CsrGraph) -> bool {
+        if g.n() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; g.n()];
+        let mut stack = vec![0 as Vid];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == g.n()
+    }
+
+    #[test]
+    fn grid2d_shape() {
+        let g = grid2d(4, 3);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 4 * 2 + 3 * 3); // 2 horizontal rows-1.. : 3*(4-1)+4*(3-1)=17
+        assert!(is_connected(&g));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn grid2d_degrees() {
+        let g = grid2d(3, 3);
+        assert_eq!(g.degree(4), 4); // center
+        assert_eq!(g.degree(0), 2); // corner
+    }
+
+    #[test]
+    fn grid3d_shape() {
+        let g = grid3d(3, 3, 3);
+        assert_eq!(g.n(), 27);
+        assert_eq!(g.degree(13), 6); // center of 3x3x3
+        assert!(is_connected(&g));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn ldoor_like_high_degree() {
+        let g = ldoor_like(4000);
+        assert!(g.n() >= 1000);
+        // interior degree is 32; boundary effects pull the average down
+        assert!(g.avg_degree() > 18.0, "avg degree {}", g.avg_degree());
+        assert!(is_connected(&g));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn hexmesh_degree_three() {
+        let g = hexmesh(20, 20);
+        assert!(g.avg_degree() < 3.2, "avg {}", g.avg_degree());
+        assert!(g.max_degree() <= 3);
+        assert!(is_connected(&g));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn hugebubbles_like_scales() {
+        let g = hugebubbles_like(2500);
+        assert!((2300..=2700).contains(&g.n()));
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on four DIMACS graphs (Table I): `ldoor` (FEM sparse
+//! matrix, avg degree ≈ 48), `delaunay_n20` (planar triangulation, avg
+//! degree ≈ 6), `hugebubbles` (2D dynamic simulation mesh, avg degree ≈ 3)
+//! and the USA road network (avg degree ≈ 2.4). Those files are not
+//! available offline, so each generator here produces a connected graph
+//! with the same degree structure and regularity class, at any scale
+//! (see DESIGN.md §1 for the substitution argument). Real DIMACS files can
+//! still be loaded through [`crate::io`].
+
+mod geometric;
+mod mesh;
+mod road;
+mod suite;
+mod synth;
+mod tri;
+
+pub use geometric::geometric;
+pub use mesh::{grid2d, grid3d, hexmesh, hugebubbles_like, ldoor_like};
+pub use road::usa_roads_like;
+pub use suite::{paper_suite, PaperGraph, SuiteScale};
+pub use synth::{complete, erdos_renyi, path, ring, rmat, star};
+pub use tri::delaunay_like;

@@ -1,0 +1,145 @@
+//! Road-network-like generator.
+//!
+//! The USA road network has average degree ≈ 2.4, is (nearly) planar, has
+//! huge diameter, and is extremely irregular at small scale while globally
+//! mesh-like. We reproduce that shape as a random spanning tree of a 2D
+//! grid (an iterative DFS "maze", giving long winding paths and degree
+//! mostly 2) plus a random sample of extra grid edges to hit the target
+//! average degree.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vid};
+use crate::rng::SplitMix64;
+
+/// Road-network stand-in with ~`n_target` vertices and average degree
+/// ≈ 2.4 (the USA-roads value).
+pub fn usa_roads_like(n_target: usize, seed: u64) -> CsrGraph {
+    road_grid(n_target, 2.4, seed)
+}
+
+/// General form: spanning tree of a sqrt(n) x sqrt(n) grid plus extra
+/// random grid edges until the average degree reaches `avg_deg`.
+pub fn road_grid(n_target: usize, avg_deg: f64, seed: u64) -> CsrGraph {
+    let side = (n_target as f64).sqrt().round().max(2.0) as usize;
+    let n = side * side;
+    let idx = |x: usize, y: usize| (y * side + x) as Vid;
+    let mut rng = SplitMix64::new(seed);
+
+    // Iterative randomized DFS spanning tree over the grid.
+    let mut visited = vec![false; n];
+    let mut tree: Vec<(Vid, Vid)> = Vec::with_capacity(n - 1);
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    while let Some(&(x, y)) = stack.last() {
+        // Collect unvisited grid neighbors.
+        let mut cand: Vec<(usize, usize)> = Vec::with_capacity(4);
+        if x > 0 && !visited[idx(x - 1, y) as usize] {
+            cand.push((x - 1, y));
+        }
+        if x + 1 < side && !visited[idx(x + 1, y) as usize] {
+            cand.push((x + 1, y));
+        }
+        if y > 0 && !visited[idx(x, y - 1) as usize] {
+            cand.push((x, y - 1));
+        }
+        if y + 1 < side && !visited[idx(x, y + 1) as usize] {
+            cand.push((x, y + 1));
+        }
+        if cand.is_empty() {
+            stack.pop();
+        } else {
+            let (nx, ny) = cand[rng.below(cand.len() as u64) as usize];
+            visited[idx(nx, ny) as usize] = true;
+            tree.push((idx(x, y), idx(nx, ny)));
+            stack.push((nx, ny));
+        }
+    }
+    debug_assert_eq!(tree.len(), n - 1);
+
+    // Extra edges: sample random grid edges not in the tree until the
+    // average degree target is met. 2m/n = avg_deg => m = avg_deg*n/2.
+    let target_m = ((avg_deg * n as f64) / 2.0).round() as usize;
+    let mut extra = target_m.saturating_sub(tree.len());
+    let mut b = GraphBuilder::new(n);
+    let mut in_tree: std::collections::HashSet<(Vid, Vid)> =
+        std::collections::HashSet::with_capacity(tree.len() * 2);
+    for &(u, v) in &tree {
+        b.add_edge(u, v, 1);
+        in_tree.insert((u.min(v), u.max(v)));
+    }
+    let mut attempts = 0usize;
+    while extra > 0 && attempts < 20 * target_m {
+        attempts += 1;
+        let x = rng.below(side as u64) as usize;
+        let y = rng.below(side as u64) as usize;
+        let horiz = rng.chance(0.5);
+        let (u, v) = if horiz {
+            if x + 1 >= side {
+                continue;
+            }
+            (idx(x, y), idx(x + 1, y))
+        } else {
+            if y + 1 >= side {
+                continue;
+            }
+            (idx(x, y), idx(x, y + 1))
+        };
+        let key = (u.min(v), u.max(v));
+        if in_tree.insert(key) {
+            b.add_edge(u, v, 1);
+            extra -= 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_connected(g: &CsrGraph) -> bool {
+        let mut seen = vec![false; g.n()];
+        let mut stack = vec![0 as Vid];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == g.n()
+    }
+
+    #[test]
+    fn connected_and_sparse() {
+        let g = usa_roads_like(2500, 42);
+        assert!(is_connected(&g));
+        assert!(g.avg_degree() > 2.0 && g.avg_degree() < 2.8, "avg {}", g.avg_degree());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = usa_roads_like(400, 7);
+        let b = usa_roads_like(400, 7);
+        assert_eq!(a, b);
+        let c = usa_roads_like(400, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_cap_is_grid_like() {
+        let g = usa_roads_like(900, 1);
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn custom_density() {
+        let g = road_grid(900, 3.2, 3);
+        assert!(g.avg_degree() > 2.9, "avg {}", g.avg_degree());
+    }
+}

@@ -1,0 +1,173 @@
+//! Elementary and stress-test generators: paths, rings, stars, complete
+//! graphs, Erdős–Rényi, and R-MAT power-law graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vid};
+use crate::rng::SplitMix64;
+
+/// Path graph 0-1-2-…-(n-1).
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as Vid, i as Vid, 1);
+    }
+    b.build()
+}
+
+/// Cycle graph.
+pub fn ring(n: usize) -> CsrGraph {
+    assert!(n >= 3, "ring needs n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as Vid, ((i + 1) % n) as Vid, 1);
+    }
+    b.build()
+}
+
+/// Star graph: vertex 0 adjacent to all others.
+pub fn star(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i as Vid, 1);
+    }
+    b.build()
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as Vid, v as Vid, 1);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi G(n, m): `m` distinct random edges, plus a ring backbone to
+/// guarantee connectivity (documented deviation; partitioners assume
+/// connected inputs).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 3);
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..n {
+        let u = i as Vid;
+        let v = ((i + 1) % n) as Vid;
+        seen.insert((u.min(v), u.max(v)));
+        b.add_edge(u, v, 1);
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < m.saturating_sub(n) && attempts < 50 * m + 1000 {
+        attempts += 1;
+        let u = rng.below(n as u64) as Vid;
+        let v = rng.below(n as u64) as Vid;
+        if u == v {
+            continue;
+        }
+        if seen.insert((u.min(v), u.max(v))) {
+            b.add_edge(u, v, 1);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// R-MAT power-law generator (Chakrabarti et al.) with a ring backbone for
+/// connectivity. Produces the skewed degree distributions that stress the
+/// GPU load-balancing the paper discusses.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let (a, b_, c) = (0.57, 0.19, 0.19); // standard Graph500 parameters
+    let mut rng = SplitMix64::new(seed);
+    let mut builder = GraphBuilder::new(n);
+    for i in 0..n {
+        builder.add_edge(i as Vid, ((i + 1) % n) as Vid, 1);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..n {
+        let u = i as Vid;
+        let v = ((i + 1) % n) as Vid;
+        seen.insert((u.min(v), u.max(v)));
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < m && attempts < 20 * m + 1000 {
+        attempts += 1;
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r = rng.next_f64();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b_ {
+                (0, 1)
+            } else if r < a + b_ + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << level;
+            v |= dv << level;
+        }
+        if u == v {
+            continue;
+        }
+        let (u, v) = (u as Vid, v as Vid);
+        if seen.insert((u.min(v), u.max(v))) {
+            builder.add_edge(u, v, 1);
+            added += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_ring() {
+        let p = path(5);
+        assert_eq!(p.m(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let r = ring(5);
+        assert_eq!(r.m(), 5);
+        assert!((0..5).all(|u| r.degree(u) == 2));
+    }
+
+    #[test]
+    fn star_and_complete() {
+        let s = star(6);
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.degree(3), 1);
+        let k = complete(5);
+        assert_eq!(k.m(), 10);
+        assert!((0..5).all(|u| k.degree(u) == 4));
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count() {
+        let g = erdos_renyi(100, 300, 42);
+        assert!(g.m() >= 290 && g.m() <= 300, "m = {}", g.m());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rmat_skewed_degrees() {
+        let g = rmat(10, 8, 42);
+        assert_eq!(g.n(), 1024);
+        // power-law: max degree far above average
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(rmat(8, 4, 9), rmat(8, 4, 9));
+        assert_eq!(erdos_renyi(50, 100, 1), erdos_renyi(50, 100, 1));
+    }
+}

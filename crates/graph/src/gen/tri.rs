@@ -1,0 +1,87 @@
+//! Triangulation generator standing in for `delaunay_n20`.
+//!
+//! A Delaunay triangulation of uniform random points is a planar
+//! triangulation with average degree just under 6 and mild degree
+//! variance. We generate the same object class as a structured
+//! triangulation of a jittered grid: all grid edges plus one random
+//! diagonal per cell. Interior degree is 4 + Binomial(4 cells, 1/2) ≈ 6,
+//! matching the Delaunay degree distribution's mean and qualitative spread.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vid};
+use crate::rng::SplitMix64;
+
+/// Planar triangulation with ~`n_target` vertices and average degree ≈ 6.
+pub fn delaunay_like(n_target: usize, seed: u64) -> CsrGraph {
+    let side = (n_target as f64).sqrt().round().max(2.0) as usize;
+    let idx = |x: usize, y: usize| (y * side + x) as Vid;
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(side * side);
+    for y in 0..side {
+        for x in 0..side {
+            if x + 1 < side {
+                b.add_edge(idx(x, y), idx(x + 1, y), 1);
+            }
+            if y + 1 < side {
+                b.add_edge(idx(x, y), idx(x, y + 1), 1);
+            }
+            // one diagonal per cell, random orientation
+            if x + 1 < side && y + 1 < side {
+                if rng.chance(0.5) {
+                    b.add_edge(idx(x, y), idx(x + 1, y + 1), 1);
+                } else {
+                    b.add_edge(idx(x + 1, y), idx(x, y + 1), 1);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_connected(g: &CsrGraph) -> bool {
+        let mut seen = vec![false; g.n()];
+        let mut stack = vec![0 as Vid];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == g.n()
+    }
+
+    #[test]
+    fn degree_near_six() {
+        let g = delaunay_like(10_000, 17);
+        assert!(
+            (5.0..6.2).contains(&g.avg_degree()),
+            "avg degree {} out of Delaunay band",
+            g.avg_degree()
+        );
+        assert!(g.max_degree() <= 8);
+        assert!(is_connected(&g));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(delaunay_like(400, 5), delaunay_like(400, 5));
+        assert_ne!(delaunay_like(400, 5), delaunay_like(400, 6));
+    }
+
+    #[test]
+    fn planar_edge_bound() {
+        // planar graphs have m <= 3n - 6
+        let g = delaunay_like(900, 3);
+        assert!(g.m() <= 3 * g.n() - 6);
+    }
+}

@@ -1,0 +1,369 @@
+//! Graph file I/O.
+//!
+//! Supports the Metis `.graph` format (used by DIMACS10 and all Metis
+//! tools) for both reading and writing, and the DIMACS9 shortest-path
+//! `.gr` format (used by the USA-roads input) for reading. This lets the
+//! benchmark harness run on the paper's real inputs when the files are
+//! available, while the generators in [`crate::gen`] provide offline
+//! stand-ins.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vid};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// I/O error with line context.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Parse { line: usize, msg: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err<T>(line: usize, msg: impl Into<String>) -> Result<T, IoError> {
+    Err(IoError::Parse { line, msg: msg.into() })
+}
+
+/// Read a Metis `.graph` file from any reader.
+///
+/// Header: `n m [fmt [ncon]]` where fmt is a 3-digit flag string: 1xx =
+/// vertex sizes (unsupported), x1x = vertex weights, xx1 = edge weights.
+/// Vertex ids in the file are 1-based.
+pub fn read_metis<R: BufRead>(r: R) -> Result<CsrGraph, IoError> {
+    let mut lines = r.lines().enumerate();
+    // find header (skip comments)
+    let (hline_no, header) = loop {
+        match lines.next() {
+            None => return parse_err(0, "empty file"),
+            Some((no, l)) => {
+                let l = l?;
+                let t = l.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (no + 1, t.to_string());
+                }
+            }
+        }
+    };
+    let hparts: Vec<&str> = header.split_whitespace().collect();
+    if hparts.len() < 2 {
+        return parse_err(hline_no, "header needs at least `n m`");
+    }
+    let n: usize =
+        hparts[0].parse().map_err(|e| IoError::Parse { line: hline_no, msg: format!("{e}") })?;
+    let m: usize =
+        hparts[1].parse().map_err(|e| IoError::Parse { line: hline_no, msg: format!("{e}") })?;
+    let fmt = if hparts.len() >= 3 { hparts[2] } else { "0" };
+    let fmt_num: u32 =
+        fmt.parse().map_err(|e| IoError::Parse { line: hline_no, msg: format!("bad fmt: {e}") })?;
+    let has_vsize = fmt_num / 100 % 10 == 1;
+    let has_vwgt = fmt_num / 10 % 10 == 1;
+    let has_ewgt = fmt_num % 10 == 1;
+    if has_vsize {
+        return parse_err(hline_no, "vertex sizes (fmt 1xx) not supported");
+    }
+    let ncon: usize = if hparts.len() >= 4 {
+        hparts[3].parse().map_err(|e| IoError::Parse { line: hline_no, msg: format!("{e}") })?
+    } else {
+        1
+    };
+    if ncon != 1 {
+        return parse_err(hline_no, "multi-constraint graphs (ncon > 1) not supported");
+    }
+
+    let mut b = GraphBuilder::new(n);
+    let mut vwgt = vec![1u32; n];
+    let mut u = 0usize;
+    for (no, l) in lines {
+        let l = l?;
+        let t = l.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        if u >= n {
+            if t.is_empty() {
+                continue;
+            }
+            return parse_err(no + 1, "more vertex lines than n");
+        }
+        let mut toks = t.split_whitespace();
+        if has_vwgt {
+            match toks.next() {
+                None => {} // empty line: isolated vertex with default weight
+                Some(w) => {
+                    vwgt[u] = w
+                        .parse()
+                        .map_err(|e| IoError::Parse { line: no + 1, msg: format!("vwgt: {e}") })?;
+                }
+            }
+        }
+        loop {
+            let Some(vtok) = toks.next() else { break };
+            let v1: usize = vtok
+                .parse()
+                .map_err(|e| IoError::Parse { line: no + 1, msg: format!("neighbor: {e}") })?;
+            if v1 == 0 || v1 > n {
+                return parse_err(no + 1, format!("neighbor {v1} out of 1..={n}"));
+            }
+            let w: u32 = if has_ewgt {
+                match toks.next() {
+                    None => return parse_err(no + 1, "missing edge weight"),
+                    Some(wt) => wt
+                        .parse()
+                        .map_err(|e| IoError::Parse { line: no + 1, msg: format!("ewgt: {e}") })?,
+                }
+            } else {
+                1
+            };
+            let v = (v1 - 1) as Vid;
+            // Each undirected edge appears twice in the file; add it once.
+            if (u as Vid) < v {
+                b.add_edge(u as Vid, v, w);
+            }
+        }
+        u += 1;
+    }
+    if u != n {
+        return parse_err(0, format!("expected {n} vertex lines, found {u}"));
+    }
+    let g = b.vertex_weights(vwgt).build();
+    if g.m() != m {
+        // Metis counts each undirected edge once in the header.
+        return parse_err(0, format!("header said {m} edges, file contains {}", g.m()));
+    }
+    Ok(g)
+}
+
+/// Read a Metis `.graph` file from disk.
+pub fn read_metis_file(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_metis(std::io::BufReader::new(f))
+}
+
+/// Write a graph in Metis `.graph` format (always writes both vertex and
+/// edge weights; fmt = 011).
+pub fn write_metis<W: Write>(g: &CsrGraph, w: W) -> Result<(), IoError> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "{} {} 011", g.n(), g.m())?;
+    for u in 0..g.n() as Vid {
+        write!(out, "{}", g.vwgt[u as usize])?;
+        for (v, ew) in g.edges(u) {
+            write!(out, " {} {}", v + 1, ew)?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Write a Metis `.graph` file to disk.
+pub fn write_metis_file(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let f = std::fs::File::create(path)?;
+    write_metis(g, f)
+}
+
+/// Write a partition vector in the Metis `.part` format: one partition
+/// id per line, in vertex order.
+pub fn write_partition<W: Write>(part: &[u32], w: W) -> Result<(), IoError> {
+    let mut out = BufWriter::new(w);
+    for p in part {
+        writeln!(out, "{p}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a Metis `.part` file.
+pub fn read_partition<R: BufRead>(r: R) -> Result<Vec<u32>, IoError> {
+    let mut part = Vec::new();
+    for (no, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        part.push(
+            t.parse::<u32>()
+                .map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?,
+        );
+    }
+    Ok(part)
+}
+
+/// Read a DIMACS9 `.gr` file (`p sp n m` header, `a u v w` arc lines,
+/// 1-based ids). Arcs are symmetrized; duplicate arcs merged.
+pub fn read_dimacs9<R: BufRead>(r: R) -> Result<CsrGraph, IoError> {
+    let mut n = 0usize;
+    let mut b: Option<GraphBuilder> = None;
+    let mut seen: std::collections::HashSet<(Vid, Vid)> = std::collections::HashSet::new();
+    for (no, l) in r.lines().enumerate() {
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("p ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() < 3 || parts[0] != "sp" {
+                return parse_err(no + 1, "expected `p sp n m`");
+            }
+            n = parts[1]
+                .parse()
+                .map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?;
+            b = Some(GraphBuilder::new(n));
+        } else if let Some(rest) = t.strip_prefix("a ") {
+            let builder = match b.as_mut() {
+                Some(x) => x,
+                None => return parse_err(no + 1, "arc before problem line"),
+            };
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() < 3 {
+                return parse_err(no + 1, "expected `a u v w`");
+            }
+            let u: usize = parts[0]
+                .parse()
+                .map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?;
+            let v: usize = parts[1]
+                .parse()
+                .map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?;
+            let w: u32 = parts[2]
+                .parse()
+                .map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?;
+            if u == 0 || v == 0 || u > n || v > n {
+                return parse_err(no + 1, "vertex id out of range");
+            }
+            if u == v {
+                continue;
+            }
+            let (a, c) = ((u - 1) as Vid, (v - 1) as Vid);
+            if seen.insert((a.min(c), a.max(c))) {
+                builder.add_edge(a, c, w);
+            }
+        } else {
+            return parse_err(no + 1, format!("unrecognized line: {t}"));
+        }
+    }
+    match b {
+        Some(builder) => Ok(builder.build()),
+        None => parse_err(0, "no problem line"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{delaunay_like, grid2d};
+    use std::io::Cursor;
+
+    #[test]
+    fn metis_roundtrip_plain() {
+        let g = grid2d(5, 4);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn metis_roundtrip_weighted() {
+        let g = GraphBuilder::from_weighted_edges(4, &[(0, 1, 3), (1, 2, 5), (2, 3, 1)])
+            .vertex_weights(vec![2, 4, 6, 8])
+            .build();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn metis_roundtrip_random() {
+        let g = delaunay_like(400, 9);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn metis_reads_unweighted_format() {
+        let txt = "% comment\n3 2\n2 3\n1\n1\n";
+        let g = read_metis(Cursor::new(txt)).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn metis_rejects_bad_neighbor() {
+        let txt = "2 1\n5\n1\n";
+        assert!(read_metis(Cursor::new(txt)).is_err());
+    }
+
+    #[test]
+    fn metis_rejects_edge_count_mismatch() {
+        let txt = "3 5\n2\n1 3\n2\n";
+        assert!(read_metis(Cursor::new(txt)).is_err());
+    }
+
+    #[test]
+    fn metis_rejects_empty() {
+        assert!(read_metis(Cursor::new("")).is_err());
+        assert!(read_metis(Cursor::new("% only comments\n")).is_err());
+    }
+
+    #[test]
+    fn dimacs9_reads_arcs_symmetrized() {
+        let txt = "c USA roads excerpt\np sp 3 4\na 1 2 7\na 2 1 7\na 2 3 5\na 1 3 2\n";
+        let g = read_dimacs9(Cursor::new(txt)).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3); // (1,2) deduped
+        assert_eq!(crate::metrics::edge_cut(&g, &[0, 1, 1]), 9); // edges (0,1)w7 + (0,2)w2
+    }
+
+    #[test]
+    fn dimacs9_rejects_arc_before_header() {
+        assert!(read_dimacs9(Cursor::new("a 1 2 3\n")).is_err());
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let part = vec![0u32, 3, 1, 1, 2, 0];
+        let mut buf = Vec::new();
+        write_partition(&part, &mut buf).unwrap();
+        let back = read_partition(Cursor::new(buf)).unwrap();
+        assert_eq!(back, part);
+    }
+
+    #[test]
+    fn partition_rejects_garbage() {
+        assert!(read_partition(Cursor::new("1\nx\n")).is_err());
+        assert_eq!(read_partition(Cursor::new("")).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = grid2d(3, 3);
+        let dir = std::env::temp_dir().join("gpm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.graph");
+        write_metis_file(&g, &p).unwrap();
+        let g2 = read_metis_file(&p).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&p).ok();
+    }
+}

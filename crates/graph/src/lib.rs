@@ -1,0 +1,21 @@
+//! Graph substrate for the GP-metis reproduction.
+//!
+//! Provides the CSR graph representation used throughout the partitioners
+//! (the paper stores graphs as the four arrays `adjp`/`adjncy`/`adjwgt`/
+//! `vwgt`; we use the Metis names `xadj`/`adjncy`/`adjwgt`/`vwgt`),
+//! synthetic workload generators standing in for the DIMACS inputs,
+//! Metis-format I/O, partition-quality metrics, and small deterministic
+//! RNG helpers shared by every crate in the workspace.
+
+pub mod analysis;
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod metrics;
+pub mod rng;
+pub mod subgraph;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, Vid};
+pub use metrics::{comm_volume, edge_cut, imbalance, part_weights, validate_partition};

@@ -1,0 +1,230 @@
+//! Partition-quality metrics: edge cut, balance, communication volume.
+//!
+//! These implement the objective the paper optimizes (total weight of edges
+//! crossing partitions, under the constraint that no partition exceeds
+//! `(1 + eps) * total_weight / k`; the paper uses `eps = 0.03` and k = 64).
+
+use crate::csr::{CsrGraph, Vid};
+
+/// Total weight of edges whose endpoints lie in different partitions.
+pub fn edge_cut(g: &CsrGraph, part: &[u32]) -> u64 {
+    assert_eq!(part.len(), g.n());
+    let mut cut2 = 0u64;
+    for u in 0..g.n() as Vid {
+        let pu = part[u as usize];
+        for (v, w) in g.edges(u) {
+            if part[v as usize] != pu {
+                cut2 += w as u64;
+            }
+        }
+    }
+    cut2 / 2
+}
+
+/// Sum of vertex weights per partition.
+pub fn part_weights(g: &CsrGraph, part: &[u32], k: usize) -> Vec<u64> {
+    assert_eq!(part.len(), g.n());
+    let mut w = vec![0u64; k];
+    for u in 0..g.n() {
+        w[part[u] as usize] += g.vwgt[u] as u64;
+    }
+    w
+}
+
+/// Load imbalance: `max_part_weight * k / total_weight`. A perfectly
+/// balanced partition scores 1.0; the paper's tolerance is 1.03.
+pub fn imbalance(g: &CsrGraph, part: &[u32], k: usize) -> f64 {
+    let w = part_weights(g, part, k);
+    let total: u64 = w.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = *w.iter().max().unwrap();
+    max as f64 * k as f64 / total as f64
+}
+
+/// Total communication volume: for each vertex, the number of distinct
+/// remote partitions among its neighbors — the metric that matters for the
+/// halo exchanges of the motivating applications.
+pub fn comm_volume(g: &CsrGraph, part: &[u32]) -> u64 {
+    assert_eq!(part.len(), g.n());
+    let mut vol = 0u64;
+    let mut seen: Vec<u32> = Vec::new();
+    for u in 0..g.n() as Vid {
+        let pu = part[u as usize];
+        seen.clear();
+        for &v in g.neighbors(u) {
+            let pv = part[v as usize];
+            if pv != pu && !seen.contains(&pv) {
+                seen.push(pv);
+            }
+        }
+        vol += seen.len() as u64;
+    }
+    vol
+}
+
+/// Number of boundary vertices (vertices with at least one remote
+/// neighbor) — the working set of the refinement kernels.
+pub fn boundary_count(g: &CsrGraph, part: &[u32]) -> usize {
+    (0..g.n() as Vid)
+        .filter(|&u| g.neighbors(u).iter().any(|&v| part[v as usize] != part[u as usize]))
+        .count()
+}
+
+/// Errors from [`validate_partition`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    WrongLength { got: usize, expected: usize },
+    OutOfRange { vertex: usize, part: u32, k: usize },
+    Unbalanced { imbalance: f64, tolerance: f64 },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::WrongLength { got, expected } => {
+                write!(f, "partition vector length {got}, expected {expected}")
+            }
+            PartitionError::OutOfRange { vertex, part, k } => {
+                write!(f, "vertex {vertex} assigned to partition {part} >= k = {k}")
+            }
+            PartitionError::Unbalanced { imbalance, tolerance } => {
+                write!(f, "imbalance {imbalance:.4} exceeds tolerance {tolerance:.4}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Check that `part` is a structurally valid k-partition of `g` within the
+/// balance tolerance `ubfactor` (e.g. 1.03 for the paper's 3%).
+pub fn validate_partition(
+    g: &CsrGraph,
+    part: &[u32],
+    k: usize,
+    ubfactor: f64,
+) -> Result<(), PartitionError> {
+    if part.len() != g.n() {
+        return Err(PartitionError::WrongLength { got: part.len(), expected: g.n() });
+    }
+    for (u, &p) in part.iter().enumerate() {
+        if p as usize >= k {
+            return Err(PartitionError::OutOfRange { vertex: u, part: p, k });
+        }
+    }
+    let im = imbalance(g, part, k);
+    // Integral vertex weights make the perfectly achievable maximum
+    // ceil(total/k); allow one max-weight vertex of slack on top of the
+    // tolerance for tiny graphs where ubfactor is unattainable.
+    let total = g.total_vwgt();
+    let max_vwgt = g.vwgt.iter().copied().max().unwrap_or(0) as f64;
+    let allowed =
+        (ubfactor * total as f64 / k as f64 + max_vwgt).max((total as f64 / k as f64).ceil());
+    let maxw = *part_weights(g, part, k).iter().max().unwrap_or(&0) as f64;
+    if maxw > allowed {
+        return Err(PartitionError::Unbalanced { imbalance: im, tolerance: ubfactor });
+    }
+    Ok(())
+}
+
+/// The hard weight cap used by every refinement implementation:
+/// `ubfactor * total / k`, rounded up.
+pub fn max_part_weight(total_vwgt: u64, k: usize, ubfactor: f64) -> u64 {
+    (ubfactor * total_vwgt as f64 / k as f64).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 4-cycle: 0-1-2-3-0.
+    fn square() -> CsrGraph {
+        GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).build()
+    }
+
+    #[test]
+    fn cut_of_balanced_split() {
+        let g = square();
+        // {0,1} | {2,3}: edges (1,2) and (3,0) are cut.
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 2);
+        // {0,2} | {1,3}: all 4 edges cut.
+        assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 4);
+    }
+
+    #[test]
+    fn cut_respects_weights() {
+        let g = GraphBuilder::from_weighted_edges(2, &[(0, 1, 7)]).build();
+        assert_eq!(edge_cut(&g, &[0, 1]), 7);
+        assert_eq!(edge_cut(&g, &[0, 0]), 0);
+    }
+
+    #[test]
+    fn weights_and_imbalance() {
+        let g = square();
+        assert_eq!(part_weights(&g, &[0, 0, 1, 1], 2), vec![2, 2]);
+        assert!((imbalance(&g, &[0, 0, 1, 1], 2) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&g, &[0, 0, 0, 1], 2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_volume_counts_distinct_parts() {
+        let g = square();
+        // {0,1} | {2,3}: vertices 0,1,2,3 each see exactly 1 remote part.
+        assert_eq!(comm_volume(&g, &[0, 0, 1, 1]), 4);
+        assert_eq!(comm_volume(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn boundary_count_works() {
+        let g = square();
+        assert_eq!(boundary_count(&g, &[0, 0, 1, 1]), 4);
+        assert_eq!(boundary_count(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn validate_accepts_good_partition() {
+        let g = square();
+        validate_partition(&g, &[0, 0, 1, 1], 2, 1.03).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length() {
+        let g = square();
+        assert!(matches!(
+            validate_partition(&g, &[0, 0, 1], 2, 1.03),
+            Err(PartitionError::WrongLength { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let g = square();
+        assert!(matches!(
+            validate_partition(&g, &[0, 0, 1, 5], 2, 1.03),
+            Err(PartitionError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_gross_imbalance() {
+        // 8 vertices, all in one part out of two.
+        let g = GraphBuilder::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)],
+        )
+        .build();
+        assert!(matches!(
+            validate_partition(&g, &[0; 8], 2, 1.03),
+            Err(PartitionError::Unbalanced { .. })
+        ));
+    }
+
+    #[test]
+    fn max_part_weight_rounds_up() {
+        assert_eq!(max_part_weight(100, 3, 1.03), 35); // 34.33 -> 35
+        assert_eq!(max_part_weight(64, 64, 1.0), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Induced subgraph extraction — used by recursive bisection, which
+//! partitions each half of a bisection independently.
+
+use crate::csr::{CsrGraph, Vid};
+
+/// Extract the subgraph induced by the vertices with `select[u] == true`.
+///
+/// Returns the subgraph (vertex and edge weights preserved, edges leaving
+/// the selection dropped) and the map from new vertex ids to original ids.
+pub fn induced_subgraph(g: &CsrGraph, select: &[bool]) -> (CsrGraph, Vec<Vid>) {
+    assert_eq!(select.len(), g.n());
+    let mut old_to_new = vec![Vid::MAX; g.n()];
+    let mut new_to_old: Vec<Vid> = Vec::new();
+    for u in 0..g.n() {
+        if select[u] {
+            old_to_new[u] = new_to_old.len() as Vid;
+            new_to_old.push(u as Vid);
+        }
+    }
+    let nn = new_to_old.len();
+    let mut xadj = vec![0u32; nn + 1];
+    // First pass: count surviving edges.
+    for (nu, &ou) in new_to_old.iter().enumerate() {
+        let cnt =
+            g.neighbors(ou).iter().filter(|&&v| select[v as usize]).count() as u32;
+        xadj[nu + 1] = xadj[nu] + cnt;
+    }
+    let total = xadj[nn] as usize;
+    let mut adjncy = vec![0 as Vid; total];
+    let mut adjwgt = vec![0u32; total];
+    let mut vwgt = vec![0u32; nn];
+    for (nu, &ou) in new_to_old.iter().enumerate() {
+        vwgt[nu] = g.vwgt[ou as usize];
+        let mut c = xadj[nu] as usize;
+        for (v, w) in g.edges(ou) {
+            if select[v as usize] {
+                adjncy[c] = old_to_new[v as usize];
+                adjwgt[c] = w;
+                c += 1;
+            }
+        }
+    }
+    let sub = CsrGraph { xadj, adjncy, adjwgt, vwgt };
+    debug_assert!(sub.validate().is_ok());
+    (sub, new_to_old)
+}
+
+/// Extract the subgraph induced by vertices whose `part[u] == which`.
+pub fn subgraph_of_part(g: &CsrGraph, part: &[u32], which: u32) -> (CsrGraph, Vec<Vid>) {
+    let select: Vec<bool> = part.iter().map(|&p| p == which).collect();
+    induced_subgraph(g, &select)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::gen::grid2d;
+
+    #[test]
+    fn extracts_half_of_square() {
+        let g = grid2d(2, 2); // 0-1 / 2-3 with vertical edges 0-2, 1-3
+        let (sub, map) = induced_subgraph(&g, &[true, true, false, false]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.m(), 1);
+        assert_eq!(map, vec![0, 1]);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn preserves_weights() {
+        let g = GraphBuilder::from_weighted_edges(3, &[(0, 1, 9), (1, 2, 4)])
+            .vertex_weights(vec![7, 8, 9])
+            .build();
+        let (sub, map) = induced_subgraph(&g, &[false, true, true]);
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(sub.vwgt, vec![8, 9]);
+        assert_eq!(sub.neighbor_weights(0), &[4]);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = grid2d(3, 3);
+        let (sub, map) = induced_subgraph(&g, &vec![false; 9]);
+        assert_eq!(sub.n(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn full_selection_is_identity() {
+        let g = grid2d(3, 3);
+        let (sub, map) = induced_subgraph(&g, &vec![true; 9]);
+        assert_eq!(sub, g);
+        assert_eq!(map, (0..9).collect::<Vec<Vid>>());
+    }
+
+    #[test]
+    fn by_part_helper() {
+        let g = grid2d(2, 2);
+        let (sub, map) = subgraph_of_part(&g, &[0, 1, 0, 1], 1);
+        assert_eq!(map, vec![1, 3]);
+        assert_eq!(sub.m(), 1);
+    }
+}

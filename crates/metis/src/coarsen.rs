@@ -1,0 +1,213 @@
+//! The coarsening phase: repeated match + contract until the graph is
+//! small enough to partition directly (§II.A.1).
+
+use crate::contract::contract;
+use crate::cost::{CostLedger, CpuModel, Work};
+use crate::matching::{find_matching, MatchScheme};
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::rng::SplitMix64;
+
+/// One level of the multilevel hierarchy.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// The graph at this level (level 0 = input).
+    pub graph: CsrGraph,
+    /// Fine-to-coarse map from this level to the next coarser one; empty
+    /// at the coarsest level.
+    pub cmap: Vec<Vid>,
+}
+
+/// The full coarsening hierarchy. `levels[0].graph` is the original input,
+/// `levels.last().graph` the coarsest graph.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    pub levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// The coarsest graph.
+    pub fn coarsest(&self) -> &CsrGraph {
+        &self.levels.last().expect("hierarchy is never empty").graph
+    }
+
+    /// Number of coarsening levels performed.
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Project a partition of the coarsest graph down to level `lvl`'s
+    /// finer predecessor — i.e. one projection step.
+    pub fn project_step(&self, lvl: usize, coarse_part: &[u32]) -> Vec<u32> {
+        let cmap = &self.levels[lvl].cmap;
+        cmap.iter().map(|&c| coarse_part[c as usize]).collect()
+    }
+}
+
+/// Knobs for the coarsening loop.
+#[derive(Debug, Clone, Copy)]
+pub struct CoarsenConfig {
+    /// Stop once the coarse graph has at most this many vertices.
+    pub coarsen_to: usize,
+    /// Stop when a level shrinks the vertex count by less than this factor
+    /// (|V_coarse| > cutoff * |V_fine| means diminishing returns).
+    pub reduction_cutoff: f64,
+    /// Matching heuristic.
+    pub scheme: MatchScheme,
+    /// Cap on combined matched vertex weight, as a multiple of the average
+    /// coarsest-vertex weight (Metis uses 1.5x total/coarsen_to).
+    pub max_vwgt_factor: f64,
+    /// Hard cap on levels (safety).
+    pub max_levels: usize,
+}
+
+impl CoarsenConfig {
+    /// Metis-style defaults for a k-way partition.
+    pub fn for_k(k: usize) -> Self {
+        CoarsenConfig {
+            coarsen_to: (20 * k).max(80),
+            reduction_cutoff: 0.95,
+            scheme: MatchScheme::Hem,
+            max_vwgt_factor: 1.5,
+            max_levels: 64,
+        }
+    }
+
+    /// The per-pair weight cap for a graph with this total weight.
+    pub fn max_vwgt(&self, total_vwgt: u64) -> u32 {
+        let cap = self.max_vwgt_factor * total_vwgt as f64 / self.coarsen_to as f64;
+        cap.max(2.0).min(u32::MAX as f64) as u32
+    }
+}
+
+/// Run the serial coarsening loop. Each level is charged to `ledger` as a
+/// serial phase.
+pub fn coarsen(
+    g: &CsrGraph,
+    cfg: &CoarsenConfig,
+    model: &CpuModel,
+    rng: &mut SplitMix64,
+    ledger: &mut CostLedger,
+) -> Hierarchy {
+    let mut levels: Vec<Level> = Vec::new();
+    let mut cur = g.clone();
+    let max_vwgt = cfg.max_vwgt(g.total_vwgt());
+    for lvl in 0..cfg.max_levels {
+        if cur.n() <= cfg.coarsen_to || cur.m() == 0 {
+            break;
+        }
+        let mut work = Work::default().with_ws(cur.bytes());
+        let scheme = if cfg.scheme == MatchScheme::Hem && cur.uniform_edge_weights() {
+            // The paper (and Metis) fall back to random matching when all
+            // edge weights are equal — HEM has no signal there.
+            MatchScheme::Rm
+        } else {
+            cfg.scheme
+        };
+        let mat = find_matching(&cur, scheme, max_vwgt, rng, &mut work);
+        let (coarse, cmap) = contract(&cur, &mat, &mut work);
+        ledger.serial(&format!("coarsen:l{lvl}"), model, work);
+        let ratio = coarse.n() as f64 / cur.n() as f64;
+        let coarse_n = coarse.n();
+        levels.push(Level { graph: std::mem::replace(&mut cur, coarse), cmap });
+        if ratio > cfg.reduction_cutoff || coarse_n <= cfg.coarsen_to {
+            break;
+        }
+    }
+    levels.push(Level { graph: cur, cmap: Vec::new() });
+    Hierarchy { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen::{complete, delaunay_like, grid2d, star};
+
+    fn run(g: &CsrGraph, k: usize) -> Hierarchy {
+        let cfg = CoarsenConfig::for_k(k);
+        let model = CpuModel::serial();
+        let mut rng = SplitMix64::new(42);
+        let mut ledger = CostLedger::new();
+        coarsen(g, &cfg, &model, &mut rng, &mut ledger)
+    }
+
+    #[test]
+    fn coarsens_to_threshold() {
+        let g = delaunay_like(5_000, 1);
+        let h = run(&g, 4);
+        assert!(h.coarsest().n() <= 3 * CoarsenConfig::for_k(4).coarsen_to);
+        assert!(h.depth() >= 2);
+        // vertex weight conserved through every level
+        for l in &h.levels {
+            assert_eq!(l.graph.total_vwgt(), g.total_vwgt());
+        }
+    }
+
+    #[test]
+    fn small_graph_no_levels() {
+        let g = grid2d(4, 4);
+        let h = run(&g, 2);
+        assert_eq!(h.depth(), 0);
+        assert_eq!(h.coarsest().n(), 16);
+    }
+
+    #[test]
+    fn star_graph_stalls_gracefully() {
+        // Stars coarsen very slowly (one pair/level); the reduction cutoff
+        // must terminate the loop.
+        let g = star(500);
+        let h = run(&g, 2);
+        assert!(h.depth() <= CoarsenConfig::for_k(2).max_levels);
+        assert!(h.coarsest().n() >= 2);
+    }
+
+    #[test]
+    fn complete_graph_coarsens() {
+        let g = complete(64);
+        let h = run(&g, 2);
+        assert!(h.coarsest().n() < 64 || h.depth() == 0);
+        for l in &h.levels {
+            l.graph.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn project_step_maps_through_cmap() {
+        let g = grid2d(10, 10);
+        let cfg = CoarsenConfig {
+            coarsen_to: 10,
+            ..CoarsenConfig::for_k(2)
+        };
+        let model = CpuModel::serial();
+        let mut rng = SplitMix64::new(7);
+        let mut ledger = CostLedger::new();
+        let h = coarsen(&g, &cfg, &model, &mut rng, &mut ledger);
+        assert!(h.depth() >= 1);
+        let coarse_part: Vec<u32> = (0..h.coarsest().n() as u32).map(|c| c % 2).collect();
+        // project all the way down, checking sizes line up
+        let mut part = coarse_part;
+        for lvl in (0..h.depth()).rev() {
+            part = h.project_step(lvl, &part);
+            assert_eq!(part.len(), h.levels[lvl].graph.n());
+        }
+        assert_eq!(part.len(), g.n());
+    }
+
+    #[test]
+    fn ledger_records_levels() {
+        let g = delaunay_like(2_000, 3);
+        let cfg = CoarsenConfig::for_k(2);
+        let model = CpuModel::serial();
+        let mut rng = SplitMix64::new(1);
+        let mut ledger = CostLedger::new();
+        let h = coarsen(&g, &cfg, &model, &mut rng, &mut ledger);
+        assert_eq!(ledger.phases.len(), h.depth());
+        assert!(ledger.total() > 0.0);
+    }
+
+    #[test]
+    fn max_vwgt_cap_computed() {
+        let cfg = CoarsenConfig::for_k(4);
+        assert!(cfg.max_vwgt(8_000) >= 2);
+        assert_eq!(cfg.max_vwgt(0), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Graph contraction (§II.A.1): collapse matched vertex pairs into coarse
+//! vertices, summing vertex weights and merging adjacency lists (parallel
+//! coarse edges are combined by summing their weights).
+
+use crate::cost::Work;
+use gpm_graph::csr::{CsrGraph, Vid};
+
+/// Build the coarse-vertex label map from a matching: coarse labels are
+/// assigned in fine-vertex order to the representative (smaller-id) member
+/// of each pair — the same numbering the paper's 4-kernel GPU cmap
+/// construction produces, so CPU and GPU levels are interchangeable.
+pub fn build_cmap(mat: &[Vid]) -> (Vec<Vid>, usize) {
+    let n = mat.len();
+    let mut cmap = vec![0 as Vid; n];
+    let mut next = 0 as Vid;
+    for u in 0..n {
+        if u as Vid <= mat[u] {
+            cmap[u] = next;
+            next += 1;
+        }
+    }
+    for u in 0..n {
+        if (u as Vid) > mat[u] {
+            cmap[u] = cmap[mat[u] as usize];
+        }
+    }
+    (cmap, next as usize)
+}
+
+/// Contract `g` according to matching `mat`. Returns the coarse graph and
+/// the fine-to-coarse vertex map.
+pub fn contract(g: &CsrGraph, mat: &[Vid], work: &mut Work) -> (CsrGraph, Vec<Vid>) {
+    let n = g.n();
+    assert_eq!(mat.len(), n);
+    let (cmap, nc) = build_cmap(mat);
+    work.vertices += 2 * n as u64;
+
+    let mut xadj = vec![0u32; nc + 1];
+    let mut vwgt = vec![0u32; nc];
+    // Upper bound on coarse adjacency size: the fine adjacency size.
+    let mut adjncy: Vec<Vid> = Vec::with_capacity(g.adjncy.len());
+    let mut adjwgt: Vec<u32> = Vec::with_capacity(g.adjncy.len());
+
+    // Dense scatter table: slot[c] holds the position of coarse neighbor c
+    // in the current output row, or MARK_EMPTY.
+    let mut slot = vec![u32::MAX; nc];
+    let mut c = 0 as Vid;
+    for u in 0..n as Vid {
+        if mat[u as usize] < u {
+            continue; // handled by its representative
+        }
+        let v = mat[u as usize];
+        vwgt[c as usize] = g.vwgt[u as usize]
+            + if v != u { g.vwgt[v as usize] } else { 0 };
+        let row_start = adjncy.len();
+        let emit = |nb: Vid,
+                        w: u32,
+                        adjncy: &mut Vec<Vid>,
+                        adjwgt: &mut Vec<u32>,
+                        slot: &mut [u32]| {
+            let cn = cmap[nb as usize];
+            if cn == c {
+                return; // collapsed self-edge
+            }
+            let s = slot[cn as usize];
+            if s != u32::MAX && s as usize >= row_start && adjncy[s as usize] == cn {
+                adjwgt[s as usize] += w;
+            } else {
+                slot[cn as usize] = adjncy.len() as u32;
+                adjncy.push(cn);
+                adjwgt.push(w);
+            }
+        };
+        for (nb, w) in g.edges(u) {
+            emit(nb, w, &mut adjncy, &mut adjwgt, &mut slot);
+        }
+        if v != u {
+            for (nb, w) in g.edges(v) {
+                emit(nb, w, &mut adjncy, &mut adjwgt, &mut slot);
+            }
+        }
+        work.edges += (g.degree(u) + if v != u { g.degree(v) } else { 0 }) as u64;
+        xadj[c as usize + 1] = adjncy.len() as u32;
+        c += 1;
+    }
+    debug_assert_eq!(c as usize, nc);
+    let coarse = CsrGraph { xadj, adjncy, adjwgt, vwgt };
+    debug_assert!(coarse.validate().is_ok(), "contraction produced invalid graph");
+    (coarse, cmap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{find_matching, MatchScheme};
+    use gpm_graph::builder::GraphBuilder;
+    use gpm_graph::gen::{delaunay_like, grid2d};
+    use gpm_graph::rng::SplitMix64;
+
+    #[test]
+    fn cmap_numbers_representatives_in_order() {
+        // pairs (0,2), (1,3)
+        let mat = vec![2, 3, 0, 1];
+        let (cmap, nc) = build_cmap(&mat);
+        assert_eq!(nc, 2);
+        assert_eq!(cmap, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn cmap_self_matched() {
+        let mat = vec![0, 1, 2];
+        let (cmap, nc) = build_cmap(&mat);
+        assert_eq!(nc, 3);
+        assert_eq!(cmap, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn contract_path_pair() {
+        // path 0-1-2-3, match (0,1) and (2,3) => coarse path of 2 vertices,
+        // edge weight 1 (the single 1-2 edge).
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).build();
+        let mat = vec![1, 0, 3, 2];
+        let mut w = Work::default();
+        let (cg, cmap) = contract(&g, &mat, &mut w);
+        assert_eq!(cg.n(), 2);
+        assert_eq!(cg.m(), 1);
+        assert_eq!(cg.vwgt, vec![2, 2]);
+        assert_eq!(cg.neighbor_weights(0), &[1]);
+        assert_eq!(cmap, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn contract_merges_parallel_coarse_edges() {
+        // square 0-1-2-3-0 with diagonal-free matching (0,1),(2,3):
+        // coarse edge weight = 2 (edges 1-2 and 3-0 both cross).
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        let mat = vec![1, 0, 3, 2];
+        let mut w = Work::default();
+        let (cg, _) = contract(&g, &mat, &mut w);
+        assert_eq!(cg.n(), 2);
+        assert_eq!(cg.m(), 1);
+        assert_eq!(cg.neighbor_weights(0), &[2]);
+    }
+
+    #[test]
+    fn contraction_conserves_vertex_weight() {
+        let g = delaunay_like(900, 5);
+        let mut rng = SplitMix64::new(9);
+        let mut w = Work::default();
+        let mat = find_matching(&g, MatchScheme::Hem, u32::MAX, &mut rng, &mut w);
+        let (cg, cmap) = contract(&g, &mat, &mut w);
+        assert_eq!(cg.total_vwgt(), g.total_vwgt());
+        assert!(cg.n() < g.n());
+        // cmap in range
+        assert!(cmap.iter().all(|&c| (c as usize) < cg.n()));
+        cg.validate().unwrap();
+    }
+
+    #[test]
+    fn contraction_preserves_cut_through_cmap() {
+        // A partition of the coarse graph, pulled back through cmap, has
+        // the same cut on the fine graph (self-collapsed edges never cross).
+        let g = grid2d(12, 12);
+        let mut rng = SplitMix64::new(3);
+        let mut w = Work::default();
+        let mat = find_matching(&g, MatchScheme::Hem, u32::MAX, &mut rng, &mut w);
+        let (cg, cmap) = contract(&g, &mat, &mut w);
+        // arbitrary 2-coloring of coarse vertices
+        let cpart: Vec<u32> = (0..cg.n() as u32).map(|c| c % 2).collect();
+        let fpart: Vec<u32> = cmap.iter().map(|&c| cpart[c as usize]).collect();
+        assert_eq!(
+            gpm_graph::metrics::edge_cut(&cg, &cpart),
+            gpm_graph::metrics::edge_cut(&g, &fpart)
+        );
+    }
+
+    #[test]
+    fn identity_matching_clones_graph() {
+        let g = grid2d(5, 5);
+        let mat: Vec<Vid> = (0..g.n() as Vid).collect();
+        let mut w = Work::default();
+        let (cg, cmap) = contract(&g, &mat, &mut w);
+        assert_eq!(cg, g);
+        assert_eq!(cmap, mat);
+    }
+}

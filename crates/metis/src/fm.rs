@@ -1,0 +1,333 @@
+//! Boundary Fiduccia–Mattheyses bisection refinement (§II.A.3): the
+//! modified Kernighan–Lin heuristic Metis and Scotch use. Boundary
+//! vertices are moved between the two sides in best-gain-first order with
+//! hill-climbing and rollback to the best visited state, under the balance
+//! constraint.
+
+use crate::cost::Work;
+use gpm_graph::csr::{CsrGraph, Vid};
+use std::collections::BinaryHeap;
+
+/// Weight targets for the two sides of a bisection (recursive bisection
+/// produces uneven targets for odd k).
+#[derive(Debug, Clone, Copy)]
+pub struct BisectTargets {
+    /// Ideal weight of side 0 and side 1.
+    pub target: [u64; 2],
+    /// Multiplicative tolerance (1.03 = 3%).
+    pub ubfactor: f64,
+}
+
+impl BisectTargets {
+    /// Even split of `total` with tolerance `ubfactor`.
+    pub fn even(total: u64, ubfactor: f64) -> Self {
+        BisectTargets { target: [total / 2, total - total / 2], ubfactor }
+    }
+
+    /// Maximum allowed weight of `side`.
+    pub fn max_w(&self, side: usize) -> u64 {
+        (self.target[side] as f64 * self.ubfactor).ceil() as u64
+    }
+}
+
+/// Current cut of a bisection.
+pub fn bisection_cut(g: &CsrGraph, part: &[u32]) -> u64 {
+    gpm_graph::metrics::edge_cut(g, part)
+}
+
+/// Run FM refinement on a 2-way partition in place. Returns the final cut.
+///
+/// Each pass moves vertices best-gain-first (locking each moved vertex),
+/// lets the cut climb uphill temporarily, and rolls back to the best
+/// prefix. Balance: a state is *feasible* when both sides are within
+/// `targets.max_w`; feasible states always beat infeasible ones, so FM
+/// also repairs imbalance left by projection.
+pub fn fm_refine(
+    g: &CsrGraph,
+    part: &mut [u32],
+    targets: &BisectTargets,
+    passes: usize,
+    work: &mut Work,
+) -> u64 {
+    assert_eq!(part.len(), g.n());
+    let n = g.n();
+    if n == 0 {
+        return 0;
+    }
+    let mut cut = bisection_cut(g, part);
+    work.edges += g.adjncy.len() as u64;
+    for _ in 0..passes {
+        let improved = fm_pass(g, part, targets, &mut cut, work);
+        if !improved {
+            break;
+        }
+    }
+    cut
+}
+
+/// State ranking: feasible beats infeasible; then lower cut; then lower
+/// max overweight.
+fn state_key(cut: u64, w: [u64; 2], t: &BisectTargets) -> (bool, u64, u64) {
+    let over = (w[0].saturating_sub(t.max_w(0))) + (w[1].saturating_sub(t.max_w(1)));
+    (over > 0, cut, over)
+}
+
+fn fm_pass(
+    g: &CsrGraph,
+    part: &mut [u32],
+    targets: &BisectTargets,
+    cut: &mut u64,
+    work: &mut Work,
+) -> bool {
+    let n = g.n();
+    // ed/id: external / internal incident edge weight.
+    let mut ed = vec![0i64; n];
+    let mut id = vec![0i64; n];
+    let mut w = [0u64; 2];
+    for u in 0..n as Vid {
+        let pu = part[u as usize];
+        w[pu as usize] += g.vwgt[u as usize] as u64;
+        for (v, ew) in g.edges(u) {
+            if part[v as usize] == pu {
+                id[u as usize] += ew as i64;
+            } else {
+                ed[u as usize] += ew as i64;
+            }
+        }
+    }
+    work.edges += g.adjncy.len() as u64;
+    work.vertices += n as u64;
+
+    // Max-heaps of (gain, vertex) per side, with lazy staleness checks.
+    let mut heaps: [BinaryHeap<(i64, Vid)>; 2] = [BinaryHeap::new(), BinaryHeap::new()];
+    let mut locked = vec![false; n];
+    let gain = |u: usize, ed: &[i64], id: &[i64]| ed[u] - id[u];
+    for u in 0..n {
+        if ed[u] > 0 {
+            heaps[part[u] as usize].push((gain(u, &ed, &id), u as Vid));
+        }
+    }
+    // If a side is overweight but has no boundary vertices, seed its heap
+    // with everything on that side so balance can still be repaired.
+    for side in 0..2 {
+        if w[side] > targets.max_w(side) && heaps[side].is_empty() {
+            for u in 0..n {
+                if part[u] as usize == side {
+                    heaps[side].push((gain(u, &ed, &id), u as Vid));
+                }
+            }
+        }
+    }
+
+    let entry_key = state_key(*cut, w, targets);
+    let mut best_key = entry_key;
+    let mut best_prefix = 0usize;
+    let mut moves: Vec<Vid> = Vec::new();
+    let stall_limit = (n / 20).max(64);
+    let mut stall = 0usize;
+
+    loop {
+        // Pick the side to move from: an overweight side is forced;
+        // otherwise the side with the better top gain that can move.
+        let over0 = w[0] > targets.max_w(0);
+        let over1 = w[1] > targets.max_w(1);
+        let from = loop {
+            // clean stale tops
+            for h in 0..2 {
+                while let Some(&(gtop, u)) = heaps[h].peek() {
+                    let u = u as usize;
+                    if locked[u] || part[u] as usize != h || gtop != gain(u, &ed, &id) {
+                        heaps[h].pop();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            break if over0 && !heaps[0].is_empty() {
+                0
+            } else if over1 && !heaps[1].is_empty() {
+                1
+            } else {
+                let g0 = heaps[0].peek().map(|&(g, _)| g);
+                let g1 = heaps[1].peek().map(|&(g, _)| g);
+                match (g0, g1) {
+                    (None, None) => break usize::MAX,
+                    (Some(_), None) => 0,
+                    (None, Some(_)) => 1,
+                    (Some(a), Some(b)) => {
+                        if a >= b {
+                            0
+                        } else {
+                            1
+                        }
+                    }
+                }
+            };
+        };
+        if from == usize::MAX {
+            break;
+        }
+        let to = 1 - from;
+        let Some((gval, u)) = heaps[from].pop() else { break };
+        let ui = u as usize;
+        debug_assert!(!locked[ui] && part[ui] as usize == from);
+        let vw = g.vwgt[ui] as u64;
+        // Feasibility: destination must stay within bound, unless the move
+        // strictly reduces total overweight (balance repair).
+        let dest_ok = w[to] + vw <= targets.max_w(to);
+        let repair = w[from] > targets.max_w(from)
+            && (w[to] + vw).saturating_sub(targets.max_w(to))
+                < w[from] - targets.max_w(from);
+        if !dest_ok && !repair {
+            continue; // skip this vertex, leave it unlocked for later passes
+        }
+        // Apply the move.
+        part[ui] = to as u32;
+        locked[ui] = true;
+        w[from] -= vw;
+        w[to] += vw;
+        *cut = (*cut as i64 - gval) as u64;
+        std::mem::swap(&mut ed[ui], &mut id[ui]);
+        work.edges += g.degree(u) as u64;
+        for (v, ew) in g.edges(u) {
+            let vi = v as usize;
+            let ewi = ew as i64;
+            if part[vi] as usize == from {
+                ed[vi] += ewi;
+                id[vi] -= ewi;
+            } else {
+                ed[vi] -= ewi;
+                id[vi] += ewi;
+            }
+            if !locked[vi] && ed[vi] > 0 {
+                heaps[part[vi] as usize].push((gain(vi, &ed, &id), v));
+            }
+        }
+        moves.push(u);
+        let key = state_key(*cut, w, targets);
+        if key < best_key {
+            best_key = key;
+            best_prefix = moves.len();
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall > stall_limit {
+                break;
+            }
+        }
+    }
+
+    // Roll back to the best prefix.
+    for &u in moves[best_prefix..].iter().rev() {
+        let ui = u as usize;
+        part[ui] = 1 - part[ui];
+    }
+    work.vertices += (moves.len() - best_prefix) as u64;
+    *cut = best_key.1;
+    best_key < entry_key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::builder::GraphBuilder;
+    use gpm_graph::gen::{delaunay_like, grid2d, ring};
+    use gpm_graph::metrics::edge_cut;
+    use gpm_graph::rng::SplitMix64;
+
+    fn random_bisection(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| (rng.next_u64() & 1) as u32).collect()
+    }
+
+    #[test]
+    fn improves_random_bisection_on_grid() {
+        let g = grid2d(16, 16);
+        let mut part = random_bisection(g.n(), 42);
+        let before = edge_cut(&g, &part);
+        let t = BisectTargets::even(g.total_vwgt(), 1.03);
+        let mut w = Work::default();
+        let after = fm_refine(&g, &mut part, &t, 8, &mut w);
+        assert_eq!(after, edge_cut(&g, &part), "returned cut must match actual");
+        assert!(after < before, "cut {before} -> {after} should improve");
+        // A 16x16 grid has a 16-cut bisection; FM from random should land
+        // well under half the random cut.
+        assert!(after <= before / 2, "cut {before} -> {after}");
+        let pw = gpm_graph::metrics::part_weights(&g, &part, 2);
+        assert!(pw[0] as f64 <= t.max_w(0) as f64 + 1.0);
+        assert!(pw[1] as f64 <= t.max_w(1) as f64 + 1.0);
+    }
+
+    #[test]
+    fn repairs_gross_imbalance() {
+        let g = grid2d(10, 10);
+        let mut part = vec![0u32; g.n()]; // everything on side 0
+        let t = BisectTargets::even(g.total_vwgt(), 1.03);
+        let mut w = Work::default();
+        fm_refine(&g, &mut part, &t, 8, &mut w);
+        let pw = gpm_graph::metrics::part_weights(&g, &part, 2);
+        assert!(pw[0] <= t.max_w(0), "side 0 weight {} > {}", pw[0], t.max_w(0));
+        assert!(pw[1] <= t.max_w(1));
+    }
+
+    #[test]
+    fn optimal_ring_stays_optimal() {
+        // A contiguous half-ring is optimal (cut 2); FM must not worsen it.
+        let g = ring(20);
+        let mut part: Vec<u32> = (0..20).map(|u| if u < 10 { 0 } else { 1 }).collect();
+        let t = BisectTargets::even(g.total_vwgt(), 1.03);
+        let mut w = Work::default();
+        let cut = fm_refine(&g, &mut part, &t, 4, &mut w);
+        assert_eq!(cut, 2);
+    }
+
+    #[test]
+    fn respects_weighted_vertices() {
+        // One heavy vertex must not end up with half the light ones if that
+        // violates balance.
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+            .vertex_weights(vec![4, 1, 1, 1, 1])
+            .build();
+        let mut part = vec![0, 0, 0, 1, 1];
+        let t = BisectTargets::even(g.total_vwgt(), 1.05);
+        let mut w = Work::default();
+        fm_refine(&g, &mut part, &t, 4, &mut w);
+        let pw = gpm_graph::metrics::part_weights(&g, &part, 2);
+        assert!(pw[0] <= t.max_w(0) && pw[1] <= t.max_w(1), "weights {pw:?}");
+    }
+
+    #[test]
+    fn never_worsens_cut_when_feasible() {
+        for seed in 0..5 {
+            let g = delaunay_like(400, seed);
+            let mut part = random_bisection(g.n(), seed * 31 + 1);
+            let t = BisectTargets::even(g.total_vwgt(), 1.10);
+            let before = edge_cut(&g, &part);
+            let mut w = Work::default();
+            let after = fm_refine(&g, &mut part, &t, 6, &mut w);
+            assert!(after <= before, "seed {seed}: {before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn uneven_targets_respected() {
+        let g = grid2d(12, 12);
+        let total = g.total_vwgt();
+        let t = BisectTargets { target: [total / 4, total - total / 4], ubfactor: 1.05 };
+        let mut part = random_bisection(g.n(), 9);
+        let mut w = Work::default();
+        fm_refine(&g, &mut part, &t, 8, &mut w);
+        let pw = gpm_graph::metrics::part_weights(&g, &part, 2);
+        assert!(pw[0] <= t.max_w(0), "{} > {}", pw[0], t.max_w(0));
+        assert!(pw[1] <= t.max_w(1), "{} > {}", pw[1], t.max_w(1));
+    }
+
+    #[test]
+    fn empty_graph_is_noop() {
+        let g = CsrGraph::empty();
+        let mut part: Vec<u32> = Vec::new();
+        let t = BisectTargets::even(0, 1.03);
+        let mut w = Work::default();
+        assert_eq!(fm_refine(&g, &mut part, &t, 3, &mut w), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Greedy Graph Growing Partitioning (§II.A.2): Metis's initial bisection.
+//! A region is grown breadth-first from a random seed, always absorbing
+//! the frontier vertex with the largest edge-cut decrease, until the
+//! region holds (roughly) the target weight. Several trials are run and
+//! the best FM-refined result kept.
+
+use crate::cost::Work;
+use crate::fm::{fm_refine, BisectTargets};
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::metrics::part_weights;
+use gpm_graph::rng::SplitMix64;
+use std::collections::BinaryHeap;
+
+/// Bisect `g` with GGGP + FM. `target0` is the desired weight of side 0.
+/// Returns the partition vector (0/1) and its cut.
+pub fn gggp_bisect(
+    g: &CsrGraph,
+    targets: &BisectTargets,
+    trials: usize,
+    fm_passes: usize,
+    rng: &mut SplitMix64,
+    work: &mut Work,
+) -> (Vec<u32>, u64) {
+    let n = g.n();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let mut best: Option<(Vec<u32>, u64, bool)> = None; // (part, cut, feasible)
+    for _ in 0..trials.max(1) {
+        let mut part = grow_region(g, targets.target[0], rng, work);
+        let cut = fm_refine(g, &mut part, targets, fm_passes, work);
+        let pw = part_weights(g, &part, 2);
+        let feasible = pw[0] <= targets.max_w(0) && pw[1] <= targets.max_w(1);
+        let better = match &best {
+            None => true,
+            Some((_, bcut, bfeas)) => (!bfeas && feasible) || (feasible == *bfeas && cut < *bcut),
+        };
+        if better {
+            best = Some((part, cut, feasible));
+        }
+    }
+    let (part, cut, _) = best.expect("at least one trial ran");
+    (part, cut)
+}
+
+/// Grow side 0 from a random seed until it reaches `target0` weight.
+/// Everything else stays on side 1.
+fn grow_region(g: &CsrGraph, target0: u64, rng: &mut SplitMix64, work: &mut Work) -> Vec<u32> {
+    let n = g.n();
+    let mut part = vec![1u32; n];
+    let mut w0 = 0u64;
+    // gain[v] = (edge weight to region) - (edge weight to rest); higher is
+    // better to absorb. Lazily initialized on first frontier touch.
+    let mut gain = vec![i64::MIN; n];
+    let mut heap: BinaryHeap<(i64, Vid)> = BinaryHeap::new();
+
+    let seed_region = |part: &mut Vec<u32>, w0: &mut u64, rng: &mut SplitMix64| -> Option<Vid> {
+        // random unassigned vertex; fall back to linear scan if unlucky
+        for _ in 0..32 {
+            let u = rng.below(n as u64) as usize;
+            if part[u] == 1 {
+                part[u] = 0;
+                *w0 += g.vwgt[u] as u64;
+                return Some(u as Vid);
+            }
+        }
+        (0..n).find(|&u| part[u] == 1).map(|u| {
+            part[u] = 0;
+            *w0 += g.vwgt[u] as u64;
+            u as Vid
+        })
+    };
+
+    let absorb_neighbors =
+        |u: Vid, part: &[u32], gain: &mut [i64], heap: &mut BinaryHeap<(i64, Vid)>, g: &CsrGraph, work: &mut Work| {
+            for (v, ew) in g.edges(u) {
+                let vi = v as usize;
+                if part[vi] == 0 {
+                    continue;
+                }
+                if gain[vi] == i64::MIN {
+                    // first touch: exact scan
+                    let mut s = 0i64;
+                    for (x, xw) in g.edges(v) {
+                        s += if part[x as usize] == 0 { xw as i64 } else { -(xw as i64) };
+                    }
+                    work.edges += g.degree(v) as u64;
+                    gain[vi] = s;
+                } else {
+                    gain[vi] += 2 * ew as i64;
+                }
+                heap.push((gain[vi], v));
+            }
+            work.edges += g.degree(u) as u64;
+        };
+
+    let Some(seed) = seed_region(&mut part, &mut w0, rng) else { return part };
+    absorb_neighbors(seed, &part, &mut gain, &mut heap, g, work);
+
+    while w0 < target0 {
+        // pop best valid frontier vertex
+        let u = loop {
+            match heap.pop() {
+                None => break None,
+                Some((gv, u)) => {
+                    let ui = u as usize;
+                    if part[ui] == 0 || gv != gain[ui] {
+                        continue; // absorbed already, or stale entry
+                    }
+                    break Some(u);
+                }
+            }
+        };
+        let u = match u {
+            Some(u) => u,
+            None => match seed_region(&mut part, &mut w0, rng) {
+                // disconnected graph: restart from a fresh seed
+                Some(s) => {
+                    absorb_neighbors(s, &part, &mut gain, &mut heap, g, work);
+                    continue;
+                }
+                None => break, // everything absorbed
+            },
+        };
+        part[u as usize] = 0;
+        w0 += g.vwgt[u as usize] as u64;
+        absorb_neighbors(u, &part, &mut gain, &mut heap, g, work);
+    }
+    part
+}
+
+/// Bisect by plain BFS region growing from a random seed (no gain
+/// ordering) — a cheaper, lower-quality alternative used for comparison
+/// and as the paper's description of "breadth-first fashion" growth.
+pub fn bfs_bisect(g: &CsrGraph, target0: u64, rng: &mut SplitMix64, work: &mut Work) -> Vec<u32> {
+    let n = g.n();
+    let mut part = vec![1u32; n];
+    if n == 0 {
+        return part;
+    }
+    let mut w0 = 0u64;
+    let mut queue = std::collections::VecDeque::new();
+    let seed = rng.below(n as u64) as Vid;
+    part[seed as usize] = 0;
+    w0 += g.vwgt[seed as usize] as u64;
+    queue.push_back(seed);
+    let mut scan = 0usize;
+    while w0 < target0 {
+        let u = match queue.pop_front() {
+            Some(u) => u,
+            None => {
+                // disconnected: next unassigned vertex
+                while scan < n && part[scan] == 0 {
+                    scan += 1;
+                }
+                if scan >= n {
+                    break;
+                }
+                part[scan] = 0;
+                w0 += g.vwgt[scan] as u64;
+                scan as Vid
+            }
+        };
+        for &v in g.neighbors(u) {
+            if part[v as usize] == 1 && w0 < target0 {
+                part[v as usize] = 0;
+                w0 += g.vwgt[v as usize] as u64;
+                queue.push_back(v);
+            }
+        }
+        work.edges += g.degree(u) as u64;
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen::{delaunay_like, grid2d, path, ring};
+
+    fn run_gggp(g: &CsrGraph, seed: u64) -> (Vec<u32>, u64) {
+        let t = BisectTargets::even(g.total_vwgt(), 1.03);
+        let mut rng = SplitMix64::new(seed);
+        let mut w = Work::default();
+        gggp_bisect(g, &t, 4, 6, &mut rng, &mut w)
+    }
+
+    #[test]
+    fn bisects_grid_within_balance() {
+        let g = grid2d(12, 12);
+        let (part, cut) = run_gggp(&g, 42);
+        assert_eq!(cut, gpm_graph::metrics::edge_cut(&g, &part));
+        let t = BisectTargets::even(g.total_vwgt(), 1.03);
+        let pw = part_weights(&g, &part, 2);
+        assert!(pw[0] <= t.max_w(0) && pw[1] <= t.max_w(1), "{pw:?}");
+        // a 12x12 grid bisects at 12; GGGP+FM should get close
+        assert!(cut <= 20, "cut {cut}");
+    }
+
+    #[test]
+    fn path_bisects_near_optimal() {
+        let g = path(50);
+        let (_, cut) = run_gggp(&g, 7);
+        assert!(cut <= 3, "path bisection cut should be tiny, got {cut}");
+    }
+
+    #[test]
+    fn ring_bisects_at_two() {
+        let g = ring(40);
+        let (_, cut) = run_gggp(&g, 3);
+        assert!(cut <= 4, "ring cut {cut}");
+    }
+
+    #[test]
+    fn larger_mesh_quality() {
+        let g = delaunay_like(900, 5);
+        let (part, cut) = run_gggp(&g, 11);
+        // random bisection cuts ~half the edges; GGGP must be far better
+        let m = g.total_adjwgt();
+        assert!(cut < m / 5, "cut {cut} vs m {m}");
+        gpm_graph::metrics::validate_partition(&g, &part, 2, 1.05).unwrap();
+    }
+
+    #[test]
+    fn bfs_bisect_reaches_target() {
+        let g = grid2d(10, 10);
+        let mut rng = SplitMix64::new(1);
+        let mut w = Work::default();
+        let part = bfs_bisect(&g, 50, &mut rng, &mut w);
+        let pw = part_weights(&g, &part, 2);
+        assert!(pw[0] >= 50 && pw[0] <= 55, "{pw:?}");
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = gpm_graph::GraphBuilder::new(1).build();
+        let t = BisectTargets { target: [1, 0], ubfactor: 1.0 };
+        let mut rng = SplitMix64::new(1);
+        let mut w = Work::default();
+        let (part, cut) = gggp_bisect(&g, &t, 2, 2, &mut rng, &mut w);
+        assert_eq!(part.len(), 1);
+        assert_eq!(cut, 0);
+    }
+}

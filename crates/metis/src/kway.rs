@@ -1,0 +1,318 @@
+//! Greedy k-way boundary refinement (§II.A.3): after each projection step,
+//! boundary vertices are moved to the adjacent partition with the largest
+//! edge-cut gain, subject to the balance constraint. This is the serial
+//! reference that the GPU's buffered lock-free refinement must match in
+//! outcome quality.
+
+use crate::cost::Work;
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::metrics::max_part_weight;
+use gpm_graph::rng::{random_permutation, SplitMix64};
+
+/// Statistics from one refinement invocation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RefineStats {
+    /// Total vertices moved.
+    pub moves: u64,
+    /// Passes executed.
+    pub passes: u32,
+    /// Cut improvement (positive = better).
+    pub gain: i64,
+}
+
+/// Scratch state for computing a vertex's connectivity to adjacent parts.
+struct NeighborParts {
+    parts: Vec<u32>,
+    weights: Vec<i64>,
+}
+
+impl NeighborParts {
+    fn new() -> Self {
+        NeighborParts { parts: Vec::with_capacity(8), weights: Vec::with_capacity(8) }
+    }
+
+    /// Accumulate (partition -> incident edge weight) for `u`.
+    fn gather(&mut self, g: &CsrGraph, part: &[u32], u: Vid) {
+        self.parts.clear();
+        self.weights.clear();
+        for (v, w) in g.edges(u) {
+            let p = part[v as usize];
+            match self.parts.iter().position(|&x| x == p) {
+                Some(i) => self.weights[i] += w as i64,
+                None => {
+                    self.parts.push(p);
+                    self.weights.push(w as i64);
+                }
+            }
+        }
+    }
+
+    fn weight_to(&self, p: u32) -> i64 {
+        self.parts.iter().position(|&x| x == p).map_or(0, |i| self.weights[i])
+    }
+}
+
+/// Run greedy k-way refinement in place. Returns statistics.
+///
+/// Per pass, vertices are visited in random order; each boundary vertex is
+/// moved to the adjacent partition maximizing `w(to) - w(own)` if the gain
+/// is positive (or zero with a balance improvement) and the destination
+/// stays under `ubfactor * total / k`. Terminates early on a pass with no
+/// moves (the paper's criterion).
+pub fn kway_refine(
+    g: &CsrGraph,
+    part: &mut [u32],
+    k: usize,
+    ubfactor: f64,
+    max_passes: usize,
+    rng: &mut SplitMix64,
+    work: &mut Work,
+) -> RefineStats {
+    assert_eq!(part.len(), g.n());
+    let total = g.total_vwgt();
+    let maxw = max_part_weight(total, k, ubfactor);
+    let mut pw = gpm_graph::metrics::part_weights(g, part, k);
+    let mut stats = RefineStats::default();
+    let mut np = NeighborParts::new();
+
+    for _pass in 0..max_passes {
+        stats.passes += 1;
+        let mut moved_this_pass = 0u64;
+        let perm = random_permutation(g.n(), rng);
+        work.vertices += g.n() as u64;
+        for &u in &perm {
+            let pu = part[u as usize];
+            // boundary test scans the adjacency — counted, so the serial
+            // baseline is charged the same per-pass sweep the parallel
+            // refiners pay
+            work.edges += g.degree(u) as u64;
+            let boundary = g.neighbors(u).iter().any(|&v| part[v as usize] != pu);
+            if !boundary {
+                continue;
+            }
+            np.gather(g, part, u);
+            let w_own = np.weight_to(pu);
+            let vw = g.vwgt[u as usize] as u64;
+            // best destination among adjacent parts
+            let mut best: Option<(u32, i64)> = None;
+            for (&p, &wp) in np.parts.iter().zip(np.weights.iter()) {
+                if p == pu {
+                    continue;
+                }
+                let gain = wp - w_own;
+                let fits = pw[p as usize] + vw <= maxw;
+                if !fits {
+                    continue;
+                }
+                let improves_balance = pw[p as usize] + vw < pw[pu as usize];
+                if gain > 0 || (gain == 0 && improves_balance) {
+                    match best {
+                        Some((_, bg)) if bg >= gain => {}
+                        _ => best = Some((p, gain)),
+                    }
+                }
+            }
+            if let Some((to, gain)) = best {
+                part[u as usize] = to;
+                pw[pu as usize] -= vw;
+                pw[to as usize] += vw;
+                stats.moves += 1;
+                moved_this_pass += 1;
+                stats.gain += gain;
+            }
+        }
+        if moved_this_pass == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+/// Force the partition back inside the balance constraint: repeatedly move
+/// the cheapest boundary vertex out of each overweight partition into an
+/// adjacent (preferably underweight) partition. Used after projection when
+/// coarse-level granularity left a partition overweight.
+pub fn kway_balance(
+    g: &CsrGraph,
+    part: &mut [u32],
+    k: usize,
+    ubfactor: f64,
+    work: &mut Work,
+) -> u64 {
+    let total = g.total_vwgt();
+    let maxw = max_part_weight(total, k, ubfactor);
+    let avg = (total as f64 / k as f64).ceil() as u64;
+    let mut pw = gpm_graph::metrics::part_weights(g, part, k);
+    let mut moves = 0u64;
+    let mut np = NeighborParts::new();
+    // Bounded number of sweeps; each sweep scans all vertices once. When an
+    // overweight partition's only neighbors are themselves near the cap,
+    // weight must cascade through intermediate partitions, so partitions
+    // above the average are also allowed to shed into strictly-underweight
+    // neighbors while any partition violates the cap.
+    let max_sweeps = 4 * k + 8;
+    for _sweep in 0..max_sweeps {
+        if !pw.iter().any(|&w| w > maxw) {
+            break;
+        }
+        let mut any = false;
+        for u in 0..g.n() as Vid {
+            let pu = part[u as usize];
+            let vw = g.vwgt[u as usize] as u64;
+            let over = pw[pu as usize] > maxw;
+            let cascade = !over && pw[pu as usize] > avg;
+            if !over && !cascade {
+                continue;
+            }
+            np.gather(g, part, u);
+            work.edges += g.degree(u) as u64;
+            let w_own = np.weight_to(pu);
+            // least-damage adjacent destination with room; cascade moves
+            // only target strictly-underweight partitions to avoid thrash
+            let mut best: Option<(u32, i64)> = None;
+            for (&p, &wp) in np.parts.iter().zip(np.weights.iter()) {
+                if p == pu {
+                    continue;
+                }
+                let room = if over {
+                    pw[p as usize] + vw <= maxw
+                } else {
+                    // cascade moves flow strictly downhill (heavier to
+                    // lighter), so weight can drain through saturated
+                    // intermediate partitions while total disorder
+                    // decreases monotonically
+                    pw[p as usize] + vw <= pw[pu as usize].saturating_sub(vw)
+                };
+                if !room {
+                    continue;
+                }
+                let loss = w_own - wp; // cut increase
+                match best {
+                    Some((_, bl)) if bl <= loss => {}
+                    _ => best = Some((p, loss)),
+                }
+            }
+            if let Some((to, _)) = best {
+                part[u as usize] = to;
+                pw[pu as usize] -= vw;
+                pw[to as usize] += vw;
+                moves += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen::{delaunay_like, grid2d};
+    use gpm_graph::metrics::{edge_cut, imbalance, part_weights};
+
+    fn random_kpart(n: usize, k: usize, seed: u64) -> Vec<u32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.below(k as u64) as u32).collect()
+    }
+
+    #[test]
+    fn improves_random_partition() {
+        let g = grid2d(16, 16);
+        let k = 4;
+        let mut part = random_kpart(g.n(), k, 42);
+        let before = edge_cut(&g, &part);
+        let mut rng = SplitMix64::new(1);
+        let mut w = Work::default();
+        let stats = kway_refine(&g, &mut part, k, 1.03, 10, &mut rng, &mut w);
+        let after = edge_cut(&g, &part);
+        assert!(after < before, "{before} -> {after}");
+        assert!(stats.moves > 0);
+        assert!(imbalance(&g, &part, k) <= 1.2);
+    }
+
+    #[test]
+    fn refinement_never_worsens_cut() {
+        for seed in 0..5 {
+            let g = delaunay_like(400, seed);
+            let mut part = random_kpart(g.n(), 8, seed + 100);
+            let before = edge_cut(&g, &part);
+            let mut rng = SplitMix64::new(seed);
+            let mut w = Work::default();
+            kway_refine(&g, &mut part, 8, 1.05, 6, &mut rng, &mut w);
+            assert!(edge_cut(&g, &part) <= before);
+        }
+    }
+
+    #[test]
+    fn respects_weight_cap() {
+        let g = grid2d(12, 12);
+        let k = 3;
+        let mut part = random_kpart(g.n(), k, 7);
+        let mut rng = SplitMix64::new(2);
+        let mut w = Work::default();
+        kway_refine(&g, &mut part, k, 1.03, 8, &mut rng, &mut w);
+        let maxw = max_part_weight(g.total_vwgt(), k, 1.03);
+        // refinement must never push a partition above the cap it started
+        // under... partitions that started overweight can only shrink.
+        let pw = part_weights(&g, &part, k);
+        for &x in &pw {
+            assert!(x <= maxw + 48, "part weight {x} vs cap {maxw}");
+        }
+    }
+
+    #[test]
+    fn converged_partition_stops_early() {
+        // quadrant partition of a grid is locally optimal; expect few moves
+        let g = grid2d(8, 8);
+        let mut part: Vec<u32> = (0..64)
+            .map(|i| {
+                let (x, y) = (i % 8, i / 8);
+                ((y / 4) * 2 + x / 4) as u32
+            })
+            .collect();
+        let before = edge_cut(&g, &part);
+        let mut rng = SplitMix64::new(3);
+        let mut w = Work::default();
+        let stats = kway_refine(&g, &mut part, 4, 1.03, 10, &mut rng, &mut w);
+        assert!(edge_cut(&g, &part) <= before);
+        assert!(stats.passes <= 3, "should converge fast, took {}", stats.passes);
+    }
+
+    #[test]
+    fn balance_repairs_overweight_part() {
+        let g = grid2d(10, 10);
+        // stripe partition with part 0 triple-width: weights 60/20/20
+        let mut part: Vec<u32> = (0..100)
+            .map(|i| {
+                let x = i % 10;
+                if x < 6 {
+                    0
+                } else if x < 8 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
+        let mut w = Work::default();
+        let moves = kway_balance(&g, &mut part, 3, 1.10, &mut w);
+        assert!(moves > 0);
+        let maxw = max_part_weight(g.total_vwgt(), 3, 1.10);
+        let pw = part_weights(&g, &part, 3);
+        assert!(pw.iter().all(|&x| x <= maxw), "{pw:?} vs {maxw}");
+    }
+
+    #[test]
+    fn balance_noop_when_balanced() {
+        let g = grid2d(10, 10);
+        let part_orig: Vec<u32> = (0..100).map(|i| ((i % 10) / 5) as u32).collect();
+        let mut part = part_orig.clone();
+        let mut w = Work::default();
+        let moves = kway_balance(&g, &mut part, 2, 1.03, &mut w);
+        assert_eq!(moves, 0);
+        assert_eq!(part, part_orig);
+    }
+}

@@ -1,0 +1,150 @@
+//! Recursive bisection: produce a k-way partition by repeatedly bisecting
+//! induced subgraphs (§II.A.2). Targets are split proportionally to the
+//! number of parts on each side, so any k (not just powers of two) is
+//! balanced correctly.
+
+use crate::cost::Work;
+use crate::fm::BisectTargets;
+use crate::gggp::gggp_bisect;
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::rng::SplitMix64;
+use gpm_graph::subgraph::induced_subgraph;
+
+/// Knobs for the initial-partitioning phase.
+#[derive(Debug, Clone, Copy)]
+pub struct InitPartConfig {
+    /// GGGP restarts per bisection.
+    pub trials: usize,
+    /// FM passes after each bisection.
+    pub fm_passes: usize,
+    /// Balance tolerance applied at every bisection. Recursive bisection
+    /// compounds tolerance multiplicatively, so this should be tighter
+    /// than the final k-way tolerance (we use its log2(k)-th root).
+    pub ubfactor: f64,
+}
+
+impl InitPartConfig {
+    /// Defaults matching Metis: 4 GGGP trials, a handful of FM passes, and
+    /// a per-level tolerance derived from the final `ubfactor` so the
+    /// compounded imbalance stays within bounds for `k` parts.
+    pub fn for_k(k: usize, ubfactor: f64) -> Self {
+        let depth = (k.max(2) as f64).log2().ceil().max(1.0);
+        InitPartConfig { trials: 4, fm_passes: 6, ubfactor: ubfactor.powf(1.0 / depth) }
+    }
+}
+
+/// Recursively bisect `g` into `k` parts. Returns the partition vector
+/// with labels `0..k`.
+pub fn recursive_bisection(
+    g: &CsrGraph,
+    k: usize,
+    cfg: &InitPartConfig,
+    rng: &mut SplitMix64,
+    work: &mut Work,
+) -> Vec<u32> {
+    assert!(k >= 1);
+    let mut part = vec![0u32; g.n()];
+    rb_recurse(g, k, 0, cfg, rng, work, &mut |u, p| part[u as usize] = p);
+    part
+}
+
+/// Recurse on `g`, assigning final labels `offset..offset + k` through
+/// `assign(original-relative vertex, label)`.
+fn rb_recurse(
+    g: &CsrGraph,
+    k: usize,
+    offset: u32,
+    cfg: &InitPartConfig,
+    rng: &mut SplitMix64,
+    work: &mut Work,
+    assign: &mut dyn FnMut(Vid, u32),
+) {
+    if k == 1 {
+        for u in 0..g.n() as Vid {
+            assign(u, offset);
+        }
+        return;
+    }
+    let k0 = k.div_ceil(2);
+    let k1 = k - k0;
+    let total = g.total_vwgt();
+    let target0 = (total as f64 * k0 as f64 / k as f64).round() as u64;
+    let targets =
+        BisectTargets { target: [target0, total - target0], ubfactor: cfg.ubfactor };
+    let (bipart, _cut) = gggp_bisect(g, &targets, cfg.trials, cfg.fm_passes, rng, work);
+
+    let select0: Vec<bool> = bipart.iter().map(|&p| p == 0).collect();
+    let (g0, map0) = induced_subgraph(g, &select0);
+    let select1: Vec<bool> = bipart.iter().map(|&p| p == 1).collect();
+    let (g1, map1) = induced_subgraph(g, &select1);
+    work.vertices += g.n() as u64;
+    work.edges += g.adjncy.len() as u64;
+
+    rb_recurse(&g0, k0, offset, cfg, rng, work, &mut |u, p| assign(map0[u as usize], p));
+    rb_recurse(&g1, k1, offset + k0 as u32, cfg, rng, work, &mut |u, p| {
+        assign(map1[u as usize], p)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen::{delaunay_like, grid2d};
+    use gpm_graph::metrics::{edge_cut, validate_partition};
+
+    fn run(g: &CsrGraph, k: usize, seed: u64) -> Vec<u32> {
+        let cfg = InitPartConfig::for_k(k, 1.03);
+        let mut rng = SplitMix64::new(seed);
+        let mut w = Work::default();
+        recursive_bisection(g, k, &cfg, &mut rng, &mut w)
+    }
+
+    #[test]
+    fn k1_is_trivial() {
+        let g = grid2d(5, 5);
+        let part = run(&g, 1, 1);
+        assert!(part.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn k4_on_grid_valid_and_good() {
+        let g = grid2d(16, 16);
+        let part = run(&g, 4, 42);
+        validate_partition(&g, &part, 4, 1.10).unwrap();
+        // 4 quadrants cut 32 edges; allow generous slack
+        assert!(edge_cut(&g, &part) <= 64, "cut {}", edge_cut(&g, &part));
+        // all 4 labels used
+        let mut used = [false; 4];
+        for &p in &part {
+            used[p as usize] = true;
+        }
+        assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    fn odd_k_balanced() {
+        let g = delaunay_like(900, 3);
+        for k in [3, 5, 7] {
+            let part = run(&g, k, 9);
+            validate_partition(&g, &part, k, 1.12)
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn k64_on_mesh() {
+        let g = delaunay_like(4_000, 5);
+        let part = run(&g, 64, 11);
+        validate_partition(&g, &part, 64, 1.25).unwrap();
+        let labels: std::collections::HashSet<u32> = part.iter().copied().collect();
+        assert_eq!(labels.len(), 64);
+    }
+
+    #[test]
+    fn cut_scales_with_k() {
+        let g = grid2d(20, 20);
+        let c2 = edge_cut(&g, &run(&g, 2, 1));
+        let c8 = edge_cut(&g, &run(&g, 8, 1));
+        assert!(c8 > c2, "more parts must cut more: {c2} vs {c8}");
+    }
+}

@@ -1,0 +1,451 @@
+//! Message-passing substrate — the MPI stand-in beneath the ParMetis
+//! reproduction (see DESIGN.md §1).
+//!
+//! A *cluster* of `p` ranks runs as `p` host threads connected by
+//! unbounded channels. The API mirrors the MPI subset ParMetis needs:
+//! tagged point-to-point send/recv, personalized all-to-all, barrier,
+//! allreduce, gather/broadcast. Each rank records its per-phase compute
+//! work and communication volume; [`bsp_time`] converts those records
+//! into modeled seconds under a bulk-synchronous α–β cost model (per
+//! message latency α + per byte cost β), which is what shapes ParMetis's
+//! speedup curve in the paper's Fig. 5.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Barrier;
+
+/// Cluster configuration: rank count and the α–β communication model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of ranks (the paper runs ParMetis with one rank per core).
+    pub ranks: usize,
+    /// Per-message latency in seconds (intra-node MPI ≈ 2 µs).
+    pub alpha: f64,
+    /// Per-byte transfer time in seconds (intra-node MPI ≈ 1/5 GB/s).
+    pub beta: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed: `p` MPI ranks on one 8-core node. `alpha` is
+    /// the *effective* per-message cost including MPI stack overhead and
+    /// the synchronization skew every superstep round pays (raw shm
+    /// latency is ~1 µs; collectives on 8 desynchronized ranks cost an
+    /// order of magnitude more).
+    pub fn intra_node(ranks: usize) -> Self {
+        ClusterConfig { ranks, alpha: 10e-6, beta: 1.0 / 5e9 }
+    }
+}
+
+/// One tagged message.
+struct Msg {
+    from: usize,
+    tag: u32,
+    data: Vec<u32>,
+}
+
+/// Per-phase record a rank produces: local compute work plus the
+/// communication it performed since the previous phase boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPhase {
+    /// Phase name; phases with equal names across ranks are aligned.
+    pub name: String,
+    /// Adjacency entries scanned in this phase.
+    pub edges: u64,
+    /// Vertex-granularity operations in this phase.
+    pub vertices: u64,
+    /// Messages sent in this phase.
+    pub msgs: u64,
+    /// Payload bytes sent in this phase.
+    pub bytes: u64,
+    /// Working-set size of this phase (for cache-aware cost models);
+    /// 0 = unknown.
+    pub ws_bytes: u64,
+}
+
+/// The execution context handed to each rank.
+pub struct RankCtx {
+    /// This rank's id, `0..ranks`.
+    pub rank: usize,
+    /// Total ranks.
+    pub ranks: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    /// Out-of-order messages awaiting a matching recv.
+    stash: Vec<Msg>,
+    barrier: std::sync::Arc<Barrier>,
+    // accounting
+    msgs: u64,
+    bytes: u64,
+    edges: u64,
+    vertices: u64,
+    ws_bytes: u64,
+    phases: Vec<RankPhase>,
+}
+
+impl RankCtx {
+    /// Send `data` to `to` with `tag`.
+    pub fn send(&mut self, to: usize, tag: u32, data: Vec<u32>) {
+        self.msgs += 1;
+        self.bytes += data.len() as u64 * 4;
+        self.senders[to]
+            .send(Msg { from: self.rank, tag, data })
+            .expect("receiver rank hung up");
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`
+    /// (out-of-order arrivals are stashed). Times out after 60 s so that a
+    /// panicked peer rank surfaces as a loud failure instead of a
+    /// cluster-wide hang.
+    pub fn recv(&mut self, from: usize, tag: u32) -> Vec<u32> {
+        if let Some(pos) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
+            return self.stash.remove(pos).data;
+        }
+        loop {
+            let m = self
+                .receiver
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "rank {} stuck waiting for (from={from}, tag={tag}): {e} — \
+                         a peer rank likely panicked",
+                        self.rank
+                    )
+                });
+            if m.from == from && m.tag == tag {
+                return m.data;
+            }
+            self.stash.push(m);
+        }
+    }
+
+    /// Personalized all-to-all: `out[r]` goes to rank `r`; returns the
+    /// vector received from each rank (own slot passed through directly).
+    pub fn all_to_all(&mut self, tag: u32, mut out: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        assert_eq!(out.len(), self.ranks);
+        let own = std::mem::take(&mut out[self.rank]);
+        for r in 0..self.ranks {
+            if r != self.rank {
+                self.send(r, tag, std::mem::take(&mut out[r]));
+            }
+        }
+        let mut inbox: Vec<Vec<u32>> = (0..self.ranks).map(|_| Vec::new()).collect();
+        inbox[self.rank] = own;
+        for r in 0..self.ranks {
+            if r != self.rank {
+                inbox[r] = self.recv(r, tag);
+            }
+        }
+        inbox
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-reduce a `u64` with a binary op (implemented as gather at rank
+    /// 0 + broadcast; cost is charged via the underlying sends).
+    pub fn allreduce_u64(&mut self, tag: u32, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        let lo = (value & 0xFFFF_FFFF) as u32;
+        let hi = (value >> 32) as u32;
+        if self.rank == 0 {
+            let mut acc = value;
+            for r in 1..self.ranks {
+                let d = self.recv(r, tag);
+                acc = op(acc, (d[1] as u64) << 32 | d[0] as u64);
+            }
+            for r in 1..self.ranks {
+                self.send(r, tag + 1, vec![(acc & 0xFFFF_FFFF) as u32, (acc >> 32) as u32]);
+            }
+            acc
+        } else {
+            self.send(0, tag, vec![lo, hi]);
+            let d = self.recv(0, tag + 1);
+            (d[1] as u64) << 32 | d[0] as u64
+        }
+    }
+
+    /// Gather every rank's vector at rank 0 (others receive empty).
+    pub fn gather(&mut self, tag: u32, data: Vec<u32>) -> Vec<Vec<u32>> {
+        if self.rank == 0 {
+            let mut all: Vec<Vec<u32>> = (0..self.ranks).map(|_| Vec::new()).collect();
+            all[0] = data;
+            for r in 1..self.ranks {
+                all[r] = self.recv(r, tag);
+            }
+            all
+        } else {
+            self.send(0, tag, data);
+            Vec::new()
+        }
+    }
+
+    /// Broadcast rank 0's vector to everyone.
+    pub fn bcast(&mut self, tag: u32, data: Vec<u32>) -> Vec<u32> {
+        if self.rank == 0 {
+            for r in 1..self.ranks {
+                self.send(r, tag, data.clone());
+            }
+            data
+        } else {
+            self.recv(0, tag)
+        }
+    }
+
+    /// Charge local compute work to the current phase.
+    pub fn work(&mut self, edges: u64, vertices: u64) {
+        self.edges += edges;
+        self.vertices += vertices;
+    }
+
+    /// Record the working-set size of the current phase (max of calls).
+    pub fn ws(&mut self, bytes: u64) {
+        self.ws_bytes = self.ws_bytes.max(bytes);
+    }
+
+    /// Close the current phase under `name`, snapshotting work and
+    /// communication counters.
+    pub fn phase_end(&mut self, name: &str) {
+        self.phases.push(RankPhase {
+            name: name.to_string(),
+            edges: std::mem::take(&mut self.edges),
+            vertices: std::mem::take(&mut self.vertices),
+            msgs: std::mem::take(&mut self.msgs),
+            bytes: std::mem::take(&mut self.bytes),
+            ws_bytes: std::mem::take(&mut self.ws_bytes),
+        });
+    }
+}
+
+/// Run `f` on every rank of a simulated cluster; returns each rank's
+/// result and phase records, indexed by rank.
+pub fn run_cluster<T, F>(cfg: &ClusterConfig, f: F) -> Vec<(T, Vec<RankPhase>)>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    let p = cfg.ranks;
+    assert!(p >= 1);
+    let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(Some(r));
+    }
+    let barrier = std::sync::Arc::new(Barrier::new(p));
+    let mut out: Vec<Option<(T, Vec<RankPhase>)>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (rank, recv_slot) in receivers.iter_mut().enumerate() {
+            let receiver = recv_slot.take().unwrap();
+            let senders = senders.clone();
+            let barrier = barrier.clone();
+            let f = &f;
+            handles.push(s.spawn(move || {
+                let mut ctx = RankCtx {
+                    rank,
+                    ranks: p,
+                    senders,
+                    receiver,
+                    stash: Vec::new(),
+                    barrier,
+                    msgs: 0,
+                    bytes: 0,
+                    edges: 0,
+                    vertices: 0,
+                    ws_bytes: 0,
+                    phases: Vec::new(),
+                };
+                let result = f(&mut ctx);
+                if ctx.edges > 0 || ctx.vertices > 0 || ctx.msgs > 0 {
+                    ctx.phase_end("tail");
+                }
+                (result, ctx.phases)
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            out[rank] = Some(h.join().expect("rank panicked"));
+        }
+    });
+    out.into_iter().map(|o| o.unwrap()).collect()
+}
+
+/// Modeled BSP seconds for aligned phase records: for each phase index,
+/// `max over ranks(compute) + max over ranks(comm)`, where compute comes
+/// from `compute_secs(phase)` (letting the caller apply cache-aware
+/// rates) and comm uses α–β.
+pub fn bsp_time(
+    all: &[Vec<RankPhase>],
+    cfg: &ClusterConfig,
+    compute_secs: impl Fn(&RankPhase) -> f64,
+) -> Vec<(String, f64)> {
+    if all.is_empty() {
+        return Vec::new();
+    }
+    let n_phases = all.iter().map(|v| v.len()).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(n_phases);
+    for i in 0..n_phases {
+        let name =
+            all.iter().find_map(|v| v.get(i)).map(|p| p.name.clone()).unwrap_or_default();
+        let mut compute: f64 = 0.0;
+        let mut comm: f64 = 0.0;
+        for rank_phases in all {
+            if let Some(p) = rank_phases.get(i) {
+                compute = compute.max(compute_secs(p));
+                comm = comm.max(p.msgs as f64 * cfg.alpha + p.bytes as f64 * cfg.beta);
+            }
+        }
+        out.push((name, compute + comm));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(p: usize) -> ClusterConfig {
+        ClusterConfig::intra_node(p)
+    }
+
+    #[test]
+    fn ping_pong() {
+        let res = run_cluster(&cfg(2), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 7, vec![1, 2, 3]);
+                ctx.recv(1, 8)
+            } else {
+                let d = ctx.recv(0, 7);
+                ctx.send(0, 8, d.iter().map(|x| x * 2).collect());
+                vec![]
+            }
+        });
+        assert_eq!(res[0].0, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn out_of_order_tags_stashed() {
+        let res = run_cluster(&cfg(2), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 1, vec![10]);
+                ctx.send(1, 2, vec![20]);
+                0
+            } else {
+                let b = ctx.recv(0, 2); // ask for the later tag first
+                let a = ctx.recv(0, 1);
+                (b[0] + a[0]) as usize
+            }
+        });
+        assert_eq!(res[1].0, 30);
+    }
+
+    #[test]
+    fn all_to_all_exchanges() {
+        let p = 4;
+        let res = run_cluster(&cfg(p), |ctx| {
+            let out: Vec<Vec<u32>> = (0..p).map(|r| vec![(ctx.rank * 10 + r) as u32]).collect();
+            ctx.all_to_all(5, out)
+        });
+        for (me, (inbox, _)) in res.iter().enumerate() {
+            for (from, v) in inbox.iter().enumerate() {
+                assert_eq!(v, &vec![(from * 10 + me) as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_sum() {
+        let res = run_cluster(&cfg(3), |ctx| {
+            let m = ctx.allreduce_u64(100, ctx.rank as u64 * 7, u64::max);
+            let s = ctx.allreduce_u64(200, ctx.rank as u64 + 1, |a, b| a + b);
+            (m, s)
+        });
+        for (r, _) in &res {
+            assert_eq!(r.0, 14);
+            assert_eq!(r.1, 6);
+        }
+    }
+
+    #[test]
+    fn gather_and_bcast() {
+        let res = run_cluster(&cfg(3), |ctx| {
+            let gathered = ctx.gather(1, vec![ctx.rank as u32]);
+            let total =
+                if ctx.rank == 0 { gathered.iter().map(|v| v[0]).sum::<u32>() } else { 0 };
+            let b = ctx.bcast(2, vec![total]);
+            b[0]
+        });
+        for (v, _) in &res {
+            assert_eq!(*v, 3); // 0 + 1 + 2
+        }
+    }
+
+    #[test]
+    fn barrier_does_not_deadlock() {
+        let res = run_cluster(&cfg(4), |ctx| {
+            for _ in 0..10 {
+                ctx.barrier();
+            }
+            ctx.rank
+        });
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn phases_record_work_and_comm() {
+        let res = run_cluster(&cfg(2), |ctx| {
+            ctx.work(100, 10);
+            if ctx.rank == 0 {
+                ctx.send(1, 1, vec![0; 25]);
+            } else {
+                ctx.recv(0, 1);
+            }
+            ctx.phase_end("alpha");
+            ctx.work(5, 5);
+            ctx.phase_end("beta");
+        });
+        let p0 = &res[0].1;
+        assert_eq!(p0.len(), 2);
+        assert_eq!(p0[0].name, "alpha");
+        assert_eq!(p0[0].edges, 100);
+        assert_eq!(p0[0].msgs, 1);
+        assert_eq!(p0[0].bytes, 100);
+        assert_eq!(p0[1].msgs, 0);
+    }
+
+    #[test]
+    fn bsp_time_uses_max_rank() {
+        let phases = vec![
+            vec![RankPhase {
+                name: "x".into(),
+                edges: 1000,
+                vertices: 0,
+                msgs: 0,
+                bytes: 0,
+                ws_bytes: 0,
+            }],
+            vec![RankPhase {
+                name: "x".into(),
+                edges: 10,
+                vertices: 0,
+                msgs: 2,
+                bytes: 400,
+                ws_bytes: 0,
+            }],
+        ];
+        let c = cfg(2);
+        let t = bsp_time(&phases, &c, |p| p.edges as f64 * 1e-8 + p.vertices as f64 * 1e-9);
+        assert_eq!(t.len(), 1);
+        let expect = 1000.0 * 1e-8 + (2.0 * c.alpha + 400.0 * c.beta);
+        assert!((t[0].1 - expect).abs() < 1e-12, "{} vs {}", t[0].1, expect);
+    }
+
+    #[test]
+    fn single_rank_cluster() {
+        let res = run_cluster(&cfg(1), |ctx| {
+            let inbox = ctx.all_to_all(1, vec![vec![42]]);
+            inbox[0][0]
+        });
+        assert_eq!(res[0].0, 42);
+    }
+}

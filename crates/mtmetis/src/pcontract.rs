@@ -1,0 +1,255 @@
+//! Thread-parallel graph contraction: each thread contracts the coarse
+//! vertices whose representatives lie in its fine-vertex chunk, writing
+//! into private buffers that are stitched into the coarse CSR afterwards
+//! (prefix sums over per-thread lengths — the CPU analogue of the paper's
+//! two-phase GPU contraction).
+
+use crate::util::{atomic_vec, chunk_range, ld, snapshot, st};
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_metis::cost::Work;
+
+/// Per-thread private output of the merge phase.
+struct LocalOut {
+    adjncy: Vec<Vid>,
+    adjwgt: Vec<u32>,
+    degrees: Vec<u32>,
+    vwgt: Vec<u32>,
+    work: Work,
+}
+
+/// Contract `g` according to matching `mat` using `threads` workers.
+/// Returns the coarse graph, the fine-to-coarse map, and per-thread work.
+pub fn parallel_contract(
+    g: &CsrGraph,
+    mat: &[Vid],
+    threads: usize,
+) -> (CsrGraph, Vec<Vid>, Vec<Work>) {
+    let n = g.n();
+    assert_eq!(mat.len(), n);
+
+    // --- cmap construction -------------------------------------------------
+    // Representatives (u <= mat[u]) get coarse labels in fine order; each
+    // thread's chunk therefore owns a contiguous coarse-label range.
+    let mut rep_counts = vec![0u32; threads + 1];
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(s.spawn(move || {
+                let (lo, hi) = chunk_range(n, threads, t);
+                (lo..hi).filter(|&u| u as Vid <= mat[u]).count() as u32
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            rep_counts[t + 1] = h.join().unwrap();
+        }
+    });
+    for t in 0..threads {
+        rep_counts[t + 1] += rep_counts[t];
+    }
+    let nc = rep_counts[threads] as usize;
+
+    let cmap_atomic = atomic_vec(n, 0);
+    // pass 1: label representatives
+    std::thread::scope(|s| {
+        let cmap_atomic = &cmap_atomic;
+        let rep_counts = &rep_counts;
+        for t in 0..threads {
+            s.spawn(move || {
+                let (lo, hi) = chunk_range(n, threads, t);
+                let mut next = rep_counts[t];
+                for u in lo..hi {
+                    if u as Vid <= mat[u] {
+                        st(cmap_atomic, u, next);
+                        next += 1;
+                    }
+                }
+            });
+        }
+    });
+    // pass 2: non-representatives copy their partner's label
+    std::thread::scope(|s| {
+        let cmap_atomic = &cmap_atomic;
+        for t in 0..threads {
+            s.spawn(move || {
+                let (lo, hi) = chunk_range(n, threads, t);
+                for u in lo..hi {
+                    if (u as Vid) > mat[u] {
+                        st(cmap_atomic, u, ld(cmap_atomic, mat[u] as usize));
+                    }
+                }
+            });
+        }
+    });
+    let cmap: Vec<Vid> = snapshot(&cmap_atomic);
+
+    // --- parallel merge into private buffers -------------------------------
+    let mut locals: Vec<Option<LocalOut>> = (0..threads).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let cmap = &cmap;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(s.spawn(move || {
+                let (lo, hi) = chunk_range(n, threads, t);
+                let mut out = LocalOut {
+                    adjncy: Vec::new(),
+                    adjwgt: Vec::new(),
+                    degrees: Vec::new(),
+                    vwgt: Vec::new(),
+                    work: Work::default(),
+                };
+                let mut slot = vec![u32::MAX; nc];
+                for u in lo..hi {
+                    let v = mat[u];
+                    if v < u as Vid {
+                        continue;
+                    }
+                    let c = cmap[u];
+                    out.vwgt
+                        .push(g.vwgt[u] + if v != u as Vid { g.vwgt[v as usize] } else { 0 });
+                    let row_start = out.adjncy.len();
+                    let emit = |nb: Vid, w: u32, out: &mut LocalOut, slot: &mut [u32]| {
+                        let cn = cmap[nb as usize];
+                        if cn == c {
+                            return;
+                        }
+                        let sl = slot[cn as usize];
+                        if sl != u32::MAX && sl as usize >= row_start {
+                            out.adjwgt[sl as usize] += w;
+                        } else {
+                            slot[cn as usize] = out.adjncy.len() as u32;
+                            out.adjncy.push(cn);
+                            out.adjwgt.push(w);
+                        }
+                    };
+                    for (nb, w) in g.edges(u as Vid) {
+                        emit(nb, w, &mut out, &mut slot);
+                    }
+                    if v != u as Vid {
+                        for (nb, w) in g.edges(v) {
+                            emit(nb, w, &mut out, &mut slot);
+                        }
+                    }
+                    out.work.edges += (g.degree(u as Vid)
+                        + if v != u as Vid { g.degree(v) } else { 0 })
+                        as u64;
+                    out.work.vertices += 1;
+                    out.degrees.push((out.adjncy.len() - row_start) as u32);
+                }
+                out
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            locals[t] = Some(h.join().unwrap());
+        }
+    });
+    let locals: Vec<LocalOut> = locals.into_iter().map(|l| l.unwrap()).collect();
+
+    // --- stitch -------------------------------------------------------------
+    let total: usize = locals.iter().map(|l| l.adjncy.len()).sum();
+    let mut adjncy = vec![0 as Vid; total];
+    let mut adjwgt = vec![0u32; total];
+    let mut vwgt = vec![0u32; nc];
+    let mut xadj = vec![0u32; nc + 1];
+    {
+        // contiguous per-thread destination slices, in coarse-label order
+        let mut adj_rest: &mut [Vid] = &mut adjncy;
+        let mut wgt_rest: &mut [u32] = &mut adjwgt;
+        let mut vw_rest: &mut [u32] = &mut vwgt;
+        let mut deg_cursor = 0usize;
+        for l in &locals {
+            let (a, ar) = adj_rest.split_at_mut(l.adjncy.len());
+            let (w, wr) = wgt_rest.split_at_mut(l.adjwgt.len());
+            let (v, vr) = vw_rest.split_at_mut(l.vwgt.len());
+            a.copy_from_slice(&l.adjncy);
+            w.copy_from_slice(&l.adjwgt);
+            v.copy_from_slice(&l.vwgt);
+            adj_rest = ar;
+            wgt_rest = wr;
+            vw_rest = vr;
+            for &d in &l.degrees {
+                xadj[deg_cursor + 1] = d;
+                deg_cursor += 1;
+            }
+        }
+        debug_assert_eq!(deg_cursor, nc);
+    }
+    for i in 0..nc {
+        xadj[i + 1] += xadj[i];
+    }
+    let coarse = CsrGraph { xadj, adjncy, adjwgt, vwgt };
+    debug_assert!(coarse.validate().is_ok());
+    let ws = g.bytes();
+    let works = locals
+        .into_iter()
+        .map(|l| {
+            let mut w = l.work;
+            w.ws_bytes = ws;
+            w
+        })
+        .collect();
+    (coarse, cmap, works)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmatch::parallel_matching;
+    use gpm_graph::gen::{delaunay_like, grid2d};
+    use gpm_graph::metrics::edge_cut;
+    use gpm_metis::contract::contract;
+    use gpm_metis::cost::Work;
+
+    #[test]
+    fn matches_serial_contraction() {
+        let g = grid2d(12, 12);
+        // a fixed deterministic matching: pair u with u+1 in each row pair
+        let mut mat: Vec<Vid> = (0..g.n() as Vid).collect();
+        for u in (0..g.n()).step_by(2) {
+            if u + 1 < g.n() && g.neighbors(u as Vid).contains(&((u + 1) as Vid)) {
+                mat[u] = (u + 1) as Vid;
+                mat[u + 1] = u as Vid;
+            }
+        }
+        let mut w = Work::default();
+        let (serial, scmap) = contract(&g, &mat, &mut w);
+        for threads in [1, 2, 4] {
+            let (par, pcmap, _) = parallel_contract(&g, &mat, threads);
+            assert_eq!(pcmap, scmap, "threads={threads}");
+            assert_eq!(par.n(), serial.n());
+            assert_eq!(par.total_vwgt(), serial.total_vwgt());
+            assert_eq!(par.m(), serial.m());
+            // same multiset of weighted edges (order within rows may vary)
+            for c in 0..par.n() as Vid {
+                let mut a: Vec<_> = par.edges(c).collect();
+                let mut b: Vec<_> = serial.edges(c).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "row {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_with_parallel_matching() {
+        let g = delaunay_like(1_000, 3);
+        let (mat, _) = parallel_matching(&g, 4, u32::MAX, 9);
+        let (coarse, cmap, works) = parallel_contract(&g, &mat, 4);
+        coarse.validate().unwrap();
+        assert_eq!(coarse.total_vwgt(), g.total_vwgt());
+        assert!(coarse.n() < g.n());
+        assert_eq!(works.len(), 4);
+        // cut preservation through cmap
+        let cpart: Vec<u32> = (0..coarse.n() as u32).map(|c| c % 3).collect();
+        let fpart: Vec<u32> = cmap.iter().map(|&c| cpart[c as usize]).collect();
+        assert_eq!(edge_cut(&coarse, &cpart), edge_cut(&g, &fpart));
+    }
+
+    #[test]
+    fn identity_matching_identity_graph() {
+        let g = grid2d(6, 6);
+        let mat: Vec<Vid> = (0..g.n() as Vid).collect();
+        let (coarse, cmap, _) = parallel_contract(&g, &mat, 3);
+        assert_eq!(coarse, g);
+        assert_eq!(cmap, mat);
+    }
+}

@@ -1,0 +1,169 @@
+//! Parallel initial partitioning (§II.C): on the coarsest graph, all
+//! threads race independently seeded bisections and the best cut wins;
+//! the thread group then splits in half, one sub-group per side, and
+//! recurses on the induced subgraphs.
+
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::rng::SplitMix64;
+use gpm_graph::subgraph::induced_subgraph;
+use gpm_metis::cost::Work;
+use gpm_metis::fm::BisectTargets;
+use gpm_metis::gggp::gggp_bisect;
+use parking_lot::Mutex;
+
+/// Parallel recursive bisection of `g` into `k` parts on `threads`
+/// workers. Returns the partition and an upper bound on the critical-path
+/// work (the max work along any root-to-leaf path of the bisection tree).
+pub fn parallel_init_partition(
+    g: &CsrGraph,
+    k: usize,
+    ubfactor: f64,
+    trials: usize,
+    fm_passes: usize,
+    seed: u64,
+    threads: usize,
+) -> (Vec<u32>, Work) {
+    let depth = (k.max(2) as f64).log2().ceil().max(1.0);
+    let ub_level = ubfactor.powf(1.0 / depth);
+    let mut part = vec![0u32; g.n()];
+    let mut crit_ws = Work::default().with_ws(g.bytes());
+    let crit = recurse(
+        g,
+        k,
+        0,
+        ub_level,
+        trials,
+        fm_passes,
+        seed,
+        threads,
+        &mut |u, p| part[u as usize] = p,
+    );
+    crit_ws.add(crit);
+    (part, crit_ws)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    g: &CsrGraph,
+    k: usize,
+    offset: u32,
+    ub: f64,
+    trials: usize,
+    fm_passes: usize,
+    seed: u64,
+    threads: usize,
+    assign: &mut dyn FnMut(Vid, u32),
+) -> Work {
+    if k == 1 {
+        for u in 0..g.n() as Vid {
+            assign(u, offset);
+        }
+        return Work::new(0, g.n() as u64);
+    }
+    let k0 = k.div_ceil(2);
+    let k1 = k - k0;
+    let total = g.total_vwgt();
+    let target0 = (total as f64 * k0 as f64 / k as f64).round() as u64;
+    let targets = BisectTargets { target: [target0, total - target0], ubfactor: ub };
+
+    // Race `threads` independently seeded bisections; keep the best cut.
+    // (Each racer runs `trials` GGGP restarts internally, like mt-metis
+    // racing whole bisections.)
+    let best: Mutex<Option<(Vec<u32>, u64, Work)>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for t in 0..threads.max(1) {
+            let best = &best;
+            let targets = &targets;
+            s.spawn(move || {
+                let mut rng = SplitMix64::stream(seed, t as u64 + 1);
+                let mut w = Work::default();
+                let (p, cut) = gggp_bisect(g, targets, trials, fm_passes, &mut rng, &mut w);
+                let mut b = best.lock();
+                let better = match &*b {
+                    None => true,
+                    Some((_, bcut, _)) => cut < *bcut,
+                };
+                if better {
+                    *b = Some((p, cut, w));
+                }
+            });
+        }
+    });
+    let (bipart, _cut, bisect_work) = best.into_inner().expect("at least one racer");
+    // Critical path: one racer's bisection work (they run concurrently).
+    let mut crit = bisect_work;
+
+    let select0: Vec<bool> = bipart.iter().map(|&p| p == 0).collect();
+    let (g0, map0) = induced_subgraph(g, &select0);
+    let select1: Vec<bool> = bipart.iter().map(|&p| p == 1).collect();
+    let (g1, map1) = induced_subgraph(g, &select1);
+    crit.edges += g.adjncy.len() as u64;
+    crit.vertices += g.n() as u64;
+
+    // Split the thread group over the two halves (the halves run
+    // sequentially here — the critical-path model still charges them as
+    // concurrent sub-trees by taking the max below).
+    let t0 = (threads * k0 / k).max(1);
+    let t1 = (threads - t0).max(1);
+    let mut part0 = vec![0u32; g0.n()];
+    let w0 = recurse(&g0, k0, offset, ub, trials, fm_passes, seed * 31 + 1, t0, &mut |u, p| {
+        part0[u as usize] = p
+    });
+    let mut part1 = vec![0u32; g1.n()];
+    let w1 = recurse(&g1, k1, offset + k0 as u32, ub, trials, fm_passes, seed * 31 + 2, t1, &mut |u, p| {
+        part1[u as usize] = p
+    });
+    for (u, &p) in part0.iter().enumerate() {
+        assign(map0[u], p);
+    }
+    for (u, &p) in part1.iter().enumerate() {
+        assign(map1[u], p);
+    }
+    // concurrent sub-trees: charge the heavier one
+    let sub = if w0.seconds(&gpm_metis::cost::CpuModel::serial())
+        >= w1.seconds(&gpm_metis::cost::CpuModel::serial())
+    {
+        w0
+    } else {
+        w1
+    };
+    crit.add(sub);
+    crit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen::{delaunay_like, grid2d};
+    use gpm_graph::metrics::validate_partition;
+
+    #[test]
+    fn partitions_valid_for_various_k() {
+        let g = delaunay_like(900, 2);
+        for k in [2, 3, 4, 8] {
+            let (part, crit) = parallel_init_partition(&g, k, 1.03, 3, 4, 5, 4);
+            validate_partition(&g, &part, k, 1.12).unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert!(crit.edges > 0 || k == 1);
+        }
+    }
+
+    #[test]
+    fn all_labels_used() {
+        let g = grid2d(16, 16);
+        let (part, _) = parallel_init_partition(&g, 8, 1.03, 3, 4, 7, 4);
+        let used: std::collections::HashSet<u32> = part.iter().copied().collect();
+        assert_eq!(used.len(), 8);
+    }
+
+    #[test]
+    fn racing_threads_never_hurt_quality() {
+        // more racers should find an equal-or-better cut in expectation;
+        // we only assert both are valid and in the same league
+        let g = grid2d(20, 20);
+        let (p1, _) = parallel_init_partition(&g, 4, 1.03, 3, 4, 9, 1);
+        let (p4, _) = parallel_init_partition(&g, 4, 1.03, 3, 4, 9, 4);
+        let c1 = gpm_graph::metrics::edge_cut(&g, &p1);
+        let c4 = gpm_graph::metrics::edge_cut(&g, &p4);
+        assert!(c4 <= 2 * c1.max(40), "c1={c1} c4={c4}");
+    }
+}

@@ -1,0 +1,169 @@
+//! The two-round lock-free parallel matching of mt-metis (§II.C of the
+//! paper): round 1 lets all threads read and write the shared matching
+//! vector freely, with no synchronization, so conflicting pairs can
+//! appear; round 2 re-scans every vertex and breaks any pair that is not
+//! mutual (`mat[mat[u]] != u` ⇒ `mat[u] = u`).
+
+use crate::util::{atomic_vec, chunk_range, ld, snapshot, st};
+use gpm_metis::cost::Work;
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::rng::SplitMix64;
+use std::sync::atomic::AtomicU32;
+
+/// Run the two-round lock-free matching on `threads` host threads.
+/// Returns the matching vector (self-matched = unmatched) and per-thread
+/// work records.
+pub fn parallel_matching(
+    g: &CsrGraph,
+    threads: usize,
+    max_vwgt: u32,
+    seed: u64,
+) -> (Vec<Vid>, Vec<Work>) {
+    let n = g.n();
+    let mat: Vec<AtomicU32> = atomic_vec(n, 0);
+    for u in 0..n {
+        st(&mat, u, u as u32); // self = unmatched
+    }
+    let mut works: Vec<Work> = vec![Work::default(); threads];
+    // HEM has no signal on uniform weights; fall back to random matching
+    // (checked once — O(m)).
+    let uniform = g.uniform_edge_weights();
+
+    std::thread::scope(|s| {
+        let mat = &mat;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(s.spawn(move || {
+                let mut w = Work::default();
+                let mut rng = SplitMix64::stream(seed, t as u64);
+                let (lo, hi) = chunk_range(n, threads, t);
+                // Round 1: free-for-all writes.
+                for u in lo..hi {
+                    if ld(mat, u) != u as u32 {
+                        continue; // someone already claimed us
+                    }
+                    w.edges += g.degree(u as Vid) as u64;
+                    let uw = g.vwgt[u];
+                    let mut best: Option<(Vid, u32)> = None;
+                    let mut count = 0u64;
+                    for (v, ew) in g.edges(u as Vid) {
+                        let vi = v as usize;
+                        if ld(mat, vi) != v || uw.saturating_add(g.vwgt[vi]) > max_vwgt {
+                            continue; // matched (possibly stale) or too heavy
+                        }
+                        if uniform {
+                            // random matching: reservoir-sample
+                            count += 1;
+                            if rng.below(count) == 0 {
+                                best = Some((v, ew));
+                            }
+                        } else {
+                            match best {
+                                Some((_, bw)) if bw >= ew => {}
+                                _ => best = Some((v, ew)),
+                            }
+                        }
+                    }
+                    if let Some((v, _)) = best {
+                        // racy pair of stores — exactly mt-metis round 1
+                        st(mat, u, v);
+                        st(mat, v as usize, u as u32);
+                    }
+                }
+                w
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            works[t] = h.join().unwrap();
+        }
+    });
+
+    // Round 2 (after an implicit barrier): break non-mutual pairs.
+    std::thread::scope(|s| {
+        let mat = &mat;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(s.spawn(move || {
+                let mut w = Work::default();
+                let (lo, hi) = chunk_range(n, threads, t);
+                for u in lo..hi {
+                    let v = ld(mat, u);
+                    if ld(mat, v as usize) != u as u32 {
+                        st(mat, u, u as u32);
+                    }
+                    w.vertices += 1;
+                }
+                w
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            works[t].add(h.join().unwrap());
+        }
+    });
+
+    let ws = g.bytes();
+    for w in &mut works {
+        w.ws_bytes = ws;
+    }
+    (snapshot(&mat), works)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_metis::matching::{is_valid_matching, matched_fraction};
+    use gpm_graph::gen::{delaunay_like, grid2d, rmat};
+
+    #[test]
+    fn produces_valid_matching_grid() {
+        let g = grid2d(30, 30);
+        for threads in [1, 2, 4, 8] {
+            let (mat, works) = parallel_matching(&g, threads, u32::MAX, 42);
+            assert!(is_valid_matching(&g, &mat), "threads={threads}");
+            assert!(matched_fraction(&mat) > 0.3, "threads={threads}");
+            assert_eq!(works.len(), threads);
+            assert!(works.iter().map(|w| w.edges).sum::<u64>() > 0);
+        }
+    }
+
+    #[test]
+    fn valid_on_skewed_graph() {
+        let g = rmat(9, 8, 7);
+        let (mat, _) = parallel_matching(&g, 4, u32::MAX, 11);
+        assert!(is_valid_matching(&g, &mat));
+    }
+
+    #[test]
+    fn respects_weight_cap() {
+        let mut g = delaunay_like(400, 3);
+        for w in g.vwgt.iter_mut() {
+            *w = 10;
+        }
+        let (mat, _) = parallel_matching(&g, 4, 15, 5);
+        // cap 15 < 20 = two vertices: nothing may match
+        assert!(mat.iter().enumerate().all(|(u, &v)| u as u32 == v));
+    }
+
+    #[test]
+    fn single_thread_equals_serial_structure() {
+        let g = grid2d(10, 10);
+        let (mat, _) = parallel_matching(&g, 1, u32::MAX, 1);
+        assert!(is_valid_matching(&g, &mat));
+        // single-threaded round 1 sees its own writes: maximal matching
+        for u in 0..g.n() as Vid {
+            if mat[u as usize] == u {
+                for &v in g.neighbors(u) {
+                    assert_ne!(mat[v as usize], v, "({u},{v}) both unmatched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_single_thread() {
+        let g = delaunay_like(400, 9);
+        let (a, _) = parallel_matching(&g, 1, u32::MAX, 4);
+        let (b, _) = parallel_matching(&g, 1, u32::MAX, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,268 @@
+//! Buffered two-direction parallel k-way refinement (§II.C): each pass is
+//! split into two iterations in which vertices may move only toward
+//! higher- (then only lower-) numbered partitions — preventing the
+//! concurrent A↔B swaps that can increase the cut — and movement requests
+//! are deposited into per-partition buffers that the destination's owner
+//! thread commits best-gain-first under the balance constraint.
+
+use crate::util::chunk_range;
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::metrics::max_part_weight;
+use gpm_metis::cost::Work;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A movement request: vertex, source partition, claimed gain.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    vertex: Vid,
+    from: u32,
+    gain: i64,
+}
+
+/// Statistics of a parallel refinement run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParRefineStats {
+    /// Committed moves.
+    pub moves: u64,
+    /// Requests that were submitted but rejected at commit time.
+    pub rejected: u64,
+    /// Passes executed (each = two direction iterations).
+    pub passes: u32,
+}
+
+/// Run buffered two-direction refinement in place on `threads` workers.
+/// Also returns per-thread work records (scan phase) — the commit phase
+/// work is folded into the same records.
+pub fn parallel_refine(
+    g: &CsrGraph,
+    part: &mut [u32],
+    k: usize,
+    ubfactor: f64,
+    max_passes: usize,
+    threads: usize,
+) -> (ParRefineStats, Vec<Work>) {
+    let n = g.n();
+    assert_eq!(part.len(), n);
+    let maxw = max_part_weight(g.total_vwgt(), k, ubfactor);
+    // shared atomic views
+    let apart: Vec<AtomicU32> = part.iter().map(|&p| AtomicU32::new(p)).collect();
+    let pw: Vec<AtomicU64> = {
+        let w = gpm_graph::metrics::part_weights(g, part, k);
+        w.into_iter().map(AtomicU64::new).collect()
+    };
+    let mut works = vec![Work::default(); threads];
+    let mut stats = ParRefineStats::default();
+
+    for pass in 0..max_passes {
+        stats.passes += 1;
+        let mut pass_moves = 0u64;
+        // one movement direction per pass, reversed after each round
+        // (§II.C: "the moving direction ... is reversed after each round")
+        {
+            let dir_up = pass % 2 == 0;
+            let buffers: Vec<Mutex<Vec<Request>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
+            // --- scan: submit requests -----------------------------------
+            std::thread::scope(|s| {
+                let apart = &apart;
+                let pw = &pw;
+                let buffers = &buffers;
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    handles.push(s.spawn(move || {
+                        let mut w = Work::default();
+                        let (lo, hi) = chunk_range(n, threads, t);
+                        let mut parts: Vec<u32> = Vec::with_capacity(8);
+                        let mut wgts: Vec<i64> = Vec::with_capacity(8);
+                        for u in lo..hi {
+                            let pu = apart[u].load(Ordering::Relaxed);
+                            w.vertices += 1;
+                            // connectivity gather
+                            parts.clear();
+                            wgts.clear();
+                            let mut boundary = false;
+                            for (v, ew) in g.edges(u as Vid) {
+                                let pv = apart[v as usize].load(Ordering::Relaxed);
+                                if pv != pu {
+                                    boundary = true;
+                                }
+                                match parts.iter().position(|&x| x == pv) {
+                                    Some(i) => wgts[i] += ew as i64,
+                                    None => {
+                                        parts.push(pv);
+                                        wgts.push(ew as i64);
+                                    }
+                                }
+                            }
+                            w.edges += g.degree(u as Vid) as u64;
+                            if !boundary {
+                                continue;
+                            }
+                            let w_own = parts
+                                .iter()
+                                .position(|&x| x == pu)
+                                .map_or(0, |i| wgts[i]);
+                            let vw = g.vwgt[u] as u64;
+                            let mut best: Option<(u32, i64)> = None;
+                            for (&p, &wp) in parts.iter().zip(wgts.iter()) {
+                                if p == pu {
+                                    continue;
+                                }
+                                // direction constraint
+                                if dir_up != (p > pu) {
+                                    continue;
+                                }
+                                let gain = wp - w_own;
+                                let improves_balance = pw[p as usize].load(Ordering::Relaxed)
+                                    + vw
+                                    < pw[pu as usize].load(Ordering::Relaxed);
+                                if gain > 0 || (gain == 0 && improves_balance) {
+                                    match best {
+                                        Some((_, bg)) if bg >= gain => {}
+                                        _ => best = Some((p, gain)),
+                                    }
+                                }
+                            }
+                            if let Some((to, gain)) = best {
+                                buffers[to as usize]
+                                    .lock()
+                                    .push(Request { vertex: u as Vid, from: pu, gain });
+                            }
+                        }
+                        w
+                    }));
+                }
+                for (t, h) in handles.into_iter().enumerate() {
+                    works[t].add(h.join().unwrap());
+                }
+            });
+
+            // --- explore/commit: one owner per destination partition ------
+            let moved = AtomicU64::new(0);
+            let rejected = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                let apart = &apart;
+                let pw = &pw;
+                let buffers = &buffers;
+                let moved = &moved;
+                let rejected = &rejected;
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    handles.push(s.spawn(move || {
+                        let mut w = Work::default();
+                        let (plo, phi) = chunk_range(k, threads, t);
+                        for p in plo..phi {
+                            let mut reqs = std::mem::take(&mut *buffers[p].lock());
+                            // best gain first (the paper sorts by gain)
+                            reqs.sort_unstable_by_key(|r| std::cmp::Reverse(r.gain));
+                            w.vertices += reqs.len() as u64;
+                            for r in reqs {
+                                let u = r.vertex as usize;
+                                // the vertex may have been moved by another
+                                // commit already (it only submitted one
+                                // request, but stale state is possible)
+                                if apart[u].load(Ordering::Relaxed) != r.from {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                let vw = g.vwgt[u] as u64;
+                                // balance check at the destination; only
+                                // this thread adds weight to partition p
+                                if pw[p].load(Ordering::Relaxed) + vw > maxw {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                apart[u].store(p as u32, Ordering::Relaxed);
+                                pw[p].fetch_add(vw, Ordering::Relaxed);
+                                pw[r.from as usize].fetch_sub(vw, Ordering::Relaxed);
+                                moved.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        w
+                    }));
+                }
+                for (t, h) in handles.into_iter().enumerate() {
+                    works[t].add(h.join().unwrap());
+                }
+            });
+            stats.moves += moved.load(Ordering::Relaxed);
+            stats.rejected += rejected.load(Ordering::Relaxed);
+            pass_moves += moved.load(Ordering::Relaxed);
+        }
+        if pass_moves == 0 {
+            break; // the paper's early-termination criterion
+        }
+    }
+
+    for (u, a) in apart.iter().enumerate() {
+        part[u] = a.load(Ordering::Relaxed);
+    }
+    let ws = g.bytes();
+    for w in &mut works {
+        w.ws_bytes = ws;
+    }
+    (stats, works)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen::{delaunay_like, grid2d};
+    use gpm_graph::metrics::{edge_cut, part_weights};
+    use gpm_graph::rng::SplitMix64;
+
+    fn random_kpart(n: usize, k: usize, seed: u64) -> Vec<u32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.below(k as u64) as u32).collect()
+    }
+
+    #[test]
+    fn improves_cut_on_grid() {
+        let g = grid2d(20, 20);
+        for threads in [1, 2, 4] {
+            let mut part = random_kpart(g.n(), 4, 42);
+            let before = edge_cut(&g, &part);
+            let (stats, works) = parallel_refine(&g, &mut part, 4, 1.05, 8, threads);
+            let after = edge_cut(&g, &part);
+            assert!(after < before, "threads={threads}: {before} -> {after}");
+            assert!(stats.moves > 0);
+            assert_eq!(works.len(), threads);
+        }
+    }
+
+    #[test]
+    fn respects_balance_cap() {
+        let g = delaunay_like(900, 4);
+        let k = 6;
+        let mut part = random_kpart(g.n(), k, 3);
+        let start_max = *part_weights(&g, &part, k).iter().max().unwrap();
+        parallel_refine(&g, &mut part, k, 1.05, 6, 4);
+        let maxw = max_part_weight(g.total_vwgt(), k, 1.05);
+        let end_max = *part_weights(&g, &part, k).iter().max().unwrap();
+        // never push a balanced partition out of bounds; random k-parts of
+        // this size start within bounds with overwhelming probability
+        assert!(end_max <= maxw.max(start_max), "{end_max} vs cap {maxw}");
+    }
+
+    #[test]
+    fn direction_split_prevents_swaps_worsening() {
+        // pathological 2-part case: refinement must never worsen the cut
+        let g = grid2d(16, 16);
+        for seed in 0..4 {
+            let mut part = random_kpart(g.n(), 2, seed);
+            let before = edge_cut(&g, &part);
+            parallel_refine(&g, &mut part, 2, 1.10, 6, 4);
+            assert!(edge_cut(&g, &part) <= before);
+        }
+    }
+
+    #[test]
+    fn converged_partition_early_exit() {
+        let g = grid2d(8, 8);
+        let part0: Vec<u32> = (0..64u32).map(|i| (i % 8) / 4).collect();
+        let mut part = part0.clone();
+        let (stats, _) = parallel_refine(&g, &mut part, 2, 1.03, 10, 2);
+        assert!(stats.passes <= 3);
+        assert!(edge_cut(&g, &part) <= edge_cut(&g, &part0));
+    }
+}

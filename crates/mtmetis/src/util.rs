@@ -1,0 +1,76 @@
+//! Shared helpers for the thread-parallel partitioner: chunked vertex
+//! ownership and atomic vector views.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Split `0..n` into `t` contiguous chunks (the persistent data ownership
+/// mt-metis gives its threads). Returns the `(start, end)` of chunk `i`.
+pub fn chunk_range(n: usize, t: usize, i: usize) -> (usize, usize) {
+    let base = n / t;
+    let rem = n % t;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    (start, start + len)
+}
+
+/// Allocate a vector of atomics initialized to `init`.
+pub fn atomic_vec(n: usize, init: u32) -> Vec<AtomicU32> {
+    (0..n).map(|_| AtomicU32::new(init)).collect()
+}
+
+/// Snapshot an atomic vector into a plain one.
+pub fn snapshot(v: &[AtomicU32]) -> Vec<u32> {
+    v.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+}
+
+/// Load with relaxed ordering (the lock-free algorithms tolerate stale
+/// reads by design).
+#[inline]
+pub fn ld(v: &[AtomicU32], i: usize) -> u32 {
+    v[i].load(Ordering::Relaxed)
+}
+
+/// Store with relaxed ordering.
+#[inline]
+pub fn st(v: &[AtomicU32], i: usize, x: u32) {
+    v[i].store(x, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for t in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for i in 0..t {
+                    let (s, e) = chunk_range(n, t, i);
+                    assert_eq!(s, prev_end);
+                    prev_end = e;
+                    covered += e - s;
+                }
+                assert_eq!(covered, n, "n={n} t={t}");
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_balanced() {
+        for i in 0..8 {
+            let (s, e) = chunk_range(100, 8, i);
+            assert!((e - s) == 12 || (e - s) == 13);
+        }
+    }
+
+    #[test]
+    fn atomic_helpers() {
+        let v = atomic_vec(3, 9);
+        assert_eq!(ld(&v, 1), 9);
+        st(&v, 1, 4);
+        assert_eq!(snapshot(&v), vec![9, 4, 9]);
+    }
+}

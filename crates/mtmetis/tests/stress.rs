@@ -1,0 +1,49 @@
+//! Stress tests for the shared-memory partitioner: oversubscribed thread
+//! counts, adversarial graphs, repeated runs under racing.
+
+use gpm_graph::gen::{geometric, rmat, star};
+use gpm_graph::metrics::validate_partition;
+use gpm_mtmetis::{partition, MtMetisConfig};
+
+#[test]
+fn more_threads_than_meaningful_work() {
+    let g = gpm_graph::gen::grid2d(8, 8);
+    // 16 threads on 64 vertices: chunks of 4
+    let r = partition(&g, &MtMetisConfig::new(4).with_threads(16).with_seed(1));
+    validate_partition(&g, &r.part, 4, 1.30).unwrap();
+}
+
+#[test]
+fn skewed_degree_graph() {
+    let g = rmat(11, 8, 5);
+    let r = partition(&g, &MtMetisConfig::new(16).with_threads(8).with_seed(2));
+    validate_partition(&g, &r.part, 16, 1.25).unwrap();
+}
+
+#[test]
+fn star_graph_does_not_hang() {
+    let g = star(2_000);
+    let r = partition(&g, &MtMetisConfig::new(4).with_threads(4).with_seed(3));
+    assert_eq!(r.part.len(), g.n());
+    // stars cannot be balanced with unit weights + one hub; validity of
+    // labels is what matters
+    assert!(r.part.iter().all(|&p| p < 4));
+}
+
+#[test]
+fn irregular_geometric_graph() {
+    let g = geometric(5_000, 9.0, 4);
+    let r = partition(&g, &MtMetisConfig::new(8).with_threads(8).with_seed(5));
+    validate_partition(&g, &r.part, 8, 1.15).unwrap();
+}
+
+#[test]
+fn repeated_runs_all_valid_under_racing() {
+    // lock-free matching races for real; every outcome must still be a
+    // valid partition
+    let g = gpm_graph::gen::delaunay_like(1_500, 6);
+    for seed in 0..6 {
+        let r = partition(&g, &MtMetisConfig::new(8).with_threads(8).with_seed(seed));
+        validate_partition(&g, &r.part, 8, 1.15).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

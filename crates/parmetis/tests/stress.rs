@@ -1,0 +1,55 @@
+//! Stress tests for the distributed partitioner: degenerate rank/vertex
+//! ratios, empty blocks at coarse levels, adversarial graph shapes.
+
+use gpm_graph::gen::{geometric, grid2d, path, rmat};
+use gpm_graph::metrics::validate_partition;
+use gpm_parmetis::{partition, ParMetisConfig};
+
+#[test]
+fn tiny_graph_many_ranks() {
+    // 20 vertices over 8 ranks: blocks of 2-3; coarse levels will leave
+    // some ranks empty — collectives must still line up
+    let g = grid2d(5, 4);
+    let r = partition(&g, &ParMetisConfig::new(4).with_ranks(8).with_seed(1));
+    assert_eq!(r.part.len(), 20);
+    assert!(r.part.iter().all(|&p| p < 4));
+}
+
+#[test]
+fn path_graph_heavy_cross_rank_matching() {
+    // a path block-distributed means almost every match attempt at block
+    // borders crosses ranks
+    let g = path(400);
+    let r = partition(&g, &ParMetisConfig::new(8).with_ranks(8).with_seed(2));
+    validate_partition(&g, &r.part, 8, 1.25).unwrap();
+    // an 8-way path partition should cut close to 7 edges
+    assert!(r.edge_cut <= 30, "cut {}", r.edge_cut);
+}
+
+#[test]
+fn skewed_graph_all_rank_counts() {
+    let g = rmat(10, 6, 3);
+    for ranks in [1, 2, 3, 5, 8] {
+        let r = partition(&g, &ParMetisConfig::new(8).with_ranks(ranks).with_seed(3));
+        validate_partition(&g, &r.part, 8, 1.30)
+            .unwrap_or_else(|e| panic!("ranks={ranks}: {e}"));
+    }
+}
+
+#[test]
+fn irregular_geometric_graph() {
+    let g = geometric(4_000, 9.0, 7);
+    let r = partition(&g, &ParMetisConfig::new(16).with_ranks(8).with_seed(4));
+    validate_partition(&g, &r.part, 16, 1.20).unwrap();
+}
+
+#[test]
+fn k_larger_than_some_rank_blocks() {
+    // k = 32 with 8 ranks on a modest graph: initial partitioning's
+    // nested bisection tree is deeper than the rank tree
+    let g = grid2d(40, 40);
+    let r = partition(&g, &ParMetisConfig::new(32).with_ranks(8).with_seed(5));
+    validate_partition(&g, &r.part, 32, 1.25).unwrap();
+    let used: std::collections::HashSet<u32> = r.part.iter().copied().collect();
+    assert_eq!(used.len(), 32);
+}

@@ -1,0 +1,50 @@
+//! Run all four partitioners of the paper's evaluation on one graph and
+//! compare quality and modeled runtime — a miniature of Fig. 5 +
+//! Tables II/III.
+//!
+//! ```text
+//! cargo run --release --example compare_partitioners [n_vertices]
+//! ```
+
+use gp_metis_repro::gpmetis::{self, GpMetisConfig};
+use gp_metis_repro::graph::gen::delaunay_like;
+use gp_metis_repro::graph::metrics::imbalance;
+use gp_metis_repro::metis::{self, MetisConfig};
+use gp_metis_repro::mtmetis::{self, MtMetisConfig};
+use gp_metis_repro::parmetis::{self, ParMetisConfig};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30_000);
+    let k = 64;
+    let g = delaunay_like(n, 2024);
+    println!("input: {:?}, k = {k}, ub = 1.03\n", g);
+
+    let serial = metis::partition(&g, &MetisConfig::new(k).with_seed(1));
+    let mt = mtmetis::partition(&g, &MtMetisConfig::new(k).with_seed(1));
+    let par = parmetis::partition(&g, &ParMetisConfig::new(k).with_seed(1));
+    let gp = gpmetis::partition(&g, &GpMetisConfig::new(k).with_seed(1)).expect("fits");
+
+    println!(
+        "{:<12} {:>12} {:>10} {:>12} {:>9}",
+        "partitioner", "edge cut", "cut/Metis", "modeled (s)", "speedup"
+    );
+    let base_cut = serial.edge_cut as f64;
+    let base_t = serial.modeled_seconds();
+    for (name, cut, t, im) in [
+        ("Metis", serial.edge_cut, base_t, serial.imbalance),
+        ("ParMetis", par.edge_cut, par.modeled_seconds(), par.imbalance),
+        ("mt-metis", mt.edge_cut, mt.modeled_seconds(), mt.imbalance),
+        ("GP-metis", gp.result.edge_cut, gp.result.modeled_seconds(), gp.result.imbalance),
+    ] {
+        println!(
+            "{:<12} {:>12} {:>10.3} {:>12.5} {:>8.2}x   (imbalance {:.3})",
+            name,
+            cut,
+            cut as f64 / base_cut,
+            t,
+            base_t / t,
+            im
+        );
+    }
+    let _ = imbalance(&g, &gp.result.part, k);
+}

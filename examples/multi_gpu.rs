@@ -1,0 +1,50 @@
+//! The paper's future work, implemented: partitioning a graph that does
+//! not fit one GPU's memory across a cluster of (simulated) GPUs.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu
+//! ```
+
+use gp_metis_repro::gpmetis::multi_gpu::{partition_multi, MultiGpuConfig};
+use gp_metis_repro::gpmetis::{self, GpMetisConfig};
+use gp_metis_repro::gpu::GpuConfig;
+use gp_metis_repro::graph::gen::hugebubbles_like;
+use gp_metis_repro::graph::metrics::{edge_cut, imbalance};
+
+fn main() {
+    let g = hugebubbles_like(100_000);
+    println!("graph: {:?} ({} KiB CSR)", g, g.bytes() / 1024);
+
+    // a deliberately small device: the whole graph's level hierarchy
+    // (~2.5x the CSR) won't fit, but a half/quarter block's will
+    let mut base = GpMetisConfig::new(64).with_seed(3);
+    base.gpu = GpuConfig::tiny(g.bytes() * 11 / 5);
+    println!("device capacity: {} KiB each", base.gpu.mem_capacity / 1024);
+
+    match gpmetis::partition(&g, &base) {
+        Err(e) => println!("single GPU: {e}"),
+        Ok(_) => println!("single GPU: unexpectedly fit"),
+    }
+
+    for devices in [2usize, 4] {
+        let r = match partition_multi(&g, &MultiGpuConfig::new(base.clone(), devices)) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("\n{devices} GPUs: {e}");
+                continue;
+            }
+        };
+        println!(
+            "\n{} GPUs: cut {}  imbalance {:.3}  modeled {:.4}s",
+            devices,
+            edge_cut(&g, &r.result.part),
+            imbalance(&g, &r.result.part, 64),
+            r.result.modeled_seconds()
+        );
+        println!(
+            "  per-device peak memory: {:?} KiB",
+            r.peak_device_bytes.iter().map(|b| b / 1024).collect::<Vec<_>>()
+        );
+        println!("  per-device GPU levels : {:?}", r.gpu_levels);
+    }
+}

@@ -1,0 +1,36 @@
+//! Fill-reducing ordering for sparse direct solvers — the other classic
+//! consumer of graph bisection (ndmetis's job). Orders a FEM matrix graph
+//! with nested dissection and compares the envelope profile against the
+//! natural and random orders.
+//!
+//! ```text
+//! cargo run --release --example sparse_ordering
+//! ```
+
+use gp_metis_repro::graph::gen::ldoor_like;
+use gp_metis_repro::graph::rng::{random_permutation, SplitMix64};
+use gp_metis_repro::metis::ordering::{nested_dissection, profile, NdConfig};
+
+fn main() {
+    let g = ldoor_like(30_000);
+    println!("FEM matrix graph: {:?}", g);
+
+    let natural: Vec<u32> = (0..g.n() as u32).collect();
+    let mut rng = SplitMix64::new(7);
+    let random = random_permutation(g.n(), &mut rng);
+    // dense FEM stencils need bigger leaves: below ~500 vertices the
+    // subgraphs are so well-connected that further dissection only makes
+    // fat separators
+    let nd = nested_dissection(&g, &NdConfig { leaf_size: 500, ..NdConfig::default() });
+
+    println!("\nenvelope profile (lower = less fill):");
+    println!("  natural order      : {:>12}", profile(&g, &natural));
+    println!("  random order       : {:>12}", profile(&g, &random));
+    println!("  nested dissection  : {:>12}", profile(&g, &nd.perm));
+    println!(
+        "\ndissection: {} levels, {} separator vertices ({:.2}% of the graph)",
+        nd.levels,
+        nd.separator_vertices,
+        100.0 * nd.separator_vertices as f64 / g.n() as f64
+    );
+}

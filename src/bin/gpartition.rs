@@ -1,0 +1,179 @@
+//! `gpartition` — command-line partitioner in the style of the Metis
+//! `gpmetis` tool, backed by any of the four engines in this workspace.
+//!
+//! ```text
+//! gpartition <graph.metis> <k> [--algo gpmetis|metis|mtmetis|parmetis]
+//!            [--ub 1.03] [--seed 1] [--threads 8] [--ranks 8]
+//!            [--output out.part] [--quiet]
+//! ```
+//!
+//! The input is a Metis `.graph` file (or a DIMACS9 `.gr` file when the
+//! path ends in `.gr`); the output (with `--output`) is one partition id
+//! per line, in vertex order — the same format Metis writes.
+
+use gp_metis_repro::gpmetis;
+use gp_metis_repro::graph::io;
+use gp_metis_repro::graph::metrics::{comm_volume, edge_cut, imbalance};
+use gp_metis_repro::{metis, mtmetis, parmetis};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Args {
+    input: String,
+    k: usize,
+    algo: String,
+    ub: f64,
+    seed: u64,
+    threads: usize,
+    ranks: usize,
+    output: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gpartition <graph.metis|graph.gr> <k> [--algo gpmetis|metis|mtmetis|parmetis]\n\
+         \x20                [--ub 1.03] [--seed 1] [--threads 8] [--ranks 8]\n\
+         \x20                [--output out.part] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let input = argv.next().unwrap_or_else(|| usage());
+    let k: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+    let mut args = Args {
+        input,
+        k,
+        algo: "gpmetis".into(),
+        ub: 1.03,
+        seed: 1,
+        threads: 8,
+        ranks: 8,
+        output: None,
+        quiet: false,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--algo" => args.algo = argv.next().unwrap_or_else(|| usage()),
+            "--ub" => args.ub = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => {
+                args.seed = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                args.threads = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--ranks" => {
+                args.ranks = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--output" => args.output = Some(argv.next().unwrap_or_else(|| usage())),
+            "--quiet" => args.quiet = true,
+            _ => usage(),
+        }
+    }
+    if args.k < 1 {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let a = parse_args();
+    let g = if a.input.ends_with(".gr") {
+        let f = match std::fs::File::open(&a.input) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot open {}: {e}", a.input);
+                return ExitCode::FAILURE;
+            }
+        };
+        match io::read_dimacs9(std::io::BufReader::new(f)) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match io::read_metis_file(&a.input) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if !a.quiet {
+        eprintln!("read {:?}", g);
+    }
+
+    let (part, modeled, name) = match a.algo.as_str() {
+        "metis" => {
+            let mut c = metis::MetisConfig::new(a.k).with_seed(a.seed);
+            c.ubfactor = a.ub;
+            let r = metis::partition(&g, &c);
+            (r.part, r.ledger.total(), "Metis (serial)")
+        }
+        "mtmetis" => {
+            let mut c = mtmetis::MtMetisConfig::new(a.k).with_threads(a.threads).with_seed(a.seed);
+            c.ubfactor = a.ub;
+            let r = mtmetis::partition(&g, &c);
+            (r.part, r.ledger.total(), "mt-metis (shared-memory)")
+        }
+        "parmetis" => {
+            let mut c = parmetis::ParMetisConfig::new(a.k).with_ranks(a.ranks).with_seed(a.seed);
+            c.ubfactor = a.ub;
+            let r = parmetis::partition(&g, &c);
+            (r.part, r.ledger.total(), "ParMetis (distributed)")
+        }
+        "gpmetis" => {
+            let mut c = gpmetis::GpMetisConfig::new(a.k).with_seed(a.seed);
+            c.ubfactor = a.ub;
+            c.cpu_threads = a.threads;
+            match gpmetis::partition(&g, &c) {
+                Ok(r) => (r.result.part, r.result.ledger.total(), "GP-metis (hybrid CPU-GPU)"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown algorithm {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !a.quiet {
+        eprintln!("algorithm      : {name}");
+        eprintln!("edge cut       : {}", edge_cut(&g, &part));
+        eprintln!("imbalance      : {:.4} (tolerance {:.2})", imbalance(&g, &part, a.k), a.ub);
+        eprintln!("comm volume    : {}", comm_volume(&g, &part));
+        eprintln!("modeled time   : {modeled:.4} s (paper-testbed model)");
+    }
+
+    if let Some(out) = &a.output {
+        let f = match std::fs::File::create(out) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot create {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut w = std::io::BufWriter::new(f);
+        for p in &part {
+            if writeln!(w, "{p}").is_err() {
+                eprintln!("error: write failed");
+                return ExitCode::FAILURE;
+            }
+        }
+        if !a.quiet {
+            eprintln!("wrote {out}");
+        }
+    } else {
+        // summary to stdout so scripts can consume it
+        println!("{} {} {}", a.k, edge_cut(&g, &part), modeled);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the GP-metis reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! cross-crate integration tests have a single dependency, and so a
+//! downstream user can pull the whole system with one `use`.
+//!
+//! * [`graph`] — CSR graphs, generators, I/O, metrics.
+//! * [`gpu`] — the SIMT GPU simulator substrate.
+//! * [`msg`] — the message-passing (MPI stand-in) substrate.
+//! * [`metis`] — the serial multilevel baseline.
+//! * [`mtmetis`] — the shared-memory parallel baseline.
+//! * [`parmetis`] — the distributed-memory baseline.
+//! * [`gpmetis`] — the paper's hybrid CPU-GPU partitioner.
+
+pub use gp_metis as gpmetis;
+pub use gpm_gpu_sim as gpu;
+pub use gpm_graph as graph;
+pub use gpm_metis as metis;
+pub use gpm_msg as msg;
+pub use gpm_mtmetis as mtmetis;
+pub use gpm_parmetis as parmetis;

@@ -1,0 +1,78 @@
+//! Integration test of the `gpartition` command-line tool: write a graph
+//! file, partition it with every engine, read the partition back.
+
+use gp_metis_repro::graph::gen::delaunay_like;
+use gp_metis_repro::graph::io::write_metis_file;
+use gp_metis_repro::graph::metrics::validate_partition;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_gpartition")
+}
+
+#[test]
+fn cli_partitions_with_every_engine() {
+    let dir = std::env::temp_dir().join("gpm_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let g = delaunay_like(2_000, 3);
+    let graph_path = dir.join("g.graph");
+    write_metis_file(&g, &graph_path).unwrap();
+
+    for algo in ["metis", "mtmetis", "parmetis", "gpmetis"] {
+        let part_path = dir.join(format!("g.{algo}.part"));
+        let out = Command::new(bin())
+            .args([
+                graph_path.to_str().unwrap(),
+                "8",
+                "--algo",
+                algo,
+                "--threads",
+                "2",
+                "--ranks",
+                "2",
+                "--quiet",
+                "--output",
+                part_path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("spawn gpartition");
+        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
+        let text = std::fs::read_to_string(&part_path).unwrap();
+        let part: Vec<u32> = text.lines().map(|l| l.parse().unwrap()).collect();
+        validate_partition(&g, &part, 8, 1.30).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        std::fs::remove_file(&part_path).ok();
+    }
+    std::fs::remove_file(&graph_path).ok();
+}
+
+#[test]
+fn cli_summary_line_on_stdout() {
+    let dir = std::env::temp_dir().join("gpm_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let g = delaunay_like(1_000, 5);
+    let graph_path = dir.join("g.graph");
+    write_metis_file(&g, &graph_path).unwrap();
+    let out = Command::new(bin())
+        .args([graph_path.to_str().unwrap(), "4", "--algo", "metis", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let fields: Vec<&str> = stdout.split_whitespace().collect();
+    assert_eq!(fields.len(), 3, "stdout: {stdout}");
+    assert_eq!(fields[0], "4");
+    assert!(fields[1].parse::<u64>().unwrap() > 0); // cut
+    assert!(fields[2].parse::<f64>().unwrap() > 0.0); // modeled seconds
+    std::fs::remove_file(&graph_path).ok();
+}
+
+#[test]
+fn cli_rejects_bad_input() {
+    let out = Command::new(bin())
+        .args(["/nonexistent/x.graph", "4", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(bin()).args(["--help-me"]).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: every partitioner on every evaluation
+//! graph family, checked for structural validity, balance, and sane
+//! quality (far better than a random partition).
+
+use gp_metis_repro::gpmetis::{self, GpMetisConfig};
+use gp_metis_repro::graph::csr::CsrGraph;
+use gp_metis_repro::graph::gen::{PaperGraph, SuiteScale};
+use gp_metis_repro::graph::metrics::{edge_cut, validate_partition};
+use gp_metis_repro::graph::rng::SplitMix64;
+use gp_metis_repro::metis::{self, MetisConfig};
+use gp_metis_repro::mtmetis::{self, MtMetisConfig};
+use gp_metis_repro::parmetis::{self, ParMetisConfig};
+
+const K: usize = 16;
+const TOL: f64 = 1.20; // validation tolerance for tiny graphs
+
+fn tiny_suite() -> Vec<(PaperGraph, CsrGraph)> {
+    gp_metis_repro::graph::gen::paper_suite(SuiteScale::Fraction(0.004), 7)
+}
+
+fn random_cut(g: &CsrGraph, k: usize) -> u64 {
+    let mut rng = SplitMix64::new(123);
+    let part: Vec<u32> = (0..g.n()).map(|_| rng.below(k as u64) as u32).collect();
+    edge_cut(g, &part)
+}
+
+#[test]
+fn metis_on_all_suite_graphs() {
+    for (pg, g) in tiny_suite() {
+        let r = metis::partition(&g, &MetisConfig::new(K).with_seed(1));
+        validate_partition(&g, &r.part, K, TOL).unwrap_or_else(|e| panic!("{}: {e}", pg.name()));
+        assert!(
+            r.edge_cut * 2 < random_cut(&g, K),
+            "{}: cut {} not much better than random",
+            pg.name(),
+            r.edge_cut
+        );
+    }
+}
+
+#[test]
+fn mtmetis_on_all_suite_graphs() {
+    for (pg, g) in tiny_suite() {
+        let r = mtmetis::partition(&g, &MtMetisConfig::new(K).with_threads(4).with_seed(1));
+        validate_partition(&g, &r.part, K, TOL).unwrap_or_else(|e| panic!("{}: {e}", pg.name()));
+        assert!(r.edge_cut * 2 < random_cut(&g, K), "{}", pg.name());
+    }
+}
+
+#[test]
+fn parmetis_on_all_suite_graphs() {
+    for (pg, g) in tiny_suite() {
+        let r = parmetis::partition(&g, &ParMetisConfig::new(K).with_ranks(4).with_seed(1));
+        validate_partition(&g, &r.part, K, 1.30).unwrap_or_else(|e| panic!("{}: {e}", pg.name()));
+        assert!(r.edge_cut * 2 < random_cut(&g, K), "{}", pg.name());
+    }
+}
+
+#[test]
+fn gpmetis_on_all_suite_graphs() {
+    for (pg, g) in tiny_suite() {
+        let cfg = GpMetisConfig::new(K).with_seed(1).with_gpu_threshold(1_500);
+        let r = gpmetis::partition(&g, &cfg).unwrap();
+        validate_partition(&g, &r.result.part, K, TOL)
+            .unwrap_or_else(|e| panic!("{}: {e}", pg.name()));
+        assert!(r.result.edge_cut * 2 < random_cut(&g, K), "{}", pg.name());
+        // the larger graphs must actually exercise the GPU path
+        if g.n() > 10_000 {
+            assert!(r.gpu.gpu_levels > 0, "{}: no GPU levels", pg.name());
+        }
+    }
+}
+
+#[test]
+fn all_partitioners_agree_on_quality_league() {
+    // on the same graph, no partitioner should be more than ~2x worse
+    // than the best of the four (the paper's Table III shape)
+    let g = PaperGraph::Delaunay.generate(SuiteScale::Fraction(0.004), 11);
+    let cuts = [
+        metis::partition(&g, &MetisConfig::new(K).with_seed(2)).edge_cut,
+        mtmetis::partition(&g, &MtMetisConfig::new(K).with_threads(4).with_seed(2)).edge_cut,
+        parmetis::partition(&g, &ParMetisConfig::new(K).with_ranks(4).with_seed(2)).edge_cut,
+        gpmetis::partition(&g, &GpMetisConfig::new(K).with_seed(2).with_gpu_threshold(1_500))
+            .unwrap()
+            .result
+            .edge_cut,
+    ];
+    let best = *cuts.iter().min().unwrap();
+    for (i, &c) in cuts.iter().enumerate() {
+        assert!(c as f64 <= 2.0 * best as f64, "partitioner {i}: cut {c} vs best {best}");
+    }
+}
+
+#[test]
+fn serial_baseline_fully_deterministic() {
+    let g = PaperGraph::UsaRoads.generate(SuiteScale::Fraction(0.004), 5);
+    let a = metis::partition(&g, &MetisConfig::new(8).with_seed(33));
+    let b = metis::partition(&g, &MetisConfig::new(8).with_seed(33));
+    assert_eq!(a.part, b.part);
+    assert_eq!(a.ledger.phases.len(), b.ledger.phases.len());
+}
+
+#[test]
+fn weighted_graph_end_to_end() {
+    // non-uniform vertex and edge weights flow through every partitioner
+    let mut g = PaperGraph::Delaunay.generate(SuiteScale::Fraction(0.003), 9);
+    let mut rng = SplitMix64::new(17);
+    for w in g.vwgt.iter_mut() {
+        *w = 1 + rng.below(4) as u32;
+    }
+    // edge weights must stay symmetric: derive from endpoint ids
+    let weight = |a: u32, b: u32| 1 + ((a.min(b) ^ a.max(b)) % 5);
+    let mut g2 = g.clone();
+    for u in 0..g2.n() as u32 {
+        let (s, e) = (g2.xadj[u as usize] as usize, g2.xadj[u as usize + 1] as usize);
+        for i in s..e {
+            let v = g2.adjncy[i];
+            g2.adjwgt[i] = weight(u, v);
+        }
+    }
+    g2.validate().unwrap();
+    let r = metis::partition(&g2, &MetisConfig::new(8).with_seed(3));
+    validate_partition(&g2, &r.part, 8, 1.25).unwrap();
+    let r2 = gpmetis::partition(&g2, &GpMetisConfig::new(8).with_seed(3).with_gpu_threshold(800))
+        .unwrap();
+    validate_partition(&g2, &r2.result.part, 8, 1.25).unwrap();
+}
+
+#[test]
+fn modeled_times_positive_and_ordered_sanely() {
+    let g = PaperGraph::Hugebubbles.generate(SuiteScale::Fraction(0.004), 3);
+    let serial = metis::partition(&g, &MetisConfig::new(K).with_seed(1));
+    let mt = mtmetis::partition(&g, &MtMetisConfig::new(K).with_seed(1));
+    assert!(serial.modeled_seconds() > 0.0);
+    assert!(mt.modeled_seconds() > 0.0);
+    // 8 modeled threads should comfortably beat 1 modeled core
+    assert!(mt.modeled_seconds() < serial.modeled_seconds());
+}
