@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Hermetic CI gate. Mirrors .github/workflows/ci.yml so the same checks
+# run locally and in CI. Everything runs with --offline: the workspace
+# has path-only dependencies by policy (see DESIGN.md, "Hermetic build
+# policy") and must never reach the network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "build (release, offline, whole workspace)"
+# --workspace matters: a bare `cargo build` at the root builds only the
+# root package and leaves stale bench/eval binaries in target/release.
+cargo build --release --offline --workspace
+
+step "tests (offline)"
+cargo test -q --offline --workspace
+
+step "formatting"
+cargo fmt --check
+
+step "clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+step "hermetic manifest check (no registry dependencies)"
+if grep -rn 'rand\|proptest\|criterion\|crossbeam\|parking_lot' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: registry dependency found in a manifest" >&2
+    exit 1
+fi
+
+step "determinism smoke (two identical evaluation runs)"
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+GPM_SCALE=tiny ./target/release/evaluation > "$smoke/run1.txt"
+GPM_SCALE=tiny ./target/release/evaluation > "$smoke/run2.txt"
+if ! diff -u "$smoke/run1.txt" "$smoke/run2.txt"; then
+    echo "ERROR: evaluation output differs between identical runs" >&2
+    exit 1
+fi
+echo "evaluation output is bit-identical across runs"
+
+step "bench harness smoke (JSON timings)"
+GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke" \
+    cargo bench --offline -p gpm-bench --bench phases
+test -s "$smoke/BENCH_phases.json"
+echo "BENCH_phases.json written and non-empty"
+
+printf '\nci.sh: all checks passed\n'

@@ -1,48 +1,34 @@
-//! Criterion end-to-end benchmarks: all four partitioners on a small
-//! evaluation graph (wall time of the implementations; the paper-shape
-//! comparison uses the modeled times in the `evaluation` binary).
+//! End-to-end benchmarks: all four partitioners on a small evaluation
+//! graph (wall time of the implementations; the paper-shape comparison
+//! uses the modeled times in the `evaluation` binary). Runs on the
+//! `gpm-testkit` bench harness; writes `BENCH_end_to_end.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpm_graph::gen::delaunay_like;
+use gpm_testkit::bench::{scaled, BenchSuite};
 
-fn bench_partitioners(c: &mut Criterion) {
-    let g = delaunay_like(10_000, 42);
+fn main() {
+    let n = scaled(10_000);
+    let g = delaunay_like(n, 42);
     let k = 16;
-    let mut group = c.benchmark_group("end_to_end_10k_k16");
-    group.bench_function("metis", |b| {
-        b.iter(|| gpm_metis::partition(&g, &gpm_metis::MetisConfig::new(k).with_seed(1)))
+    let mut b = BenchSuite::new("end_to_end");
+    b.run(&format!("end_to_end/{n}/k{k}/metis"), || {
+        gpm_metis::partition(&g, &gpm_metis::MetisConfig::new(k).with_seed(1))
     });
-    group.bench_function("mtmetis", |b| {
-        b.iter(|| {
-            gpm_mtmetis::partition(
-                &g,
-                &gpm_mtmetis::MtMetisConfig::new(k).with_threads(4).with_seed(1),
-            )
-        })
+    b.run(&format!("end_to_end/{n}/k{k}/mtmetis"), || {
+        gpm_mtmetis::partition(&g, &gpm_mtmetis::MtMetisConfig::new(k).with_threads(4).with_seed(1))
     });
-    group.bench_function("parmetis", |b| {
-        b.iter(|| {
-            gpm_parmetis::partition(
-                &g,
-                &gpm_parmetis::ParMetisConfig::new(k).with_ranks(4).with_seed(1),
-            )
-        })
+    b.run(&format!("end_to_end/{n}/k{k}/parmetis"), || {
+        gpm_parmetis::partition(
+            &g,
+            &gpm_parmetis::ParMetisConfig::new(k).with_ranks(4).with_seed(1),
+        )
     });
-    group.bench_function("gpmetis", |b| {
-        b.iter(|| {
-            gp_metis::partition(
-                &g,
-                &gp_metis::GpMetisConfig::new(k).with_seed(1).with_gpu_threshold(2_000),
-            )
-            .unwrap()
-        })
+    b.run(&format!("end_to_end/{n}/k{k}/gpmetis"), || {
+        gp_metis::partition(
+            &g,
+            &gp_metis::GpMetisConfig::new(k).with_seed(1).with_gpu_threshold(2_000),
+        )
+        .unwrap()
     });
-    group.finish();
+    b.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_partitioners
-);
-criterion_main!(benches);

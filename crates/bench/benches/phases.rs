@@ -1,8 +1,8 @@
-//! Criterion microbenchmarks of the multilevel phases (real wall time of
-//! the implementations on this machine, complementing the modeled-time
-//! tables).
+//! Microbenchmarks of the multilevel phases (real wall time of the
+//! implementations on this machine, complementing the modeled-time
+//! tables). Runs on the `gpm-testkit` bench harness; writes
+//! `BENCH_phases.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpm_graph::gen::delaunay_like;
 use gpm_graph::rng::SplitMix64;
 use gpm_metis::contract::contract;
@@ -11,78 +11,69 @@ use gpm_metis::fm::{fm_refine, BisectTargets};
 use gpm_metis::gggp::gggp_bisect;
 use gpm_metis::kway::kway_refine;
 use gpm_metis::matching::{find_matching, MatchScheme};
+use gpm_testkit::bench::{scaled, BenchSuite};
 
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("serial_matching");
-    for n in [5_000usize, 20_000] {
+fn bench_matching(b: &mut BenchSuite) {
+    for n in [scaled(5_000), scaled(20_000)] {
         let g = delaunay_like(n, 1);
-        group.bench_with_input(BenchmarkId::new("hem", n), &g, |b, g| {
-            b.iter(|| {
-                let mut rng = SplitMix64::new(7);
-                let mut w = Work::default();
-                find_matching(g, MatchScheme::Hem, u32::MAX, &mut rng, &mut w)
-            })
+        b.run(&format!("serial_matching/hem/{n}"), || {
+            let mut rng = SplitMix64::new(7);
+            let mut w = Work::default();
+            find_matching(&g, MatchScheme::Hem, u32::MAX, &mut rng, &mut w)
         });
     }
-    group.finish();
 }
 
-fn bench_contract(c: &mut Criterion) {
-    let mut group = c.benchmark_group("serial_contract");
-    for n in [5_000usize, 20_000] {
+fn bench_contract(b: &mut BenchSuite) {
+    for n in [scaled(5_000), scaled(20_000)] {
         let g = delaunay_like(n, 1);
         let mut rng = SplitMix64::new(7);
         let mut w = Work::default();
         let mat = find_matching(&g, MatchScheme::Hem, u32::MAX, &mut rng, &mut w);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(g, mat), |b, (g, mat)| {
-            b.iter(|| {
-                let mut w = Work::default();
-                contract(g, mat, &mut w)
-            })
+        b.run(&format!("serial_contract/{n}"), || {
+            let mut w = Work::default();
+            contract(&g, &mat, &mut w)
         });
     }
-    group.finish();
 }
 
-fn bench_bisection(c: &mut Criterion) {
-    let g = delaunay_like(5_000, 2);
+fn bench_bisection(b: &mut BenchSuite) {
+    let n = scaled(5_000);
+    let g = delaunay_like(n, 2);
     let targets = BisectTargets::even(g.total_vwgt(), 1.03);
-    c.bench_function("gggp_bisect_5k", |b| {
-        b.iter(|| {
-            let mut rng = SplitMix64::new(3);
-            let mut w = Work::default();
-            gggp_bisect(&g, &targets, 2, 4, &mut rng, &mut w)
-        })
+    b.run(&format!("gggp_bisect/{n}"), || {
+        let mut rng = SplitMix64::new(3);
+        let mut w = Work::default();
+        gggp_bisect(&g, &targets, 2, 4, &mut rng, &mut w)
     });
-    c.bench_function("fm_refine_5k", |b| {
-        let mut rng = SplitMix64::new(4);
-        let part: Vec<u32> = (0..g.n()).map(|_| (rng.next_u64() & 1) as u32).collect();
-        b.iter(|| {
-            let mut p = part.clone();
-            let mut w = Work::default();
-            fm_refine(&g, &mut p, &targets, 4, &mut w)
-        })
+    let mut rng = SplitMix64::new(4);
+    let part: Vec<u32> = (0..g.n()).map(|_| (rng.next_u64() & 1) as u32).collect();
+    b.run(&format!("fm_refine/{n}"), || {
+        let mut p = part.clone();
+        let mut w = Work::default();
+        fm_refine(&g, &mut p, &targets, 4, &mut w)
     });
 }
 
-fn bench_kway_refine(c: &mut Criterion) {
-    let g = delaunay_like(10_000, 5);
+fn bench_kway_refine(b: &mut BenchSuite) {
+    let n = scaled(10_000);
+    let g = delaunay_like(n, 5);
     let k = 16;
     let mut rng = SplitMix64::new(9);
     let part: Vec<u32> = (0..g.n()).map(|_| rng.below(k as u64) as u32).collect();
-    c.bench_function("kway_refine_10k_k16", |b| {
-        b.iter(|| {
-            let mut p = part.clone();
-            let mut rng = SplitMix64::new(11);
-            let mut w = Work::default();
-            kway_refine(&g, &mut p, k, 1.03, 4, &mut rng, &mut w)
-        })
+    b.run(&format!("kway_refine/{n}/k{k}"), || {
+        let mut p = part.clone();
+        let mut rng = SplitMix64::new(11);
+        let mut w = Work::default();
+        kway_refine(&g, &mut p, k, 1.03, 4, &mut rng, &mut w)
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_matching, bench_contract, bench_bisection, bench_kway_refine
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = BenchSuite::new("phases");
+    bench_matching(&mut b);
+    bench_contract(&mut b);
+    bench_bisection(&mut b);
+    bench_kway_refine(&mut b);
+    b.finish();
+}

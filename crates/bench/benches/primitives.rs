@@ -1,58 +1,50 @@
-//! Criterion microbenchmarks of the GPU-simulator substrate: device scan,
-//! reduce, and kernel-launch machinery (host execution speed of the
-//! simulation itself).
+//! Microbenchmarks of the GPU-simulator substrate: device scan, reduce,
+//! and kernel-launch machinery (host execution speed of the simulation
+//! itself). Runs on the `gpm-testkit` bench harness; writes
+//! `BENCH_primitives.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpm_gpu_sim::{exclusive_scan_u32, inclusive_scan_u32, reduce_sum_u32, Device, GpuConfig};
+use gpm_testkit::bench::{scaled, BenchSuite};
 
-fn bench_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("device_scan");
-    for n in [10_000usize, 100_000] {
-        group.bench_with_input(BenchmarkId::new("inclusive", n), &n, |b, &n| {
-            let dev = Device::new(GpuConfig::gtx_titan());
-            let data: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
-            b.iter(|| {
-                let buf = dev.h2d(&data).unwrap();
-                inclusive_scan_u32(&dev, &buf).unwrap()
-            })
+fn bench_scan(b: &mut BenchSuite) {
+    for n in [scaled(10_000), scaled(100_000)] {
+        let dev = Device::new(GpuConfig::gtx_titan());
+        let data: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
+        b.run(&format!("device_scan/inclusive/{n}"), || {
+            let buf = dev.h2d(&data).unwrap();
+            inclusive_scan_u32(&dev, &buf).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("exclusive", n), &n, |b, &n| {
-            let dev = Device::new(GpuConfig::gtx_titan());
-            let data: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
-            b.iter(|| {
-                let buf = dev.h2d(&data).unwrap();
-                exclusive_scan_u32(&dev, &buf).unwrap()
-            })
+        b.run(&format!("device_scan/exclusive/{n}"), || {
+            let buf = dev.h2d(&data).unwrap();
+            exclusive_scan_u32(&dev, &buf).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_reduce(c: &mut Criterion) {
+fn bench_reduce(b: &mut BenchSuite) {
+    let n = scaled(100_000);
     let dev = Device::new(GpuConfig::gtx_titan());
-    let data: Vec<u32> = vec![3; 100_000];
+    let data: Vec<u32> = vec![3; n];
     let buf = dev.h2d(&data).unwrap();
-    c.bench_function("device_reduce_sum_100k", |b| {
-        b.iter(|| reduce_sum_u32(&dev, &buf).unwrap())
-    });
+    b.run(&format!("device_reduce_sum/{n}"), || reduce_sum_u32(&dev, &buf).unwrap());
 }
 
-fn bench_kernel_launch(c: &mut Criterion) {
+fn bench_kernel_launch(b: &mut BenchSuite) {
+    let n = scaled(100_000);
     let dev = Device::new(GpuConfig::gtx_titan());
-    let buf = dev.alloc::<u32>(100_000).unwrap();
-    c.bench_function("kernel_saxpy_like_100k", |b| {
-        b.iter(|| {
-            dev.launch("bench", 100_000, |lane| {
-                let v = lane.ld(&buf, lane.tid);
-                lane.st(&buf, lane.tid, v.wrapping_mul(3).wrapping_add(1));
-            })
+    let buf = dev.alloc::<u32>(n).unwrap();
+    b.run(&format!("kernel_saxpy_like/{n}"), || {
+        dev.launch("bench", n, |lane| {
+            let v = lane.ld(&buf, lane.tid);
+            lane.st(&buf, lane.tid, v.wrapping_mul(3).wrapping_add(1));
         })
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_scan, bench_reduce, bench_kernel_launch
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = BenchSuite::new("primitives");
+    bench_scan(&mut b);
+    bench_reduce(&mut b);
+    bench_kernel_launch(&mut b);
+    b.finish();
+}

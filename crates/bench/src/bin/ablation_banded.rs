@@ -20,9 +20,9 @@ fn main() {
     // an unrefined starting point: partition, then perturb the boundary
     let base = gpm_metis::partition(&g, &gpm_metis::MetisConfig::new(k).with_seed(2));
     let mut start = base.part.clone();
-    for u in 0..g.n() {
+    for (u, p) in start.iter_mut().enumerate() {
         if u % 29 == 0 {
-            start[u] = (start[u] + 1) % k as u32;
+            *p = (*p + 1) % k as u32;
         }
     }
     let model = CpuModel::serial();

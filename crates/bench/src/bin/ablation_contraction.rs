@@ -12,10 +12,7 @@ use gpm_graph::gen::{delaunay_like, ldoor_like, usa_roads_like};
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
-    println!(
-        "{:<14} {:>14} {:>14} {:>10}",
-        "graph", "sort-merge", "hash-table", "hash wins"
-    );
+    println!("{:<14} {:>14} {:>14} {:>10}", "graph", "sort-merge", "hash-table", "hash wins");
     let graphs: Vec<(&str, gpm_graph::CsrGraph)> = vec![
         ("ldoor-like", ldoor_like(n / 4)),
         ("delaunay-like", delaunay_like(n, 1)),

@@ -21,15 +21,9 @@ fn main() {
     println!("delaunay-like n={} m={}, k={k}\n", natural.n(), natural.m());
     println!("{:<12} {:>12} {:>12} {:>12}", "ordering", "ParMetis", "GP-Metis", "mt-metis");
     for (name, g) in [("natural", &natural), ("shuffled", &shuffled), ("bfs", &restored)] {
-        let par = gpm_parmetis::partition(
-            g,
-            &gpm_parmetis::ParMetisConfig::new(k).with_seed(1),
-        );
+        let par = gpm_parmetis::partition(g, &gpm_parmetis::ParMetisConfig::new(k).with_seed(1));
         let gp = gp_metis::partition(g, &gp_metis::GpMetisConfig::new(k).with_seed(1)).unwrap();
-        let mt = gpm_mtmetis::partition(
-            g,
-            &gpm_mtmetis::MtMetisConfig::new(k).with_seed(1),
-        );
+        let mt = gpm_mtmetis::partition(g, &gpm_mtmetis::MtMetisConfig::new(k).with_seed(1));
         println!(
             "{:<12} {:>11.4}s {:>11.4}s {:>11.4}s",
             name,

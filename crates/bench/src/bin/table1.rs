@@ -12,8 +12,8 @@ fn main() {
     let cfg = EvalConfig::from_env();
     println!("Table I — Input graphs (generated stand-ins at scale {:?})", cfg.scale);
     println!(
-        "{:<12} {:>12} {:>12} {:>9} | {:>12} {:>12}  {}",
-        "Graph", "Vertices", "Edges", "AvgDeg", "Paper |V|", "Paper |E|", "Description"
+        "{:<12} {:>12} {:>12} {:>9} | {:>12} {:>12}  Description",
+        "Graph", "Vertices", "Edges", "AvgDeg", "Paper |V|", "Paper |E|"
     );
     for pg in PaperGraph::ALL {
         let g = pg.generate(cfg.scale, cfg.seed);

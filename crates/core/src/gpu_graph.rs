@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn cyclic_assignment_covers_all() {
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for t in 0..8 {
             for u in assigned_vertices(Distribution::Cyclic, t, 8, 103) {
                 assert!(!seen[u]);
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn blocked_assignment_covers_all() {
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for t in 0..8 {
             for u in assigned_vertices(Distribution::Blocked, t, 8, 103) {
                 assert!(!seen[u]);

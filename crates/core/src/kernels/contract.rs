@@ -74,11 +74,7 @@ pub fn gpu_contract(
             let u = lane.ld(&rep_of, c) as usize;
             let v = lane.ld(mat, u) as usize;
             let du = lane.ld(&g.xadj, u + 1) - lane.ld(&g.xadj, u);
-            let dv = if v != u {
-                lane.ld(&g.xadj, v + 1) - lane.ld(&g.xadj, v)
-            } else {
-                0
-            };
+            let dv = if v != u { lane.ld(&g.xadj, v + 1) - lane.ld(&g.xadj, v) } else { 0 };
             total += du + dv;
         }
         lane.st(&temp, lane.tid, total);
@@ -167,7 +163,14 @@ pub fn gpu_contract(
     });
     // temp, temp2, tmp_adjncy, tmp_adjwgt, rep_of are freed on drop here —
     // the paper's "we can free the arrays at the end of the contraction".
-    Ok(GpuCsr { n: nc, m2: final_total, xadj: cxadj, adjncy: cadjncy, adjwgt: cadjwgt, vwgt: cvwgt })
+    Ok(GpuCsr {
+        n: nc,
+        m2: final_total,
+        xadj: cxadj,
+        adjncy: cadjncy,
+        adjwgt: cadjwgt,
+        vwgt: cvwgt,
+    })
 }
 
 /// Sort-merge strategy: sort the scratch row by coarse id, combine equal
@@ -211,9 +214,10 @@ fn merge_by_hash(lane: &mut Lane, scratch: &mut Vec<(u32, u32)>) -> usize {
     let mut table: Vec<(u32, u32)> = vec![(0, 0); cap];
     let mut keys_in_order: Vec<u32> = Vec::with_capacity(len);
     let mut probes = 0u64;
-    for idx in 0..len {
-        let (c, w) = scratch[idx];
-        let mut h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize >> (64 - cap.trailing_zeros()) as usize & mask;
+    for &(c, w) in scratch.iter() {
+        let mut h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
+            >> (64 - cap.trailing_zeros()) as usize
+            & mask;
         loop {
             probes += 1; // one probe of the clustered table (local memory)
             let (k, _) = table[h];
@@ -232,7 +236,9 @@ fn merge_by_hash(lane: &mut Lane, scratch: &mut Vec<(u32, u32)>) -> usize {
     lane.local_mem(2 * probes + len as u64);
     scratch.clear();
     for &c in &keys_in_order {
-        let mut h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize >> (64 - cap.trailing_zeros()) as usize & mask;
+        let mut h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
+            >> (64 - cap.trailing_zeros()) as usize
+            & mask;
         loop {
             let (k, w) = table[h];
             if k == c + 1 {
@@ -275,8 +281,7 @@ mod tests {
         .unwrap();
         let mat = dmat.to_vec();
         let (dcmap, nc) = gpu_cmap(&dev, &dmat, Distribution::Cyclic, 2048).unwrap();
-        let coarse_dev =
-            gpu_contract(&dev, &gg, &dmat, &dcmap, nc, strategy, 512).unwrap();
+        let coarse_dev = gpu_contract(&dev, &gg, &dmat, &dcmap, nc, strategy, 512).unwrap();
         let coarse = coarse_dev.download(&dev);
         coarse.validate().unwrap();
 

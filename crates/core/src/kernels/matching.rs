@@ -144,17 +144,9 @@ mod tests {
         let dev = Device::new(GpuConfig::gtx_titan());
         let gg = GpuCsr::upload(&dev, g).unwrap();
         let uniform = g.uniform_edge_weights();
-        let (mat, _) = gpu_matching(
-            &dev,
-            &gg,
-            u32::MAX,
-            rounds,
-            uniform,
-            42,
-            Distribution::Cyclic,
-            1 << 14,
-        )
-        .unwrap();
+        let (mat, _) =
+            gpu_matching(&dev, &gg, u32::MAX, rounds, uniform, 42, Distribution::Cyclic, 1 << 14)
+                .unwrap();
         mat.to_vec()
     }
 
@@ -206,8 +198,7 @@ mod tests {
         }
         let dev = Device::new(GpuConfig::gtx_titan());
         let gg = GpuCsr::upload(&dev, &g).unwrap();
-        let (mat, _) =
-            gpu_matching(&dev, &gg, 15, 3, true, 3, Distribution::Cyclic, 4096).unwrap();
+        let (mat, _) = gpu_matching(&dev, &gg, 15, 3, true, 3, Distribution::Cyclic, 4096).unwrap();
         assert!(mat.to_vec().iter().enumerate().all(|(u, &v)| u as u32 == v));
     }
 

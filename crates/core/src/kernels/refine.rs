@@ -67,6 +67,12 @@ pub fn gpu_refine(
     let req_gain = dev.alloc::<u32>(k * cap)?;
     let bufsize = dev.alloc::<u32>(k)?;
     let moved = dev.alloc::<u32>(1)?;
+    // frozen copy of pw taken between the request and explore kernels:
+    // sibling explore threads decrement pw[q] for departing vertices, so
+    // a live read would make acceptance near maxw depend on warp
+    // scheduling; the snapshot (plus own additions) is conservative but
+    // identical on every run
+    let pw0 = dev.alloc::<u32>(k)?;
 
     for pass in 0..max_passes {
         stats.passes += 1;
@@ -114,8 +120,7 @@ pub fn gpu_refine(
                     if !boundary {
                         continue;
                     }
-                    let w_own =
-                        parts[..np].iter().position(|&x| x == pu).map_or(0, |j| wgts[j]);
+                    let w_own = parts[..np].iter().position(|&x| x == pu).map_or(0, |j| wgts[j]);
                     let vw = lane.ld(&g.vwgt, u);
                     let mut best: Option<(u32, i64)> = None;
                     for j in 0..np {
@@ -124,8 +129,8 @@ pub fn gpu_refine(
                             continue;
                         }
                         let gain = wgts[j] - w_own;
-                        let improves_balance = lane.ld(pw, q as usize) + vw
-                            < lane.ld(pw, pu as usize);
+                        let improves_balance =
+                            lane.ld(pw, q as usize) + vw < lane.ld(pw, pu as usize);
                         if gain > 0 || (gain == 0 && improves_balance) {
                             match best {
                                 Some((_, bg)) if bg >= gain => {}
@@ -143,24 +148,31 @@ pub fn gpu_refine(
                     }
                 }
             });
+            // snapshot kernel: freeze pw before the explore threads race
+            dev.launch("gp:refine:snapshot", k, |lane| {
+                let v = lane.ld(pw, lane.tid);
+                lane.st(&pw0, lane.tid, v);
+            });
             // --- explore kernel: one thread per partition -----------------
             dev.launch("gp:refine:explore", k, |lane| {
                 let q = lane.tid;
                 let submitted = lane.ld(&bufsize, q) as usize;
                 let cnt = submitted.min(cap);
-                // read and sort this partition's requests by gain (desc)
+                // read and sort this partition's requests by gain (desc);
+                // vertex id breaks gain ties so the commit order does not
+                // depend on the atomic slot-claim order
                 let mut reqs: Vec<(u32, u32)> = Vec::with_capacity(cnt);
                 for i in 0..cnt {
                     let gain = lane.ld(&req_gain, q * cap + i);
                     let v = lane.ld(&req_vertex, q * cap + i);
                     reqs.push((gain, v));
                 }
-                reqs.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+                reqs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
                 lane.local_mem((cnt as u64) * (usize::BITS - cnt.leading_zeros()) as u64);
-                // conservative local view of q's weight: starting value
-                // plus own additions (concurrent explore threads only ever
-                // *decrement* pw[q], so the cap check stays safe)
-                let mut myw = lane.ld(pw, q);
+                // conservative local view of q's weight: frozen starting
+                // value plus own additions (concurrent explore threads only
+                // ever *decrement* pw[q], so the cap check stays safe)
+                let mut myw = lane.ld(&pw0, q);
                 for &(_gain, u) in &reqs {
                     let vw = lane.ld(&g.vwgt, u as usize);
                     if myw + vw > maxw {
@@ -267,7 +279,7 @@ mod tests {
         let d = dev();
         let g = grid2d(4, 4);
         let gg = GpuCsr::upload(&d, &g).unwrap();
-        let part = d.h2d(&vec![0u32, 1].repeat(8)).unwrap();
+        let part = d.h2d(&[0u32, 1].repeat(8)).unwrap();
         let pw = gpu_part_weights(&d, &gg, &part, 2, Distribution::Cyclic, 64).unwrap();
         assert_eq!(pw.to_vec(), vec![8, 8]);
     }
@@ -284,8 +296,7 @@ mod tests {
         let part = d.h2d(&init).unwrap();
         let pw = gpu_part_weights(&d, &gg, &part, k, Distribution::Cyclic, 512).unwrap();
         let maxw = max_part_weight(g.total_vwgt(), k, 1.05) as u32;
-        let stats =
-            gpu_refine(&d, &gg, &part, &pw, k, maxw, 8, Distribution::Cyclic, 512).unwrap();
+        let stats = gpu_refine(&d, &gg, &part, &pw, k, maxw, 8, Distribution::Cyclic, 512).unwrap();
         let after_part = part.to_vec();
         let after = edge_cut(&g, &after_part);
         assert!(after < before, "{before} -> {after}");
@@ -303,7 +314,8 @@ mod tests {
         let g = delaunay_like(400, 9);
         let k = 4;
         // heavily unbalanced start: most vertices in part 0
-        let init: Vec<u32> = (0..g.n()).map(|u| if u % 10 == 0 { (u % 4) as u32 } else { 0 }).collect();
+        let init: Vec<u32> =
+            (0..g.n()).map(|u| if u % 10 == 0 { (u % 4) as u32 } else { 0 }).collect();
         let d = dev();
         let gg = GpuCsr::upload(&d, &g).unwrap();
         let part = d.h2d(&init).unwrap();
@@ -328,8 +340,7 @@ mod tests {
         let pw = gpu_part_weights(&d, &gg, &part, 2, Distribution::Cyclic, 64).unwrap();
         let maxw = max_part_weight(g.total_vwgt(), 2, 1.03) as u32;
         let before = edge_cut(&g, &init);
-        let stats =
-            gpu_refine(&d, &gg, &part, &pw, 2, maxw, 10, Distribution::Cyclic, 64).unwrap();
+        let stats = gpu_refine(&d, &gg, &part, &pw, 2, maxw, 10, Distribution::Cyclic, 64).unwrap();
         assert!(stats.passes <= 3);
         assert!(edge_cut(&g, &part.to_vec()) <= before);
     }

@@ -126,8 +126,7 @@ pub fn partition_multi(g: &CsrGraph, cfg: &MultiGpuConfig) -> Result<MultiGpuRes
         });
     }
     // devices ran concurrently: charge the slowest
-    let coarsen_max =
-        states.iter().map(|s| s.dev.elapsed()).fold(0.0f64, f64::max);
+    let coarsen_max = states.iter().map(|s| s.dev.elapsed()).fold(0.0f64, f64::max);
     ledger.seconds("gpu:coarsen(multi,max)", coarsen_max);
 
     // --- merge the coarse subgraphs + cross edges on the host -----------
@@ -189,9 +188,8 @@ pub fn partition_multi(g: &CsrGraph, cfg: &MultiGpuConfig) -> Result<MultiGpuRes
     let mut transfer_bytes = 0u64;
     for (i, s) in states.iter().enumerate() {
         let before = s.dev.elapsed();
-        let slice: Vec<u32> = (offsets[i]..offsets[i + 1])
-            .map(|c| merged_part[c as usize])
-            .collect();
+        let slice: Vec<u32> =
+            (offsets[i]..offsets[i + 1]).map(|c| merged_part[c as usize]).collect();
         let dpart = s.dev.h2d(&slice)?;
         let (dpart, _) = gpu_uncoarsen_loop(&s.dev, &s.levels, dpart, maxw, base)?;
         let fine = s.dev.d2h(&dpart);

@@ -1,0 +1,23 @@
+//! Run-to-run reproducibility of the heterogeneous partitioner: for a
+//! fixed seed the partition, cut, and modeled time must be identical on
+//! every run — the GPU kernels and the CPU middle phase both promise
+//! seeded determinism, and the evaluation harness's twice-run smoke
+//! depends on it.
+
+use gp_metis::{partition, GpMetisConfig};
+use gpm_graph::gen::delaunay_like;
+
+#[test]
+fn partition_is_reproducible_across_runs() {
+    let g = delaunay_like(4_000, 2);
+    let mut cfg = GpMetisConfig::new(16).with_seed(11).with_gpu_threshold(1_000);
+    cfg.cpu_threads = 8;
+    let a = partition(&g, &cfg).unwrap();
+    assert!(a.gpu.gpu_levels > 0, "test must exercise the GPU phase");
+    for _ in 0..2 {
+        let b = partition(&g, &cfg).unwrap();
+        assert_eq!(a.result.part, b.result.part);
+        assert_eq!(a.result.edge_cut, b.result.edge_cut);
+        assert_eq!(a.result.modeled_seconds(), b.result.modeled_seconds());
+    }
+}

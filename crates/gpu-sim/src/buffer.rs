@@ -114,7 +114,12 @@ impl<T: DeviceWord> DBuf<T> {
     #[inline]
     pub fn cas(&self, i: usize, current: T, new: T) -> Result<T, T> {
         self.cells[i]
-            .compare_exchange(current.to_bits(), new.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            .compare_exchange(
+                current.to_bits(),
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
             .map(T::from_bits)
             .map_err(T::from_bits)
     }

@@ -97,8 +97,7 @@ impl GpuConfig {
     /// Seconds for `transactions` memory transactions when bandwidth-bound
     /// (full occupancy).
     pub fn mem_seconds(&self, transactions: u64) -> f64 {
-        transactions as f64 * self.segment_bytes as f64
-            / (self.mem_bandwidth * self.mem_efficiency)
+        transactions as f64 * self.segment_bytes as f64 / (self.mem_bandwidth * self.mem_efficiency)
     }
 
     /// Seconds for `transactions` memory transactions given `warps` in the
@@ -107,8 +106,7 @@ impl GpuConfig {
     /// hidden behind other warps, so small kernels pay
     /// `transactions * latency / concurrency`.
     pub fn mem_seconds_occupancy(&self, transactions: u64, warps: u64) -> f64 {
-        let resident =
-            (warps.max(1) as f64).min((self.num_sms * self.max_warps_per_sm) as f64);
+        let resident = (warps.max(1) as f64).min((self.num_sms * self.max_warps_per_sm) as f64);
         let concurrency = resident * self.mlp_per_warp as f64;
         let latency_bound = transactions as f64 * self.mem_latency / concurrency;
         self.mem_seconds(transactions).max(latency_bound)

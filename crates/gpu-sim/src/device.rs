@@ -3,9 +3,9 @@
 use crate::buffer::{DBuf, DeviceWord};
 use crate::config::GpuConfig;
 use crate::lane::Lane;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Device memory exhausted — the paper's central constraint ("currently we
 /// assume the graph size is small enough to fit into the GPU's memory").
@@ -138,7 +138,7 @@ impl Device {
         let buf = self.alloc::<T>(data.len())?;
         buf.copy_from_slice(data);
         let secs = self.cfg.transfer_seconds(buf.bytes());
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.clock += secs;
         st.transfers.push(("h2d".into(), buf.bytes(), secs));
         Ok(buf)
@@ -147,7 +147,7 @@ impl Device {
     /// Device-to-host transfer, charging PCIe time.
     pub fn d2h<T: DeviceWord>(&self, buf: &DBuf<T>) -> Vec<T> {
         let secs = self.cfg.transfer_seconds(buf.bytes());
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.clock += secs;
         st.transfers.push(("d2h".into(), buf.bytes(), secs));
         drop(st);
@@ -156,12 +156,12 @@ impl Device {
 
     /// Simulated device time elapsed (kernels + transfers), in seconds.
     pub fn elapsed(&self) -> f64 {
-        self.state.lock().clock
+        self.state.lock().unwrap().clock
     }
 
     /// All kernel launches so far (cloned).
     pub fn kernel_log(&self) -> Vec<KernelStats> {
-        self.state.lock().log.clone()
+        self.state.lock().unwrap().log.clone()
     }
 
     /// Per-kernel-name aggregation of the launch log: launches, modeled
@@ -170,7 +170,7 @@ impl Device {
     pub fn kernel_summary(&self) -> Vec<KernelSummary> {
         let mut agg: std::collections::BTreeMap<String, KernelSummary> =
             std::collections::BTreeMap::new();
-        for k in self.state.lock().log.iter() {
+        for k in self.state.lock().unwrap().log.iter() {
             let e = agg.entry(k.name.clone()).or_insert_with(|| KernelSummary {
                 name: k.name.clone(),
                 launches: 0,
@@ -192,12 +192,12 @@ impl Device {
 
     /// Total PCIe transfer seconds so far.
     pub fn transfer_seconds_total(&self) -> f64 {
-        self.state.lock().transfers.iter().map(|&(_, _, s)| s).sum()
+        self.state.lock().unwrap().transfers.iter().map(|&(_, _, s)| s).sum()
     }
 
     /// Total PCIe bytes moved so far.
     pub fn transfer_bytes_total(&self) -> u64 {
-        self.state.lock().transfers.iter().map(|&(_, b, _)| b).sum()
+        self.state.lock().unwrap().transfers.iter().map(|&(_, b, _)| b).sum()
     }
 
     /// Launch `n_threads` copies of `kernel`, grouped into warps of 32.
@@ -212,7 +212,7 @@ impl Device {
         F: Fn(&mut Lane) + Sync,
     {
         let ws = self.cfg.warp_size;
-        let n_warps = n_threads.div_ceil(ws).max(0);
+        let n_warps = n_threads.div_ceil(ws);
         let next_warp = AtomicUsize::new(0);
         let workers = self.cfg.host_workers.max(1).min(n_warps.max(1));
 
@@ -290,7 +290,7 @@ impl Device {
                             local.lane_instr += lane_instrs.iter().sum::<u64>();
                         }
                     }
-                    let mut t = total.lock();
+                    let mut t = total.lock().unwrap();
                     t.warp_instr += local.warp_instr;
                     t.lane_instr += local.lane_instr;
                     t.transactions += local.transactions;
@@ -299,7 +299,7 @@ impl Device {
             }
         });
 
-        let acc = total.into_inner();
+        let acc = total.into_inner().unwrap();
         let mem_seconds = self.cfg.mem_seconds_occupancy(acc.transactions, n_warps as u64);
         let compute_seconds = self.cfg.compute_seconds(acc.warp_instr);
         let seconds = mem_seconds.max(compute_seconds) + self.cfg.kernel_launch_overhead;
@@ -315,7 +315,7 @@ impl Device {
             compute_seconds,
             seconds,
         };
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.clock += seconds;
         st.log.push(stats.clone());
         stats

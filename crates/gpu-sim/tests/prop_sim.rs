@@ -1,74 +1,104 @@
 //! Property tests of the GPU simulator: primitives agree with host
 //! references for arbitrary inputs, and the accounting invariants hold.
+//! (Runs on the in-repo `gpm-testkit` harness.)
 
 use gpm_gpu_sim::{
     exclusive_scan_u32, inclusive_scan_u32, reduce_max_u32, reduce_sum_u32, Device, GpuConfig,
 };
-use proptest::prelude::*;
+use gpm_testkit::{check, tk_assert, tk_assert_eq};
 
 fn dev() -> Device {
     Device::new(GpuConfig::gtx_titan())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn inclusive_scan_matches_host(data in prop::collection::vec(0u32..1000, 0..2000)) {
+#[test]
+fn inclusive_scan_matches_host() {
+    check("inclusive_scan_matches_host", 32, |src| {
+        let data = src.vec_of(0, 2000, |s| s.u32_in(0, 1000));
         let d = dev();
         let buf = d.h2d(&data).unwrap();
         let total = inclusive_scan_u32(&d, &buf).unwrap();
         let mut acc = 0u32;
-        let expect: Vec<u32> = data.iter().map(|&x| { acc = acc.wrapping_add(x); acc }).collect();
-        prop_assert_eq!(buf.to_vec(), expect);
-        prop_assert_eq!(total, acc);
-    }
+        let expect: Vec<u32> = data
+            .iter()
+            .map(|&x| {
+                acc = acc.wrapping_add(x);
+                acc
+            })
+            .collect();
+        tk_assert_eq!(buf.to_vec(), expect);
+        tk_assert_eq!(total, acc);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn exclusive_scan_matches_host(data in prop::collection::vec(0u32..1000, 0..2000)) {
+#[test]
+fn exclusive_scan_matches_host() {
+    check("exclusive_scan_matches_host", 32, |src| {
+        let data = src.vec_of(0, 2000, |s| s.u32_in(0, 1000));
         let d = dev();
         let buf = d.h2d(&data).unwrap();
         let total = exclusive_scan_u32(&d, &buf).unwrap();
         let mut acc = 0u32;
-        let expect: Vec<u32> = data.iter().map(|&x| { let prev = acc; acc = acc.wrapping_add(x); prev }).collect();
-        prop_assert_eq!(buf.to_vec(), expect);
-        prop_assert_eq!(total, acc);
-    }
+        let expect: Vec<u32> = data
+            .iter()
+            .map(|&x| {
+                let prev = acc;
+                acc = acc.wrapping_add(x);
+                prev
+            })
+            .collect();
+        tk_assert_eq!(buf.to_vec(), expect);
+        tk_assert_eq!(total, acc);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn reduce_matches_host(data in prop::collection::vec(0u32..10_000, 0..3000)) {
+#[test]
+fn reduce_matches_host() {
+    check("reduce_matches_host", 32, |src| {
+        let data = src.vec_of(0, 3000, |s| s.u32_in(0, 10_000));
         let d = dev();
         let buf = d.h2d(&data).unwrap();
         let sum: u32 = data.iter().copied().fold(0u32, u32::wrapping_add);
-        prop_assert_eq!(reduce_sum_u32(&d, &buf).unwrap(), sum);
-        prop_assert_eq!(reduce_max_u32(&d, &buf).unwrap(), data.iter().copied().max().unwrap_or(0));
-    }
+        tk_assert_eq!(reduce_sum_u32(&d, &buf).unwrap(), sum);
+        tk_assert_eq!(reduce_max_u32(&d, &buf).unwrap(), data.iter().copied().max().unwrap_or(0));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn kernel_touches_every_element(n in 1usize..5000) {
+#[test]
+fn kernel_touches_every_element() {
+    check("kernel_touches_every_element", 32, |src| {
+        let n = src.usize_in(1, 5000);
         let d = dev();
         let buf = d.alloc::<u32>(n).unwrap();
         let stats = d.launch("fill", n, |lane| {
             lane.st(&buf, lane.tid, lane.tid as u32 ^ 0xABCD);
         });
         for i in 0..n {
-            prop_assert_eq!(buf.load(i), i as u32 ^ 0xABCD);
+            tk_assert_eq!(buf.load(i), i as u32 ^ 0xABCD);
         }
         // accounting invariants
-        prop_assert!(stats.transactions <= stats.accesses);
-        prop_assert!(stats.lane_instr <= stats.warp_instr * 32);
+        tk_assert!(stats.transactions <= stats.accesses);
+        tk_assert!(stats.lane_instr <= stats.warp_instr * 32);
         let dv = stats.divergence();
-        prop_assert!((0.0..=1.0).contains(&dv));
-        prop_assert!(stats.seconds >= d.config().kernel_launch_overhead);
-    }
+        tk_assert!((0.0..=1.0).contains(&dv));
+        tk_assert!(stats.seconds >= d.config().kernel_launch_overhead);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn atomic_counter_exact_under_racing(n in 1usize..20_000) {
+#[test]
+fn atomic_counter_exact_under_racing() {
+    check("atomic_counter_exact_under_racing", 32, |src| {
+        let n = src.usize_in(1, 20_000);
         let d = dev();
         let counter = d.alloc::<u32>(1).unwrap();
         d.launch("count", n, |lane| {
             lane.atomic_add(&counter, 0, 1);
         });
-        prop_assert_eq!(counter.load(0) as usize, n);
-    }
+        tk_assert_eq!(counter.load(0) as usize, n);
+        Ok(())
+    });
 }

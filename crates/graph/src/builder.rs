@@ -162,9 +162,8 @@ mod tests {
 
     #[test]
     fn explicit_vertex_weights() {
-        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)])
-            .vertex_weights(vec![5, 6, 7])
-            .build();
+        let g =
+            GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]).vertex_weights(vec![5, 6, 7]).build();
         assert_eq!(g.total_vwgt(), 18);
     }
 

@@ -112,8 +112,7 @@ pub fn read_metis<R: BufRead>(r: R) -> Result<CsrGraph, IoError> {
                 }
             }
         }
-        loop {
-            let Some(vtok) = toks.next() else { break };
+        while let Some(vtok) = toks.next() {
             let v1: usize = vtok
                 .parse()
                 .map_err(|e| IoError::Parse { line: no + 1, msg: format!("neighbor: {e}") })?;
@@ -198,8 +197,7 @@ pub fn read_partition<R: BufRead>(r: R) -> Result<Vec<u32>, IoError> {
             continue;
         }
         part.push(
-            t.parse::<u32>()
-                .map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?,
+            t.parse::<u32>().map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?,
         );
     }
     Ok(part)

@@ -211,11 +211,9 @@ mod tests {
     #[test]
     fn validate_rejects_gross_imbalance() {
         // 8 vertices, all in one part out of two.
-        let g = GraphBuilder::from_edges(
-            8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)],
-        )
-        .build();
+        let g =
+            GraphBuilder::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)])
+                .build();
         assert!(matches!(
             validate_partition(&g, &[0; 8], 2, 1.03),
             Err(PartitionError::Unbalanced { .. })

@@ -21,8 +21,7 @@ pub fn induced_subgraph(g: &CsrGraph, select: &[bool]) -> (CsrGraph, Vec<Vid>) {
     let mut xadj = vec![0u32; nn + 1];
     // First pass: count surviving edges.
     for (nu, &ou) in new_to_old.iter().enumerate() {
-        let cnt =
-            g.neighbors(ou).iter().filter(|&&v| select[v as usize]).count() as u32;
+        let cnt = g.neighbors(ou).iter().filter(|&&v| select[v as usize]).count() as u32;
         xadj[nu + 1] = xadj[nu] + cnt;
     }
     let total = xadj[nn] as usize;
@@ -81,7 +80,7 @@ mod tests {
     #[test]
     fn empty_selection() {
         let g = grid2d(3, 3);
-        let (sub, map) = induced_subgraph(&g, &vec![false; 9]);
+        let (sub, map) = induced_subgraph(&g, &[false; 9]);
         assert_eq!(sub.n(), 0);
         assert!(map.is_empty());
     }
@@ -89,7 +88,7 @@ mod tests {
     #[test]
     fn full_selection_is_identity() {
         let g = grid2d(3, 3);
-        let (sub, map) = induced_subgraph(&g, &vec![true; 9]);
+        let (sub, map) = induced_subgraph(&g, &[true; 9]);
         assert_eq!(sub, g);
         assert_eq!(map, (0..9).collect::<Vec<Vid>>());
     }

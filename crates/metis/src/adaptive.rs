@@ -34,6 +34,7 @@ pub struct AdaptiveResult {
 /// migrating one unit of vertex weight, measured in units of edge cut.
 /// Larger values keep more vertices at home at the price of a slightly
 /// worse cut.
+#[allow(clippy::too_many_arguments)]
 pub fn adaptive_repartition(
     g: &CsrGraph,
     old_part: &[u32],
@@ -152,12 +153,7 @@ mod tests {
         validate_partition(&g2, &r.part, k, 1.10).unwrap();
         // a 4x spike on an eighth of the mesh genuinely requires moving a
         // lot of weight, but well under half the vertices
-        assert!(
-            r.migrated < 2 * g.n() / 5,
-            "migrated {} of {} vertices",
-            r.migrated,
-            g.n()
-        );
+        assert!(r.migrated < 2 * g.n() / 5, "migrated {} of {} vertices", r.migrated, g.n());
         assert_eq!(r.edge_cut, edge_cut(&g2, &r.part));
     }
 
@@ -191,8 +187,12 @@ mod tests {
         // and the whole point: far less migration than scratch
         let scratch_migrated =
             scratch.part.iter().zip(base.part.iter()).filter(|(a, b)| a != b).count();
-        assert!(adaptive.migrated * 2 < scratch_migrated.max(2),
-            "adaptive {} vs scratch churn {}", adaptive.migrated, scratch_migrated);
+        assert!(
+            adaptive.migrated * 2 < scratch_migrated.max(2),
+            "adaptive {} vs scratch churn {}",
+            adaptive.migrated,
+            scratch_migrated
+        );
     }
 
     #[test]

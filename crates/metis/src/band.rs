@@ -55,6 +55,7 @@ pub struct BandStats {
 /// visible through the band subgraph's cut edges being dropped; the
 /// balance constraint is enforced on the *global* weights by fixing the
 /// out-of-band weight per partition).
+#[allow(clippy::too_many_arguments)]
 pub fn banded_kway_refine(
     g: &CsrGraph,
     part: &mut [u32],
@@ -94,7 +95,7 @@ pub fn banded_kway_refine(
         frozen.iter().map(|&f| u32::try_from(f).expect("frozen weight fits u32")).collect();
     sub.vwgt.extend(anchor_w.iter().copied());
     let last = *sub.xadj.last().unwrap();
-    sub.xadj.extend(std::iter::repeat(last).take(k));
+    sub.xadj.extend(std::iter::repeat_n(last, k));
     let mut sub_part: Vec<u32> = map.iter().map(|&old| part[old as usize]).collect();
     sub_part.extend(0..k as u32);
     debug_assert!(sub.validate().is_ok());
@@ -104,11 +105,7 @@ pub fn banded_kway_refine(
         part[old as usize] = sub_part[i];
     }
     let _ = base_n;
-    BandStats {
-        band_vertices,
-        band_fraction: band_vertices as f64 / n as f64,
-        moves: stats.moves,
-    }
+    BandStats { band_vertices, band_fraction: band_vertices as f64 / n as f64, moves: stats.moves }
 }
 
 #[cfg(test)]
@@ -124,19 +121,19 @@ mod tests {
         let part: Vec<u32> = (0..100).map(|i| u32::from(i % 10 >= 5)).collect();
         let band1 = boundary_band(&g, &part, 0);
         // width 0: only boundary columns 4 and 5
-        for u in 0..100 {
-            assert_eq!(band1[u], u % 10 == 4 || u % 10 == 5, "u={u}");
+        for (u, &b) in band1.iter().enumerate() {
+            assert_eq!(b, u % 10 == 4 || u % 10 == 5, "u={u}");
         }
         let band2 = boundary_band(&g, &part, 1);
-        for u in 0..100 {
-            assert_eq!(band2[u], (3..=6).contains(&(u % 10)), "u={u}");
+        for (u, &b) in band2.iter().enumerate() {
+            assert_eq!(b, (3..=6).contains(&(u % 10)), "u={u}");
         }
     }
 
     #[test]
     fn uniform_partition_has_empty_band() {
         let g = grid2d(6, 6);
-        let band = boundary_band(&g, &vec![0; 36], 2);
+        let band = boundary_band(&g, &[0; 36], 2);
         assert!(band.iter().all(|&b| !b));
     }
 
@@ -149,9 +146,9 @@ mod tests {
         let r = crate::partition(&g, &crate::MetisConfig::new(k).with_seed(2));
         let mut part = r.part.clone();
         // perturb: swap some boundary vertices to the wrong side
-        for u in 0..g.n() {
+        for (u, p) in part.iter_mut().enumerate() {
             if u % 37 == 0 {
-                part[u] = (part[u] + 1) % k as u32;
+                *p = (*p + 1) % k as u32;
             }
         }
         let before = edge_cut(&g, &part);

@@ -173,10 +173,7 @@ mod tests {
     #[test]
     fn project_step_maps_through_cmap() {
         let g = grid2d(10, 10);
-        let cfg = CoarsenConfig {
-            coarsen_to: 10,
-            ..CoarsenConfig::for_k(2)
-        };
+        let cfg = CoarsenConfig { coarsen_to: 10, ..CoarsenConfig::for_k(2) };
         let model = CpuModel::serial();
         let mut rng = SplitMix64::new(7);
         let mut ledger = CostLedger::new();

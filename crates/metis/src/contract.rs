@@ -50,27 +50,23 @@ pub fn contract(g: &CsrGraph, mat: &[Vid], work: &mut Work) -> (CsrGraph, Vec<Vi
             continue; // handled by its representative
         }
         let v = mat[u as usize];
-        vwgt[c as usize] = g.vwgt[u as usize]
-            + if v != u { g.vwgt[v as usize] } else { 0 };
+        vwgt[c as usize] = g.vwgt[u as usize] + if v != u { g.vwgt[v as usize] } else { 0 };
         let row_start = adjncy.len();
-        let emit = |nb: Vid,
-                        w: u32,
-                        adjncy: &mut Vec<Vid>,
-                        adjwgt: &mut Vec<u32>,
-                        slot: &mut [u32]| {
-            let cn = cmap[nb as usize];
-            if cn == c {
-                return; // collapsed self-edge
-            }
-            let s = slot[cn as usize];
-            if s != u32::MAX && s as usize >= row_start && adjncy[s as usize] == cn {
-                adjwgt[s as usize] += w;
-            } else {
-                slot[cn as usize] = adjncy.len() as u32;
-                adjncy.push(cn);
-                adjwgt.push(w);
-            }
-        };
+        let emit =
+            |nb: Vid, w: u32, adjncy: &mut Vec<Vid>, adjwgt: &mut Vec<u32>, slot: &mut [u32]| {
+                let cn = cmap[nb as usize];
+                if cn == c {
+                    return; // collapsed self-edge
+                }
+                let s = slot[cn as usize];
+                if s != u32::MAX && s as usize >= row_start && adjncy[s as usize] == cn {
+                    adjwgt[s as usize] += w;
+                } else {
+                    slot[cn as usize] = adjncy.len() as u32;
+                    adjncy.push(cn);
+                    adjwgt.push(w);
+                }
+            };
         for (nb, w) in g.edges(u) {
             emit(nb, w, &mut adjncy, &mut adjwgt, &mut slot);
         }

@@ -135,8 +135,7 @@ impl CostLedger {
     /// maximum per-thread work, plus `barriers` synchronizations.
     pub fn parallel(&mut self, name: &str, model: &CpuModel, per_thread: &[Work], barriers: u64) {
         let crit = per_thread.iter().map(|w| w.seconds(model)).fold(0.0f64, f64::max);
-        self.phases
-            .push((name.to_string(), crit + barriers as f64 * model.barrier_sec));
+        self.phases.push((name.to_string(), crit + barriers as f64 * model.barrier_sec));
     }
 
     /// Charge an already-computed number of seconds (used for GPU kernel

@@ -111,8 +111,8 @@ fn fm_pass(
     // with everything on that side so balance can still be repaired.
     for side in 0..2 {
         if w[side] > targets.max_w(side) && heaps[side].is_empty() {
-            for u in 0..n {
-                if part[u] as usize == side {
+            for (u, &p) in part.iter().enumerate() {
+                if p as usize == side {
                     heaps[side].push((gain(u, &ed, &id), u as Vid));
                 }
             }
@@ -131,38 +131,36 @@ fn fm_pass(
         // otherwise the side with the better top gain that can move.
         let over0 = w[0] > targets.max_w(0);
         let over1 = w[1] > targets.max_w(1);
-        let from = loop {
-            // clean stale tops
-            for h in 0..2 {
-                while let Some(&(gtop, u)) = heaps[h].peek() {
-                    let u = u as usize;
-                    if locked[u] || part[u] as usize != h || gtop != gain(u, &ed, &id) {
-                        heaps[h].pop();
+        // clean stale tops
+        for (h, heap) in heaps.iter_mut().enumerate() {
+            while let Some(&(gtop, u)) = heap.peek() {
+                let u = u as usize;
+                if locked[u] || part[u] as usize != h || gtop != gain(u, &ed, &id) {
+                    heap.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+        let from = if over0 && !heaps[0].is_empty() {
+            0
+        } else if over1 && !heaps[1].is_empty() {
+            1
+        } else {
+            let g0 = heaps[0].peek().map(|&(g, _)| g);
+            let g1 = heaps[1].peek().map(|&(g, _)| g);
+            match (g0, g1) {
+                (None, None) => usize::MAX,
+                (Some(_), None) => 0,
+                (None, Some(_)) => 1,
+                (Some(a), Some(b)) => {
+                    if a >= b {
+                        0
                     } else {
-                        break;
+                        1
                     }
                 }
             }
-            break if over0 && !heaps[0].is_empty() {
-                0
-            } else if over1 && !heaps[1].is_empty() {
-                1
-            } else {
-                let g0 = heaps[0].peek().map(|&(g, _)| g);
-                let g1 = heaps[1].peek().map(|&(g, _)| g);
-                match (g0, g1) {
-                    (None, None) => break usize::MAX,
-                    (Some(_), None) => 0,
-                    (None, Some(_)) => 1,
-                    (Some(a), Some(b)) => {
-                        if a >= b {
-                            0
-                        } else {
-                            1
-                        }
-                    }
-                }
-            };
         };
         if from == usize::MAX {
             break;
@@ -176,8 +174,7 @@ fn fm_pass(
         // strictly reduces total overweight (balance repair).
         let dest_ok = w[to] + vw <= targets.max_w(to);
         let repair = w[from] > targets.max_w(from)
-            && (w[to] + vw).saturating_sub(targets.max_w(to))
-                < w[from] - targets.max_w(from);
+            && (w[to] + vw).saturating_sub(targets.max_w(to)) < w[from] - targets.max_w(from);
         if !dest_ok && !repair {
             continue; // skip this vertex, leave it unlocked for later passes
         }

@@ -71,28 +71,32 @@ fn grow_region(g: &CsrGraph, target0: u64, rng: &mut SplitMix64, work: &mut Work
         })
     };
 
-    let absorb_neighbors =
-        |u: Vid, part: &[u32], gain: &mut [i64], heap: &mut BinaryHeap<(i64, Vid)>, g: &CsrGraph, work: &mut Work| {
-            for (v, ew) in g.edges(u) {
-                let vi = v as usize;
-                if part[vi] == 0 {
-                    continue;
-                }
-                if gain[vi] == i64::MIN {
-                    // first touch: exact scan
-                    let mut s = 0i64;
-                    for (x, xw) in g.edges(v) {
-                        s += if part[x as usize] == 0 { xw as i64 } else { -(xw as i64) };
-                    }
-                    work.edges += g.degree(v) as u64;
-                    gain[vi] = s;
-                } else {
-                    gain[vi] += 2 * ew as i64;
-                }
-                heap.push((gain[vi], v));
+    let absorb_neighbors = |u: Vid,
+                            part: &[u32],
+                            gain: &mut [i64],
+                            heap: &mut BinaryHeap<(i64, Vid)>,
+                            g: &CsrGraph,
+                            work: &mut Work| {
+        for (v, ew) in g.edges(u) {
+            let vi = v as usize;
+            if part[vi] == 0 {
+                continue;
             }
-            work.edges += g.degree(u) as u64;
-        };
+            if gain[vi] == i64::MIN {
+                // first touch: exact scan
+                let mut s = 0i64;
+                for (x, xw) in g.edges(v) {
+                    s += if part[x as usize] == 0 { xw as i64 } else { -(xw as i64) };
+                }
+                work.edges += g.degree(v) as u64;
+                gain[vi] = s;
+            } else {
+                gain[vi] += 2 * ew as i64;
+            }
+            heap.push((gain[vi], v));
+        }
+        work.edges += g.degree(u) as u64;
+    };
 
     let Some(seed) = seed_region(&mut part, &mut w0, rng) else { return part };
     absorb_neighbors(seed, &part, &mut gain, &mut heap, g, work);

@@ -137,12 +137,7 @@ pub fn vertex_separator(g: &CsrGraph, part: &[u32]) -> Vec<bool> {
     let mut sep = vec![false; n];
     // count uncovered cut edges per vertex
     let mut gain: Vec<usize> = (0..n as Vid)
-        .map(|u| {
-            g.neighbors(u)
-                .iter()
-                .filter(|&&v| part[v as usize] != part[u as usize])
-                .count()
-        })
+        .map(|u| g.neighbors(u).iter().filter(|&&v| part[v as usize] != part[u as usize]).count())
         .collect();
     // simple max-heap with lazy staleness
     let mut heap: std::collections::BinaryHeap<(usize, usize)> =

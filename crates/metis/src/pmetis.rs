@@ -69,11 +69,8 @@ fn rb_multilevel(
     // multilevel bisection: coarsen aggressively (bisection needs far
     // fewer coarse vertices than k-way), bisect the coarsest, project +
     // FM at every level
-    let ccfg = CoarsenConfig {
-        coarsen_to: 200,
-        scheme: MatchScheme::Hem,
-        ..CoarsenConfig::for_k(2)
-    };
+    let ccfg =
+        CoarsenConfig { coarsen_to: 200, scheme: MatchScheme::Hem, ..CoarsenConfig::for_k(2) };
     let model = CpuModel::serial();
     let mut sub_ledger = CostLedger::new();
     let hierarchy = coarsen(g, &ccfg, &model, rng, &mut sub_ledger);
@@ -121,8 +118,7 @@ mod tests {
         let g = delaunay_like(3_000, 4);
         for k in [2, 4, 7, 16] {
             let r = partition_rb(&g, &MetisConfig::new(k).with_seed(3));
-            validate_partition(&g, &r.part, k, 1.15)
-                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            validate_partition(&g, &r.part, k, 1.15).unwrap_or_else(|e| panic!("k={k}: {e}"));
         }
     }
 

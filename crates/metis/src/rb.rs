@@ -69,8 +69,7 @@ fn rb_recurse(
     let k1 = k - k0;
     let total = g.total_vwgt();
     let target0 = (total as f64 * k0 as f64 / k as f64).round() as u64;
-    let targets =
-        BisectTargets { target: [target0, total - target0], ubfactor: cfg.ubfactor };
+    let targets = BisectTargets { target: [target0, total - target0], ubfactor: cfg.ubfactor };
     let (bipart, _cut) = gggp_bisect(g, &targets, cfg.trials, cfg.fm_passes, rng, work);
 
     let select0: Vec<bool> = bipart.iter().map(|&p| p == 0).collect();
@@ -126,8 +125,7 @@ mod tests {
         let g = delaunay_like(900, 3);
         for k in [3, 5, 7] {
             let part = run(&g, k, 9);
-            validate_partition(&g, &part, k, 1.12)
-                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            validate_partition(&g, &part, k, 1.12).unwrap_or_else(|e| panic!("k={k}: {e}"));
         }
     }
 

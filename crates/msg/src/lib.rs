@@ -10,7 +10,9 @@
 //! message latency α + per byte cost β), which is what shapes ParMetis's
 //! speedup curve in the paper's Fig. 5.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+pub mod channel;
+
+use channel::{channel as mpmc_channel, Receiver, Sender};
 use std::sync::Barrier;
 
 /// Cluster configuration: rank count and the α–β communication model.
@@ -86,9 +88,7 @@ impl RankCtx {
     pub fn send(&mut self, to: usize, tag: u32, data: Vec<u32>) {
         self.msgs += 1;
         self.bytes += data.len() as u64 * 4;
-        self.senders[to]
-            .send(Msg { from: self.rank, tag, data })
-            .expect("receiver rank hung up");
+        self.senders[to].send(Msg { from: self.rank, tag, data }).expect("receiver rank hung up");
     }
 
     /// Blocking receive of the next message from `from` with `tag`
@@ -100,16 +100,15 @@ impl RankCtx {
             return self.stash.remove(pos).data;
         }
         loop {
-            let m = self
-                .receiver
-                .recv_timeout(std::time::Duration::from_secs(60))
-                .unwrap_or_else(|e| {
+            let m = self.receiver.recv_timeout(std::time::Duration::from_secs(60)).unwrap_or_else(
+                |e| {
                     panic!(
                         "rank {} stuck waiting for (from={from}, tag={tag}): {e} — \
                          a peer rank likely panicked",
                         self.rank
                     )
-                });
+                },
+            );
             if m.from == from && m.tag == tag {
                 return m.data;
             }
@@ -119,6 +118,7 @@ impl RankCtx {
 
     /// Personalized all-to-all: `out[r]` goes to rank `r`; returns the
     /// vector received from each rank (own slot passed through directly).
+    #[allow(clippy::needless_range_loop)] // rank-indexed send/recv loops
     pub fn all_to_all(&mut self, tag: u32, mut out: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
         assert_eq!(out.len(), self.ranks);
         let own = std::mem::take(&mut out[self.rank]);
@@ -165,6 +165,7 @@ impl RankCtx {
     }
 
     /// Gather every rank's vector at rank 0 (others receive empty).
+    #[allow(clippy::needless_range_loop)] // rank-indexed recv loop
     pub fn gather(&mut self, tag: u32, data: Vec<u32>) -> Vec<Vec<u32>> {
         if self.rank == 0 {
             let mut all: Vec<Vec<u32>> = (0..self.ranks).map(|_| Vec::new()).collect();
@@ -228,7 +229,7 @@ where
     let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(p);
     let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(p);
     for _ in 0..p {
-        let (s, r) = unbounded();
+        let (s, r) = mpmc_channel();
         senders.push(s);
         receivers.push(Some(r));
     }
@@ -285,8 +286,7 @@ pub fn bsp_time(
     let n_phases = all.iter().map(|v| v.len()).max().unwrap_or(0);
     let mut out = Vec::with_capacity(n_phases);
     for i in 0..n_phases {
-        let name =
-            all.iter().find_map(|v| v.get(i)).map(|p| p.name.clone()).unwrap_or_default();
+        let name = all.iter().find_map(|v| v.get(i)).map(|p| p.name.clone()).unwrap_or_default();
         let mut compute: f64 = 0.0;
         let mut comm: f64 = 0.0;
         for rank_phases in all {
@@ -370,8 +370,7 @@ mod tests {
     fn gather_and_bcast() {
         let res = run_cluster(&cfg(3), |ctx| {
             let gathered = ctx.gather(1, vec![ctx.rank as u32]);
-            let total =
-                if ctx.rank == 0 { gathered.iter().map(|v| v[0]).sum::<u32>() } else { 0 };
+            let total = if ctx.rank == 0 { gathered.iter().map(|v| v[0]).sum::<u32>() } else { 0 };
             let b = ctx.bcast(2, vec![total]);
             b[0]
         });

@@ -1,64 +1,67 @@
 //! Property tests of the message-passing substrate: collectives round-trip
-//! arbitrary payloads on arbitrary cluster sizes.
+//! arbitrary payloads on arbitrary cluster sizes. (Runs on the in-repo
+//! `gpm-testkit` harness.)
 
 use gpm_msg::{run_cluster, ClusterConfig};
-use proptest::prelude::*;
+use gpm_testkit::{check, tk_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_to_all_roundtrips_arbitrary_payloads(
-        p in 1usize..6,
-        payload in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..50), 1..6)
-    ) {
+#[test]
+fn all_to_all_roundtrips_arbitrary_payloads() {
+    check("all_to_all_roundtrips_arbitrary_payloads", 24, |src| {
+        let p = src.usize_in(1, 6);
+        let payload: Vec<Vec<u32>> = src.vec_of(1, 6, |s| s.vec_of(0, 50, |s| s.next_u32()));
         let res = run_cluster(&ClusterConfig::intra_node(p), |ctx| {
             // rank r sends payload[(r + to) % len] to rank `to`
-            let out: Vec<Vec<u32>> = (0..p)
-                .map(|to| payload[(ctx.rank + to) % payload.len()].clone())
-                .collect();
+            let out: Vec<Vec<u32>> =
+                (0..p).map(|to| payload[(ctx.rank + to) % payload.len()].clone()).collect();
             ctx.all_to_all(1, out)
         });
         for (me, (inbox, _)) in res.iter().enumerate() {
             for (from, got) in inbox.iter().enumerate() {
-                prop_assert_eq!(got, &payload[(from + me) % payload.len()]);
+                tk_assert_eq!(got, &payload[(from + me) % payload.len()]);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn allreduce_agrees_across_ranks(p in 1usize..6, values in prop::collection::vec(any::<u32>(), 6)) {
+#[test]
+fn allreduce_agrees_across_ranks() {
+    check("allreduce_agrees_across_ranks", 24, |src| {
+        let p = src.usize_in(1, 6);
+        let values: Vec<u32> = src.vec_of(6, 7, |s| s.next_u32());
         let res = run_cluster(&ClusterConfig::intra_node(p), |ctx| {
             let v = values[ctx.rank % values.len()] as u64;
-            (
-                ctx.allreduce_u64(10, v, |a, b| a.wrapping_add(b)),
-                ctx.allreduce_u64(20, v, u64::max),
-            )
+            (ctx.allreduce_u64(10, v, |a, b| a.wrapping_add(b)), ctx.allreduce_u64(20, v, u64::max))
         });
-        let expect_sum: u64 = (0..p).map(|r| values[r % values.len()] as u64).fold(0, u64::wrapping_add);
+        let expect_sum: u64 =
+            (0..p).map(|r| values[r % values.len()] as u64).fold(0, u64::wrapping_add);
         let expect_max: u64 = (0..p).map(|r| values[r % values.len()] as u64).max().unwrap();
         for (r, _) in &res {
-            prop_assert_eq!(r.0, expect_sum);
-            prop_assert_eq!(r.1, expect_max);
+            tk_assert_eq!(r.0, expect_sum);
+            tk_assert_eq!(r.1, expect_max);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gather_bcast_roundtrip(p in 1usize..6, data in prop::collection::vec(any::<u32>(), 0..40)) {
+#[test]
+fn gather_bcast_roundtrip() {
+    check("gather_bcast_roundtrip", 24, |src| {
+        let p = src.usize_in(1, 6);
+        let data: Vec<u32> = src.vec_of(0, 40, |s| s.next_u32());
         let res = run_cluster(&ClusterConfig::intra_node(p), |ctx| {
             let mine: Vec<u32> = data.iter().map(|&x| x ^ ctx.rank as u32).collect();
             let gathered = ctx.gather(1, mine);
-            let flat: Vec<u32> = if ctx.rank == 0 {
-                gathered.into_iter().flatten().collect()
-            } else {
-                Vec::new()
-            };
+            let flat: Vec<u32> =
+                if ctx.rank == 0 { gathered.into_iter().flatten().collect() } else { Vec::new() };
             ctx.bcast(2, flat)
         });
         let expect: Vec<u32> =
             (0..p).flat_map(|r| data.iter().map(move |&x| x ^ r as u32)).collect();
         for (v, _) in &res {
-            prop_assert_eq!(v, &expect);
+            tk_assert_eq!(v, &expect);
         }
-    }
+        Ok(())
+    });
 }

@@ -86,8 +86,7 @@ pub fn parallel_coarsen(
     ledger: &mut CostLedger,
 ) -> Hierarchy {
     let ccfg = CoarsenConfig::for_k(cfg.k);
-    let max_vwgt =
-        CoarsenConfig { coarsen_to: cfg.coarsen_to, ..ccfg }.max_vwgt(g.total_vwgt());
+    let max_vwgt = CoarsenConfig { coarsen_to: cfg.coarsen_to, ..ccfg }.max_vwgt(g.total_vwgt());
     let mut levels: Vec<Level> = Vec::new();
     let mut cur = g.clone();
     for lvl in 0..ccfg.max_levels {

@@ -19,6 +19,7 @@ struct LocalOut {
 
 /// Contract `g` according to matching `mat` using `threads` workers.
 /// Returns the coarse graph, the fine-to-coarse map, and per-thread work.
+#[allow(clippy::needless_range_loop)] // chunked [lo, hi) index loops
 pub fn parallel_contract(
     g: &CsrGraph,
     mat: &[Vid],
@@ -104,8 +105,7 @@ pub fn parallel_contract(
                         continue;
                     }
                     let c = cmap[u];
-                    out.vwgt
-                        .push(g.vwgt[u] + if v != u as Vid { g.vwgt[v as usize] } else { 0 });
+                    out.vwgt.push(g.vwgt[u] + if v != u as Vid { g.vwgt[v as usize] } else { 0 });
                     let row_start = out.adjncy.len();
                     let emit = |nb: Vid, w: u32, out: &mut LocalOut, slot: &mut [u32]| {
                         let cn = cmap[nb as usize];
@@ -129,9 +129,8 @@ pub fn parallel_contract(
                             emit(nb, w, &mut out, &mut slot);
                         }
                     }
-                    out.work.edges += (g.degree(u as Vid)
-                        + if v != u as Vid { g.degree(v) } else { 0 })
-                        as u64;
+                    out.work.edges +=
+                        (g.degree(u as Vid) + if v != u as Vid { g.degree(v) } else { 0 }) as u64;
                     out.work.vertices += 1;
                     out.degrees.push((out.adjncy.len() - row_start) as u32);
                 }

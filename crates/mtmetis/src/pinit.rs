@@ -9,7 +9,6 @@ use gpm_graph::subgraph::induced_subgraph;
 use gpm_metis::cost::Work;
 use gpm_metis::fm::BisectTargets;
 use gpm_metis::gggp::gggp_bisect;
-use parking_lot::Mutex;
 
 /// Parallel recursive bisection of `g` into `k` parts on `threads`
 /// workers. Returns the partition and an upper bound on the critical-path
@@ -27,17 +26,9 @@ pub fn parallel_init_partition(
     let ub_level = ubfactor.powf(1.0 / depth);
     let mut part = vec![0u32; g.n()];
     let mut crit_ws = Work::default().with_ws(g.bytes());
-    let crit = recurse(
-        g,
-        k,
-        0,
-        ub_level,
-        trials,
-        fm_passes,
-        seed,
-        threads,
-        &mut |u, p| part[u as usize] = p,
-    );
+    let crit = recurse(g, k, 0, ub_level, trials, fm_passes, seed, threads, &mut |u, p| {
+        part[u as usize] = p
+    });
     crit_ws.add(crit);
     (part, crit_ws)
 }
@@ -68,28 +59,24 @@ fn recurse(
 
     // Race `threads` independently seeded bisections; keep the best cut.
     // (Each racer runs `trials` GGGP restarts internally, like mt-metis
-    // racing whole bisections.)
-    let best: Mutex<Option<(Vec<u32>, u64, Work)>> = Mutex::new(None);
+    // racing whole bisections.) Every racer writes its own result slot and
+    // the winner is picked after the join by (cut, racer index), so equal
+    // cuts resolve the same way on every run regardless of which thread
+    // finishes first.
+    let mut results: Vec<Option<(Vec<u32>, u64, Work)>> = vec![None; threads.max(1)];
     std::thread::scope(|s| {
-        for t in 0..threads.max(1) {
-            let best = &best;
+        for (t, slot) in results.iter_mut().enumerate() {
             let targets = &targets;
             s.spawn(move || {
                 let mut rng = SplitMix64::stream(seed, t as u64 + 1);
                 let mut w = Work::default();
                 let (p, cut) = gggp_bisect(g, targets, trials, fm_passes, &mut rng, &mut w);
-                let mut b = best.lock();
-                let better = match &*b {
-                    None => true,
-                    Some((_, bcut, _)) => cut < *bcut,
-                };
-                if better {
-                    *b = Some((p, cut, w));
-                }
+                *slot = Some((p, cut, w));
             });
         }
     });
-    let (bipart, _cut, bisect_work) = best.into_inner().expect("at least one racer");
+    let (bipart, _cut, bisect_work) =
+        results.into_iter().flatten().min_by_key(|&(_, cut, _)| cut).expect("at least one racer");
     // Critical path: one racer's bisection work (they run concurrently).
     let mut crit = bisect_work;
 
@@ -110,9 +97,17 @@ fn recurse(
         part0[u as usize] = p
     });
     let mut part1 = vec![0u32; g1.n()];
-    let w1 = recurse(&g1, k1, offset + k0 as u32, ub, trials, fm_passes, seed * 31 + 2, t1, &mut |u, p| {
-        part1[u as usize] = p
-    });
+    let w1 = recurse(
+        &g1,
+        k1,
+        offset + k0 as u32,
+        ub,
+        trials,
+        fm_passes,
+        seed * 31 + 2,
+        t1,
+        &mut |u, p| part1[u as usize] = p,
+    );
     for (u, &p) in part0.iter().enumerate() {
         assign(map0[u], p);
     }

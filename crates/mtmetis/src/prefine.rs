@@ -9,8 +9,8 @@ use crate::util::chunk_range;
 use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_graph::metrics::max_part_weight;
 use gpm_metis::cost::Work;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A movement request: vertex, source partition, claimed gain.
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +61,8 @@ pub fn parallel_refine(
         // (§II.C: "the moving direction ... is reversed after each round")
         {
             let dir_up = pass % 2 == 0;
-            let buffers: Vec<Mutex<Vec<Request>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
+            let buffers: Vec<Mutex<Vec<Request>>> =
+                (0..k).map(|_| Mutex::new(Vec::new())).collect();
             // --- scan: submit requests -----------------------------------
             std::thread::scope(|s| {
                 let apart = &apart;
@@ -98,10 +99,7 @@ pub fn parallel_refine(
                             if !boundary {
                                 continue;
                             }
-                            let w_own = parts
-                                .iter()
-                                .position(|&x| x == pu)
-                                .map_or(0, |i| wgts[i]);
+                            let w_own = parts.iter().position(|&x| x == pu).map_or(0, |i| wgts[i]);
                             let vw = g.vwgt[u] as u64;
                             let mut best: Option<(u32, i64)> = None;
                             for (&p, &wp) in parts.iter().zip(wgts.iter()) {
@@ -113,8 +111,7 @@ pub fn parallel_refine(
                                     continue;
                                 }
                                 let gain = wp - w_own;
-                                let improves_balance = pw[p as usize].load(Ordering::Relaxed)
-                                    + vw
+                                let improves_balance = pw[p as usize].load(Ordering::Relaxed) + vw
                                     < pw[pu as usize].load(Ordering::Relaxed);
                                 if gain > 0 || (gain == 0 && improves_balance) {
                                     match best {
@@ -124,9 +121,11 @@ pub fn parallel_refine(
                                 }
                             }
                             if let Some((to, gain)) = best {
-                                buffers[to as usize]
-                                    .lock()
-                                    .push(Request { vertex: u as Vid, from: pu, gain });
+                                buffers[to as usize].lock().unwrap().push(Request {
+                                    vertex: u as Vid,
+                                    from: pu,
+                                    gain,
+                                });
                             }
                         }
                         w
@@ -138,11 +137,19 @@ pub fn parallel_refine(
             });
 
             // --- explore/commit: one owner per destination partition ------
+            // Snapshot the partition weights taken at the barrier between
+            // scan and commit: sibling commit threads concurrently
+            // *decrement* pw for departing vertices, so a live read would
+            // make acceptance near the cap depend on thread interleaving.
+            // The frozen view plus owner-local additions is conservative
+            // (departures are ignored) but identical on every run.
+            let pw0: Vec<u64> = pw.iter().map(|w| w.load(Ordering::Relaxed)).collect();
             let moved = AtomicU64::new(0);
             let rejected = AtomicU64::new(0);
             std::thread::scope(|s| {
                 let apart = &apart;
                 let pw = &pw;
+                let pw0 = &pw0;
                 let buffers = &buffers;
                 let moved = &moved;
                 let rejected = &rejected;
@@ -152,10 +159,14 @@ pub fn parallel_refine(
                         let mut w = Work::default();
                         let (plo, phi) = chunk_range(k, threads, t);
                         for p in plo..phi {
-                            let mut reqs = std::mem::take(&mut *buffers[p].lock());
-                            // best gain first (the paper sorts by gain)
-                            reqs.sort_unstable_by_key(|r| std::cmp::Reverse(r.gain));
+                            let mut reqs = std::mem::take(&mut *buffers[p].lock().unwrap());
+                            // best gain first (the paper sorts by gain);
+                            // vertex id breaks gain ties so the commit
+                            // order does not depend on buffer-push order
+                            reqs.sort_unstable_by_key(|r| (std::cmp::Reverse(r.gain), r.vertex));
                             w.vertices += reqs.len() as u64;
+                            // only this thread adds weight to partition p
+                            let mut added = 0u64;
                             for r in reqs {
                                 let u = r.vertex as usize;
                                 // the vertex may have been moved by another
@@ -166,12 +177,12 @@ pub fn parallel_refine(
                                     continue;
                                 }
                                 let vw = g.vwgt[u] as u64;
-                                // balance check at the destination; only
-                                // this thread adds weight to partition p
-                                if pw[p].load(Ordering::Relaxed) + vw > maxw {
+                                // balance check against the frozen view
+                                if pw0[p] + added + vw > maxw {
                                     rejected.fetch_add(1, Ordering::Relaxed);
                                     continue;
                                 }
+                                added += vw;
                                 apart[u].store(p as u32, Ordering::Relaxed);
                                 pw[p].fetch_add(vw, Ordering::Relaxed);
                                 pw[r.from as usize].fetch_sub(vw, Ordering::Relaxed);

@@ -1,0 +1,39 @@
+//! Run-to-run reproducibility: the parallel partitioner must produce the
+//! same partition and the same modeled work for a fixed seed, regardless
+//! of thread scheduling. Guards the evaluation harness's twice-run smoke.
+
+use gpm_graph::gen::{delaunay_like, rmat};
+use gpm_metis::cost::{CostLedger, CpuModel};
+use gpm_mtmetis::{parallel_coarsen, partition, MtMetisConfig};
+
+#[test]
+fn partition_is_reproducible_across_runs() {
+    let g = delaunay_like(2_000, 2);
+    let cfg = MtMetisConfig::new(8).with_threads(8).with_seed(3);
+    let a = partition(&g, &cfg);
+    for _ in 0..3 {
+        let b = partition(&g, &cfg);
+        assert_eq!(a.part, b.part);
+        assert_eq!(a.edge_cut, b.edge_cut);
+        assert_eq!(a.modeled_seconds(), b.modeled_seconds());
+    }
+}
+
+#[test]
+fn coarsening_is_reproducible_across_runs() {
+    let g = rmat(10, 8, 5);
+    let cfg = MtMetisConfig::new(8).with_threads(8).with_seed(7);
+    let model = CpuModel::xeon_e5540(cfg.threads);
+    let mut l0 = CostLedger::new();
+    let h0 = parallel_coarsen(&g, &cfg, &model, &mut l0);
+    for _ in 0..3 {
+        let mut l = CostLedger::new();
+        let h = parallel_coarsen(&g, &cfg, &model, &mut l);
+        assert_eq!(h.depth(), h0.depth());
+        for (la, lb) in h0.levels.iter().zip(h.levels.iter()) {
+            assert_eq!(la.cmap, lb.cmap);
+            assert_eq!(la.graph, lb.graph);
+        }
+        assert_eq!(l0.total(), l.total());
+    }
+}

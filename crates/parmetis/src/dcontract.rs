@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 /// Contract the distributed fine graph. Collective. Returns the coarse
 /// local graph and `cmap_local` (coarse gid of every local fine vertex).
+#[allow(clippy::needless_range_loop)] // rank- and vertex-indexed assembly loops
 pub fn dist_contract(
     ctx: &mut RankCtx,
     lg: &LocalGraph,
@@ -135,7 +136,10 @@ pub fn dist_contract(
                 m.pvw[u]
             };
         pos.clear();
-        let emit = |cn: u32, w: u32, adjncy: &mut Vec<u32>, adjwgt: &mut Vec<u32>,
+        let emit = |cn: u32,
+                    w: u32,
+                    adjncy: &mut Vec<u32>,
+                    adjwgt: &mut Vec<u32>,
                     pos: &mut HashMap<u32, usize>| {
             if cn == c {
                 return;

@@ -42,8 +42,7 @@ pub fn gather_global(ctx: &mut RankCtx, lg: &LocalGraph, tag: u32) -> CsrGraph {
     let mut adjwgt = Vec::new();
     let mut vwgt = vec![0u32; n];
     let mut u = 0usize;
-    for r in 0..p {
-        let msg = &inbox[r];
+    for msg in inbox.iter().take(p) {
         let nl = msg[0] as usize;
         let mut i = 1usize;
         for _ in 0..nl {
@@ -81,19 +80,7 @@ pub fn dist_init_partition(
     // labels this rank computed: (vertex gid, label)
     let mut mine: Vec<u32> = Vec::new();
     let vmap: Vec<u32> = (0..global.n() as u32).collect();
-    nested(
-        &global,
-        &vmap,
-        k,
-        0,
-        0,
-        ctx.ranks,
-        ctx.rank,
-        seed,
-        &cfg,
-        &mut work,
-        &mut mine,
-    );
+    nested(&global, &vmap, k, 0, 0, ctx.ranks, ctx.rank, seed, &cfg, &mut work, &mut mine);
     // gather all leaf assignments at rank 0, stitch, broadcast
     let gathered = ctx.gather(tag + 2, mine);
     let full: Vec<u32> = if ctx.rank == 0 {
@@ -177,7 +164,19 @@ fn nested(
     if my_rank < mid {
         nested(&g0, &vmap0, k0, offset, rank_lo, mid, my_rank, seed, cfg, work, out);
     } else {
-        nested(&g1, &vmap1, k - k0, offset + k0 as u32, mid, rank_hi, my_rank, seed, cfg, work, out);
+        nested(
+            &g1,
+            &vmap1,
+            k - k0,
+            offset + k0 as u32,
+            mid,
+            rank_hi,
+            my_rank,
+            seed,
+            cfg,
+            work,
+            out,
+        );
     }
 }
 

@@ -24,28 +24,18 @@ pub fn dist_project(
     tag: u32,
 ) -> Vec<u32> {
     let remote: Vec<u32> = {
-        let mut v: Vec<u32> = cmap_local
-            .iter()
-            .copied()
-            .filter(|&c| !lg_coarse.is_local(c))
-            .collect();
+        let mut v: Vec<u32> =
+            cmap_local.iter().copied().filter(|&c| !lg_coarse.is_local(c)).collect();
         v.sort_unstable();
         v.dedup();
         v
     };
-    let ghost =
-        fetch_remote(ctx, lg_coarse, &remote, tag, |cgid| part_coarse[lg_coarse.lid(cgid)]);
+    let ghost = fetch_remote(ctx, lg_coarse, &remote, tag, |cgid| part_coarse[lg_coarse.lid(cgid)]);
     ctx.work(0, lg_fine.n_local() as u64);
     ctx.ws(lg_fine.bytes() * lg_fine.ranks() as u64);
     cmap_local
         .iter()
-        .map(|&c| {
-            if lg_coarse.is_local(c) {
-                part_coarse[lg_coarse.lid(c)]
-            } else {
-                ghost[&c]
-            }
-        })
+        .map(|&c| if lg_coarse.is_local(c) { part_coarse[lg_coarse.lid(c)] } else { ghost[&c] })
         .collect()
 }
 

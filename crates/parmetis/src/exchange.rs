@@ -55,10 +55,8 @@ pub fn allgather_u32(ctx: &mut RankCtx, tag: u32, value: u32) -> Vec<u32> {
 /// Wrapping arithmetic, so two's-complement-encoded signed deltas sum
 /// correctly.
 pub fn allreduce_sum_vec(ctx: &mut RankCtx, tag: u32, local: &[u64]) -> Vec<u64> {
-    let packed: Vec<u32> = local
-        .iter()
-        .flat_map(|&x| [(x & 0xFFFF_FFFF) as u32, (x >> 32) as u32])
-        .collect();
+    let packed: Vec<u32> =
+        local.iter().flat_map(|&x| [(x & 0xFFFF_FFFF) as u32, (x >> 32) as u32]).collect();
     let gathered = ctx.gather(tag, packed);
     let summed: Vec<u32> = if ctx.rank == 0 {
         let mut acc = vec![0u64; local.len()];

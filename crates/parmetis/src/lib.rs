@@ -83,8 +83,7 @@ pub fn partition(g: &CsrGraph, cfg: &ParMetisConfig) -> PartitionResult {
     let t0 = std::time::Instant::now();
     let total_vwgt = g.total_vwgt();
     let ccfg = CoarsenConfig::for_k(cfg.k);
-    let max_vwgt =
-        CoarsenConfig { coarsen_to: cfg.coarsen_to, ..ccfg }.max_vwgt(total_vwgt);
+    let max_vwgt = CoarsenConfig { coarsen_to: cfg.coarsen_to, ..ccfg }.max_vwgt(total_vwgt);
 
     let results = run_cluster(&cfg.comm, |ctx| {
         let mut cur = LocalGraph::from_global(g, cfg.ranks, ctx.rank);

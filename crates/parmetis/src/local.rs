@@ -135,12 +135,8 @@ impl LocalGraph {
 
     /// Collect this rank's distinct remote neighbor gids (its ghost set).
     pub fn ghost_gids(&self) -> Vec<u32> {
-        let mut set: Vec<u32> = self
-            .adjncy
-            .iter()
-            .copied()
-            .filter(|&g| !self.is_local(g))
-            .collect();
+        let mut set: Vec<u32> =
+            self.adjncy.iter().copied().filter(|&g| !self.is_local(g)).collect();
         set.sort_unstable();
         set.dedup();
         set

@@ -31,8 +31,7 @@ fn skewed_graph_all_rank_counts() {
     let g = rmat(10, 6, 3);
     for ranks in [1, 2, 3, 5, 8] {
         let r = partition(&g, &ParMetisConfig::new(8).with_ranks(ranks).with_seed(3));
-        validate_partition(&g, &r.part, 8, 1.30)
-            .unwrap_or_else(|e| panic!("ranks={ranks}: {e}"));
+        validate_partition(&g, &r.part, 8, 1.30).unwrap_or_else(|e| panic!("ranks={ranks}: {e}"));
     }
 }
 

@@ -1,0 +1,197 @@
+//! A `std::time::Instant` bench harness: warmup, N timed iterations,
+//! robust summary statistics, and machine-readable JSON output.
+//!
+//! Replaces criterion for the `crates/bench/benches/*` targets. Each
+//! bench binary builds a [`BenchSuite`], registers closures with
+//! [`BenchSuite::run`], and calls [`BenchSuite::finish`], which prints a
+//! human-readable table and writes `BENCH_<suite>.json` so timing
+//! trajectories can be tracked across commits.
+//!
+//! Environment knobs:
+//! * `GPM_BENCH_WARMUP` — warmup iterations per bench (default 3).
+//! * `GPM_BENCH_ITERS` — timed iterations per bench (default 15).
+//! * `GPM_BENCH_SCALE` — input-size multiplier benches apply via
+//!   [`scaled`] (default 1.0; CI uses a small fraction for a smoke run).
+//! * `GPM_BENCH_DIR` — directory for the JSON file (default `.`, which
+//!   under `cargo bench` is the package root, `crates/bench`).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Summary of one benchmark: iteration wall times in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark id, e.g. `"serial_matching/hem/5000"`.
+    pub name: String,
+    /// Timed iterations the stats summarize.
+    pub iters: usize,
+    pub median_ns: u128,
+    pub p10_ns: u128,
+    pub p90_ns: u128,
+    pub min_ns: u128,
+    pub max_ns: u128,
+    pub mean_ns: u128,
+}
+
+/// A named collection of benchmarks sharing warmup/iteration settings.
+pub struct BenchSuite {
+    suite: String,
+    warmup: usize,
+    iters: usize,
+    records: Vec<BenchRecord>,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Apply the `GPM_BENCH_SCALE` multiplier to an input size (min 16, so
+/// scaled-down smoke runs still exercise the real code paths).
+pub fn scaled(n: usize) -> usize {
+    let factor: f64 =
+        std::env::var("GPM_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    ((n as f64 * factor) as usize).max(16)
+}
+
+fn percentile(sorted: &[u128], q: f64) -> u128 {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+impl BenchSuite {
+    /// A suite named `suite`, reading warmup/iteration counts from the
+    /// environment.
+    pub fn new(suite: &str) -> Self {
+        BenchSuite {
+            suite: suite.to_string(),
+            warmup: env_usize("GPM_BENCH_WARMUP", 3),
+            iters: env_usize("GPM_BENCH_ITERS", 15),
+            records: Vec::new(),
+        }
+    }
+
+    /// Time `f`: `warmup` untimed runs, then `iters` timed runs. The
+    /// closure's return value is passed through [`black_box`] so the
+    /// computation cannot be optimized away.
+    pub fn run<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchRecord {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let iters = self.iters.max(1);
+        let mut samples: Vec<u128> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        let rec = BenchRecord {
+            name: name.to_string(),
+            iters,
+            median_ns: percentile(&samples, 0.5),
+            p10_ns: percentile(&samples, 0.1),
+            p90_ns: percentile(&samples, 0.9),
+            min_ns: samples[0],
+            max_ns: samples[iters - 1],
+            mean_ns: samples.iter().sum::<u128>() / iters as u128,
+        };
+        eprintln!(
+            "{:<40} median {:>12} ns   p10 {:>12}   p90 {:>12}   ({} iters)",
+            rec.name, rec.median_ns, rec.p10_ns, rec.p90_ns, rec.iters
+        );
+        self.records.push(rec);
+        self.records.last().unwrap()
+    }
+
+    /// The JSON document `finish` writes (exposed for tests).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"suite\": \"{}\",\n", self.suite));
+        s.push_str(&format!("  \"warmup\": {},\n", self.warmup));
+        s.push_str(&format!("  \"iters\": {},\n", self.iters));
+        s.push_str("  \"benches\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {}, \"p10_ns\": {}, \
+                 \"p90_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}{}\n",
+                r.name,
+                r.iters,
+                r.median_ns,
+                r.p10_ns,
+                r.p90_ns,
+                r.min_ns,
+                r.max_ns,
+                r.mean_ns,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Print the summary table and write `BENCH_<suite>.json` into
+    /// `GPM_BENCH_DIR` (default: current directory).
+    pub fn finish(self) {
+        let dir = std::env::var("GPM_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.suite));
+        let json = self.to_json();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let mut file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        file.write_all(json.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("[gpm-testkit] wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_expected_stats() {
+        let mut suite = BenchSuite { suite: "t".into(), warmup: 0, iters: 5, records: Vec::new() };
+        let mut acc = 0u64;
+        let rec = suite.run("noop", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(rec.iters, 5);
+        assert!(rec.min_ns <= rec.median_ns);
+        assert!(rec.median_ns <= rec.max_ns);
+        assert!(rec.p10_ns <= rec.p90_ns);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut suite = BenchSuite { suite: "j".into(), warmup: 0, iters: 2, records: Vec::new() };
+        suite.run("a", || 1 + 1);
+        suite.run("b", || 2 + 2);
+        let json = suite.to_json();
+        assert!(json.contains("\"suite\": \"j\""));
+        assert!(json.contains("\"name\": \"a\""));
+        assert_eq!(json.matches("median_ns").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [1u128, 2, 3, 4, 100];
+        assert_eq!(percentile(&xs, 0.0), 1);
+        assert_eq!(percentile(&xs, 0.5), 3);
+        assert_eq!(percentile(&xs, 1.0), 100);
+    }
+
+    #[test]
+    fn scaled_floors_at_16() {
+        // Without GPM_BENCH_SCALE set this is the identity (above 16).
+        assert_eq!(scaled(10_000).max(16), scaled(10_000));
+        assert!(scaled(1) >= 1);
+    }
+}

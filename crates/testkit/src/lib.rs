@@ -1,0 +1,30 @@
+//! In-repo test substrate for the GP-metis reproduction.
+//!
+//! The workspace builds fully offline: no registry crates, ever (see
+//! DESIGN.md, "Hermetic build policy"). This crate supplies the two
+//! pieces of test infrastructure that used to come from crates.io:
+//!
+//! * [`prop`] — a minimal property-testing harness. Properties draw
+//!   their inputs from a [`Source`], a recorded stream of SplitMix64
+//!   draws; on failure the harness greedily shrinks the recorded tape
+//!   (truncation + per-draw binary search toward zero) and reports the
+//!   minimal counterexample it converged on. Because generators are
+//!   plain functions over the draw stream, composition (`map`,
+//!   `flat_map`, nested collections) needs no combinator machinery and
+//!   shrinking works through it for free — the same trick
+//!   hypothesis-style harnesses use.
+//! * [`bench`] — a `std::time::Instant` bench harness (warmup + N
+//!   timed iterations, median/p10/p90) that writes machine-readable
+//!   `BENCH_<suite>.json` files, replacing criterion for the
+//!   `crates/bench/benches/*` targets.
+//!
+//! Determinism: case `i` of a property run draws from
+//! `SplitMix64::stream(seed, i)`, so identical seeds reproduce
+//! identical case sequences — the same per-stream discipline the
+//! partitioner kernels themselves rely on.
+
+pub mod bench;
+pub mod prop;
+
+pub use gpm_graph::rng::SplitMix64;
+pub use prop::{check, check_cfg, Config, PropResult, Source};

@@ -1,0 +1,107 @@
+//! Self-tests of the property harness: planted failures shrink to their
+//! minimal counterexamples, and identical seeds reproduce identical
+//! case sequences.
+
+use gpm_testkit::{check, check_cfg, tk_assert, Config};
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn planted_scalar_failure_shrinks_to_boundary() {
+    // x < 50 fails for x in [50, 1000); the minimal counterexample is
+    // exactly 50. `check` replays the minimal tape once after shrinking,
+    // so the cell ends up holding the shrunk value.
+    let seen = Cell::new(u64::MAX);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        check("planted_scalar", 500, |src| {
+            let x = src.below(1_000);
+            seen.set(x);
+            tk_assert!(x < 50, "x = {x}");
+            Ok(())
+        });
+    }));
+    assert!(result.is_err(), "planted failure must be found");
+    assert_eq!(seen.get(), 50, "greedy shrink should reach the boundary value");
+    let msg = *result.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("planted_scalar"), "report names the property: {msg}");
+    assert!(msg.contains("x = 50"), "report carries the minimal case's message: {msg}");
+}
+
+#[test]
+fn planted_vector_failure_shrinks_to_minimal_shape() {
+    // Vectors of length >= 3 fail; the minimal counterexample is a
+    // length-3 vector of zeros.
+    let seen = RefCell::new(Vec::new());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        check("planted_vector", 500, |src| {
+            let v = src.vec_of(0, 20, |s| s.u32_in(0, 1_000));
+            seen.replace(v.clone());
+            tk_assert!(v.len() < 3, "len = {}", v.len());
+            Ok(())
+        });
+    }));
+    assert!(result.is_err(), "planted failure must be found");
+    let v = seen.into_inner();
+    assert_eq!(v.len(), 3, "length should shrink to the failing minimum, got {v:?}");
+    assert!(v.iter().all(|&x| x == 0), "elements should shrink to zero, got {v:?}");
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_case_sequences() {
+    let collect = |seed: u64| {
+        let mut draws: Vec<(u64, u64, usize)> = Vec::new();
+        check_cfg(Config { cases: 25, seed, max_shrink_runs: 0 }, "record", |src| {
+            draws.push((src.next_u64(), src.below(1_000), src.usize_in(2, 60)));
+            Ok(())
+        });
+        draws
+    };
+    let a = collect(42);
+    let b = collect(42);
+    let c = collect(43);
+    assert_eq!(a, b, "same seed must replay the same case sequence");
+    assert_ne!(a, c, "different seeds must diverge");
+    assert_eq!(a.len(), 25);
+}
+
+#[test]
+fn case_streams_are_decorrelated() {
+    // Consecutive cases must not produce identical draws.
+    let mut firsts = Vec::new();
+    check_cfg(Config { cases: 10, seed: 7, max_shrink_runs: 0 }, "streams", |src| {
+        firsts.push(src.next_u64());
+        Ok(())
+    });
+    firsts.sort_unstable();
+    firsts.dedup();
+    assert_eq!(firsts.len(), 10, "per-case streams should be distinct");
+}
+
+#[test]
+fn passing_properties_do_not_panic() {
+    check("tautology", 100, |src| {
+        let a = src.u64_in(0, 10);
+        let b = src.u64_in(0, 10);
+        tk_assert!(a + b <= 18);
+        Ok(())
+    });
+}
+
+#[test]
+fn shrink_respects_run_budget() {
+    // With a zero shrink budget the harness still reports the original
+    // failure (no shrinking, no hang).
+    let runs = Cell::new(0u32);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        check_cfg(Config { cases: 100, seed: 1, max_shrink_runs: 0 }, "budget", |src| {
+            let _ = src.below(100);
+            runs.set(runs.get() + 1);
+            tk_assert!(runs.get() < 3, "third case fails");
+            Ok(())
+        });
+    }));
+    assert!(result.is_err());
+    // 3 generation runs + 1 final replay, no shrink runs in between.
+    assert_eq!(runs.get(), 4);
+}

@@ -4,14 +4,23 @@ use std::collections::BTreeMap;
 fn main() {
     let g = ldoor_like(46656);
     let r = gpmetis::partition(&g, &GpMetisConfig::new(64).with_seed(101)).unwrap();
-    println!("total {:.5} gpu {:.5} xfer {:.5} cpu {:.5}", r.result.modeled_seconds(), r.gpu.gpu_seconds, r.gpu.transfer_seconds, r.result.ledger.total_for("cpu:"));
+    println!(
+        "total {:.5} gpu {:.5} xfer {:.5} cpu {:.5}",
+        r.result.modeled_seconds(),
+        r.gpu.gpu_seconds,
+        r.gpu.transfer_seconds,
+        r.result.ledger.total_for("cpu:")
+    );
     let mut agg: BTreeMap<String, (u64, f64, u64, u64)> = BTreeMap::new();
     for k in &r.gpu.kernel_log {
         let e = agg.entry(k.name.clone()).or_default();
-        e.0 += 1; e.1 += k.seconds; e.2 += k.transactions; e.3 += k.warp_instr;
+        e.0 += 1;
+        e.1 += k.seconds;
+        e.2 += k.transactions;
+        e.3 += k.warp_instr;
     }
     let mut v: Vec<_> = agg.into_iter().collect();
-    v.sort_by(|a, b| b.1.1.partial_cmp(&a.1.1).unwrap());
+    v.sort_by(|a, b| b.1 .1.partial_cmp(&a.1 .1).unwrap());
     for (name, (cnt, secs, txns, wi)) in v.into_iter().take(10) {
         println!("K {name:<26} x{cnt:<4} {secs:.5}s txns {txns:>10} warpinstr {wi:>10}");
     }

@@ -36,8 +36,7 @@ fn main() {
             g.vwgt[u] = g.vwgt[u].saturating_mul(2);
         }
         let scratch = partition(&g, &MetisConfig::new(k).with_seed(step as u64));
-        let churn =
-            scratch.part.iter().zip(current.iter()).filter(|(a, b)| a != b).count();
+        let churn = scratch.part.iter().zip(current.iter()).filter(|(a, b)| a != b).count();
         let mut w = Work::default();
         let adapt = adaptive_repartition(&g, &current, k, 1.05, 2.0, 6, step as u64, &mut w);
         println!(

@@ -12,9 +12,7 @@
 
 use gp_metis_repro::gpmetis::{self, GpMetisConfig};
 use gp_metis_repro::graph::gen::ldoor_like;
-use gp_metis_repro::graph::metrics::{
-    boundary_count, comm_volume, edge_cut, part_weights,
-};
+use gp_metis_repro::graph::metrics::{boundary_count, comm_volume, edge_cut, part_weights};
 use gp_metis_repro::metis::{self, MetisConfig};
 
 fn main() {
@@ -35,7 +33,10 @@ fn main() {
         println!("edge cut          : {}", edge_cut(&g, part));
         println!("halo volume       : {}", comm_volume(&g, part));
         println!("boundary vertices : {} / {}", boundary_count(&g, part), g.n());
-        println!("subdomain weight  : min {wmin}, max {wmax} (ideal {})", g.total_vwgt() / k as u64);
+        println!(
+            "subdomain weight  : min {wmin}, max {wmax} (ideal {})",
+            g.total_vwgt() / k as u64
+        );
     }
 
     println!(

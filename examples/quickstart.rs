@@ -25,7 +25,10 @@ fn main() {
     println!("edge cut      : {}", edge_cut(&g, &r.result.part));
     println!("imbalance     : {:.4}", imbalance(&g, &r.result.part, 64));
     println!("comm volume   : {}", comm_volume(&g, &r.result.part));
-    println!("levels        : {} ({} on GPU, {} on CPU)", r.result.levels, r.gpu.gpu_levels, r.gpu.cpu_levels);
+    println!(
+        "levels        : {} ({} on GPU, {} on CPU)",
+        r.result.levels, r.gpu.gpu_levels, r.gpu.cpu_levels
+    );
     println!("modeled time  : {:.4} s (testbed model)", r.result.modeled_seconds());
     println!("  GPU kernels : {:.4} s", r.gpu.gpu_seconds);
     println!("  transfers   : {:.4} s ({} bytes)", r.gpu.transfer_seconds, r.gpu.transfer_bytes);

@@ -36,7 +36,9 @@ fn main() {
     println!("imbalance : {:.4} (tolerance 1.03)", imbalance(&g, &r.result.part, k));
     println!(
         "levels    : {} total, {} on the GPU (threshold {})",
-        r.result.levels, r.gpu.gpu_levels, GpMetisConfig::new(k).gpu_threshold
+        r.result.levels,
+        r.gpu.gpu_levels,
+        GpMetisConfig::new(k).gpu_threshold
     );
     println!("\nmodeled phase breakdown:");
     for (name, secs) in &r.result.ledger.phases {

@@ -102,9 +102,8 @@ fn serial_metis_survives_adversarial_shapes() {
 #[test]
 fn gpmetis_survives_adversarial_shapes() {
     for (name, g) in adversarial_graphs() {
-        let cfg = gp_metis_repro::gpmetis::GpMetisConfig::new(4)
-            .with_seed(1)
-            .with_gpu_threshold(100);
+        let cfg =
+            gp_metis_repro::gpmetis::GpMetisConfig::new(4).with_seed(1).with_gpu_threshold(100);
         let r = gp_metis_repro::gpmetis::partition(&g, &cfg).unwrap();
         assert_eq!(r.result.part.len(), g.n(), "{name}");
         assert!(r.result.part.iter().all(|&p| p < 4), "{name}");
@@ -114,8 +113,10 @@ fn gpmetis_survives_adversarial_shapes() {
 #[test]
 fn pmetis_and_kmetis_agree_on_league() {
     let g = geometric(3_000, 8.0, 11);
-    let kway =
-        gp_metis_repro::metis::partition(&g, &gp_metis_repro::metis::MetisConfig::new(16).with_seed(4));
+    let kway = gp_metis_repro::metis::partition(
+        &g,
+        &gp_metis_repro::metis::MetisConfig::new(16).with_seed(4),
+    );
     let rb = gp_metis_repro::metis::pmetis::partition_rb(
         &g,
         &gp_metis_repro::metis::MetisConfig::new(16).with_seed(4),

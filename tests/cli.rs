@@ -68,10 +68,7 @@ fn cli_summary_line_on_stdout() {
 
 #[test]
 fn cli_rejects_bad_input() {
-    let out = Command::new(bin())
-        .args(["/nonexistent/x.graph", "4", "--quiet"])
-        .output()
-        .unwrap();
+    let out = Command::new(bin()).args(["/nonexistent/x.graph", "4", "--quiet"]).output().unwrap();
     assert!(!out.status.success());
     let out = Command::new(bin()).args(["--help-me"]).output().unwrap();
     assert!(!out.status.success());

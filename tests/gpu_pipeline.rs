@@ -50,12 +50,8 @@ fn scan_matches_host_for_many_sizes_and_values() {
 
 #[test]
 fn gpu_pipeline_one_level_equals_serial_on_many_graphs() {
-    let graphs: Vec<gp_metis_repro::graph::csr::CsrGraph> = vec![
-        delaunay_like(600, 1),
-        usa_roads_like(600, 2),
-        hugebubbles_like(600),
-        rmat(8, 4, 3),
-    ];
+    let graphs: Vec<gp_metis_repro::graph::csr::CsrGraph> =
+        vec![delaunay_like(600, 1), usa_roads_like(600, 2), hugebubbles_like(600), rmat(8, 4, 3)];
     for (i, g) in graphs.iter().enumerate() {
         let d = dev();
         let gg = GpuCsr::upload(&d, g).unwrap();
@@ -74,9 +70,8 @@ fn gpu_pipeline_one_level_equals_serial_on_many_graphs() {
         assert!(is_valid_matching(g, &mat), "graph {i}");
         let (dcmap, nc) = gpu_cmap(&d, &dmat, Distribution::Cyclic, 1024).unwrap();
         for strategy in [MergeStrategy::SortMerge, MergeStrategy::Hash] {
-            let coarse = gpu_contract(&d, &gg, &dmat, &dcmap, nc, strategy, 256)
-                .unwrap()
-                .download(&d);
+            let coarse =
+                gpu_contract(&d, &gg, &dmat, &dcmap, nc, strategy, 256).unwrap().download(&d);
             let mut w = Work::default();
             let (serial, _) = contract(g, &mat, &mut w);
             assert_eq!(coarse.n(), serial.n(), "graph {i} {strategy:?}");
@@ -111,13 +106,11 @@ fn projection_composes_through_two_levels() {
     let d = dev();
     let gg = GpuCsr::upload(&d, &g).unwrap();
     // level 0 -> 1
-    let (m0, _) =
-        gpu_matching(&d, &gg, u32::MAX, 3, true, 1, Distribution::Cyclic, 512).unwrap();
+    let (m0, _) = gpu_matching(&d, &gg, u32::MAX, 3, true, 1, Distribution::Cyclic, 512).unwrap();
     let (c0, nc0) = gpu_cmap(&d, &m0, Distribution::Cyclic, 512).unwrap();
     let g1 = gpu_contract(&d, &gg, &m0, &c0, nc0, MergeStrategy::Hash, 256).unwrap();
     // level 1 -> 2
-    let (m1, _) =
-        gpu_matching(&d, &g1, u32::MAX, 3, false, 2, Distribution::Cyclic, 512).unwrap();
+    let (m1, _) = gpu_matching(&d, &g1, u32::MAX, 3, false, 2, Distribution::Cyclic, 512).unwrap();
     let (c1, nc1) = gpu_cmap(&d, &m1, Distribution::Cyclic, 512).unwrap();
     let _g2 = gpu_contract(&d, &g1, &m1, &c1, nc1, MergeStrategy::Hash, 256).unwrap();
     // color level 2, project down twice, check cut equality via cmaps
@@ -128,8 +121,7 @@ fn projection_composes_through_two_levels() {
     // manual composition on the host
     let c0h = c0.to_vec();
     let c1h = c1.to_vec();
-    let expect: Vec<u32> =
-        (0..g.n()).map(|u| cpart[c1h[c0h[u] as usize] as usize]).collect();
+    let expect: Vec<u32> = (0..g.n()).map(|u| cpart[c1h[c0h[u] as usize] as usize]).collect();
     assert_eq!(p0.to_vec(), expect);
 }
 

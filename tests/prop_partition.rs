@@ -1,6 +1,7 @@
 //! Property-based tests of the partitioning machinery: matching,
 //! contraction, projection, refinement and the full multilevel pipeline
-//! preserve their invariants on arbitrary connected graphs.
+//! preserve their invariants on arbitrary connected graphs. (Runs on
+//! the in-repo `gpm-testkit` harness.)
 
 use gp_metis_repro::graph::builder::GraphBuilder;
 use gp_metis_repro::graph::csr::{CsrGraph, Vid};
@@ -11,58 +12,67 @@ use gp_metis_repro::metis::cost::Work;
 use gp_metis_repro::metis::fm::{fm_refine, BisectTargets};
 use gp_metis_repro::metis::kway::kway_refine;
 use gp_metis_repro::metis::matching::{find_matching, is_valid_matching, MatchScheme};
-use proptest::prelude::*;
+use gpm_testkit::{check, tk_assert, tk_assert_eq, Source};
 
-/// Strategy: a connected graph (ring backbone + random chords) with
+/// Generator: a connected graph (ring backbone + random chords) with
 /// random weights.
-fn arb_connected() -> impl Strategy<Value = CsrGraph> {
-    (4usize..80).prop_flat_map(|n| {
-        let chords = prop::collection::vec((0..n as Vid, 0..n as Vid, 1u32..6), 0..n * 2);
-        let vw = prop::collection::vec(1u32..5, n);
-        (chords, vw).prop_map(move |(chords, vw)| {
-            let mut b = GraphBuilder::new(n);
-            for i in 0..n {
-                b.add_edge(i as Vid, ((i + 1) % n) as Vid, 1);
-            }
-            for (u, v, w) in chords {
-                b.add_edge(u, v, w);
-            }
-            b.vertex_weights(vw).build()
-        })
-    })
+fn arb_connected(src: &mut Source) -> CsrGraph {
+    let n = src.usize_in(4, 80);
+    let chords = src.vec_of(0, n * 2, |s| {
+        (s.u32_in(0, n as u32) as Vid, s.u32_in(0, n as u32) as Vid, s.u32_in(1, 6))
+    });
+    let vw = src.vec_of(n, n + 1, |s| s.u32_in(1, 5));
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as Vid, ((i + 1) % n) as Vid, 1);
+    }
+    for (u, v, w) in chords {
+        b.add_edge(u, v, w);
+    }
+    b.vertex_weights(vw).build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn matching_is_involution_on_edges(g in arb_connected(), seed in 0u64..50) {
+#[test]
+fn matching_is_involution_on_edges() {
+    check("matching_is_involution_on_edges", 48, |src| {
+        let g = arb_connected(src);
+        let seed = src.u64_in(0, 50);
         let mut rng = SplitMix64::new(seed);
         let mut w = Work::default();
         for scheme in [MatchScheme::Hem, MatchScheme::Rm, MatchScheme::Lem] {
             let mat = find_matching(&g, scheme, u32::MAX, &mut rng, &mut w);
-            prop_assert!(is_valid_matching(&g, &mat), "{scheme:?}");
+            tk_assert!(is_valid_matching(&g, &mat), "{scheme:?}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn contraction_conserves_weight_and_cut(g in arb_connected(), seed in 0u64..50) {
+#[test]
+fn contraction_conserves_weight_and_cut() {
+    check("contraction_conserves_weight_and_cut", 48, |src| {
+        let g = arb_connected(src);
+        let seed = src.u64_in(0, 50);
         let mut rng = SplitMix64::new(seed);
         let mut w = Work::default();
         let mat = find_matching(&g, MatchScheme::Hem, u32::MAX, &mut rng, &mut w);
         let (coarse, cmap) = contract(&g, &mat, &mut w);
-        prop_assert!(coarse.validate().is_ok());
-        prop_assert_eq!(coarse.total_vwgt(), g.total_vwgt());
+        tk_assert!(coarse.validate().is_ok());
+        tk_assert_eq!(coarse.total_vwgt(), g.total_vwgt());
         // cut preservation under projection for an arbitrary coloring
         let cpart: Vec<u32> = (0..coarse.n() as u32).map(|c| c % 2).collect();
         let fpart: Vec<u32> = cmap.iter().map(|&c| cpart[c as usize]).collect();
-        prop_assert_eq!(edge_cut(&coarse, &cpart), edge_cut(&g, &fpart));
+        tk_assert_eq!(edge_cut(&coarse, &cpart), edge_cut(&g, &fpart));
         // total edge weight never increases under contraction
-        prop_assert!(coarse.total_adjwgt() <= g.total_adjwgt());
-    }
+        tk_assert!(coarse.total_adjwgt() <= g.total_adjwgt());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fm_never_worsens_feasible_bisection(g in arb_connected(), seed in 0u64..50) {
+#[test]
+fn fm_never_worsens_feasible_bisection() {
+    check("fm_never_worsens_feasible_bisection", 48, |src| {
+        let g = arb_connected(src);
+        let seed = src.u64_in(0, 50);
         let mut rng = SplitMix64::new(seed);
         let mut part: Vec<u32> = (0..g.n()).map(|_| (rng.next_u64() & 1) as u32).collect();
         let targets = BisectTargets::even(g.total_vwgt(), 1.30);
@@ -73,50 +83,63 @@ proptest! {
         };
         let mut work = Work::default();
         let after = fm_refine(&g, &mut part, &targets, 4, &mut work);
-        prop_assert_eq!(after, edge_cut(&g, &part), "returned cut mismatch");
+        tk_assert_eq!(after, edge_cut(&g, &part), "returned cut mismatch");
         if before_feasible {
-            prop_assert!(after <= before, "{before} -> {after}");
+            tk_assert!(after <= before, "{before} -> {after}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn kway_refine_monotone_and_in_range(g in arb_connected(), seed in 0u64..50) {
+#[test]
+fn kway_refine_monotone_and_in_range() {
+    check("kway_refine_monotone_and_in_range", 48, |src| {
+        let g = arb_connected(src);
+        let seed = src.u64_in(0, 50);
         let k = 4;
         let mut rng = SplitMix64::new(seed);
         let mut part: Vec<u32> = (0..g.n()).map(|_| rng.below(k as u64) as u32).collect();
         let before = edge_cut(&g, &part);
         let mut work = Work::default();
         kway_refine(&g, &mut part, k, 1.20, 4, &mut rng, &mut work);
-        prop_assert!(edge_cut(&g, &part) <= before);
-        prop_assert!(part.iter().all(|&p| (p as usize) < k));
-    }
+        tk_assert!(edge_cut(&g, &part) <= before);
+        tk_assert!(part.iter().all(|&p| (p as usize) < k));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn full_pipeline_valid_for_any_k(g in arb_connected(), k in 2usize..7, seed in 0u64..20) {
+#[test]
+fn full_pipeline_valid_for_any_k() {
+    check("full_pipeline_valid_for_any_k", 48, |src| {
+        let g = arb_connected(src);
+        let k = src.usize_in(2, 7);
+        let seed = src.u64_in(0, 20);
         let cfg = gp_metis_repro::metis::MetisConfig::new(k).with_seed(seed);
         let r = gp_metis_repro::metis::partition(&g, &cfg);
         // tiny graphs with weighted vertices may not reach 3%; allow a
         // loose-but-real bound scaled by granularity
-        prop_assert!(validate_partition(&g, &r.part, k, 2.0).is_ok());
-        prop_assert_eq!(r.edge_cut, edge_cut(&g, &r.part));
-    }
+        tk_assert!(validate_partition(&g, &r.part, k, 2.0).is_ok());
+        tk_assert_eq!(r.edge_cut, edge_cut(&g, &r.part));
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn parallel_engines_match_serial_validity(g in arb_connected(), seed in 0u64..10) {
+#[test]
+fn parallel_engines_match_serial_validity() {
+    check("parallel_engines_match_serial_validity", 16, |src| {
+        let g = arb_connected(src);
+        let seed = src.u64_in(0, 10);
         let k = 3;
         let mt = gp_metis_repro::mtmetis::partition(
             &g,
             &gp_metis_repro::mtmetis::MtMetisConfig::new(k).with_threads(3).with_seed(seed),
         );
-        prop_assert!(validate_partition(&g, &mt.part, k, 2.0).is_ok());
+        tk_assert!(validate_partition(&g, &mt.part, k, 2.0).is_ok());
         let par = gp_metis_repro::parmetis::partition(
             &g,
             &gp_metis_repro::parmetis::ParMetisConfig::new(k).with_ranks(2).with_seed(seed),
         );
-        prop_assert!(validate_partition(&g, &par.part, k, 2.5).is_ok());
-    }
+        tk_assert!(validate_partition(&g, &par.part, k, 2.5).is_ok());
+        Ok(())
+    });
 }
