@@ -46,4 +46,11 @@ GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke"
 test -s "$smoke/BENCH_phases.json"
 echo "BENCH_phases.json written and non-empty"
 
+step "pool bench smoke (executor dispatch + pooled phases, validated JSON)"
+# A panic in the bench binary fails this line; the validator then rejects
+# malformed or truncated output, so a half-written JSON cannot pass.
+GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke" \
+    cargo bench --offline -p gpm-bench --bench pool
+./target/release/validate_bench "$smoke/BENCH_pool.json" "$smoke/BENCH_phases.json"
+
 printf '\nci.sh: all checks passed\n'

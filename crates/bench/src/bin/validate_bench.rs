@@ -1,0 +1,35 @@
+//! Validate `BENCH_<suite>.json` documents against the gpm-testkit bench
+//! schema. Used by the CI bench smoke: a truncated or malformed bench
+//! file fails the pipeline instead of silently rotting.
+//!
+//! Usage: `validate_bench <file.json>...` — exits non-zero on the first
+//! invalid document.
+
+use gpm_testkit::bench::validate_bench_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: validate_bench <BENCH_*.json>...");
+        std::process::exit(2);
+    }
+    for path in &args {
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("validate_bench: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match validate_bench_json(&doc) {
+            Ok(summary) => {
+                println!(
+                    "{path}: ok (suite \"{}\", {} benches)",
+                    summary.suite,
+                    summary.benches.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("validate_bench: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -37,12 +37,12 @@ impl GpuCsr {
 
     /// Download to the host (charged D2H).
     pub fn download(&self, dev: &Device) -> CsrGraph {
-        CsrGraph {
-            xadj: dev.d2h(&self.xadj),
-            adjncy: dev.d2h(&self.adjncy),
-            adjwgt: dev.d2h(&self.adjwgt),
-            vwgt: dev.d2h(&self.vwgt),
-        }
+        CsrGraph::from_parts(
+            dev.d2h(&self.xadj),
+            dev.d2h(&self.adjncy),
+            dev.d2h(&self.adjwgt),
+            dev.d2h(&self.vwgt),
+        )
     }
 
     /// Device bytes held by this graph.

@@ -139,12 +139,16 @@ pub fn gpu_refine(
                         }
                     }
                     if let Some((q, gain)) = best {
-                        // atomically claim a slot in q's buffer
+                        // atomically claim a slot in q's buffer; the slot
+                        // value races, so the stores are traced at a
+                        // deterministic proxy (warp-concurrent claims get
+                        // adjacent slots, so the in-warp lane offset has
+                        // the same coalescing shape)
                         let slot = lane.atomic_add(&bufsize, q as usize, 1) as usize;
-                        if slot < cap {
-                            lane.st(&req_vertex, q as usize * cap + slot, u as u32);
-                            lane.st(&req_gain, q as usize * cap + slot, gain as u32);
-                        }
+                        let kept = (slot < cap).then_some(q as usize * cap + slot);
+                        let model = q as usize * cap + (lane.tid % 32) % cap;
+                        lane.st_claimed(&req_vertex, kept, model, u as u32);
+                        lane.st_claimed(&req_gain, kept, model, gain as u32);
                     }
                 }
             });

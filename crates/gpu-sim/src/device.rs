@@ -3,7 +3,8 @@
 use crate::buffer::{DBuf, DeviceWord};
 use crate::config::GpuConfig;
 use crate::lane::Lane;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -83,6 +84,54 @@ pub struct KernelSummary {
     pub transactions: u64,
     pub accesses: u64,
     pub warp_instr: u64,
+}
+
+/// Per-group statistics accumulator for one kernel launch.
+#[derive(Default)]
+struct Acc {
+    warp_instr: u64,
+    lane_instr: u64,
+    transactions: u64,
+    accesses: u64,
+}
+
+/// Fixed-capacity sorted set of the memory segments touched at one
+/// lockstep trace position. Keeping the array sorted turns the previous
+/// per-access linear `contains` scan (O(warp_size) comparisons against an
+/// unsorted prefix) into a binary search plus an insertion shift —
+/// O(log warp_size) comparisons for the common already-present hit, which
+/// dominates coalesced access patterns. Capacity 64 covers a full warp of
+/// scattered accesses (one segment per lane, warp_size ≤ 64).
+struct SegSet {
+    segs: [u64; 64],
+    len: usize,
+}
+
+impl SegSet {
+    fn new() -> Self {
+        SegSet { segs: [0; 64], len: 0 }
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `s`; returns whether it was newly added.
+    fn insert(&mut self, s: u64) -> bool {
+        match self.segs[..self.len].binary_search(&s) {
+            Ok(_) => false,
+            Err(i) => {
+                self.segs.copy_within(i..self.len, i + 1);
+                self.segs[i] = s;
+                self.len += 1;
+                true
+            }
+        }
+    }
 }
 
 #[derive(Default)]
@@ -202,104 +251,91 @@ impl Device {
 
     /// Launch `n_threads` copies of `kernel`, grouped into warps of 32.
     ///
-    /// Execution: warps are distributed over host worker threads (real
-    /// concurrency, so lock-free algorithms race for real); lanes within a
-    /// warp run sequentially, with their memory traces replayed in
-    /// lockstep to count coalesced transactions. Timing: roofline —
-    /// `max(compute, memory) + launch overhead`.
+    /// Execution: warp groups are dispatched to the persistent [`gpm_pool`]
+    /// executor (real concurrency, so lock-free algorithms race for real);
+    /// lanes within a warp run sequentially, with their memory traces
+    /// replayed in lockstep to count coalesced transactions. Per-group
+    /// statistics are integer sums folded in group-index order, so the
+    /// stats are identical regardless of which host worker ran which
+    /// group. Timing: roofline — `max(compute, memory) + launch overhead`.
     pub fn launch<F>(&self, name: &str, n_threads: usize, kernel: F) -> KernelStats
     where
         F: Fn(&mut Lane) + Sync,
     {
         let ws = self.cfg.warp_size;
         let n_warps = n_threads.div_ceil(ws);
-        let next_warp = AtomicUsize::new(0);
-        let workers = self.cfg.host_workers.max(1).min(n_warps.max(1));
+        // Groups of 8 warps amortize dispatch; scratch lives per host
+        // worker in thread-locals, reused across groups and launches.
+        const GROUP: usize = 8;
+        let n_groups = n_warps.div_ceil(GROUP);
 
-        #[derive(Default)]
-        struct Acc {
-            warp_instr: u64,
-            lane_instr: u64,
-            transactions: u64,
-            accesses: u64,
+        thread_local! {
+            static SCRATCH: RefCell<(Vec<Vec<u64>>, Vec<u64>)> =
+                const { RefCell::new((Vec::new(), Vec::new())) };
         }
 
-        let total = Mutex::new(Acc::default());
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
-                    let mut traces: Vec<Vec<u64>> =
-                        (0..ws).map(|_| Vec::with_capacity(self.cfg.trace_cap.min(256))).collect();
-                    let mut lane_instrs = vec![0u64; ws];
-                    let mut local = Acc::default();
-                    // Chunk warps to reduce fetch_add contention.
-                    const CHUNK: usize = 8;
-                    loop {
-                        let start = next_warp.fetch_add(CHUNK, Ordering::Relaxed);
-                        if start >= n_warps {
-                            break;
+        let accs = gpm_pool::parallel_chunks(n_groups, |gi| {
+            SCRATCH.with(|cell| {
+                let (traces, lane_instrs) = &mut *cell.borrow_mut();
+                traces.resize_with(ws, || Vec::with_capacity(self.cfg.trace_cap.min(256)));
+                lane_instrs.resize(ws, 0);
+                let mut local = Acc::default();
+                let mut segs = SegSet::new();
+                for w in gi * GROUP..(gi * GROUP + GROUP).min(n_warps) {
+                    let base = w * ws;
+                    let mut max_instr = 0u64;
+                    let mut overflow = 0u64;
+                    for l in 0..ws {
+                        traces[l].clear();
+                        lane_instrs[l] = 0;
+                        let tid = base + l;
+                        if tid >= n_threads {
+                            continue;
                         }
-                        for w in start..(start + CHUNK).min(n_warps) {
-                            let base = w * ws;
-                            let mut max_instr = 0u64;
-                            let mut overflow = 0u64;
-                            for l in 0..ws {
-                                traces[l].clear();
-                                lane_instrs[l] = 0;
-                                let tid = base + l;
-                                if tid >= n_threads {
-                                    continue;
-                                }
-                                let mut lane = Lane {
-                                    tid,
-                                    n_threads,
-                                    instr: 0,
-                                    trace: &mut traces[l],
-                                    overflow: 0,
-                                    trace_cap: self.cfg.trace_cap,
-                                    segment_bytes: self.cfg.segment_bytes,
-                                    recent: [0; 4],
-                                    recent_pos: 0,
-                                };
-                                kernel(&mut lane);
-                                lane_instrs[l] = lane.instr;
-                                overflow += lane.overflow;
-                                max_instr = max_instr.max(lane.instr);
-                            }
-                            // Replay traces in lockstep: the k-th access of
-                            // each lane coalesces into distinct segments.
-                            let maxlen = traces.iter().map(|t| t.len()).max().unwrap_or(0);
-                            let mut txns = 0u64;
-                            let mut segs = [0u64; 64];
-                            for k in 0..maxlen {
-                                let mut cnt = 0usize;
-                                for t in traces.iter() {
-                                    if let Some(&s) = t.get(k) {
-                                        if !segs[..cnt].contains(&s) {
-                                            segs[cnt] = s;
-                                            cnt += 1;
-                                        }
-                                    }
-                                }
-                                txns += cnt as u64;
-                            }
-                            local.transactions += txns + overflow;
-                            local.accesses +=
-                                traces.iter().map(|t| t.len() as u64).sum::<u64>() + overflow;
-                            local.warp_instr += max_instr;
-                            local.lane_instr += lane_instrs.iter().sum::<u64>();
-                        }
+                        let mut lane = Lane {
+                            tid,
+                            n_threads,
+                            instr: 0,
+                            trace: &mut traces[l],
+                            overflow: 0,
+                            trace_cap: self.cfg.trace_cap,
+                            segment_bytes: self.cfg.segment_bytes,
+                            recent: [0; 4],
+                            recent_pos: 0,
+                        };
+                        kernel(&mut lane);
+                        lane_instrs[l] = lane.instr;
+                        overflow += lane.overflow;
+                        max_instr = max_instr.max(lane.instr);
                     }
-                    let mut t = total.lock().unwrap();
-                    t.warp_instr += local.warp_instr;
-                    t.lane_instr += local.lane_instr;
-                    t.transactions += local.transactions;
-                    t.accesses += local.accesses;
-                });
-            }
+                    // Replay traces in lockstep: the k-th access of
+                    // each lane coalesces into distinct segments.
+                    let maxlen = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+                    let mut txns = 0u64;
+                    for k in 0..maxlen {
+                        segs.clear();
+                        for t in traces.iter() {
+                            if let Some(&s) = t.get(k) {
+                                segs.insert(s);
+                            }
+                        }
+                        txns += segs.len() as u64;
+                    }
+                    local.transactions += txns + overflow;
+                    local.accesses += traces.iter().map(|t| t.len() as u64).sum::<u64>() + overflow;
+                    local.warp_instr += max_instr;
+                    local.lane_instr += lane_instrs.iter().sum::<u64>();
+                }
+                local
+            })
         });
-
-        let acc = total.into_inner().unwrap();
+        let mut acc = Acc::default();
+        for a in accs {
+            acc.warp_instr += a.warp_instr;
+            acc.lane_instr += a.lane_instr;
+            acc.transactions += a.transactions;
+            acc.accesses += a.accesses;
+        }
         let mem_seconds = self.cfg.mem_seconds_occupancy(acc.transactions, n_warps as u64);
         let compute_seconds = self.cfg.compute_seconds(acc.warp_instr);
         let seconds = mem_seconds.max(compute_seconds) + self.cfg.kernel_launch_overhead;
@@ -456,6 +492,57 @@ mod tests {
         assert_eq!(x.launches, 3);
         assert!(x.seconds > 0.0);
         assert!(x.transactions > 0);
+    }
+
+    #[test]
+    fn segset_counts_match_linear_scan() {
+        // The sorted dedup must count exactly as many distinct segments
+        // per lockstep position as the linear-scan reference it replaced.
+        let mut z = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            z ^= z << 13;
+            z ^= z >> 7;
+            z ^= z << 17;
+            z
+        };
+        let mut set = SegSet::new();
+        for trial in 0..200 {
+            // segment ids drawn from a small space to force duplicates
+            let ids: Vec<u64> = (0..(trial % 64) + 1).map(|_| next() % 40).collect();
+            let mut linear: Vec<u64> = Vec::new();
+            for &s in &ids {
+                if !linear.contains(&s) {
+                    linear.push(s);
+                }
+            }
+            set.clear();
+            for &s in &ids {
+                set.insert(s);
+            }
+            assert_eq!(set.len(), linear.len(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn transaction_counts_unchanged_by_dedup_rewrite() {
+        // Golden transaction counts for the canonical access patterns —
+        // these pin the dedup rewrite to the old linear-scan semantics.
+        let d = dev();
+        let n = 32 * 16;
+        let buf = d.alloc::<u32>(n * 32).unwrap();
+        let coalesced = d.launch("c", n, |lane| {
+            let _ = lane.ld(&buf, lane.tid);
+        });
+        assert_eq!(coalesced.transactions, 16); // 1 txn per warp
+        let strided = d.launch("s", n, |lane| {
+            let _ = lane.ld(&buf, lane.tid * 32);
+        });
+        assert_eq!(strided.transactions, n as u64); // 1 txn per lane
+                                                    // half-warp broadcast: two segments per warp
+        let pair = d.launch("p", n, |lane| {
+            let _ = lane.ld(&buf, (lane.tid / 16) * 32);
+        });
+        assert_eq!(pair.transactions, 32);
     }
 
     #[test]

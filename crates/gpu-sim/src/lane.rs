@@ -65,6 +65,30 @@ impl<'a> Lane<'a> {
         buf.store(i, v);
     }
 
+    /// Store into a buffer slot claimed from a racing atomic append
+    /// (`slot = atomicAdd(&counter, 1)` patterns). The physical slot
+    /// depends on scheduling, so tracing it would make the modeled
+    /// transaction count differ run to run; the access is traced at
+    /// `model_i` instead — a caller-chosen deterministic index with the
+    /// same coalescing shape (warp-concurrent claims on one counter take
+    /// adjacent slots, so the lane's offset within its warp is the usual
+    /// proxy). `slot = None` models a claim past the buffer capacity:
+    /// the store is dropped but the issue slots and traffic are still
+    /// charged, keeping the cost independent of which racer lost.
+    #[inline]
+    pub fn st_claimed<T: DeviceWord>(
+        &mut self,
+        buf: &DBuf<T>,
+        slot: Option<usize>,
+        model_i: usize,
+        v: T,
+    ) {
+        self.record(buf, model_i);
+        if let Some(i) = slot {
+            buf.store(i, v);
+        }
+    }
+
     /// `atomicAdd`: returns the previous value.
     #[inline]
     pub fn atomic_add<T: DeviceInt>(&mut self, buf: &DBuf<T>, i: usize, v: T) -> T {
@@ -203,6 +227,22 @@ mod tests {
         }
         assert_eq!(lane.overflow, 6);
         assert_eq!(lane.trace.len(), 4);
+    }
+
+    #[test]
+    fn st_claimed_traces_model_index_and_drops_overflow() {
+        let b = mk_buf(256, 1);
+        let mut tr = Vec::new();
+        let mut lane = mk_lane(&mut tr);
+        // stores land at the racy slot, the trace at the proxy
+        lane.st_claimed(&b, Some(200), 0, 7);
+        assert_eq!(b.load(200), 7);
+        assert_eq!(*lane.trace, vec![1u64 << 40]); // segment of index 0, not 200
+                                                   // an overflowed claim still charges the instruction and traffic
+        let before = lane.instructions();
+        lane.st_claimed(&b, None, 64, 9);
+        assert_eq!(lane.instructions(), before + 1);
+        assert_eq!(lane.trace.len(), 2);
     }
 
     #[test]

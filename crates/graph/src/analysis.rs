@@ -109,7 +109,7 @@ pub fn relabel(g: &CsrGraph, perm: &[Vid]) -> CsrGraph {
             adjwgt[s + i] = w;
         }
     }
-    let out = CsrGraph { xadj, adjncy, adjwgt, vwgt };
+    let out = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
     debug_assert!(out.validate().is_ok());
     out
 }

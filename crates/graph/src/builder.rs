@@ -114,7 +114,7 @@ impl GraphBuilder {
             new_xadj[u + 1] = out_adj.len() as u32;
         }
         let vwgt = self.vwgt.unwrap_or_else(|| vec![1; n]);
-        let g = CsrGraph { xadj: new_xadj, adjncy: out_adj, adjwgt: out_wgt, vwgt };
+        let g = CsrGraph::from_parts(new_xadj, out_adj, out_wgt, vwgt);
         debug_assert!(g.validate().is_ok());
         g
     }
@@ -127,7 +127,7 @@ pub fn from_raw(
     adjwgt: Vec<u32>,
     vwgt: Vec<u32>,
 ) -> Result<CsrGraph, crate::csr::GraphError> {
-    let g = CsrGraph { xadj, adjncy, adjwgt, vwgt };
+    let g = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
     g.validate()?;
     Ok(g)
 }

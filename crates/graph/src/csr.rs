@@ -7,6 +7,7 @@
 //! paths operate on identical data.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Vertex identifier. 32 bits suffice for every workload in the evaluation
 /// (the largest paper input has ~24 M vertices) and halve memory traffic
@@ -21,7 +22,6 @@ pub type Vid = u32;
 /// * `adjncy.len() == adjwgt.len()`, every entry `< n`;
 /// * no self-loops;
 /// * symmetry: edge `(u, v, w)` appears iff `(v, u, w)` appears.
-#[derive(Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     /// Adjacency pointers (`adjp` in the paper), length `n + 1`.
     pub xadj: Vec<u32>,
@@ -31,7 +31,37 @@ pub struct CsrGraph {
     pub adjwgt: Vec<u32>,
     /// Vertex weights, length `n`.
     pub vwgt: Vec<u32>,
+    /// Memoized [`CsrGraph::uniform_edge_weights`] answer. The matcher
+    /// asks once per coarsening level and the scan is O(m), so the answer
+    /// is computed on first query and kept. Mutating `adjwgt` in place
+    /// after that first query would make it stale — construct a new graph
+    /// (or clone, which drops the cache) instead.
+    uniform_ew: OnceLock<bool>,
 }
+
+impl Clone for CsrGraph {
+    fn clone(&self) -> Self {
+        // deliberately not cloning the cache: the typical reason to clone
+        // is to mutate, and a stale flag is worse than an O(m) rescan
+        CsrGraph::from_parts(
+            self.xadj.clone(),
+            self.adjncy.clone(),
+            self.adjwgt.clone(),
+            self.vwgt.clone(),
+        )
+    }
+}
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.xadj == other.xadj
+            && self.adjncy == other.adjncy
+            && self.adjwgt == other.adjwgt
+            && self.vwgt == other.vwgt
+    }
+}
+
+impl Eq for CsrGraph {}
 
 /// Error produced by [`CsrGraph::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +98,13 @@ impl std::error::Error for GraphError {}
 impl CsrGraph {
     /// An empty graph (zero vertices, zero edges).
     pub fn empty() -> Self {
-        CsrGraph { xadj: vec![0], adjncy: Vec::new(), adjwgt: Vec::new(), vwgt: Vec::new() }
+        CsrGraph::from_parts(vec![0], Vec::new(), Vec::new(), Vec::new())
+    }
+
+    /// Assemble a graph from the four CSR arrays (no validation — call
+    /// [`CsrGraph::validate`] when the arrays come from untrusted code).
+    pub fn from_parts(xadj: Vec<u32>, adjncy: Vec<Vid>, adjwgt: Vec<u32>, vwgt: Vec<u32>) -> Self {
+        CsrGraph { xadj, adjncy, adjwgt, vwgt, uniform_ew: OnceLock::new() }
     }
 
     /// Number of vertices.
@@ -210,9 +246,10 @@ impl CsrGraph {
         self.neighbor_weights(u).iter().map(|&w| w as u64).sum()
     }
 
-    /// True if every edge weight equals `w`.
+    /// True if all edge weights are equal. O(m) on the first call, then
+    /// cached — see the `uniform_ew` field note about in-place mutation.
     pub fn uniform_edge_weights(&self) -> bool {
-        self.adjwgt.windows(2).all(|p| p[0] == p[1])
+        *self.uniform_ew.get_or_init(|| self.adjwgt.windows(2).all(|p| p[0] == p[1]))
     }
 }
 
@@ -314,6 +351,27 @@ mod tests {
             *w = 3;
         }
         assert!(!g2.uniform_edge_weights());
+    }
+
+    #[test]
+    fn uniform_cache_not_inherited_by_clone_or_parts() {
+        let g = triangle();
+        assert!(g.uniform_edge_weights()); // populates the cache
+                                           // a clone must re-answer from its own (possibly mutated) weights
+        let mut c = g.clone();
+        c.adjwgt[0] = 3;
+        c.adjwgt[2] = 3; // keep the reverse edge consistent
+        assert!(!c.uniform_edge_weights());
+        assert!(g.uniform_edge_weights());
+        // a graph assembled from the arrays of a cached one starts cold
+        let p = CsrGraph::from_parts(
+            g.xadj.clone(),
+            g.adjncy.clone(),
+            vec![1, 2, 3, 4, 5, 6],
+            g.vwgt.clone(),
+        );
+        assert!(!p.uniform_edge_weights());
+        assert_eq!(g, g.clone(), "equality ignores the cache");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub fn induced_subgraph(g: &CsrGraph, select: &[bool]) -> (CsrGraph, Vec<Vid>) {
             }
         }
     }
-    let sub = CsrGraph { xadj, adjncy, adjwgt, vwgt };
+    let sub = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
     debug_assert!(sub.validate().is_ok());
     (sub, new_to_old)
 }

@@ -80,7 +80,7 @@ pub fn contract(g: &CsrGraph, mat: &[Vid], work: &mut Work) -> (CsrGraph, Vec<Vi
         c += 1;
     }
     debug_assert_eq!(c as usize, nc);
-    let coarse = CsrGraph { xadj, adjncy, adjwgt, vwgt };
+    let coarse = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
     debug_assert!(coarse.validate().is_ok(), "contraction produced invalid graph");
     (coarse, cmap)
 }

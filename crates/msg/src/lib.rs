@@ -13,7 +13,7 @@
 pub mod channel;
 
 use channel::{channel as mpmc_channel, Receiver, Sender};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 
 /// Cluster configuration: rank count and the α–β communication model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -219,6 +219,12 @@ impl RankCtx {
 
 /// Run `f` on every rank of a simulated cluster; returns each rank's
 /// result and phase records, indexed by rank.
+///
+/// Ranks block on each other (barriers, `recv`), so they cannot share the
+/// fixed-width chunk pool — a rank parked on a barrier would starve the
+/// rank it is waiting for. They run on [`gpm_pool::scoped_blocking`]'s
+/// dedicated seat threads instead, which persist across calls like the
+/// pool workers do.
 pub fn run_cluster<T, F>(cfg: &ClusterConfig, f: F) -> Vec<(T, Vec<RankPhase>)>
 where
     T: Send,
@@ -227,48 +233,35 @@ where
     let p = cfg.ranks;
     assert!(p >= 1);
     let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(p);
-    let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Mutex<Option<Receiver<Msg>>>> = Vec::with_capacity(p);
     for _ in 0..p {
         let (s, r) = mpmc_channel();
         senders.push(s);
-        receivers.push(Some(r));
+        receivers.push(Mutex::new(Some(r)));
     }
     let barrier = std::sync::Arc::new(Barrier::new(p));
-    let mut out: Vec<Option<(T, Vec<RankPhase>)>> = (0..p).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (rank, recv_slot) in receivers.iter_mut().enumerate() {
-            let receiver = recv_slot.take().unwrap();
-            let senders = senders.clone();
-            let barrier = barrier.clone();
-            let f = &f;
-            handles.push(s.spawn(move || {
-                let mut ctx = RankCtx {
-                    rank,
-                    ranks: p,
-                    senders,
-                    receiver,
-                    stash: Vec::new(),
-                    barrier,
-                    msgs: 0,
-                    bytes: 0,
-                    edges: 0,
-                    vertices: 0,
-                    ws_bytes: 0,
-                    phases: Vec::new(),
-                };
-                let result = f(&mut ctx);
-                if ctx.edges > 0 || ctx.vertices > 0 || ctx.msgs > 0 {
-                    ctx.phase_end("tail");
-                }
-                (result, ctx.phases)
-            }));
+    gpm_pool::scoped_blocking(p, |rank| {
+        let receiver = receivers[rank].lock().unwrap().take().expect("rank body runs once");
+        let mut ctx = RankCtx {
+            rank,
+            ranks: p,
+            senders: senders.clone(),
+            receiver,
+            stash: Vec::new(),
+            barrier: barrier.clone(),
+            msgs: 0,
+            bytes: 0,
+            edges: 0,
+            vertices: 0,
+            ws_bytes: 0,
+            phases: Vec::new(),
+        };
+        let result = f(&mut ctx);
+        if ctx.edges > 0 || ctx.vertices > 0 || ctx.msgs > 0 {
+            ctx.phase_end("tail");
         }
-        for (rank, h) in handles.into_iter().enumerate() {
-            out[rank] = Some(h.join().expect("rank panicked"));
-        }
-    });
-    out.into_iter().map(|o| o.unwrap()).collect()
+        (result, ctx.phases)
+    })
 }
 
 /// Modeled BSP seconds for aligned phase records: for each phase index,

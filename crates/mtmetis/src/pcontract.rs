@@ -1,8 +1,10 @@
-//! Thread-parallel graph contraction: each thread contracts the coarse
+//! Thread-parallel graph contraction: each worker contracts the coarse
 //! vertices whose representatives lie in its fine-vertex chunk, writing
 //! into private buffers that are stitched into the coarse CSR afterwards
 //! (prefix sums over per-thread lengths — the CPU analogue of the paper's
-//! two-phase GPU contraction).
+//! two-phase GPU contraction). All four internal phases dispatch to the
+//! persistent [`gpm_pool`] executor; chunk results are consumed in index
+//! order, so the output cannot depend on scheduling.
 
 use crate::util::{atomic_vec, chunk_range, ld, snapshot, st};
 use gpm_graph::csr::{CsrGraph, Vid};
@@ -30,20 +32,15 @@ pub fn parallel_contract(
 
     // --- cmap construction -------------------------------------------------
     // Representatives (u <= mat[u]) get coarse labels in fine order; each
-    // thread's chunk therefore owns a contiguous coarse-label range.
+    // worker's chunk therefore owns a contiguous coarse-label range.
     let mut rep_counts = vec![0u32; threads + 1];
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            handles.push(s.spawn(move || {
-                let (lo, hi) = chunk_range(n, threads, t);
-                (lo..hi).filter(|&u| u as Vid <= mat[u]).count() as u32
-            }));
-        }
-        for (t, h) in handles.into_iter().enumerate() {
-            rep_counts[t + 1] = h.join().unwrap();
-        }
+    let counts = gpm_pool::parallel_chunks(threads, |t| {
+        let (lo, hi) = chunk_range(n, threads, t);
+        (lo..hi).filter(|&u| u as Vid <= mat[u]).count() as u32
     });
+    for (t, c) in counts.into_iter().enumerate() {
+        rep_counts[t + 1] = c;
+    }
     for t in 0..threads {
         rep_counts[t + 1] += rep_counts[t];
     }
@@ -51,97 +48,78 @@ pub fn parallel_contract(
 
     let cmap_atomic = atomic_vec(n, 0);
     // pass 1: label representatives
-    std::thread::scope(|s| {
-        let cmap_atomic = &cmap_atomic;
-        let rep_counts = &rep_counts;
-        for t in 0..threads {
-            s.spawn(move || {
-                let (lo, hi) = chunk_range(n, threads, t);
-                let mut next = rep_counts[t];
-                for u in lo..hi {
-                    if u as Vid <= mat[u] {
-                        st(cmap_atomic, u, next);
-                        next += 1;
-                    }
-                }
-            });
+    gpm_pool::parallel_chunks(threads, |t| {
+        let (lo, hi) = chunk_range(n, threads, t);
+        let mut next = rep_counts[t];
+        for u in lo..hi {
+            if u as Vid <= mat[u] {
+                st(&cmap_atomic, u, next);
+                next += 1;
+            }
         }
     });
     // pass 2: non-representatives copy their partner's label
-    std::thread::scope(|s| {
-        let cmap_atomic = &cmap_atomic;
-        for t in 0..threads {
-            s.spawn(move || {
-                let (lo, hi) = chunk_range(n, threads, t);
-                for u in lo..hi {
-                    if (u as Vid) > mat[u] {
-                        st(cmap_atomic, u, ld(cmap_atomic, mat[u] as usize));
-                    }
-                }
-            });
+    gpm_pool::parallel_chunks(threads, |t| {
+        let (lo, hi) = chunk_range(n, threads, t);
+        for u in lo..hi {
+            if (u as Vid) > mat[u] {
+                st(&cmap_atomic, u, ld(&cmap_atomic, mat[u] as usize));
+            }
         }
     });
     let cmap: Vec<Vid> = snapshot(&cmap_atomic);
 
     // --- parallel merge into private buffers -------------------------------
-    let mut locals: Vec<Option<LocalOut>> = (0..threads).map(|_| None).collect();
-    std::thread::scope(|s| {
+    let locals: Vec<LocalOut> = {
         let cmap = &cmap;
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            handles.push(s.spawn(move || {
-                let (lo, hi) = chunk_range(n, threads, t);
-                let mut out = LocalOut {
-                    adjncy: Vec::new(),
-                    adjwgt: Vec::new(),
-                    degrees: Vec::new(),
-                    vwgt: Vec::new(),
-                    work: Work::default(),
-                };
-                let mut slot = vec![u32::MAX; nc];
-                for u in lo..hi {
-                    let v = mat[u];
-                    if v < u as Vid {
-                        continue;
+        gpm_pool::parallel_chunks(threads, |t| {
+            let (lo, hi) = chunk_range(n, threads, t);
+            let mut out = LocalOut {
+                adjncy: Vec::new(),
+                adjwgt: Vec::new(),
+                degrees: Vec::new(),
+                vwgt: Vec::new(),
+                work: Work::default(),
+            };
+            let mut slot = vec![u32::MAX; nc];
+            for u in lo..hi {
+                let v = mat[u];
+                if v < u as Vid {
+                    continue;
+                }
+                let c = cmap[u];
+                out.vwgt.push(g.vwgt[u] + if v != u as Vid { g.vwgt[v as usize] } else { 0 });
+                let row_start = out.adjncy.len();
+                let emit = |nb: Vid, w: u32, out: &mut LocalOut, slot: &mut [u32]| {
+                    let cn = cmap[nb as usize];
+                    if cn == c {
+                        return;
                     }
-                    let c = cmap[u];
-                    out.vwgt.push(g.vwgt[u] + if v != u as Vid { g.vwgt[v as usize] } else { 0 });
-                    let row_start = out.adjncy.len();
-                    let emit = |nb: Vid, w: u32, out: &mut LocalOut, slot: &mut [u32]| {
-                        let cn = cmap[nb as usize];
-                        if cn == c {
-                            return;
-                        }
-                        let sl = slot[cn as usize];
-                        if sl != u32::MAX && sl as usize >= row_start {
-                            out.adjwgt[sl as usize] += w;
-                        } else {
-                            slot[cn as usize] = out.adjncy.len() as u32;
-                            out.adjncy.push(cn);
-                            out.adjwgt.push(w);
-                        }
-                    };
-                    for (nb, w) in g.edges(u as Vid) {
+                    let sl = slot[cn as usize];
+                    if sl != u32::MAX && sl as usize >= row_start {
+                        out.adjwgt[sl as usize] += w;
+                    } else {
+                        slot[cn as usize] = out.adjncy.len() as u32;
+                        out.adjncy.push(cn);
+                        out.adjwgt.push(w);
+                    }
+                };
+                for (nb, w) in g.edges(u as Vid) {
+                    emit(nb, w, &mut out, &mut slot);
+                }
+                if v != u as Vid {
+                    for (nb, w) in g.edges(v) {
                         emit(nb, w, &mut out, &mut slot);
                     }
-                    if v != u as Vid {
-                        for (nb, w) in g.edges(v) {
-                            emit(nb, w, &mut out, &mut slot);
-                        }
-                    }
-                    out.work.edges +=
-                        (g.degree(u as Vid) + if v != u as Vid { g.degree(v) } else { 0 }) as u64;
-                    out.work.vertices += 1;
-                    out.degrees.push((out.adjncy.len() - row_start) as u32);
                 }
-                out
-            }));
-        }
-        for (t, h) in handles.into_iter().enumerate() {
-            locals[t] = Some(h.join().unwrap());
-        }
-    });
-    let locals: Vec<LocalOut> = locals.into_iter().map(|l| l.unwrap()).collect();
+                out.work.edges +=
+                    (g.degree(u as Vid) + if v != u as Vid { g.degree(v) } else { 0 }) as u64;
+                out.work.vertices += 1;
+                out.degrees.push((out.adjncy.len() - row_start) as u32);
+            }
+            out
+        })
+    };
 
     // --- stitch -------------------------------------------------------------
     let total: usize = locals.iter().map(|l| l.adjncy.len()).sum();
@@ -175,7 +153,7 @@ pub fn parallel_contract(
     for i in 0..nc {
         xadj[i + 1] += xadj[i];
     }
-    let coarse = CsrGraph { xadj, adjncy, adjwgt, vwgt };
+    let coarse = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
     debug_assert!(coarse.validate().is_ok());
     let ws = g.bytes();
     let works = locals
@@ -241,6 +219,20 @@ mod tests {
         let cpart: Vec<u32> = (0..coarse.n() as u32).map(|c| c % 3).collect();
         let fpart: Vec<u32> = cmap.iter().map(|&c| cpart[c as usize]).collect();
         assert_eq!(edge_cut(&coarse, &cpart), edge_cut(&g, &fpart));
+    }
+
+    #[test]
+    fn coarse_uniform_flag_not_inherited() {
+        // the fine graph has uniform edge weights and a warm cache;
+        // contraction merges parallel edges into heavier ones, so the
+        // coarse graph must answer from its own weights
+        let g = grid2d(12, 12);
+        assert!(g.uniform_edge_weights());
+        let (mat, _) = parallel_matching(&g, 4, u32::MAX, 9);
+        let (coarse, _, _) = parallel_contract(&g, &mat, 4);
+        let recomputed = coarse.adjwgt.windows(2).all(|p| p[0] == p[1]);
+        assert_eq!(coarse.uniform_edge_weights(), recomputed);
+        assert!(!recomputed, "grid contraction should create heavy edges");
     }
 
     #[test]

@@ -57,26 +57,21 @@ fn recurse(
     let target0 = (total as f64 * k0 as f64 / k as f64).round() as u64;
     let targets = BisectTargets { target: [target0, total - target0], ubfactor: ub };
 
-    // Race `threads` independently seeded bisections; keep the best cut.
-    // (Each racer runs `trials` GGGP restarts internally, like mt-metis
-    // racing whole bisections.) Every racer writes its own result slot and
-    // the winner is picked after the join by (cut, racer index), so equal
-    // cuts resolve the same way on every run regardless of which thread
+    // Race `threads` independently seeded bisections on the persistent
+    // pool; keep the best cut. (Each racer runs `trials` GGGP restarts
+    // internally, like mt-metis racing whole bisections.) Racer results
+    // come back in index order and the winner is picked by (cut, racer
+    // index) — `min_by_key` keeps the first minimum — so equal cuts
+    // resolve the same way on every run regardless of which worker
     // finishes first.
-    let mut results: Vec<Option<(Vec<u32>, u64, Work)>> = vec![None; threads.max(1)];
-    std::thread::scope(|s| {
-        for (t, slot) in results.iter_mut().enumerate() {
-            let targets = &targets;
-            s.spawn(move || {
-                let mut rng = SplitMix64::stream(seed, t as u64 + 1);
-                let mut w = Work::default();
-                let (p, cut) = gggp_bisect(g, targets, trials, fm_passes, &mut rng, &mut w);
-                *slot = Some((p, cut, w));
-            });
-        }
+    let results = gpm_pool::parallel_chunks(threads.max(1), |t| {
+        let mut rng = SplitMix64::stream(seed, t as u64 + 1);
+        let mut w = Work::default();
+        let (p, cut) = gggp_bisect(g, &targets, trials, fm_passes, &mut rng, &mut w);
+        (p, cut, w)
     });
     let (bipart, _cut, bisect_work) =
-        results.into_iter().flatten().min_by_key(|&(_, cut, _)| cut).expect("at least one racer");
+        results.into_iter().min_by_key(|&(_, cut, _)| cut).expect("at least one racer");
     // Critical path: one racer's bisection work (they run concurrently).
     let mut crit = bisect_work;
 

@@ -13,8 +13,17 @@
 //! conflict-resolution rule the paper's GPU match kernel uses, Fig. 3)
 //! while reading only frozen state inside each phase, so the matching is
 //! identical on every run and for every thread count.
+//!
+//! Both phases run on the persistent [`gpm_pool`] executor instead of
+//! spawning fresh thread teams (two per round, previously). The propose
+//! phase — whose cost is proportional to scanned *edges* — is split by
+//! [`chunks_by_edges`] so skewed graphs cannot serialize behind one
+//! overloaded vertex range; the O(1)-per-vertex resolve phase keeps the
+//! equal-vertex split. Per-chunk work records are merged round-robin into
+//! the `threads` logical slots in chunk-index order, keeping the modeled
+//! cost and the output independent of steal order.
 
-use crate::util::{atomic_vec, chunk_range, ld, snapshot, st};
+use crate::util::{atomic_vec, chunk_range, chunks_by_edges, ld, snapshot, st};
 use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_metis::cost::Work;
 use std::sync::atomic::AtomicU32;
@@ -32,9 +41,9 @@ fn edge_priority(u: u32, v: u32, seed: u64, round: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Run handshake matching rounds on `threads` host threads. Returns the
-/// matching vector (self-matched = unmatched) and per-thread work
-/// records.
+/// Run handshake matching rounds on the persistent pool, modeled as
+/// `threads` logical workers. Returns the matching vector (self-matched =
+/// unmatched) and per-logical-thread work records.
 pub fn parallel_matching(
     g: &CsrGraph,
     threads: usize,
@@ -49,84 +58,71 @@ pub fn parallel_matching(
     }
     let mut works: Vec<Work> = vec![Work::default(); threads];
     // HEM has no signal on uniform weights; the random priority alone
-    // then gives random matching (checked once — O(m)).
+    // then gives random matching (cached on the graph — O(m) once).
     let uniform = g.uniform_edge_weights();
+    // Edge-balanced propose chunks: computed once, reused every round.
+    let chunks = chunks_by_edges(g, threads);
 
     for round in 0.. {
         // --- propose: best eligible neighbor over frozen `mat` -----------
-        std::thread::scope(|s| {
-            let mat = &mat;
-            let prop = &prop;
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                handles.push(s.spawn(move || {
-                    let mut w = Work::default();
-                    let (lo, hi) = chunk_range(n, threads, t);
-                    for u in lo..hi {
-                        if ld(mat, u) != u as u32 {
-                            st(prop, u, u as u32); // committed in an earlier round
-                            continue;
-                        }
-                        w.edges += g.degree(u as Vid) as u64;
-                        let uw = g.vwgt[u];
-                        let mut best: Option<(Vid, (u32, u64))> = None;
-                        for (v, ew) in g.edges(u as Vid) {
-                            let vi = v as usize;
-                            if ld(mat, vi) != v || uw.saturating_add(g.vwgt[vi]) > max_vwgt {
-                                continue; // matched or too heavy
-                            }
-                            let hw = if uniform { 1 } else { ew };
-                            let key = (hw, edge_priority(u as u32, v, seed, round));
-                            match best {
-                                Some((_, bk)) if bk >= key => {}
-                                _ => best = Some((v, key)),
-                            }
-                        }
-                        st(prop, u, best.map_or(u as u32, |(v, _)| v));
+        let chunk_works = gpm_pool::parallel_chunks(chunks.len(), |c| {
+            let (lo, hi) = chunks[c];
+            let mut w = Work::default();
+            for u in lo..hi {
+                if ld(&mat, u) != u as u32 {
+                    st(&prop, u, u as u32); // committed in an earlier round
+                    continue;
+                }
+                w.edges += g.degree(u as Vid) as u64;
+                let uw = g.vwgt[u];
+                let mut best: Option<(Vid, (u32, u64))> = None;
+                for (v, ew) in g.edges(u as Vid) {
+                    let vi = v as usize;
+                    if ld(&mat, vi) != v || uw.saturating_add(g.vwgt[vi]) > max_vwgt {
+                        continue; // matched or too heavy
                     }
-                    w
-                }));
+                    let hw = if uniform { 1 } else { ew };
+                    let key = (hw, edge_priority(u as u32, v, seed, round));
+                    match best {
+                        Some((_, bk)) if bk >= key => {}
+                        _ => best = Some((v, key)),
+                    }
+                }
+                st(&prop, u, best.map_or(u as u32, |(v, _)| v));
             }
-            for (t, h) in handles.into_iter().enumerate() {
-                works[t].add(h.join().unwrap());
-            }
+            w
         });
+        for (c, w) in chunk_works.into_iter().enumerate() {
+            works[c % threads].add(w);
+        }
 
         // --- resolve: commit mutual proposals over frozen `prop` ---------
-        let mut new_pairs = 0u64;
-        std::thread::scope(|s| {
-            let mat = &mat;
-            let prop = &prop;
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                handles.push(s.spawn(move || {
-                    let mut w = Work::default();
-                    let mut pairs = 0u64;
-                    let (lo, hi) = chunk_range(n, threads, t);
-                    for u in lo..hi {
-                        w.vertices += 1;
-                        let p = ld(prop, u);
-                        if p == u as u32 {
-                            continue;
-                        }
-                        if ld(prop, p as usize) == u as u32 {
-                            // mutual: each side writes only its own entry
-                            st(mat, u, p);
-                            if (u as u32) < p {
-                                pairs += 1;
-                            }
-                        }
-                        // otherwise mat[u] stays u: another chance next round
+        let resolved = gpm_pool::parallel_chunks(threads, |t| {
+            let mut w = Work::default();
+            let mut pairs = 0u64;
+            let (lo, hi) = chunk_range(n, threads, t);
+            for u in lo..hi {
+                w.vertices += 1;
+                let p = ld(&prop, u);
+                if p == u as u32 {
+                    continue;
+                }
+                if ld(&prop, p as usize) == u as u32 {
+                    // mutual: each side writes only its own entry
+                    st(&mat, u, p);
+                    if (u as u32) < p {
+                        pairs += 1;
                     }
-                    (w, pairs)
-                }));
+                }
+                // otherwise mat[u] stays u: another chance next round
             }
-            for (t, h) in handles.into_iter().enumerate() {
-                let (w, pairs) = h.join().unwrap();
-                works[t].add(w);
-                new_pairs += pairs;
-            }
+            (w, pairs)
         });
+        let mut new_pairs = 0u64;
+        for (t, (w, pairs)) in resolved.into_iter().enumerate() {
+            works[t].add(w);
+            new_pairs += pairs;
+        }
         // The round with the globally heaviest eligible edge always
         // commits it, so zero new pairs means the matching is maximal.
         if new_pairs == 0 {

@@ -4,8 +4,14 @@
 //! concurrent A↔B swaps that can increase the cut — and movement requests
 //! are deposited into per-partition buffers that the destination's owner
 //! thread commits best-gain-first under the balance constraint.
+//!
+//! Both phases run on the persistent [`gpm_pool`] executor. The scan
+//! phase costs O(edges scanned), so its vertex range is split by
+//! [`chunks_by_edges`]; stealing may reorder buffer pushes, but the
+//! commit phase sorts every buffer by the total order (gain, vertex)
+//! before committing, so the result is independent of scheduling.
 
-use crate::util::chunk_range;
+use crate::util::{chunk_range, chunks_by_edges};
 use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_graph::metrics::max_part_weight;
 use gpm_metis::cost::Work;
@@ -53,6 +59,8 @@ pub fn parallel_refine(
     };
     let mut works = vec![Work::default(); threads];
     let mut stats = ParRefineStats::default();
+    // Edge-balanced scan chunks: computed once, reused every pass.
+    let scan_chunks = chunks_by_edges(g, threads);
 
     for pass in 0..max_passes {
         stats.passes += 1;
@@ -64,77 +72,74 @@ pub fn parallel_refine(
             let buffers: Vec<Mutex<Vec<Request>>> =
                 (0..k).map(|_| Mutex::new(Vec::new())).collect();
             // --- scan: submit requests -----------------------------------
-            std::thread::scope(|s| {
+            let chunk_works = {
                 let apart = &apart;
                 let pw = &pw;
                 let buffers = &buffers;
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    handles.push(s.spawn(move || {
-                        let mut w = Work::default();
-                        let (lo, hi) = chunk_range(n, threads, t);
-                        let mut parts: Vec<u32> = Vec::with_capacity(8);
-                        let mut wgts: Vec<i64> = Vec::with_capacity(8);
-                        for u in lo..hi {
-                            let pu = apart[u].load(Ordering::Relaxed);
-                            w.vertices += 1;
-                            // connectivity gather
-                            parts.clear();
-                            wgts.clear();
-                            let mut boundary = false;
-                            for (v, ew) in g.edges(u as Vid) {
-                                let pv = apart[v as usize].load(Ordering::Relaxed);
-                                if pv != pu {
-                                    boundary = true;
-                                }
-                                match parts.iter().position(|&x| x == pv) {
-                                    Some(i) => wgts[i] += ew as i64,
-                                    None => {
-                                        parts.push(pv);
-                                        wgts.push(ew as i64);
-                                    }
-                                }
+                gpm_pool::parallel_chunks(scan_chunks.len(), |c| {
+                    let mut w = Work::default();
+                    let (lo, hi) = scan_chunks[c];
+                    let mut parts: Vec<u32> = Vec::with_capacity(8);
+                    let mut wgts: Vec<i64> = Vec::with_capacity(8);
+                    for u in lo..hi {
+                        let pu = apart[u].load(Ordering::Relaxed);
+                        w.vertices += 1;
+                        // connectivity gather
+                        parts.clear();
+                        wgts.clear();
+                        let mut boundary = false;
+                        for (v, ew) in g.edges(u as Vid) {
+                            let pv = apart[v as usize].load(Ordering::Relaxed);
+                            if pv != pu {
+                                boundary = true;
                             }
-                            w.edges += g.degree(u as Vid) as u64;
-                            if !boundary {
-                                continue;
-                            }
-                            let w_own = parts.iter().position(|&x| x == pu).map_or(0, |i| wgts[i]);
-                            let vw = g.vwgt[u] as u64;
-                            let mut best: Option<(u32, i64)> = None;
-                            for (&p, &wp) in parts.iter().zip(wgts.iter()) {
-                                if p == pu {
-                                    continue;
+                            match parts.iter().position(|&x| x == pv) {
+                                Some(i) => wgts[i] += ew as i64,
+                                None => {
+                                    parts.push(pv);
+                                    wgts.push(ew as i64);
                                 }
-                                // direction constraint
-                                if dir_up != (p > pu) {
-                                    continue;
-                                }
-                                let gain = wp - w_own;
-                                let improves_balance = pw[p as usize].load(Ordering::Relaxed) + vw
-                                    < pw[pu as usize].load(Ordering::Relaxed);
-                                if gain > 0 || (gain == 0 && improves_balance) {
-                                    match best {
-                                        Some((_, bg)) if bg >= gain => {}
-                                        _ => best = Some((p, gain)),
-                                    }
-                                }
-                            }
-                            if let Some((to, gain)) = best {
-                                buffers[to as usize].lock().unwrap().push(Request {
-                                    vertex: u as Vid,
-                                    from: pu,
-                                    gain,
-                                });
                             }
                         }
-                        w
-                    }));
-                }
-                for (t, h) in handles.into_iter().enumerate() {
-                    works[t].add(h.join().unwrap());
-                }
-            });
+                        w.edges += g.degree(u as Vid) as u64;
+                        if !boundary {
+                            continue;
+                        }
+                        let w_own = parts.iter().position(|&x| x == pu).map_or(0, |i| wgts[i]);
+                        let vw = g.vwgt[u] as u64;
+                        let mut best: Option<(u32, i64)> = None;
+                        for (&p, &wp) in parts.iter().zip(wgts.iter()) {
+                            if p == pu {
+                                continue;
+                            }
+                            // direction constraint
+                            if dir_up != (p > pu) {
+                                continue;
+                            }
+                            let gain = wp - w_own;
+                            let improves_balance = pw[p as usize].load(Ordering::Relaxed) + vw
+                                < pw[pu as usize].load(Ordering::Relaxed);
+                            if gain > 0 || (gain == 0 && improves_balance) {
+                                match best {
+                                    Some((_, bg)) if bg >= gain => {}
+                                    _ => best = Some((p, gain)),
+                                }
+                            }
+                        }
+                        if let Some((to, gain)) = best {
+                            buffers[to as usize].lock().unwrap().push(Request {
+                                vertex: u as Vid,
+                                from: pu,
+                                gain,
+                            });
+                        }
+                    }
+                    w
+                })
+            };
+            for (c, w) in chunk_works.into_iter().enumerate() {
+                works[c % threads].add(w);
+            }
 
             // --- explore/commit: one owner per destination partition ------
             // Snapshot the partition weights taken at the barrier between
@@ -146,56 +151,53 @@ pub fn parallel_refine(
             let pw0: Vec<u64> = pw.iter().map(|w| w.load(Ordering::Relaxed)).collect();
             let moved = AtomicU64::new(0);
             let rejected = AtomicU64::new(0);
-            std::thread::scope(|s| {
+            let commit_works = {
                 let apart = &apart;
                 let pw = &pw;
                 let pw0 = &pw0;
                 let buffers = &buffers;
                 let moved = &moved;
                 let rejected = &rejected;
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    handles.push(s.spawn(move || {
-                        let mut w = Work::default();
-                        let (plo, phi) = chunk_range(k, threads, t);
-                        for p in plo..phi {
-                            let mut reqs = std::mem::take(&mut *buffers[p].lock().unwrap());
-                            // best gain first (the paper sorts by gain);
-                            // vertex id breaks gain ties so the commit
-                            // order does not depend on buffer-push order
-                            reqs.sort_unstable_by_key(|r| (std::cmp::Reverse(r.gain), r.vertex));
-                            w.vertices += reqs.len() as u64;
-                            // only this thread adds weight to partition p
-                            let mut added = 0u64;
-                            for r in reqs {
-                                let u = r.vertex as usize;
-                                // the vertex may have been moved by another
-                                // commit already (it only submitted one
-                                // request, but stale state is possible)
-                                if apart[u].load(Ordering::Relaxed) != r.from {
-                                    rejected.fetch_add(1, Ordering::Relaxed);
-                                    continue;
-                                }
-                                let vw = g.vwgt[u] as u64;
-                                // balance check against the frozen view
-                                if pw0[p] + added + vw > maxw {
-                                    rejected.fetch_add(1, Ordering::Relaxed);
-                                    continue;
-                                }
-                                added += vw;
-                                apart[u].store(p as u32, Ordering::Relaxed);
-                                pw[p].fetch_add(vw, Ordering::Relaxed);
-                                pw[r.from as usize].fetch_sub(vw, Ordering::Relaxed);
-                                moved.fetch_add(1, Ordering::Relaxed);
+                gpm_pool::parallel_chunks(threads, |t| {
+                    let mut w = Work::default();
+                    let (plo, phi) = chunk_range(k, threads, t);
+                    for p in plo..phi {
+                        let mut reqs = std::mem::take(&mut *buffers[p].lock().unwrap());
+                        // best gain first (the paper sorts by gain);
+                        // vertex id breaks gain ties so the commit
+                        // order does not depend on buffer-push order
+                        reqs.sort_unstable_by_key(|r| (std::cmp::Reverse(r.gain), r.vertex));
+                        w.vertices += reqs.len() as u64;
+                        // only this thread adds weight to partition p
+                        let mut added = 0u64;
+                        for r in reqs {
+                            let u = r.vertex as usize;
+                            // the vertex may have been moved by another
+                            // commit already (it only submitted one
+                            // request, but stale state is possible)
+                            if apart[u].load(Ordering::Relaxed) != r.from {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                                continue;
                             }
+                            let vw = g.vwgt[u] as u64;
+                            // balance check against the frozen view
+                            if pw0[p] + added + vw > maxw {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            added += vw;
+                            apart[u].store(p as u32, Ordering::Relaxed);
+                            pw[p].fetch_add(vw, Ordering::Relaxed);
+                            pw[r.from as usize].fetch_sub(vw, Ordering::Relaxed);
+                            moved.fetch_add(1, Ordering::Relaxed);
                         }
-                        w
-                    }));
-                }
-                for (t, h) in handles.into_iter().enumerate() {
-                    works[t].add(h.join().unwrap());
-                }
-            });
+                    }
+                    w
+                })
+            };
+            for (t, w) in commit_works.into_iter().enumerate() {
+                works[t].add(w);
+            }
             stats.moves += moved.load(Ordering::Relaxed);
             stats.rejected += rejected.load(Ordering::Relaxed);
             pass_moves += moved.load(Ordering::Relaxed);

@@ -1,16 +1,34 @@
 //! Shared helpers for the thread-parallel partitioner: chunked vertex
-//! ownership and atomic vector views.
+//! ownership, edge-balanced chunking, and atomic vector views.
 
+use gpm_graph::csr::CsrGraph;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Split `0..n` into `t` contiguous chunks (the persistent data ownership
 /// mt-metis gives its threads). Returns the `(start, end)` of chunk `i`.
 pub fn chunk_range(n: usize, t: usize, i: usize) -> (usize, usize) {
-    let base = n / t;
-    let rem = n % t;
-    let start = i * base + i.min(rem);
-    let len = base + usize::from(i < rem);
-    (start, start + len)
+    gpm_pool::chunk_range(n, t, i)
+}
+
+/// Chunks being dealt to the stealing executor per logical thread: enough
+/// oversubscription that a straggler chunk can be balanced around.
+pub const CHUNK_OVERSUB: usize = 4;
+
+/// Minimum edges per chunk, bounding per-chunk dispatch overhead on tiny
+/// graphs.
+pub const MIN_EDGE_GRAIN: u64 = 256;
+
+/// Split the vertex range of `g` on the `xadj` prefix sum so each chunk
+/// carries roughly equal *edge* work — the static equal-vertex split
+/// imbalances rmat-style skewed graphs, where a few vertices own most of
+/// the adjacency. `threads` is the logical parallelism the caller models;
+/// chunk boundaries depend only on the graph and that number, never on
+/// the physical pool size, so results stay byte-identical under any
+/// `GPM_THREADS`.
+pub fn chunks_by_edges(g: &CsrGraph, threads: usize) -> Vec<(usize, usize)> {
+    let grain =
+        gpm_pool::grain_for(g.adjncy.len() as u64, threads, CHUNK_OVERSUB).max(MIN_EDGE_GRAIN);
+    gpm_pool::chunks_by_prefix(&g.xadj, grain)
 }
 
 /// Allocate a vector of atomics initialized to `init`.
@@ -39,6 +57,7 @@ pub fn st(v: &[AtomicU32], i: usize, x: u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpm_graph::gen::{rmat, star};
 
     #[test]
     fn chunks_cover_everything() {
@@ -64,6 +83,37 @@ mod tests {
             let (s, e) = chunk_range(100, 8, i);
             assert!((e - s) == 12 || (e - s) == 13);
         }
+    }
+
+    #[test]
+    fn edge_chunks_cover_vertex_range() {
+        for g in [rmat(9, 8, 7), star(500)] {
+            let chunks = chunks_by_edges(&g, 4);
+            let mut prev = 0;
+            for &(lo, hi) in &chunks {
+                assert_eq!(lo, prev);
+                assert!(hi > lo);
+                prev = hi;
+            }
+            assert_eq!(prev, g.n());
+        }
+    }
+
+    #[test]
+    fn edge_chunks_bound_skew() {
+        // on a skewed rmat graph, edge chunks are far better balanced in
+        // edge weight than the equal-vertex split
+        let g = rmat(10, 8, 3);
+        let t = 8;
+        let edges = |lo: usize, hi: usize| (g.xadj[hi] - g.xadj[lo]) as u64;
+        let static_max =
+            (0..t).map(|i| chunk_range(g.n(), t, i)).map(|(lo, hi)| edges(lo, hi)).max().unwrap();
+        let chunks = chunks_by_edges(&g, t);
+        let stealable_max = chunks.iter().map(|&(lo, hi)| edges(lo, hi)).max().unwrap();
+        assert!(
+            stealable_max < static_max,
+            "edge chunks max {stealable_max} vs static max {static_max}"
+        );
     }
 
     #[test]

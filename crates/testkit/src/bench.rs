@@ -150,6 +150,216 @@ impl BenchSuite {
     }
 }
 
+// ---------------------------------------------------------------------
+// Bench JSON validation (used by the CI bench smoke): a hand-rolled
+// structural check of the document `finish` writes, so a malformed or
+// truncated BENCH_<suite>.json fails the pipeline instead of silently
+// rotting. No serde — the grammar here is the small subset the writer
+// above emits.
+// ---------------------------------------------------------------------
+
+/// What a valid bench JSON document contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchJsonSummary {
+    pub suite: String,
+    /// Names of the benches, in file order.
+    pub benches: Vec<String>,
+}
+
+struct JsonCursor<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.s.get(self.pos).copied().ok_or_else(|| "unexpected end of document".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != c {
+            return Err(format!(
+                "expected '{}' at byte {}, got '{}'",
+                c as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos] != b'"' {
+            if self.s[self.pos] == b'\\' {
+                return Err(format!("escape sequences unsupported at byte {}", self.pos));
+            }
+            self.pos += 1;
+        }
+        if self.pos >= self.s.len() {
+            return Err("unterminated string".into());
+        }
+        let out = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+        self.pos += 1;
+        Ok(out)
+    }
+
+    fn number(&mut self) -> Result<u128, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+/// Validate the schema of a `BENCH_<suite>.json` document: top-level
+/// `suite`/`warmup`/`iters`/`benches` keys, and for every bench record
+/// the full stats key set with internally consistent values
+/// (`min <= p10 <= median <= p90 <= max`, `iters > 0`, non-empty unique
+/// names). Returns the suite name and bench names on success.
+pub fn validate_bench_json(doc: &str) -> Result<BenchJsonSummary, String> {
+    let mut c = JsonCursor { s: doc.as_bytes(), pos: 0 };
+    c.expect(b'{')?;
+    let mut suite = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut saw = [false; 4]; // suite, warmup, iters, benches
+    loop {
+        let key = c.string()?;
+        c.expect(b':')?;
+        match key.as_str() {
+            "suite" => {
+                suite = Some(c.string()?);
+                saw[0] = true;
+            }
+            "warmup" => {
+                c.number()?;
+                saw[1] = true;
+            }
+            "iters" => {
+                c.number()?;
+                saw[2] = true;
+            }
+            "benches" => {
+                saw[3] = true;
+                c.expect(b'[')?;
+                if c.peek()? == b']' {
+                    c.pos += 1;
+                } else {
+                    loop {
+                        names.push(validate_bench_record(&mut c)?);
+                        match c.peek()? {
+                            b',' => c.pos += 1,
+                            b']' => {
+                                c.pos += 1;
+                                break;
+                            }
+                            other => {
+                                return Err(format!("expected ',' or ']', got '{}'", other as char))
+                            }
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unknown top-level key \"{other}\"")),
+        }
+        match c.peek()? {
+            b',' => c.pos += 1,
+            b'}' => {
+                c.pos += 1;
+                break;
+            }
+            other => return Err(format!("expected ',' or '}}', got '{}'", other as char)),
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.s.len() {
+        return Err(format!("trailing bytes after document at {}", c.pos));
+    }
+    for (i, k) in ["suite", "warmup", "iters", "benches"].iter().enumerate() {
+        if !saw[i] {
+            return Err(format!("missing top-level key \"{k}\""));
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for n in &names {
+        if n.is_empty() {
+            return Err("empty bench name".into());
+        }
+        if !seen.insert(n.clone()) {
+            return Err(format!("duplicate bench name \"{n}\""));
+        }
+    }
+    Ok(BenchJsonSummary { suite: suite.unwrap(), benches: names })
+}
+
+fn validate_bench_record(c: &mut JsonCursor) -> Result<String, String> {
+    const KEYS: [&str; 8] =
+        ["name", "iters", "median_ns", "p10_ns", "p90_ns", "min_ns", "max_ns", "mean_ns"];
+    c.expect(b'{')?;
+    let mut name = None;
+    let mut vals = [None::<u128>; 8];
+    loop {
+        let key = c.string()?;
+        c.expect(b':')?;
+        let slot = KEYS
+            .iter()
+            .position(|&k| k == key)
+            .ok_or_else(|| format!("unknown bench key \"{key}\""))?;
+        if slot == 0 {
+            name = Some(c.string()?);
+        } else {
+            vals[slot] = Some(c.number()?);
+        }
+        match c.peek()? {
+            b',' => c.pos += 1,
+            b'}' => {
+                c.pos += 1;
+                break;
+            }
+            other => return Err(format!("expected ',' or '}}', got '{}'", other as char)),
+        }
+    }
+    let name = name.ok_or("bench record missing \"name\"")?;
+    for (i, k) in KEYS.iter().enumerate().skip(1) {
+        if vals[i].is_none() {
+            return Err(format!("bench \"{name}\" missing \"{k}\""));
+        }
+    }
+    let (iters, median, p10, p90, min, max) = (
+        vals[1].unwrap(),
+        vals[2].unwrap(),
+        vals[3].unwrap(),
+        vals[4].unwrap(),
+        vals[5].unwrap(),
+        vals[6].unwrap(),
+    );
+    if iters == 0 {
+        return Err(format!("bench \"{name}\": iters == 0"));
+    }
+    if !(min <= p10 && p10 <= median && median <= p90 && p90 <= max) {
+        return Err(format!(
+            "bench \"{name}\": inconsistent stats min={min} p10={p10} median={median} p90={p90} max={max}"
+        ));
+    }
+    Ok(name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +396,42 @@ mod tests {
         assert_eq!(percentile(&xs, 0.0), 1);
         assert_eq!(percentile(&xs, 0.5), 3);
         assert_eq!(percentile(&xs, 1.0), 100);
+    }
+
+    #[test]
+    fn validator_accepts_what_finish_writes() {
+        let mut suite = BenchSuite { suite: "v".into(), warmup: 0, iters: 3, records: Vec::new() };
+        suite.run("fast/1", || 1 + 1);
+        suite.run("slow/2", || (0..100u64).sum::<u64>());
+        let summary = validate_bench_json(&suite.to_json()).unwrap();
+        assert_eq!(summary.suite, "v");
+        assert_eq!(summary.benches, vec!["fast/1".to_string(), "slow/2".to_string()]);
+        // empty suites validate too
+        let empty = BenchSuite { suite: "e".into(), warmup: 0, iters: 1, records: Vec::new() };
+        assert_eq!(validate_bench_json(&empty.to_json()).unwrap().benches.len(), 0);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        let mut suite = BenchSuite { suite: "m".into(), warmup: 0, iters: 2, records: Vec::new() };
+        suite.run("a", || 1);
+        let good = suite.to_json();
+        // truncation
+        assert!(validate_bench_json(&good[..good.len() / 2]).is_err());
+        // missing key
+        assert!(validate_bench_json(&good.replace("\"iters\": 2,\n", "")).is_err());
+        // duplicate names
+        let mut dup = BenchSuite { suite: "d".into(), warmup: 0, iters: 1, records: Vec::new() };
+        dup.run("x", || 1);
+        dup.run("x", || 2);
+        assert!(validate_bench_json(&dup.to_json()).unwrap_err().contains("duplicate"));
+        // inconsistent stats
+        let mut bad = BenchSuite { suite: "b".into(), warmup: 0, iters: 1, records: Vec::new() };
+        bad.run("y", || 1);
+        bad.records[0].min_ns = bad.records[0].max_ns + 1;
+        assert!(validate_bench_json(&bad.to_json()).unwrap_err().contains("inconsistent"));
+        // not json at all
+        assert!(validate_bench_json("hello").is_err());
     }
 
     #[test]
