@@ -40,6 +40,41 @@ if ! diff -u "$smoke/run1.txt" "$smoke/run2.txt"; then
 fi
 echo "evaluation output is bit-identical across runs"
 
+step "fault-injection smoke (gpm-faults: retry, degradation, identity)"
+cargo run --release --offline -q --example degraded_pipeline > "$smoke/degraded.txt"
+grep -q "degraded : " "$smoke/degraded.txt"
+gp=./target/release/gpartition
+graph="$smoke/fault_smoke.graph"
+# a 60x60 grid in Metis format, emitted inline (deterministic input)
+awk 'BEGIN {
+    nx=60; ny=60; n=nx*ny; m=2*nx*ny-nx-ny;
+    print n, m;
+    for (y=0; y<ny; y++) for (x=0; x<nx; x++) {
+        u=y*nx+x; line="";
+        if (x>0)    line=line (u) " ";
+        if (x<nx-1) line=line (u+2) " ";
+        if (y>0)    line=line (u-nx+1) " ";
+        if (y<ny-1) line=line (u+nx+1) " ";
+        print line;
+    }
+}' > "$graph"
+run_gp() { "$gp" "$graph" 8 --quiet --gpu-threshold 400 --seed 3 "$@"; }
+# 1. transient faults are retried and absorbed: exit 0, same partition
+run_gp --output "$smoke/clean.part"
+GPM_FAULTS="3:gpu.h2d@1=transfer" run_gp --output "$smoke/transient.part"
+diff -q "$smoke/clean.part" "$smoke/transient.part"
+echo "transient faults absorbed by retry"
+# 2. forced degradation completes with a valid run (exit 0 + notice)
+GPM_FAULTS="7:gpu.launch@8=lost" run_gp --fallback > "$smoke/degraded_summary.txt" \
+    2> "$smoke/degraded_err.txt"
+grep -q "degraded" "$smoke/degraded_err.txt"
+echo "forced device loss degraded to CPU and completed"
+# 3. an empty plan is byte-identical to no plan (partitions + times)
+run_gp > "$smoke/noplan.txt"
+GPM_FAULTS="1:" run_gp > "$smoke/emptyplan.txt"
+diff -u "$smoke/noplan.txt" "$smoke/emptyplan.txt"
+echo "empty fault plan is byte-identical to no plan"
+
 step "bench harness smoke (JSON timings)"
 GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke" \
     cargo bench --offline -p gpm-bench --bench phases

@@ -2,7 +2,7 @@
 //! arrays the paper keeps on the GPU (§III): `adjp` (xadj), `adjncy`,
 //! `adjwgt`, `vwgt`.
 
-use gpm_gpu_sim::{DBuf, Device, GpuOom};
+use gpm_gpu_sim::{DBuf, Device, DeviceError};
 use gpm_graph::csr::CsrGraph;
 
 /// A graph in device memory.
@@ -24,7 +24,7 @@ pub struct GpuCsr {
 impl GpuCsr {
     /// Upload a host graph (one H2D transfer per array, charged to the
     /// PCIe model).
-    pub fn upload(dev: &Device, g: &CsrGraph) -> Result<GpuCsr, GpuOom> {
+    pub fn upload(dev: &Device, g: &CsrGraph) -> Result<GpuCsr, DeviceError> {
         Ok(GpuCsr {
             n: g.n(),
             m2: g.adjncy.len(),
@@ -36,13 +36,13 @@ impl GpuCsr {
     }
 
     /// Download to the host (charged D2H).
-    pub fn download(&self, dev: &Device) -> CsrGraph {
-        CsrGraph::from_parts(
-            dev.d2h(&self.xadj),
-            dev.d2h(&self.adjncy),
-            dev.d2h(&self.adjwgt),
-            dev.d2h(&self.vwgt),
-        )
+    pub fn download(&self, dev: &Device) -> Result<CsrGraph, DeviceError> {
+        Ok(CsrGraph::from_parts(
+            dev.d2h(&self.xadj)?,
+            dev.d2h(&self.adjncy)?,
+            dev.d2h(&self.adjwgt)?,
+            dev.d2h(&self.vwgt)?,
+        ))
     }
 
     /// Device bytes held by this graph.
@@ -101,7 +101,7 @@ mod tests {
         let g = grid2d(8, 8);
         let gg = GpuCsr::upload(&dev, &g).unwrap();
         assert_eq!(gg.n, 64);
-        let back = gg.download(&dev);
+        let back = gg.download(&dev).unwrap();
         assert_eq!(back, g);
         assert!(dev.transfer_bytes_total() >= 2 * g.bytes());
     }

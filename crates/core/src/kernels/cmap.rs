@@ -4,7 +4,7 @@
 //! memory beyond the scan's own — exactly the paper's pipeline.
 
 use crate::gpu_graph::{assigned_vertices, launch_threads, Distribution};
-use gpm_gpu_sim::{inclusive_scan_u32, DBuf, Device, GpuOom};
+use gpm_gpu_sim::{inclusive_scan_u32, DBuf, Device, DeviceError};
 
 /// Build the fine→coarse label map from a device matching array.
 /// Returns `(cmap, n_coarse)`.
@@ -13,7 +13,7 @@ pub fn gpu_cmap(
     mat: &DBuf<u32>,
     dist: Distribution,
     max_threads: usize,
-) -> Result<(DBuf<u32>, usize), GpuOom> {
+) -> Result<(DBuf<u32>, usize), DeviceError> {
     let n = mat.len();
     let cmap = dev.alloc::<u32>(n)?;
     if n == 0 {
@@ -26,7 +26,7 @@ pub fn gpu_cmap(
             let m = lane.ld(mat, u);
             lane.st(&cmap, u, u32::from(u as u32 <= m));
         }
-    });
+    })?;
     // Kernel 2: inclusive prefix sum (the paper uses the CUB scan). The
     // last element is the coarse vertex count.
     let nc = inclusive_scan_u32(dev, &cmap)? as usize;
@@ -36,7 +36,7 @@ pub fn gpu_cmap(
             let v = lane.ld(&cmap, u);
             lane.st(&cmap, u, v.wrapping_sub(1));
         }
-    });
+    })?;
     // Kernel 4: non-representatives gather their partner's label.
     dev.launch("gp:cmap:gather", nt, |lane| {
         for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
@@ -46,7 +46,7 @@ pub fn gpu_cmap(
                 lane.st(&cmap, u, label);
             }
         }
-    });
+    })?;
     Ok((cmap, nc))
 }
 

@@ -17,7 +17,7 @@
 //! the contraction").
 
 use crate::gpu_graph::{launch_threads, GpuCsr};
-use gpm_gpu_sim::{exclusive_scan_u32, DBuf, Device, GpuOom, Lane};
+use gpm_gpu_sim::{exclusive_scan_u32, DBuf, Device, DeviceError, Lane};
 
 /// Which adjacency-merge strategy the merge kernel uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +39,7 @@ pub fn gpu_contract(
     nc: usize,
     strategy: MergeStrategy,
     max_threads: usize,
-) -> Result<GpuCsr, GpuOom> {
+) -> Result<GpuCsr, DeviceError> {
     let n = g.n;
     // Representative fine vertex of each coarse vertex, so threads can be
     // assigned contiguous coarse-id ranges (keeps the final copy phase's
@@ -55,7 +55,7 @@ pub fn gpu_contract(
             }
             u += lane.n_threads;
         }
-    });
+    })?;
 
     let nt = launch_threads(nc, max_threads);
     let chunk = nc.div_ceil(nt.max(1));
@@ -78,7 +78,7 @@ pub fn gpu_contract(
             total += du + dv;
         }
         lane.st(&temp, lane.tid, total);
-    });
+    })?;
     let tmp_total = exclusive_scan_u32(dev, &temp)? as usize;
 
     let tmp_adjncy = dev.alloc::<u32>(tmp_total.max(1))?;
@@ -131,7 +131,7 @@ pub fn gpu_contract(
             actual += row_len as u32;
         }
         lane.st(&temp2, lane.tid, actual);
-    });
+    })?;
 
     // --- prefix sums for the final layout ---------------------------------
     let final_total = exclusive_scan_u32(dev, &temp2)? as usize;
@@ -139,7 +139,7 @@ pub fn gpu_contract(
     // trailing slot's input value is irrelevant)
     dev.launch("gp:contract:degtail", 1, |lane| {
         lane.st(&deg, nc, 0);
-    });
+    })?;
     let cxadj = deg; // scanned in place below
     exclusive_scan_u32(dev, &cxadj)?;
 
@@ -160,7 +160,7 @@ pub fn gpu_contract(
             }
             src += len;
         }
-    });
+    })?;
     // temp, temp2, tmp_adjncy, tmp_adjwgt, rep_of are freed on drop here —
     // the paper's "we can free the arrays at the end of the contraction".
     Ok(GpuCsr {
@@ -282,7 +282,7 @@ mod tests {
         let mat = dmat.to_vec();
         let (dcmap, nc) = gpu_cmap(&dev, &dmat, Distribution::Cyclic, 2048).unwrap();
         let coarse_dev = gpu_contract(&dev, &gg, &dmat, &dcmap, nc, strategy, 512).unwrap();
-        let coarse = coarse_dev.download(&dev);
+        let coarse = coarse_dev.download(&dev).unwrap();
         coarse.validate().unwrap();
 
         let mut w = Work::default();
@@ -346,7 +346,8 @@ mod tests {
                 assert_eq!(ra, rb);
             }
             lane.st(&buf, 0, 1);
-        });
+        })
+        .unwrap();
         assert_eq!(buf.load(0), 1);
     }
 }

@@ -6,7 +6,7 @@
 //! chance in a later round or coarsening level.
 
 use crate::gpu_graph::{assigned_vertices, launch_threads, Distribution, GpuCsr};
-use gpm_gpu_sim::{DBuf, Device, GpuOom};
+use gpm_gpu_sim::{DBuf, Device, DeviceError};
 
 /// Symmetric per-round edge priority: both endpoints compute the same
 /// value, so mutual choices are consistent. Randomizing the tie order is
@@ -50,7 +50,7 @@ pub fn gpu_matching(
     seed: u64,
     dist: Distribution,
     max_threads: usize,
-) -> Result<(DBuf<u32>, MatchStats), GpuOom> {
+) -> Result<(DBuf<u32>, MatchStats), DeviceError> {
     let n = g.n;
     let mat = dev.alloc::<u32>(n)?;
     let prop = dev.alloc::<u32>(n)?;
@@ -58,7 +58,7 @@ pub fn gpu_matching(
         for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
             lane.st(&mat, u, u as u32);
         }
-    });
+    })?;
     let mut stats = MatchStats::default();
     for round in 0..rounds {
         // --- proposal kernel: racy HEM/RM choice over committed state ---
@@ -96,7 +96,7 @@ pub fn gpu_matching(
                 }
                 lane.st(&prop, u, best);
             }
-        });
+        })?;
         // --- conflict-resolution kernel (Fig. 3) ------------------------
         dev.launch("gp:match:resolve", nt, |lane| {
             for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
@@ -109,7 +109,7 @@ pub fn gpu_matching(
                 }
                 // otherwise mat[u] stays u: "another chance" later
             }
-        });
+        })?;
         // round stats (host-side inspection; cheap)
         let mut matched = 0u64;
         let mut conflicts = 0u64;

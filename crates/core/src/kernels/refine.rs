@@ -7,7 +7,7 @@
 //! commits the moves that keep the partition under its maximum weight.
 
 use crate::gpu_graph::{assigned_vertices, launch_threads, Distribution, GpuCsr};
-use gpm_gpu_sim::{DBuf, Device, GpuOom};
+use gpm_gpu_sim::{DBuf, Device, DeviceError};
 
 /// Project a coarse partition onto the fine graph through the per-level
 /// cmap (the paper's saved pointer arrays).
@@ -17,7 +17,7 @@ pub fn gpu_project(
     part_coarse: &DBuf<u32>,
     dist: Distribution,
     max_threads: usize,
-) -> Result<DBuf<u32>, GpuOom> {
+) -> Result<DBuf<u32>, DeviceError> {
     let n = cmap.len();
     let part_fine = dev.alloc::<u32>(n)?;
     dev.launch("gp:project", launch_threads(n, max_threads), |lane| {
@@ -26,7 +26,7 @@ pub fn gpu_project(
             let p = lane.ld(part_coarse, c as usize);
             lane.st(&part_fine, u, p);
         }
-    });
+    })?;
     Ok(part_fine)
 }
 
@@ -57,7 +57,7 @@ pub fn gpu_refine(
     max_passes: usize,
     dist: Distribution,
     max_threads: usize,
-) -> Result<GpuRefineStats, GpuOom> {
+) -> Result<GpuRefineStats, DeviceError> {
     let n = g.n;
     let mut stats = GpuRefineStats::default();
     // per-partition request buffers: vertex ids and gains, plus a size
@@ -151,12 +151,12 @@ pub fn gpu_refine(
                         lane.st_claimed(&req_gain, kept, model, gain as u32);
                     }
                 }
-            });
+            })?;
             // snapshot kernel: freeze pw before the explore threads race
             dev.launch("gp:refine:snapshot", k, |lane| {
                 let v = lane.ld(pw, lane.tid);
                 lane.st(&pw0, lane.tid, v);
-            });
+            })?;
             // --- explore kernel: one thread per partition -----------------
             dev.launch("gp:refine:explore", k, |lane| {
                 let q = lane.tid;
@@ -189,7 +189,7 @@ pub fn gpu_refine(
                     lane.atomic_add(pw, from as usize, vw.wrapping_neg());
                     lane.atomic_add(&moved, 0, 1);
                 }
-            });
+            })?;
             let m = moved.load(0) as u64;
             pass_moves += m;
             stats.moves += m;
@@ -217,7 +217,7 @@ pub fn gpu_part_weights(
     k: usize,
     dist: Distribution,
     max_threads: usize,
-) -> Result<DBuf<u32>, GpuOom> {
+) -> Result<DBuf<u32>, DeviceError> {
     let pw = dev.alloc::<u32>(k)?;
     let n = g.n;
     dev.launch("gp:refine:weights", launch_threads(n, max_threads), |lane| {
@@ -226,7 +226,7 @@ pub fn gpu_part_weights(
             let vw = lane.ld(&g.vwgt, u);
             lane.atomic_add(&pw, p as usize, vw);
         }
-    });
+    })?;
     Ok(pw)
 }
 
@@ -237,7 +237,7 @@ pub fn gpu_boundary_count(
     part: &DBuf<u32>,
     dist: Distribution,
     max_threads: usize,
-) -> Result<u64, GpuOom> {
+) -> Result<u64, DeviceError> {
     let n = g.n;
     let counter = dev.alloc::<u32>(1)?;
     dev.launch("gp:refine:boundary", launch_threads(n, max_threads), |lane| {
@@ -253,7 +253,7 @@ pub fn gpu_boundary_count(
                 }
             }
         }
-    });
+    })?;
     Ok(counter.load(0) as u64)
 }
 

@@ -26,9 +26,10 @@ pub mod gpu_graph;
 pub mod kernels;
 pub mod multi_gpu;
 
-use gpm_gpu_sim::{Device, GpuConfig, GpuOom, KernelStats};
+use gpm_faults::{FaultInjector, FaultPlan, PlanParseError};
+use gpm_gpu_sim::{Device, DeviceError, GpuConfig, KernelStats};
 use gpm_graph::csr::CsrGraph;
-use gpm_metis::coarsen::CoarsenConfig;
+use gpm_metis::coarsen::{CoarsenConfig, Hierarchy, Level};
 use gpm_metis::cost::{CostLedger, CpuModel};
 use gpm_metis::PartitionResult;
 use gpm_mtmetis::MtMetisConfig;
@@ -37,6 +38,7 @@ use kernels::cmap::gpu_cmap;
 use kernels::contract::{gpu_contract, MergeStrategy};
 use kernels::matching::gpu_matching;
 use kernels::refine::{gpu_part_weights, gpu_project, gpu_refine};
+use std::sync::Arc;
 
 pub use gpu_graph::Distribution as VertexDistribution;
 pub use kernels::contract::MergeStrategy as ContractStrategy;
@@ -72,6 +74,12 @@ pub struct GpMetisConfig {
     pub seed: u64,
     /// GPU machine model.
     pub gpu: GpuConfig,
+    /// Degrade gracefully on unrecoverable device failure: checkpoint the
+    /// hierarchy level-by-level while a fault plan is active and, when the
+    /// device dies, finish the partition on the CPU engine from the last
+    /// checkpoint instead of failing. Off by default — checkpointing
+    /// downloads each coarse level over (modeled) PCIe.
+    pub fallback: bool,
 }
 
 impl GpMetisConfig {
@@ -89,6 +97,7 @@ impl GpMetisConfig {
             cpu_threads: 8,
             seed: 1,
             gpu: GpuConfig::gtx_titan(),
+            fallback: false,
         }
     }
 
@@ -103,6 +112,79 @@ impl GpMetisConfig {
         self.gpu_threshold = t;
         self
     }
+
+    /// Builder-style fallback (graceful degradation) override.
+    pub fn with_fallback(mut self, on: bool) -> Self {
+        self.fallback = on;
+        self
+    }
+}
+
+/// Why a hybrid run could not produce a partition.
+#[derive(Debug)]
+pub enum PartitionError {
+    /// The device failed (OOM, or an unrecoverable injected fault) and no
+    /// fallback path was available.
+    Device(DeviceError),
+    /// The `GPM_FAULTS` environment variable did not parse.
+    Plan(PlanParseError),
+    /// The balance cap exceeds the device's 32-bit weight words.
+    WeightOverflow,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::Device(e) => write!(f, "device failure: {e}"),
+            PartitionError::Plan(e) => write!(f, "invalid GPM_FAULTS: {e}"),
+            PartitionError::WeightOverflow => {
+                write!(f, "total vertex weight exceeds the device's 32-bit weight word")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl From<DeviceError> for PartitionError {
+    fn from(e: DeviceError) -> Self {
+        PartitionError::Device(e)
+    }
+}
+
+impl From<PlanParseError> for PartitionError {
+    fn from(e: PlanParseError) -> Self {
+        PartitionError::Plan(e)
+    }
+}
+
+/// What actually happened during a run: fault-injection and degradation
+/// bookkeeping, present on every result (all zeros/None for a clean run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// The GPU died and the run finished on the CPU fallback path.
+    pub degraded: bool,
+    /// Pipeline phase where the device failed (e.g. `gpu:coarsen`).
+    pub degrade_point: Option<String>,
+    /// The device error that triggered degradation.
+    pub device_error: Option<String>,
+    /// Faults the active plan injected (device sites only).
+    pub faults_injected: u64,
+    /// Transient device faults absorbed by retry.
+    pub device_retries: u64,
+    /// GPU coarsening levels captured in the checkpoint and reused by the
+    /// fallback (0 when checkpointing was off).
+    pub checkpoint_gpu_levels: usize,
+}
+
+/// Host-side copy of the device hierarchy, maintained level-by-level while
+/// `fallback` is armed so the CPU engine can resume where the GPU died.
+pub(crate) struct Checkpoint {
+    /// Finished GPU levels: the fine graph at each level plus its
+    /// fine-to-coarse map (same shape as the CPU engine's hierarchy).
+    pub(crate) host_levels: Vec<Level>,
+    /// The graph after the last completed GPU level.
+    pub(crate) coarse: CsrGraph,
 }
 
 /// GPU-side report accompanying a run.
@@ -136,6 +218,8 @@ pub struct GpMetisResult {
     pub result: PartitionResult,
     /// GPU-side details.
     pub gpu: GpuReport,
+    /// Fault-injection and degradation record.
+    pub report: RunReport,
 }
 
 /// A device-resident multilevel level.
@@ -161,7 +245,8 @@ pub(crate) fn gpu_coarsen_loop(
     mut uniform: bool,
     max_vwgt: u32,
     cfg: &GpMetisConfig,
-) -> Result<CoarsenOutcome, GpuOom> {
+    mut ckpt: Option<&mut Checkpoint>,
+) -> Result<CoarsenOutcome, DeviceError> {
     let ccfg = CoarsenConfig::for_k(cfg.k);
     let mut levels: Vec<GpuLevel> = Vec::new();
     let mut cur = g0;
@@ -186,6 +271,14 @@ pub(crate) fn gpu_coarsen_loop(
         }
         let coarse = gpu_contract(dev, &cur, &mat, &cmap, nc, cfg.merge, cfg.max_threads)?;
         peak_mem = peak_mem.max(dev.mem_used());
+        if let Some(ck) = ckpt.as_deref_mut() {
+            // Checkpoint the finished level on the host. If the download
+            // itself dies the checkpoint keeps its pre-level state.
+            let cmap_host = dev.d2h(&cmap)?;
+            let coarse_host = coarse.download(dev)?;
+            let fine = std::mem::replace(&mut ck.coarse, coarse_host);
+            ck.host_levels.push(Level { graph: fine, cmap: cmap_host });
+        }
         uniform = false; // contraction sums weights; HEM has signal now
         levels.push(GpuLevel { graph: std::mem::replace(&mut cur, coarse), cmap });
     }
@@ -201,7 +294,7 @@ pub(crate) fn gpu_uncoarsen_loop(
     mut dpart: gpm_gpu_sim::DBuf<u32>,
     maxw: u32,
     cfg: &GpMetisConfig,
-) -> Result<(gpm_gpu_sim::DBuf<u32>, u64), GpuOom> {
+) -> Result<(gpm_gpu_sim::DBuf<u32>, u64), DeviceError> {
     let mut refine_moves = 0u64;
     for lvl in (0..levels.len()).rev() {
         let fine = &levels[lvl].graph;
@@ -223,64 +316,28 @@ pub(crate) fn gpu_uncoarsen_loop(
     Ok((dpart, refine_moves))
 }
 
-/// Partition `g` into `cfg.k` parts with the hybrid CPU-GPU algorithm.
-///
-/// Fails with [`GpuOom`] when the graph (plus the level hierarchy) does
-/// not fit in device memory — the constraint the paper's future-work
-/// multi-GPU extension targets (see [`crate::multi_gpu`]).
-///
-/// ```
-/// use gpm_graph::gen::delaunay_like;
-/// use gp_metis::{partition, GpMetisConfig};
-///
-/// let g = delaunay_like(2_000, 42);
-/// let cfg = GpMetisConfig::new(8).with_gpu_threshold(500);
-/// let r = partition(&g, &cfg).unwrap();
-/// assert!(r.gpu.gpu_levels >= 1);
-/// gpm_graph::metrics::validate_partition(&g, &r.result.part, 8, 1.15).unwrap();
-/// ```
-pub fn partition(g: &CsrGraph, cfg: &GpMetisConfig) -> Result<GpMetisResult, GpuOom> {
-    let t0 = std::time::Instant::now();
-    let dev = Device::new(cfg.gpu.clone());
-    let mut ledger = CostLedger::new();
-    let ccfg = CoarsenConfig::for_k(cfg.k);
-    let max_vwgt = ccfg.max_vwgt(g.total_vwgt());
-    let mut peak_mem = 0u64;
-    let mut conflicts = 0u64;
-
-    // 1. H2D: the whole CSR graph.
-    let mut mark = dev.elapsed();
-    let charge = |ledger: &mut CostLedger, dev: &Device, name: &str, mark: &mut f64| {
-        let now = dev.elapsed();
-        ledger.seconds(name, now - *mark);
-        *mark = now;
-    };
-    let g0 = GpuCsr::upload(&dev, g)?;
-    charge(&mut ledger, &dev, "xfer:h2d:graph", &mut mark);
-
-    // 2. GPU coarsening levels.
-    let outcome = gpu_coarsen_loop(&dev, g0, g.uniform_edge_weights(), max_vwgt, cfg)?;
-    let CoarsenOutcome { levels, coarsest, conflicts: c, peak_mem: pm } = outcome;
-    conflicts += c;
-    peak_mem = peak_mem.max(pm);
-    charge(&mut ledger, &dev, "gpu:coarsen", &mut mark);
-
-    // 3. D2H: the coarse graph moves to the CPU.
-    let coarse_host = coarsest.download(&dev);
-    charge(&mut ledger, &dev, "xfer:d2h:coarse", &mut mark);
-
-    // 4. CPU middle phase (mt-metis): finish coarsening, initial
-    //    partitioning, refine back up to the threshold level.
-    let mt = MtMetisConfig {
+/// The mt-metis configuration the CPU middle phase (and the fallback
+/// path) runs with.
+fn mt_config(cfg: &GpMetisConfig) -> MtMetisConfig {
+    MtMetisConfig {
         k: cfg.k,
         threads: cfg.cpu_threads,
         ubfactor: cfg.ubfactor,
         seed: cfg.seed,
         ..MtMetisConfig::new(cfg.k)
-    };
-    let model = CpuModel::xeon_e5540(cfg.cpu_threads);
-    let mut cpu_ledger = CostLedger::new();
-    let hierarchy = gpm_mtmetis::parallel_coarsen(&coarse_host, &mt, &model, &mut cpu_ledger);
+    }
+}
+
+/// CPU coarsening + initial partitioning of `coarse` (the first half of
+/// the mt-metis middle phase).
+fn cpu_coarsen_init(
+    coarse: &CsrGraph,
+    cfg: &GpMetisConfig,
+    mt: &MtMetisConfig,
+    model: &CpuModel,
+    cpu_ledger: &mut CostLedger,
+) -> (Hierarchy, Vec<u32>) {
+    let hierarchy = gpm_mtmetis::parallel_coarsen(coarse, mt, model, cpu_ledger);
     let (cpart, init_crit) = gpm_mtmetis::pinit::parallel_init_partition(
         hierarchy.coarsest(),
         cfg.k,
@@ -290,34 +347,30 @@ pub fn partition(g: &CsrGraph, cfg: &GpMetisConfig) -> Result<GpMetisResult, Gpu
         cfg.seed,
         cfg.cpu_threads,
     );
-    cpu_ledger.parallel("initpart", &model, &[init_crit], 1);
-    let part_at_entry =
-        gpm_mtmetis::uncoarsen_with_refine(&hierarchy, cpart, &mt, &model, &mut cpu_ledger);
-    for (name, secs) in &cpu_ledger.phases {
-        ledger.seconds(&format!("cpu:{name}"), *secs);
-    }
+    cpu_ledger.parallel("initpart", model, &[init_crit], 1);
+    (hierarchy, cpart)
+}
 
-    // 5. H2D: partition vector returns to the GPU.
-    mark = dev.elapsed();
-    let dpart = dev.h2d(&part_at_entry)?;
-    charge(&mut ledger, &dev, "xfer:h2d:part", &mut mark);
-
-    // 6. GPU uncoarsening: project + lock-free refinement per level.
-    let maxw = gpm_graph::metrics::max_part_weight(g.total_vwgt(), cfg.k, cfg.ubfactor);
-    let maxw = u32::try_from(maxw).expect("total vertex weight exceeds device word");
-    let (dpart, refine_moves) = gpu_uncoarsen_loop(&dev, &levels, dpart, maxw, cfg)?;
-    peak_mem = peak_mem.max(dev.mem_used());
-    charge(&mut ledger, &dev, "gpu:uncoarsen", &mut mark);
-
-    // 7. D2H: final partition.
-    let part = dev.d2h(&dpart);
-    charge(&mut ledger, &dev, "xfer:d2h:part", &mut mark);
-
+/// Assemble a [`GpMetisResult`] from a finished partition plus the run's
+/// bookkeeping. Shared by the clean path and both degradation paths.
+#[allow(clippy::too_many_arguments)]
+fn assemble_result(
+    g: &CsrGraph,
+    cfg: &GpMetisConfig,
+    part: Vec<u32>,
+    ledger: CostLedger,
+    t0: std::time::Instant,
+    dev: &Device,
+    gpu_levels: usize,
+    cpu_levels: usize,
+    conflicts: u64,
+    refine_moves: u64,
+    peak_mem: u64,
+    report: RunReport,
+) -> GpMetisResult {
     let edge_cut = gpm_graph::metrics::edge_cut(g, &part);
     let imbalance = gpm_graph::metrics::imbalance(g, &part, cfg.k);
-    let gpu_levels = levels.len();
-    let total_levels = gpu_levels + hierarchy.depth() + 1;
-    Ok(GpMetisResult {
+    GpMetisResult {
         result: PartitionResult {
             part,
             k: cfg.k,
@@ -325,11 +378,11 @@ pub fn partition(g: &CsrGraph, cfg: &GpMetisConfig) -> Result<GpMetisResult, Gpu
             imbalance,
             ledger,
             wall_seconds: t0.elapsed().as_secs_f64(),
-            levels: total_levels,
+            levels: gpu_levels + cpu_levels + 1,
         },
         gpu: GpuReport {
             gpu_levels,
-            cpu_levels: hierarchy.depth(),
+            cpu_levels,
             match_conflicts: conflicts,
             refine_moves,
             transfer_seconds: dev.transfer_seconds_total(),
@@ -338,7 +391,226 @@ pub fn partition(g: &CsrGraph, cfg: &GpMetisConfig) -> Result<GpMetisResult, Gpu
             peak_device_bytes: peak_mem,
             kernel_log: dev.kernel_log(),
         },
-    })
+        report,
+    }
+}
+
+/// The degradation record for a device failure at `point`.
+fn degraded_report(
+    point: &str,
+    err: &DeviceError,
+    dev: &Device,
+    injector: Option<&Arc<FaultInjector>>,
+    checkpoint_gpu_levels: usize,
+) -> RunReport {
+    RunReport {
+        degraded: true,
+        degrade_point: Some(point.to_string()),
+        device_error: Some(err.to_string()),
+        faults_injected: injector.map_or(0, |i| i.injected()),
+        device_retries: dev.fault_retries(),
+        checkpoint_gpu_levels,
+    }
+}
+
+/// Partition `g` into `cfg.k` parts with the hybrid CPU-GPU algorithm.
+///
+/// Reads `GPM_FAULTS` for a deterministic fault-injection plan (see
+/// `gpm-faults`); [`partition_with_plan`] takes the plan programmatically.
+/// Fails with [`PartitionError::Device`] when the graph (plus the level
+/// hierarchy) does not fit in device memory — the constraint the paper's
+/// future-work multi-GPU extension targets (see [`crate::multi_gpu`]) —
+/// or when an injected fault kills the device and `cfg.fallback` is off.
+///
+/// ```
+/// use gpm_graph::gen::delaunay_like;
+/// use gp_metis::{partition, GpMetisConfig};
+///
+/// let g = delaunay_like(2_000, 42);
+/// let cfg = GpMetisConfig::new(8).with_gpu_threshold(500);
+/// let r = partition(&g, &cfg).unwrap();
+/// assert!(r.gpu.gpu_levels >= 1);
+/// assert!(!r.report.degraded);
+/// gpm_graph::metrics::validate_partition(&g, &r.result.part, 8, 1.15).unwrap();
+/// ```
+pub fn partition(g: &CsrGraph, cfg: &GpMetisConfig) -> Result<GpMetisResult, PartitionError> {
+    let plan = FaultPlan::from_env()?;
+    partition_with_plan(g, cfg, plan)
+}
+
+/// [`partition`] with an explicit fault plan (`None` = no injection; the
+/// environment is ignored). With `cfg.fallback` set and an active plan,
+/// an unrecoverable device failure degrades to the CPU engine from the
+/// last per-level checkpoint instead of failing the run; the returned
+/// [`RunReport`] records what happened.
+pub fn partition_with_plan(
+    g: &CsrGraph,
+    cfg: &GpMetisConfig,
+    plan: Option<FaultPlan>,
+) -> Result<GpMetisResult, PartitionError> {
+    let t0 = std::time::Instant::now();
+    let injector = plan.map(|p| Arc::new(FaultInjector::new(p)));
+    let dev = match &injector {
+        Some(i) => Device::with_faults(cfg.gpu.clone(), Arc::clone(i)),
+        None => Device::new(cfg.gpu.clone()),
+    };
+    let mut ledger = CostLedger::new();
+    let ccfg = CoarsenConfig::for_k(cfg.k);
+    let max_vwgt = ccfg.max_vwgt(g.total_vwgt());
+    let mt = mt_config(cfg);
+    let model = CpuModel::xeon_e5540(cfg.cpu_threads);
+
+    // Checkpointing only arms when degradation is both requested and
+    // possible — an inactive injector cannot fault, and the level
+    // downloads would perturb the modeled times of clean runs.
+    let ckpt_armed = cfg.fallback && injector.as_ref().is_some_and(|i| i.is_active());
+    let mut ckpt = ckpt_armed.then(|| Checkpoint { host_levels: Vec::new(), coarse: g.clone() });
+
+    let mut mark = dev.elapsed();
+    let charge = |ledger: &mut CostLedger, dev: &Device, name: &str, mark: &mut f64| {
+        let now = dev.elapsed();
+        ledger.seconds(name, now - *mark);
+        *mark = now;
+    };
+
+    // 1-3. GPU front half: upload, coarsening levels, coarse D2H.
+    let front = (|| {
+        let g0 = GpuCsr::upload(&dev, g).map_err(|e| ("xfer:h2d:graph", e))?;
+        charge(&mut ledger, &dev, "xfer:h2d:graph", &mut mark);
+        let outcome =
+            gpu_coarsen_loop(&dev, g0, g.uniform_edge_weights(), max_vwgt, cfg, ckpt.as_mut())
+                .map_err(|e| ("gpu:coarsen", e))?;
+        charge(&mut ledger, &dev, "gpu:coarsen", &mut mark);
+        let coarse_host = outcome.coarsest.download(&dev).map_err(|e| ("xfer:d2h:coarse", e))?;
+        charge(&mut ledger, &dev, "xfer:d2h:coarse", &mut mark);
+        Ok((outcome, coarse_host))
+    })();
+    let (outcome, coarse_host) = match front {
+        Ok(v) => v,
+        Err((point, e)) => {
+            let Some(ck) = ckpt.take() else { return Err(e.into()) };
+            ledger.seconds(&format!("{point}(aborted)"), dev.elapsed() - mark);
+            // Degrade: the CPU engine finishes coarsening from the last
+            // checkpointed level, then one combined uncoarsen+refine walks
+            // back up through both the CPU and the salvaged GPU levels.
+            let report = degraded_report(point, &e, &dev, injector.as_ref(), ck.host_levels.len());
+            let mut fb_ledger = CostLedger::new();
+            let (cpu_hier, cpart) = cpu_coarsen_init(&ck.coarse, cfg, &mt, &model, &mut fb_ledger);
+            let (gpu_levels, cpu_levels) = (ck.host_levels.len(), cpu_hier.depth());
+            let mut combined = ck.host_levels;
+            combined.extend(cpu_hier.levels);
+            let combined = Hierarchy { levels: combined };
+            let part =
+                gpm_mtmetis::uncoarsen_with_refine(&combined, cpart, &mt, &model, &mut fb_ledger);
+            for (name, secs) in &fb_ledger.phases {
+                ledger.seconds(&format!("cpufb:{name}"), *secs);
+            }
+            return Ok(assemble_result(
+                g,
+                cfg,
+                part,
+                ledger,
+                t0,
+                &dev,
+                gpu_levels,
+                cpu_levels,
+                0,
+                0,
+                dev.mem_used(),
+                report,
+            ));
+        }
+    };
+    let CoarsenOutcome { levels, coarsest: _, conflicts, peak_mem } = outcome;
+    let mut peak_mem = peak_mem;
+
+    // 4. CPU middle phase (mt-metis): finish coarsening, initial
+    //    partitioning, refine back up to the threshold level.
+    let mut cpu_ledger = CostLedger::new();
+    let (hierarchy, cpart) = cpu_coarsen_init(&coarse_host, cfg, &mt, &model, &mut cpu_ledger);
+    let part_at_entry =
+        gpm_mtmetis::uncoarsen_with_refine(&hierarchy, cpart, &mt, &model, &mut cpu_ledger);
+    for (name, secs) in &cpu_ledger.phases {
+        ledger.seconds(&format!("cpu:{name}"), *secs);
+    }
+    let cpu_levels = hierarchy.depth();
+
+    // 5-7. GPU back half: partition H2D, project + refine per level, D2H.
+    let maxw = gpm_graph::metrics::max_part_weight(g.total_vwgt(), cfg.k, cfg.ubfactor);
+    let maxw = u32::try_from(maxw).map_err(|_| PartitionError::WeightOverflow)?;
+    mark = dev.elapsed();
+    let back = (|| {
+        let dpart = dev.h2d(&part_at_entry).map_err(|e| ("xfer:h2d:part", e))?;
+        charge(&mut ledger, &dev, "xfer:h2d:part", &mut mark);
+        let (dpart, refine_moves) = gpu_uncoarsen_loop(&dev, &levels, dpart, maxw, cfg)
+            .map_err(|e| ("gpu:uncoarsen", e))?;
+        peak_mem = peak_mem.max(dev.mem_used());
+        charge(&mut ledger, &dev, "gpu:uncoarsen", &mut mark);
+        let part = dev.d2h(&dpart).map_err(|e| ("xfer:d2h:part", e))?;
+        charge(&mut ledger, &dev, "xfer:d2h:part", &mut mark);
+        Ok((part, refine_moves))
+    })();
+    match back {
+        Ok((part, refine_moves)) => {
+            let report = RunReport {
+                faults_injected: injector.as_ref().map_or(0, |i| i.injected()),
+                device_retries: dev.fault_retries(),
+                checkpoint_gpu_levels: ckpt.as_ref().map_or(0, |c| c.host_levels.len()),
+                ..RunReport::default()
+            };
+            Ok(assemble_result(
+                g,
+                cfg,
+                part,
+                ledger,
+                t0,
+                &dev,
+                levels.len(),
+                cpu_levels,
+                conflicts,
+                refine_moves,
+                peak_mem,
+                report,
+            ))
+        }
+        Err((point, e)) => {
+            let Some(ck) = ckpt.take() else { return Err(e.into()) };
+            ledger.seconds(&format!("{point}(aborted)"), dev.elapsed() - mark);
+            // Degrade: the CPU middle phase already produced a partition
+            // of the checkpointed coarse graph; project + refine it up
+            // through the salvaged GPU levels on the CPU.
+            let report = degraded_report(point, &e, &dev, injector.as_ref(), ck.host_levels.len());
+            let gpu_levels = ck.host_levels.len();
+            let mut combined = ck.host_levels;
+            combined.push(Level { graph: ck.coarse, cmap: Vec::new() });
+            let combined = Hierarchy { levels: combined };
+            let mut fb_ledger = CostLedger::new();
+            let part = gpm_mtmetis::uncoarsen_with_refine(
+                &combined,
+                part_at_entry,
+                &mt,
+                &model,
+                &mut fb_ledger,
+            );
+            for (name, secs) in &fb_ledger.phases {
+                ledger.seconds(&format!("cpufb:{name}"), *secs);
+            }
+            Ok(assemble_result(
+                g,
+                cfg,
+                part,
+                ledger,
+                t0,
+                &dev,
+                gpu_levels,
+                cpu_levels,
+                conflicts,
+                0,
+                peak_mem.max(dev.mem_used()),
+                report,
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +712,121 @@ mod tests {
         assert!(l.total_for("gpu:coarsen") > 0.0);
         assert!(l.total_for("cpu:") > 0.0);
         assert!(l.total_for("gpu:uncoarsen") > 0.0);
+    }
+
+    use gpm_faults::{FaultKind, Selector};
+
+    /// Launch invocation (0-based) of the first kernel of GPU coarsening
+    /// level 1 in a clean run — the ISSUE's canonical kill point.
+    fn level1_first_launch(g: &CsrGraph, cfg: &GpMetisConfig) -> u64 {
+        let clean = partition_with_plan(g, cfg, None).unwrap();
+        assert!(clean.gpu.gpu_levels >= 2, "need >= 2 GPU levels to target level 1");
+        let log = clean.gpu.kernel_log;
+        let first = log[0].name.clone();
+        // level 1 starts at the second occurrence of level 0's first kernel
+        (log.iter().skip(1).position(|k| k.name == first).unwrap() + 1) as u64
+    }
+
+    #[test]
+    fn device_loss_at_level1_degrades_to_cpu_from_checkpoint() {
+        let g = delaunay_like(3_000, 2);
+        let cfg = small_cfg(8).with_seed(3).with_fallback(true);
+        let kill = level1_first_launch(&g, &cfg);
+        let plan = FaultPlan::new(7).with("gpu.launch", Selector::One(kill), FaultKind::DeviceLost);
+        let r = partition_with_plan(&g, &cfg, Some(plan)).unwrap();
+        assert!(r.report.degraded);
+        assert_eq!(r.report.degrade_point.as_deref(), Some("gpu:coarsen"));
+        assert_eq!(r.report.checkpoint_gpu_levels, 1, "level 0 was checkpointed");
+        assert!(r.report.device_error.is_some());
+        assert!(r.report.faults_injected >= 1);
+        validate_partition(&g, &r.result.part, 8, 1.12).unwrap();
+        // quality stays in the CPU engine's league
+        let mt = gpm_mtmetis::partition(
+            &g,
+            &gpm_mtmetis::MtMetisConfig { seed: 3, ..gpm_mtmetis::MtMetisConfig::new(8) },
+        );
+        assert!(
+            (r.result.edge_cut as f64) < 1.5 * mt.edge_cut as f64,
+            "degraded {} vs mtmetis {}",
+            r.result.edge_cut,
+            mt.edge_cut
+        );
+        // the fallback work shows up under its own ledger prefix
+        assert!(r.result.ledger.total_for("cpufb:") > 0.0);
+        assert!(r.result.ledger.total_for("gpu:coarsen(aborted)") >= 0.0);
+    }
+
+    #[test]
+    fn device_loss_without_fallback_is_a_typed_error() {
+        let g = delaunay_like(3_000, 2);
+        let cfg = small_cfg(8).with_seed(3);
+        let kill = level1_first_launch(&g, &cfg);
+        let plan = FaultPlan::new(7).with("gpu.launch", Selector::One(kill), FaultKind::DeviceLost);
+        match partition_with_plan(&g, &cfg, Some(plan)) {
+            Err(PartitionError::Device(e)) => assert!(!e.is_transient()),
+            other => panic!("expected device error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_faults_retry_without_changing_the_partition() {
+        let g = delaunay_like(2_000, 8);
+        let cfg = small_cfg(4);
+        let clean = partition_with_plan(&g, &cfg, None).unwrap();
+        let plan = FaultPlan::new(11)
+            .with("gpu.h2d", Selector::One(1), FaultKind::TransferError)
+            .with("gpu.launch", Selector::One(3), FaultKind::KernelAbort);
+        let r = partition_with_plan(&g, &cfg, Some(plan)).unwrap();
+        assert!(!r.report.degraded);
+        assert!(r.report.device_retries >= 2);
+        assert!(r.report.faults_injected >= 2);
+        assert_eq!(r.result.part, clean.result.part, "retries must not change the answer");
+        // retries cost modeled time
+        assert!(r.result.modeled_seconds() > clean.result.modeled_seconds());
+    }
+
+    #[test]
+    fn empty_plan_is_byte_identical_to_no_plan() {
+        let g = delaunay_like(2_000, 8);
+        let cfg = small_cfg(4).with_fallback(true);
+        let a = partition_with_plan(&g, &cfg, None).unwrap();
+        let b = partition_with_plan(&g, &cfg, Some(FaultPlan::new(99))).unwrap();
+        assert_eq!(a.result.part, b.result.part);
+        assert_eq!(
+            a.result.modeled_seconds().to_bits(),
+            b.result.modeled_seconds().to_bits(),
+            "empty plan must not perturb modeled time"
+        );
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn degraded_runs_are_deterministic() {
+        let g = delaunay_like(3_000, 2);
+        let cfg = small_cfg(8).with_seed(3).with_fallback(true);
+        let kill = level1_first_launch(&g, &cfg);
+        let plan =
+            || FaultPlan::new(7).with("gpu.launch", Selector::One(kill), FaultKind::DeviceLost);
+        let a = partition_with_plan(&g, &cfg, Some(plan())).unwrap();
+        let b = partition_with_plan(&g, &cfg, Some(plan())).unwrap();
+        assert_eq!(a.result.part, b.result.part);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.result.modeled_seconds().to_bits(), b.result.modeled_seconds().to_bits());
+    }
+
+    #[test]
+    fn death_after_middle_degrades_via_host_uncoarsen() {
+        let g = delaunay_like(3_000, 2);
+        let cfg = small_cfg(8).with_seed(3).with_fallback(true);
+        // 4 h2d transfers upload the graph; invocation 4 is the partition
+        // vector returning to the device after the CPU middle phase
+        let plan = FaultPlan::new(5).with("gpu.h2d", Selector::One(4), FaultKind::DeviceLost);
+        let r = partition_with_plan(&g, &cfg, Some(plan)).unwrap();
+        assert!(r.report.degraded);
+        assert_eq!(r.report.degrade_point.as_deref(), Some("xfer:h2d:part"));
+        assert!(r.report.checkpoint_gpu_levels >= 1);
+        validate_partition(&g, &r.result.part, 8, 1.12).unwrap();
+        assert!(r.result.ledger.total_for("cpufb:") > 0.0);
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! the maximum over devices.
 
 use crate::gpu_graph::GpuCsr;
-use crate::{gpu_coarsen_loop, gpu_uncoarsen_loop, CoarsenOutcome, GpMetisConfig};
-use gpm_gpu_sim::{Device, GpuOom};
+use crate::{gpu_coarsen_loop, gpu_uncoarsen_loop, CoarsenOutcome, GpMetisConfig, PartitionError};
+use gpm_gpu_sim::Device;
 use gpm_graph::builder::GraphBuilder;
 use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_graph::subgraph::induced_subgraph;
@@ -61,7 +61,10 @@ pub struct MultiGpuResult {
 /// Partition `g` across `cfg.devices` simulated GPUs. Each device only
 /// ever holds `~1/devices` of the graph, so graphs exceeding a single
 /// device's memory become partitionable.
-pub fn partition_multi(g: &CsrGraph, cfg: &MultiGpuConfig) -> Result<MultiGpuResult, GpuOom> {
+pub fn partition_multi(
+    g: &CsrGraph,
+    cfg: &MultiGpuConfig,
+) -> Result<MultiGpuResult, PartitionError> {
     let t0 = std::time::Instant::now();
     let d = cfg.devices;
     let base = &cfg.base;
@@ -105,17 +108,17 @@ pub fn partition_multi(g: &CsrGraph, cfg: &MultiGpuConfig) -> Result<MultiGpuRes
         let dev = Device::new(base.gpu.clone());
         let g0 = GpuCsr::upload(&dev, sub)?;
         let outcome: CoarsenOutcome =
-            gpu_coarsen_loop(&dev, g0, sub.uniform_edge_weights(), max_vwgt, base)?;
+            gpu_coarsen_loop(&dev, g0, sub.uniform_edge_weights(), max_vwgt, base, None)?;
         // compose the cmap chain on the host (the merge step needs the
         // fine-to-coarsest mapping for the held-out cross edges)
         let mut composed: Vec<u32> = (0..sub.n() as u32).collect();
         for level in &outcome.levels {
-            let cm = dev.d2h(&level.cmap);
+            let cm = dev.d2h(&level.cmap)?;
             for c in composed.iter_mut() {
                 *c = cm[*c as usize];
             }
         }
-        let coarse_host = outcome.coarsest.download(&dev);
+        let coarse_host = outcome.coarsest.download(&dev)?;
         let peak = outcome.peak_mem.max(dev.mem_used());
         states.push(DeviceState {
             dev,
@@ -180,7 +183,7 @@ pub fn partition_multi(g: &CsrGraph, cfg: &MultiGpuConfig) -> Result<MultiGpuRes
 
     // --- per-device GPU uncoarsening -------------------------------------
     let maxw = gpm_graph::metrics::max_part_weight(g.total_vwgt(), base.k, base.ubfactor);
-    let maxw = u32::try_from(maxw).expect("total vertex weight exceeds device word");
+    let maxw = u32::try_from(maxw).map_err(|_| PartitionError::WeightOverflow)?;
     let mut part = vec![0u32; n];
     let mut uncoarsen_max = 0.0f64;
     let mut gpu_levels = Vec::with_capacity(d);
@@ -192,7 +195,7 @@ pub fn partition_multi(g: &CsrGraph, cfg: &MultiGpuConfig) -> Result<MultiGpuRes
             (offsets[i]..offsets[i + 1]).map(|c| merged_part[c as usize]).collect();
         let dpart = s.dev.h2d(&slice)?;
         let (dpart, _) = gpu_uncoarsen_loop(&s.dev, &s.levels, dpart, maxw, base)?;
-        let fine = s.dev.d2h(&dpart);
+        let fine = s.dev.d2h(&dpart)?;
         for (lid, &old) in subgraphs[i].1.iter().enumerate() {
             part[old as usize] = fine[lid];
         }

@@ -3,8 +3,9 @@
 use crate::buffer::{DBuf, DeviceWord};
 use crate::config::GpuConfig;
 use crate::lane::Lane;
+use gpm_faults::{FaultError, FaultInjector, FaultKind, RetryPolicy};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -28,6 +29,63 @@ impl std::fmt::Display for GpuOom {
 }
 
 impl std::error::Error for GpuOom {}
+
+/// Any failure a device operation can report: a genuine capacity violation
+/// ([`GpuOom`]) or an injected fault from the active [`FaultInjector`]
+/// schedule. This is the typed surface that replaced the old
+/// panic-on-the-hot-path behaviour of `d2h`/`launch`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// Device memory exhausted (real accounting, always fatal for the
+    /// requested operation — retrying cannot free memory).
+    Oom(GpuOom),
+    /// An injected fault escaped the device's bounded internal retries
+    /// (or was fatal to begin with).
+    Fault(FaultError),
+}
+
+impl DeviceError {
+    /// Whether retrying the failed operation may succeed. Capacity OOM is
+    /// never transient; injected faults follow the [`FaultKind`] taxonomy
+    /// — but by the time a transient fault escapes the device's internal
+    /// retry loop its budget is spent, so callers normally treat any
+    /// `DeviceError` as the end of the device session.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DeviceError::Oom(_) => false,
+            DeviceError::Fault(f) => f.is_transient(),
+        }
+    }
+}
+
+impl From<GpuOom> for DeviceError {
+    fn from(e: GpuOom) -> Self {
+        DeviceError::Oom(e)
+    }
+}
+
+impl From<FaultError> for DeviceError {
+    fn from(e: FaultError) -> Self {
+        DeviceError::Fault(e)
+    }
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Oom(e) => e.fmt(f),
+            DeviceError::Fault(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl gpm_faults::Transience for DeviceError {
+    fn is_transient(&self) -> bool {
+        DeviceError::is_transient(self)
+    }
+}
 
 /// Statistics of one kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,17 +205,106 @@ pub struct Device {
     mem_used: Arc<AtomicU64>,
     next_buf_id: AtomicU64,
     state: Mutex<DevState>,
+    /// Fault schedule; `None` (or an inactive injector) keeps every device
+    /// path on the exact pre-fault code: no counters, no extra clock
+    /// charges, byte-identical modeled times.
+    injector: Option<Arc<FaultInjector>>,
+    /// Set when an injected [`FaultKind::DeviceLost`] fires: the device
+    /// "fell off the bus" and every subsequent operation fails fast.
+    dead: AtomicBool,
+    retry: RetryPolicy,
+    fault_retries: AtomicU64,
 }
 
 impl Device {
     /// Create a device with the given configuration.
     pub fn new(cfg: GpuConfig) -> Self {
+        Device::build(cfg, None)
+    }
+
+    /// Create a device driven by a fault-injection schedule. Sites:
+    /// `gpu.alloc`, `gpu.h2d`, `gpu.d2h`, `gpu.launch`. Transient faults
+    /// (transfer errors, kernel aborts) are retried internally under the
+    /// device [`RetryPolicy`], with backoff charged to the modeled clock;
+    /// fatal faults (spurious OOM, device lost) escape as
+    /// [`DeviceError::Fault`].
+    pub fn with_faults(cfg: GpuConfig, injector: Arc<FaultInjector>) -> Self {
+        Device::build(cfg, Some(injector))
+    }
+
+    fn build(cfg: GpuConfig, injector: Option<Arc<FaultInjector>>) -> Self {
         Device {
             cfg,
             mem_used: Arc::new(AtomicU64::new(0)),
             next_buf_id: AtomicU64::new(1),
             state: Mutex::new(DevState::default()),
+            injector,
+            dead: AtomicBool::new(false),
+            retry: RetryPolicy::default(),
+            fault_retries: AtomicU64::new(0),
         }
+    }
+
+    /// Visit an injection site: returns the backoff seconds to charge to
+    /// the modeled clock (transient faults retried internally, each failed
+    /// attempt costing `per_attempt_charge` plus exponential backoff), or
+    /// the fault that ends the operation. `Ok(0.0)` and zero overhead when
+    /// no schedule is active.
+    fn visit_site(&self, site: &str, per_attempt_charge: f64) -> Result<f64, DeviceError> {
+        let inj = match &self.injector {
+            Some(i) if i.is_active() => i,
+            _ => return Ok(0.0),
+        };
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(DeviceError::Fault(FaultError {
+                site: site.to_string(),
+                invocation: 0,
+                kind: FaultKind::DeviceLost,
+            }));
+        }
+        let mut charged = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            match inj.check(site) {
+                None => return Ok(charged),
+                Some(f) if f.is_transient() && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    self.fault_retries.fetch_add(1, Ordering::Relaxed);
+                    charged += per_attempt_charge + self.retry.backoff_secs(attempt);
+                }
+                Some(f) => {
+                    if f.kind == FaultKind::DeviceLost {
+                        self.dead.store(true, Ordering::Relaxed);
+                    }
+                    return Err(DeviceError::Fault(f));
+                }
+            }
+        }
+    }
+
+    /// Charge injected-fault backoff to the modeled clock. Kept separate
+    /// from the normal charges so the zero-fault path never touches the
+    /// clock arithmetic.
+    fn charge_backoff(&self, secs: f64) {
+        if secs > 0.0 {
+            self.state.lock().unwrap().clock += secs;
+        }
+    }
+
+    /// Retries the device performed internally to absorb injected
+    /// transient faults.
+    pub fn fault_retries(&self) -> u64 {
+        self.fault_retries.load(Ordering::Relaxed)
+    }
+
+    /// The fault injector driving this device, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// True once an injected `DeviceLost` fault has poisoned the device.
+    pub fn is_lost(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
     }
 
     /// The device configuration.
@@ -171,11 +318,17 @@ impl Device {
     }
 
     /// Allocate a zero-initialized buffer of `len` elements.
-    pub fn alloc<T: DeviceWord>(&self, len: usize) -> Result<DBuf<T>, GpuOom> {
+    pub fn alloc<T: DeviceWord>(&self, len: usize) -> Result<DBuf<T>, DeviceError> {
+        let backoff = self.visit_site("gpu.alloc", 0.0)?;
+        self.charge_backoff(backoff);
         let bytes = len as u64 * 4;
         let in_use = self.mem_used.load(Ordering::Relaxed);
         if in_use + bytes > self.cfg.mem_capacity {
-            return Err(GpuOom { requested: bytes, in_use, capacity: self.cfg.mem_capacity });
+            return Err(DeviceError::Oom(GpuOom {
+                requested: bytes,
+                in_use,
+                capacity: self.cfg.mem_capacity,
+            }));
         }
         self.mem_used.fetch_add(bytes, Ordering::Relaxed);
         let id = self.next_buf_id.fetch_add(1, Ordering::Relaxed);
@@ -183,24 +336,33 @@ impl Device {
     }
 
     /// Host-to-device transfer: allocate and fill, charging PCIe time.
-    pub fn h2d<T: DeviceWord>(&self, data: &[T]) -> Result<DBuf<T>, GpuOom> {
+    pub fn h2d<T: DeviceWord>(&self, data: &[T]) -> Result<DBuf<T>, DeviceError> {
         let buf = self.alloc::<T>(data.len())?;
+        // Each retried transfer attempt re-pays the PCIe time.
+        let backoff = self.visit_site("gpu.h2d", self.cfg.transfer_seconds(buf.bytes()))?;
         buf.copy_from_slice(data);
         let secs = self.cfg.transfer_seconds(buf.bytes());
         let mut st = self.state.lock().unwrap();
         st.clock += secs;
+        if backoff > 0.0 {
+            st.clock += backoff;
+        }
         st.transfers.push(("h2d".into(), buf.bytes(), secs));
         Ok(buf)
     }
 
     /// Device-to-host transfer, charging PCIe time.
-    pub fn d2h<T: DeviceWord>(&self, buf: &DBuf<T>) -> Vec<T> {
+    pub fn d2h<T: DeviceWord>(&self, buf: &DBuf<T>) -> Result<Vec<T>, DeviceError> {
+        let backoff = self.visit_site("gpu.d2h", self.cfg.transfer_seconds(buf.bytes()))?;
         let secs = self.cfg.transfer_seconds(buf.bytes());
         let mut st = self.state.lock().unwrap();
         st.clock += secs;
+        if backoff > 0.0 {
+            st.clock += backoff;
+        }
         st.transfers.push(("d2h".into(), buf.bytes(), secs));
         drop(st);
-        buf.to_vec()
+        Ok(buf.to_vec())
     }
 
     /// Simulated device time elapsed (kernels + transfers), in seconds.
@@ -258,10 +420,22 @@ impl Device {
     /// statistics are integer sums folded in group-index order, so the
     /// stats are identical regardless of which host worker ran which
     /// group. Timing: roofline — `max(compute, memory) + launch overhead`.
-    pub fn launch<F>(&self, name: &str, n_threads: usize, kernel: F) -> KernelStats
+    ///
+    /// Fault site `gpu.launch` fires *before* any lane runs, so an
+    /// injected [`FaultKind::KernelAbort`] is side-effect free and the
+    /// internal retry (each failed attempt charged launch overhead plus
+    /// backoff) re-runs the kernel from clean state.
+    pub fn launch<F>(
+        &self,
+        name: &str,
+        n_threads: usize,
+        kernel: F,
+    ) -> Result<KernelStats, DeviceError>
     where
         F: Fn(&mut Lane) + Sync,
     {
+        let backoff = self.visit_site("gpu.launch", self.cfg.kernel_launch_overhead)?;
+        self.charge_backoff(backoff);
         let ws = self.cfg.warp_size;
         let n_warps = n_threads.div_ceil(ws);
         // Groups of 8 warps amortize dispatch; scratch lives per host
@@ -354,7 +528,7 @@ impl Device {
         let mut st = self.state.lock().unwrap();
         st.clock += seconds;
         st.log.push(stats.clone());
-        stats
+        Ok(stats)
     }
 }
 
@@ -380,8 +554,14 @@ mod tests {
         let d = Device::new(GpuConfig::tiny(1000));
         let _a = d.alloc::<u32>(200).unwrap(); // 800 B
         let err = d.alloc::<u32>(100).unwrap_err(); // +400 B > 1000
-        assert_eq!(err.capacity, 1000);
-        assert_eq!(err.in_use, 800);
+        assert!(!err.is_transient());
+        match err {
+            DeviceError::Oom(oom) => {
+                assert_eq!(oom.capacity, 1000);
+                assert_eq!(oom.in_use, 800);
+            }
+            other => panic!("expected Oom, got {other:?}"),
+        }
     }
 
     #[test]
@@ -390,7 +570,7 @@ mod tests {
         let buf = d.h2d(&[1u32, 2, 3]).unwrap();
         let t1 = d.elapsed();
         assert!(t1 >= d.config().pcie_latency);
-        let back = d.d2h(&buf);
+        let back = d.d2h(&buf).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         assert!(d.elapsed() > t1);
         assert_eq!(d.transfer_bytes_total(), 24);
@@ -400,10 +580,12 @@ mod tests {
     fn simple_kernel_writes_every_element() {
         let d = dev();
         let buf = d.alloc::<u32>(1000).unwrap();
-        let stats = d.launch("fill", 1000, |lane| {
-            let v = lane.tid as u32 * 2;
-            lane.st(&buf, lane.tid, v);
-        });
+        let stats = d
+            .launch("fill", 1000, |lane| {
+                let v = lane.tid as u32 * 2;
+                lane.st(&buf, lane.tid, v);
+            })
+            .unwrap();
         assert_eq!(buf.load(7), 14);
         assert_eq!(buf.load(999), 1998);
         assert_eq!(stats.warps, 32); // ceil(1000/32)
@@ -416,13 +598,17 @@ mod tests {
         let n = 32 * 64;
         let buf = d.alloc::<u32>(n * 32).unwrap();
         // contiguous: lane tid accesses element tid -> 1 txn / warp
-        let coalesced = d.launch("coalesced", n, |lane| {
-            let _ = lane.ld(&buf, lane.tid);
-        });
+        let coalesced = d
+            .launch("coalesced", n, |lane| {
+                let _ = lane.ld(&buf, lane.tid);
+            })
+            .unwrap();
         // strided by 32 words (=128 B): every lane hits its own segment
-        let strided = d.launch("strided", n, |lane| {
-            let _ = lane.ld(&buf, lane.tid * 32);
-        });
+        let strided = d
+            .launch("strided", n, |lane| {
+                let _ = lane.ld(&buf, lane.tid * 32);
+            })
+            .unwrap();
         assert_eq!(coalesced.transactions, 64);
         assert_eq!(strided.transactions, (n) as u64);
         assert!(strided.seconds > coalesced.seconds);
@@ -435,14 +621,16 @@ mod tests {
         let d = dev();
         let buf = d.alloc::<u32>(64).unwrap();
         // half the lanes do 10x the work
-        let stats = d.launch("divergent", 64, |lane| {
-            if lane.tid % 2 == 0 {
-                for _ in 0..9 {
-                    lane.alu(1);
+        let stats = d
+            .launch("divergent", 64, |lane| {
+                if lane.tid % 2 == 0 {
+                    for _ in 0..9 {
+                        lane.alu(1);
+                    }
                 }
-            }
-            lane.st(&buf, lane.tid, 1);
-        });
+                lane.st(&buf, lane.tid, 1);
+            })
+            .unwrap();
         assert!(stats.divergence() > 0.3, "divergence {}", stats.divergence());
     }
 
@@ -452,7 +640,8 @@ mod tests {
         let counter = d.alloc::<u32>(1).unwrap();
         d.launch("count", 10_000, |lane| {
             lane.atomic_add(&counter, 0, 1);
-        });
+        })
+        .unwrap();
         assert_eq!(counter.load(0), 10_000);
     }
 
@@ -462,10 +651,12 @@ mod tests {
         let b = d.alloc::<u32>(10).unwrap();
         d.launch("a", 10, |l| {
             let _ = lane_noop(l, &b);
-        });
+        })
+        .unwrap();
         d.launch("b", 10, |l| {
             let _ = lane_noop(l, &b);
-        });
+        })
+        .unwrap();
         let log = d.kernel_log();
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].name, "a");
@@ -483,9 +674,10 @@ mod tests {
         for _ in 0..3 {
             d.launch("x", 64, |l| {
                 let _ = l.ld(&b, l.tid);
-            });
+            })
+            .unwrap();
         }
-        d.launch("y", 64, |l| l.alu(5));
+        d.launch("y", 64, |l| l.alu(5)).unwrap();
         let s = d.kernel_summary();
         assert_eq!(s.len(), 2);
         let x = s.iter().find(|k| k.name == "x").unwrap();
@@ -530,26 +722,154 @@ mod tests {
         let d = dev();
         let n = 32 * 16;
         let buf = d.alloc::<u32>(n * 32).unwrap();
-        let coalesced = d.launch("c", n, |lane| {
-            let _ = lane.ld(&buf, lane.tid);
-        });
+        let coalesced = d
+            .launch("c", n, |lane| {
+                let _ = lane.ld(&buf, lane.tid);
+            })
+            .unwrap();
         assert_eq!(coalesced.transactions, 16); // 1 txn per warp
-        let strided = d.launch("s", n, |lane| {
-            let _ = lane.ld(&buf, lane.tid * 32);
-        });
+        let strided = d
+            .launch("s", n, |lane| {
+                let _ = lane.ld(&buf, lane.tid * 32);
+            })
+            .unwrap();
         assert_eq!(strided.transactions, n as u64); // 1 txn per lane
                                                     // half-warp broadcast: two segments per warp
-        let pair = d.launch("p", n, |lane| {
-            let _ = lane.ld(&buf, (lane.tid / 16) * 32);
-        });
+        let pair = d
+            .launch("p", n, |lane| {
+                let _ = lane.ld(&buf, (lane.tid / 16) * 32);
+            })
+            .unwrap();
         assert_eq!(pair.transactions, 32);
     }
 
     #[test]
     fn zero_thread_launch_is_safe() {
         let d = dev();
-        let stats = d.launch("empty", 0, |_l| {});
+        let stats = d.launch("empty", 0, |_l| {}).unwrap();
         assert_eq!(stats.warps, 0);
         assert_eq!(stats.transactions, 0);
+    }
+
+    // ---- fault injection, one test per device site ----
+
+    use gpm_faults::{FaultPlan, Selector};
+
+    fn faulty(plan: FaultPlan) -> Device {
+        Device::with_faults(GpuConfig::gtx_titan(), Arc::new(FaultInjector::new(plan)))
+    }
+
+    #[test]
+    fn alloc_spurious_oom_is_fatal() {
+        let d =
+            faulty(FaultPlan::new(1).with("gpu.alloc", Selector::One(1), FaultKind::SpuriousOom));
+        let _a = d.alloc::<u32>(8).unwrap(); // invocation 0 clean
+        let err = d.alloc::<u32>(8).unwrap_err(); // invocation 1 faults
+        match err {
+            DeviceError::Fault(f) => {
+                assert_eq!(f.kind, FaultKind::SpuriousOom);
+                assert_eq!(f.site, "gpu.alloc");
+                assert!(!f.is_transient());
+            }
+            other => panic!("expected injected fault, got {other:?}"),
+        }
+        assert!(!d.is_lost(), "spurious OOM does not kill the device");
+        let _b = d.alloc::<u32>(8).unwrap(); // next invocation clean again
+    }
+
+    #[test]
+    fn h2d_transfer_fault_retries_and_charges_backoff() {
+        // Drop the first two h2d attempts; the internal retry absorbs
+        // them and the transfer still lands, with extra modeled time.
+        let d = faulty(FaultPlan::new(2).with(
+            "gpu.h2d",
+            Selector::Range(0, 2),
+            FaultKind::TransferError,
+        ));
+        let clean = dev();
+        let buf = d.h2d(&[1u32, 2, 3, 4]).unwrap();
+        let base = clean.h2d(&[1u32, 2, 3, 4]).unwrap();
+        assert_eq!(buf.to_vec(), base.to_vec());
+        assert_eq!(d.fault_retries(), 2);
+        assert!(
+            d.elapsed() > clean.elapsed(),
+            "retried transfers must cost modeled time: {} vs {}",
+            d.elapsed(),
+            clean.elapsed()
+        );
+    }
+
+    #[test]
+    fn h2d_transfer_fault_exhausts_retries() {
+        // Every h2d attempt faults: the retry budget (3) runs out and the
+        // transient error escapes as a DeviceError.
+        let d =
+            faulty(FaultPlan::new(3).with("gpu.h2d", Selector::Always, FaultKind::TransferError));
+        let err = d.h2d(&[1u32, 2, 3]).unwrap_err();
+        match err {
+            DeviceError::Fault(f) => assert_eq!(f.kind, FaultKind::TransferError),
+            other => panic!("expected injected fault, got {other:?}"),
+        }
+        assert_eq!(d.fault_retries(), 3);
+    }
+
+    #[test]
+    fn d2h_fault_site_fires() {
+        let d = faulty(FaultPlan::new(4).with("gpu.d2h", Selector::One(0), FaultKind::DeviceLost));
+        let buf = d.h2d(&[5u32, 6]).unwrap();
+        let err = d.d2h(&buf).unwrap_err();
+        match err {
+            DeviceError::Fault(f) => {
+                assert_eq!(f.site, "gpu.d2h");
+                assert_eq!(f.kind, FaultKind::DeviceLost);
+            }
+            other => panic!("expected injected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn launch_abort_retries_then_succeeds() {
+        let d =
+            faulty(FaultPlan::new(5).with("gpu.launch", Selector::One(0), FaultKind::KernelAbort));
+        let buf = d.alloc::<u32>(64).unwrap();
+        let stats = d.launch("fill", 64, |lane| lane.st(&buf, lane.tid, 7)).unwrap();
+        assert_eq!(buf.load(63), 7, "retried launch still runs the kernel");
+        assert_eq!(d.fault_retries(), 1);
+        assert_eq!(stats.n_threads, 64);
+    }
+
+    #[test]
+    fn device_lost_poisons_every_subsequent_op() {
+        let d =
+            faulty(FaultPlan::new(6).with("gpu.launch", Selector::One(0), FaultKind::DeviceLost));
+        let buf = d.alloc::<u32>(8).unwrap();
+        let err = d.launch("k", 8, |lane| lane.st(&buf, lane.tid, 1)).unwrap_err();
+        assert!(matches!(err, DeviceError::Fault(ref f) if f.kind == FaultKind::DeviceLost));
+        assert!(d.is_lost());
+        // Every later operation fails fast without consuming schedule.
+        assert!(d.alloc::<u32>(8).is_err());
+        assert!(d.h2d(&[1u32]).is_err());
+        assert!(d.d2h(&buf).is_err());
+        assert!(d.launch("k2", 8, |_l| {}).is_err());
+    }
+
+    #[test]
+    fn inactive_injector_changes_nothing() {
+        // Same workload on a plain device and one with an empty plan:
+        // byte-identical modeled clock and transfer accounting.
+        let run = |d: &Device| {
+            let buf = d.h2d(&(0..1024u32).collect::<Vec<_>>()).unwrap();
+            d.launch("mul", 1024, |lane| {
+                let v = lane.ld(&buf, lane.tid);
+                lane.st(&buf, lane.tid, v * 3);
+            })
+            .unwrap();
+            (d.d2h(&buf).unwrap(), d.elapsed(), d.transfer_bytes_total())
+        };
+        let plain = run(&dev());
+        let empty = run(&faulty(FaultPlan::empty()));
+        assert_eq!(plain.0, empty.0);
+        assert_eq!(plain.1.to_bits(), empty.1.to_bits(), "modeled clock must be bit-identical");
+        assert_eq!(plain.2, empty.2);
     }
 }

@@ -25,7 +25,7 @@ pub mod scan;
 
 pub use buffer::{DBuf, DeviceInt, DeviceWord};
 pub use config::GpuConfig;
-pub use device::{Device, GpuOom, KernelStats, KernelSummary};
+pub use device::{Device, DeviceError, GpuOom, KernelStats, KernelSummary};
 pub use lane::Lane;
 pub use reduce::{reduce_max_u32, reduce_sum_u32};
 pub use scan::{exclusive_scan_u32, inclusive_scan_u32};

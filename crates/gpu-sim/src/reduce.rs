@@ -2,17 +2,17 @@
 //! per-thread sequential partials, recursively reduced.
 
 use crate::buffer::DBuf;
-use crate::device::{Device, GpuOom};
+use crate::device::{Device, DeviceError};
 
 const CHUNK: usize = 256;
 
 /// Device-wide wrapping sum of a `u32` buffer.
-pub fn reduce_sum_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> {
+pub fn reduce_sum_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceError> {
     reduce(dev, buf, "reduce:sum", |a, b| a.wrapping_add(b), 0)
 }
 
 /// Device-wide max of a `u32` buffer (0 for an empty buffer).
-pub fn reduce_max_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> {
+pub fn reduce_max_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceError> {
     reduce(dev, buf, "reduce:max", |a, b| a.max(b), 0)
 }
 
@@ -22,7 +22,7 @@ fn reduce(
     name: &str,
     op: impl Fn(u32, u32) -> u32 + Sync + Copy,
     identity: u32,
-) -> Result<u32, GpuOom> {
+) -> Result<u32, DeviceError> {
     let n = buf.len();
     if n == 0 {
         return Ok(identity);
@@ -37,7 +37,7 @@ fn reduce(
                 acc = op(acc, lane.ld(buf, i));
             }
             lane.st(&out, 0, acc);
-        });
+        })?;
         return Ok(out.load(0));
     }
     let aux = dev.alloc::<u32>(n_chunks)?;
@@ -49,7 +49,7 @@ fn reduce(
             acc = op(acc, lane.ld(buf, i));
         }
         lane.st(&aux, lane.tid, acc);
-    });
+    })?;
     reduce(dev, &aux, name, op, identity)
 }
 

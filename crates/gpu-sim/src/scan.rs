@@ -9,7 +9,7 @@
 //! charges them like the CUB scan the paper calls.
 
 use crate::buffer::DBuf;
-use crate::device::{Device, GpuOom};
+use crate::device::{Device, DeviceError};
 
 /// Elements each thread scans sequentially.
 const CHUNK: usize = 256;
@@ -17,7 +17,7 @@ const CHUNK: usize = 256;
 /// In-place device-wide *inclusive* prefix sum over `buf` (wrapping u32
 /// arithmetic, like the 32-bit CUB scan). Returns the total (the last
 /// element after the scan).
-pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> {
+pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceError> {
     let n = buf.len();
     if n == 0 {
         return Ok(0);
@@ -30,7 +30,7 @@ pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> 
                 acc = acc.wrapping_add(lane.ld(buf, i));
                 lane.st(buf, i, acc);
             }
-        });
+        })?;
         return Ok(buf.load(n - 1));
     }
     let aux = dev.alloc::<u32>(n_chunks)?;
@@ -43,7 +43,7 @@ pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> 
             lane.st(buf, i, acc);
         }
         lane.st(&aux, lane.tid, acc);
-    });
+    })?;
     // Scan the chunk totals (recursive; depth log_CHUNK(n)).
     inclusive_scan_u32(dev, &aux)?;
     dev.launch("scan:add", n_chunks, |lane| {
@@ -57,13 +57,13 @@ pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> 
             let v = lane.ld(buf, i);
             lane.st(buf, i, v.wrapping_add(offset));
         }
-    });
+    })?;
     Ok(buf.load(n - 1))
 }
 
 /// In-place device-wide *exclusive* prefix sum. Returns the total of all
 /// input elements.
-pub fn exclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> {
+pub fn exclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceError> {
     let n = buf.len();
     if n == 0 {
         return Ok(0);
@@ -72,12 +72,12 @@ pub fn exclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, GpuOom> 
     dev.launch("scan:copy", n, |lane| {
         let v = lane.ld(buf, lane.tid);
         lane.st(&tmp, lane.tid, v);
-    });
+    })?;
     let total = inclusive_scan_u32(dev, &tmp)?;
     dev.launch("scan:shift", n, |lane| {
         let v = if lane.tid == 0 { 0 } else { lane.ld(&tmp, lane.tid - 1) };
         lane.st(buf, lane.tid, v);
-    });
+    })?;
     Ok(total)
 }
 

@@ -73,9 +73,11 @@ fn kernel_touches_every_element() {
         let n = src.usize_in(1, 5000);
         let d = dev();
         let buf = d.alloc::<u32>(n).unwrap();
-        let stats = d.launch("fill", n, |lane| {
-            lane.st(&buf, lane.tid, lane.tid as u32 ^ 0xABCD);
-        });
+        let stats = d
+            .launch("fill", n, |lane| {
+                lane.st(&buf, lane.tid, lane.tid as u32 ^ 0xABCD);
+            })
+            .unwrap();
         for i in 0..n {
             tk_assert_eq!(buf.load(i), i as u32 ^ 0xABCD);
         }
@@ -97,7 +99,8 @@ fn atomic_counter_exact_under_racing() {
         let counter = d.alloc::<u32>(1).unwrap();
         d.launch("count", n, |lane| {
             lane.atomic_add(&counter, 0, 1);
-        });
+        })
+        .unwrap();
         tk_assert_eq!(counter.load(0) as usize, n);
         Ok(())
     });

@@ -40,6 +40,23 @@ fn parse_err<T>(line: usize, msg: impl Into<String>) -> Result<T, IoError> {
     Err(IoError::Parse { line, msg: msg.into() })
 }
 
+/// Hard cap on header-declared sizes: vertex ids must fit [`Vid`] and the
+/// CSR adjacency offsets (`2m`) must fit `u32`, so a corrupt or hostile
+/// header fails with a typed error instead of an assert or a giant
+/// allocation downstream.
+const MAX_N: usize = Vid::MAX as usize;
+const MAX_M: usize = (u32::MAX / 2) as usize;
+
+fn check_header_dims(line: usize, n: usize, m: usize) -> Result<(), IoError> {
+    if n > MAX_N {
+        return parse_err(line, format!("vertex count {n} exceeds the supported {MAX_N}"));
+    }
+    if m > MAX_M {
+        return parse_err(line, format!("edge count {m} exceeds the supported {MAX_M}"));
+    }
+    Ok(())
+}
+
 /// Read a Metis `.graph` file from any reader.
 ///
 /// Header: `n m [fmt [ncon]]` where fmt is a 3-digit flag string: 1xx =
@@ -68,6 +85,7 @@ pub fn read_metis<R: BufRead>(r: R) -> Result<CsrGraph, IoError> {
         hparts[0].parse().map_err(|e| IoError::Parse { line: hline_no, msg: format!("{e}") })?;
     let m: usize =
         hparts[1].parse().map_err(|e| IoError::Parse { line: hline_no, msg: format!("{e}") })?;
+    check_header_dims(hline_no, n, m)?;
     let fmt = if hparts.len() >= 3 { hparts[2] } else { "0" };
     let fmt_num: u32 =
         fmt.parse().map_err(|e| IoError::Parse { line: hline_no, msg: format!("bad fmt: {e}") })?;
@@ -223,6 +241,10 @@ pub fn read_dimacs9<R: BufRead>(r: R) -> Result<CsrGraph, IoError> {
             n = parts[1]
                 .parse()
                 .map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?;
+            let m: usize = parts[2]
+                .parse()
+                .map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?;
+            check_header_dims(no + 1, n, m)?;
             b = Some(GraphBuilder::new(n));
         } else if let Some(rest) = t.strip_prefix("a ") {
             let builder = match b.as_mut() {

@@ -1,0 +1,188 @@
+//! Property tests of the graph readers: malformed, truncated, and
+//! overflowing METIS / DIMACS9 inputs must come back as typed
+//! [`IoError`]s — never a panic — and well-formed inputs must round-trip.
+//! (Runs on the in-repo `gpm-testkit` harness.)
+
+use gpm_graph::builder::GraphBuilder;
+use gpm_graph::gen::{delaunay_like, grid2d};
+use gpm_graph::io::{read_dimacs9, read_metis, write_metis, IoError};
+use gpm_testkit::{check, tk_assert, tk_assert_eq, Source};
+use std::io::Cursor;
+
+/// A random small weighted graph (possibly with isolated vertices).
+fn arbitrary_graph(src: &mut Source) -> gpm_graph::csr::CsrGraph {
+    let n = src.usize_in(1, 40);
+    let mut b = GraphBuilder::new(n);
+    let m = src.usize_in(0, 3 * n);
+    for _ in 0..m {
+        let u = src.usize_in(0, n) as u32;
+        let v = src.usize_in(0, n) as u32;
+        if u != v {
+            b.add_edge(u.min(v), u.max(v), src.u32_in(1, 100));
+        }
+    }
+    let vwgt = (0..n).map(|_| src.u32_in(1, 50)).collect();
+    b.vertex_weights(vwgt).build()
+}
+
+#[test]
+fn metis_roundtrip_arbitrary_graphs() {
+    check("metis_roundtrip_arbitrary_graphs", 64, |src| {
+        let g = arbitrary_graph(src);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).map_err(|e| e.to_string())?;
+        let back = read_metis(Cursor::new(buf)).map_err(|e| e.to_string())?;
+        tk_assert_eq!(back, g);
+        Ok(())
+    });
+}
+
+#[test]
+fn truncated_metis_never_panics() {
+    check("truncated_metis_never_panics", 96, |src| {
+        let g = arbitrary_graph(src);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).map_err(|e| e.to_string())?;
+        // cut the serialized file anywhere, including mid-token
+        let cut = src.usize_in(0, buf.len() + 1).min(buf.len());
+        match read_metis(Cursor::new(&buf[..cut])) {
+            Ok(h) => {
+                // a cut at a vertex-line boundary can only parse if every
+                // remaining line was consumed and the counts still agree
+                tk_assert_eq!(h.n(), g.n());
+                tk_assert_eq!(h.m(), g.m());
+            }
+            Err(IoError::Parse { .. }) | Err(IoError::Io(_)) => {}
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn mutated_metis_never_panics() {
+    check("mutated_metis_never_panics", 96, |src| {
+        let g = arbitrary_graph(src);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).map_err(|e| e.to_string())?;
+        // flip a handful of bytes to printable garbage
+        for _ in 0..src.usize_in(1, 6) {
+            let i = src.usize_in(0, buf.len());
+            buf[i] = *src.choose(b"0123456789 -x%\n\t.");
+        }
+        // any outcome is fine except a panic; a parsed graph must be sane
+        if let Ok(h) = read_metis(Cursor::new(&buf)) {
+            tk_assert!(h.validate().is_ok(), "parsed graph fails validation");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn overflowing_metis_headers_are_typed_errors() {
+    check("overflowing_metis_headers_are_typed_errors", 48, |src| {
+        let huge_n = (u32::MAX as u64) + 1 + src.below(1 << 40);
+        let huge_m = (u32::MAX as u64 / 2) + 1 + src.below(1 << 40);
+        for header in [format!("{huge_n} 1"), format!("4 {huge_m}"), format!("{huge_n} {huge_m}")] {
+            match read_metis(Cursor::new(format!("{header}\n"))) {
+                Err(IoError::Parse { .. }) => {}
+                other => {
+                    return Err(format!("header `{header}`: expected parse error, got {other:?}"))
+                }
+            }
+        }
+        // astronomically large counts overflow usize parsing itself
+        match read_metis(Cursor::new("99999999999999999999999999 1\n")) {
+            Err(IoError::Parse { .. }) => Ok(()),
+            other => Err(format!("expected parse error, got {other:?}")),
+        }
+    });
+}
+
+#[test]
+fn metis_header_vertex_count_must_match_body() {
+    check("metis_header_vertex_count_must_match_body", 48, |src| {
+        let g = arbitrary_graph(src);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).map_err(|e| e.to_string())?;
+        let text = String::from_utf8(buf).unwrap();
+        let (header, body) = text.split_once('\n').unwrap();
+        let mut parts: Vec<String> = header.split_whitespace().map(str::to_string).collect();
+        // declare more vertices than the file has
+        parts[0] = format!("{}", g.n() + src.usize_in(1, 10));
+        let lying = format!("{}\n{}", parts.join(" "), body);
+        match read_metis(Cursor::new(lying)) {
+            Err(IoError::Parse { .. }) => Ok(()),
+            other => Err(format!("expected parse error, got {other:?}")),
+        }
+    });
+}
+
+/// Serialize a graph as DIMACS9 arcs (both directions, as real files do).
+fn to_dimacs9(g: &gpm_graph::csr::CsrGraph) -> String {
+    let mut s = format!("c generated\np sp {} {}\n", g.n(), 2 * g.m());
+    for u in 0..g.n() as u32 {
+        for (v, w) in g.edges(u) {
+            s.push_str(&format!("a {} {} {w}\n", u + 1, v + 1));
+        }
+    }
+    s
+}
+
+#[test]
+fn dimacs9_roundtrip_arbitrary_graphs() {
+    check("dimacs9_roundtrip_arbitrary_graphs", 48, |src| {
+        let g = arbitrary_graph(src);
+        let back = read_dimacs9(Cursor::new(to_dimacs9(&g))).map_err(|e| e.to_string())?;
+        tk_assert_eq!(back.n(), g.n());
+        tk_assert_eq!(back.m(), g.m());
+        // weights survive symmetrized-arc dedup
+        tk_assert_eq!(back.total_adjwgt(), g.total_adjwgt());
+        Ok(())
+    });
+}
+
+#[test]
+fn truncated_or_mutated_dimacs9_never_panics() {
+    check("truncated_or_mutated_dimacs9_never_panics", 96, |src| {
+        let g = arbitrary_graph(src);
+        let mut buf = to_dimacs9(&g).into_bytes();
+        if src.chance(0.5) {
+            let cut = src.usize_in(0, buf.len() + 1).min(buf.len());
+            buf.truncate(cut);
+        } else {
+            for _ in 0..src.usize_in(1, 6) {
+                let i = src.usize_in(0, buf.len().max(1)).min(buf.len() - 1);
+                buf[i] = *src.choose(b"0123456789 acp-\n");
+            }
+        }
+        if let Ok(h) = read_dimacs9(Cursor::new(&buf)) {
+            tk_assert!(h.validate().is_ok(), "parsed graph fails validation");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn overflowing_dimacs9_headers_are_typed_errors() {
+    let huge = (u32::MAX as u64) + 2;
+    for text in [
+        format!("p sp {huge} 1\na 1 2 1\n"),
+        format!("p sp 3 {huge}\na 1 2 1\n"),
+        "p sp 99999999999999999999999999 1\n".to_string(),
+    ] {
+        match read_dimacs9(Cursor::new(&text)) {
+            Err(IoError::Parse { .. }) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn generator_graphs_survive_a_full_io_cycle() {
+    for g in [grid2d(9, 7), delaunay_like(300, 4)] {
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let back = read_metis(Cursor::new(buf)).unwrap();
+        assert_eq!(back, g);
+    }
+}

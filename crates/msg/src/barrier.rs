@@ -1,0 +1,135 @@
+//! A poisonable, timeout-aware barrier.
+//!
+//! `std::sync::Barrier` blocks forever, so a crashed rank would hang every
+//! peer parked at the next barrier. This sense-reversing barrier adds two
+//! escape hatches: a wait timeout, and *poisoning* — an aborting rank
+//! poisons the barrier so already-parked peers wake immediately and report
+//! the crash instead of timing out one by one.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Outcome of a [`PoisonBarrier::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierWait {
+    /// All ranks arrived.
+    Released,
+    /// A rank poisoned the barrier before this generation completed;
+    /// carries the poisoner's rank.
+    Poisoned(usize),
+    /// The timeout elapsed with the generation incomplete.
+    TimedOut,
+}
+
+struct State {
+    count: usize,
+    generation: u64,
+    poisoned: Option<usize>,
+}
+
+pub struct PoisonBarrier {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl PoisonBarrier {
+    pub fn new(n: usize) -> Self {
+        PoisonBarrier {
+            n,
+            state: Mutex::new(State { count: 0, generation: 0, poisoned: None }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Park until all `n` ranks arrive, the barrier is poisoned, or
+    /// `timeout` elapses.
+    pub fn wait(&self, timeout: Duration) -> BarrierWait {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock().unwrap();
+        if let Some(p) = s.poisoned {
+            return BarrierWait::Poisoned(p);
+        }
+        let gen = s.generation;
+        s.count += 1;
+        if s.count == self.n {
+            s.count = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return BarrierWait::Released;
+        }
+        loop {
+            let now = Instant::now();
+            let remaining = deadline.saturating_duration_since(now);
+            let (guard, res) = self.cv.wait_timeout(s, remaining).unwrap();
+            s = guard;
+            if let Some(p) = s.poisoned {
+                return BarrierWait::Poisoned(p);
+            }
+            if s.generation != gen {
+                return BarrierWait::Released;
+            }
+            if res.timed_out() && Instant::now() >= deadline {
+                // Withdraw so a late poison/arrival doesn't count us twice.
+                s.count -= 1;
+                return BarrierWait::TimedOut;
+            }
+        }
+    }
+
+    /// Mark the barrier dead on behalf of `rank`; all current and future
+    /// waiters observe [`BarrierWait::Poisoned`].
+    pub fn poison(&self, rank: usize) {
+        let mut s = self.state.lock().unwrap();
+        if s.poisoned.is_none() {
+            s.poisoned = Some(rank);
+        }
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn releases_when_all_arrive() {
+        let b = Arc::new(PoisonBarrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || b.wait(Duration::from_secs(5)))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), BarrierWait::Released);
+        }
+    }
+
+    #[test]
+    fn times_out_when_short_handed() {
+        let b = PoisonBarrier::new(2);
+        assert_eq!(b.wait(Duration::from_millis(20)), BarrierWait::TimedOut);
+        // the withdrawn count must not satisfy a later generation
+        let b2 = std::sync::Arc::new(b);
+        let c = b2.clone();
+        let h = std::thread::spawn(move || c.wait(Duration::from_secs(5)));
+        assert_eq!(b2.wait(Duration::from_secs(5)), BarrierWait::Released);
+        assert_eq!(h.join().unwrap(), BarrierWait::Released);
+    }
+
+    #[test]
+    fn poison_wakes_waiters() {
+        let b = Arc::new(PoisonBarrier::new(3));
+        let waiter = {
+            let b = b.clone();
+            std::thread::spawn(move || b.wait(Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        b.poison(2);
+        assert_eq!(waiter.join().unwrap(), BarrierWait::Poisoned(2));
+        // future waiters observe the poison immediately
+        assert_eq!(b.wait(Duration::from_secs(30)), BarrierWait::Poisoned(2));
+    }
+}

@@ -10,10 +10,20 @@
 //! message latency α + per byte cost β), which is what shapes ParMetis's
 //! speedup curve in the paper's Fig. 5.
 
+pub mod barrier;
 pub mod channel;
 
+use barrier::{BarrierWait, PoisonBarrier};
 use channel::{channel as mpmc_channel, Receiver, Sender};
-use std::sync::{Barrier, Mutex};
+use gpm_faults::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Reserved tag for crash notices: when a rank aborts it posts one message
+/// with this tag to every peer so blocked `recv`s fail fast with
+/// [`MsgError::PeerCrashed`] instead of waiting out the timeout. User code
+/// must not send with this tag.
+pub const CRASH_TAG: u32 = u32::MAX;
 
 /// Cluster configuration: rank count and the α–β communication model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +34,15 @@ pub struct ClusterConfig {
     pub alpha: f64,
     /// Per-byte transfer time in seconds (intra-node MPI ≈ 1/5 GB/s).
     pub beta: f64,
+    /// Wall-clock seconds a rank waits in `recv`/`barrier` before
+    /// concluding a peer is gone. Defaults to `GPM_MSG_TIMEOUT_SECS`
+    /// (or 60 when unset).
+    pub timeout_secs: u64,
+}
+
+/// Default recv/barrier timeout: `GPM_MSG_TIMEOUT_SECS`, else 60 s.
+fn default_timeout_secs() -> u64 {
+    std::env::var("GPM_MSG_TIMEOUT_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(60)
 }
 
 impl ClusterConfig {
@@ -33,9 +52,66 @@ impl ClusterConfig {
     /// latency is ~1 µs; collectives on 8 desynchronized ranks cost an
     /// order of magnitude more).
     pub fn intra_node(ranks: usize) -> Self {
-        ClusterConfig { ranks, alpha: 10e-6, beta: 1.0 / 5e9 }
+        ClusterConfig { ranks, alpha: 10e-6, beta: 1.0 / 5e9, timeout_secs: default_timeout_secs() }
+    }
+
+    /// Override the recv/barrier timeout.
+    pub fn with_timeout_secs(mut self, secs: u64) -> Self {
+        self.timeout_secs = secs;
+        self
     }
 }
+
+/// Typed failure of a cluster run — what used to be a panic inside a rank
+/// body now flows out of [`try_run_cluster`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgError {
+    /// `recv` waited out the configured timeout with no matching message.
+    RecvTimeout { rank: usize, from: usize, tag: u32, secs: u64 },
+    /// A barrier waited out the configured timeout.
+    BarrierTimeout { rank: usize, secs: u64 },
+    /// A peer rank crashed (its channel hung up or it posted a crash
+    /// notice / poisoned a barrier).
+    PeerCrashed { rank: usize, peer: usize },
+    /// A send kept being dropped by the fault schedule and exhausted its
+    /// retry budget.
+    SendFailed { rank: usize, to: usize, tag: u32, attempts: u32 },
+    /// The fault schedule crashed this rank (`msg.crash.r<rank>` site).
+    InjectedCrash { rank: usize },
+    /// `GPM_FAULTS` could not be parsed.
+    BadFaultPlan(String),
+}
+
+impl std::fmt::Display for MsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgError::RecvTimeout { rank, from, tag, secs } => write!(
+                f,
+                "rank {rank} timed out after {secs}s waiting for (from={from}, tag={tag}) — \
+                 a peer rank is likely gone"
+            ),
+            MsgError::BarrierTimeout { rank, secs } => {
+                write!(f, "rank {rank} timed out after {secs}s at a barrier")
+            }
+            MsgError::PeerCrashed { rank, peer } => {
+                write!(f, "rank {rank} observed peer rank {peer} crash")
+            }
+            MsgError::SendFailed { rank, to, tag, attempts } => write!(
+                f,
+                "rank {rank} failed to send (to={to}, tag={tag}) after {attempts} attempts"
+            ),
+            MsgError::InjectedCrash { rank } => write!(f, "rank {rank} crashed (injected fault)"),
+            MsgError::BadFaultPlan(msg) => write!(f, "bad GPM_FAULTS plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MsgError {}
+
+/// Panic payload carrying a typed abort out of a rank body; caught by
+/// `try_run_cluster`'s per-rank `catch_unwind` and surfaced as the run's
+/// `Err`. Ordinary panics (user assertions) are re-raised untouched.
+struct RankAbort(MsgError);
 
 /// One tagged message.
 struct Msg {
@@ -73,7 +149,15 @@ pub struct RankCtx {
     receiver: Receiver<Msg>,
     /// Out-of-order messages awaiting a matching recv.
     stash: Vec<Msg>,
-    barrier: std::sync::Arc<Barrier>,
+    barrier: Arc<PoisonBarrier>,
+    /// Wall-clock patience for recv/barrier.
+    timeout: Duration,
+    /// Fault schedule (shared across ranks); `None` / inactive keeps the
+    /// hot path free of counters and formatting.
+    injector: Option<Arc<FaultInjector>>,
+    retry: RetryPolicy,
+    /// Precomputed site names (`msg.send.r<rank>` etc.) when faults are on.
+    sites: Option<RankSites>,
     // accounting
     msgs: u64,
     bytes: u64,
@@ -83,36 +167,137 @@ pub struct RankCtx {
     phases: Vec<RankPhase>,
 }
 
+struct RankSites {
+    send: String,
+    recv: String,
+    crash: String,
+}
+
 impl RankCtx {
+    /// Leave the rank body with a typed error: post crash notices so
+    /// blocked peers fail fast, poison the barrier, then unwind to the
+    /// `catch_unwind` in `try_run_cluster`.
+    fn abort(&mut self, e: MsgError) -> ! {
+        for r in 0..self.ranks {
+            if r != self.rank {
+                let _ =
+                    self.senders[r].send(Msg { from: self.rank, tag: CRASH_TAG, data: Vec::new() });
+            }
+        }
+        self.barrier.poison(self.rank);
+        std::panic::panic_any(RankAbort(e));
+    }
+
+    /// Fault site visited at every send/recv entry: an injected
+    /// `RankCrash` takes this rank down here.
+    fn crash_point(&mut self) {
+        let fault = match (&self.injector, &self.sites) {
+            (Some(inj), Some(sites)) if inj.is_active() => inj.check(&sites.crash),
+            _ => return,
+        };
+        if let Some(f) = fault {
+            if f.kind == FaultKind::RankCrash {
+                self.abort(MsgError::InjectedCrash { rank: self.rank });
+            }
+        }
+    }
+
     /// Send `data` to `to` with `tag`.
+    ///
+    /// Under an active fault schedule the `msg.send.r<rank>` site may drop
+    /// (retried with exponential backoff up to the retry budget, then
+    /// [`MsgError::SendFailed`]) or delay the message.
     pub fn send(&mut self, to: usize, tag: u32, data: Vec<u32>) {
+        assert_ne!(tag, CRASH_TAG, "CRASH_TAG is reserved for the crash-notice protocol");
+        self.crash_point();
+        if let (Some(inj), Some(sites)) = (&self.injector, &self.sites) {
+            if inj.is_active() {
+                let inj = inj.clone();
+                let mut attempt = 0u32;
+                loop {
+                    match inj.check(&sites.send) {
+                        None => break,
+                        Some(f) if f.kind == FaultKind::MsgDelay => {
+                            // Delivery still happens, just late.
+                            std::thread::sleep(backoff_wall(&self.retry, 1));
+                            break;
+                        }
+                        Some(f)
+                            if f.kind == FaultKind::MsgDrop && attempt < self.retry.max_retries =>
+                        {
+                            attempt += 1;
+                            std::thread::sleep(backoff_wall(&self.retry, attempt));
+                        }
+                        Some(f) if f.kind == FaultKind::MsgDrop => {
+                            let e = MsgError::SendFailed {
+                                rank: self.rank,
+                                to,
+                                tag,
+                                attempts: attempt + 1,
+                            };
+                            self.abort(e);
+                        }
+                        Some(f) if f.kind == FaultKind::RankCrash => {
+                            self.abort(MsgError::InjectedCrash { rank: self.rank });
+                        }
+                        Some(_) => break, // GPU-only kinds: ignore at msg sites
+                    }
+                }
+            }
+        }
         self.msgs += 1;
         self.bytes += data.len() as u64 * 4;
-        self.senders[to].send(Msg { from: self.rank, tag, data }).expect("receiver rank hung up");
+        if self.senders[to].send(Msg { from: self.rank, tag, data }).is_err() {
+            self.abort(MsgError::PeerCrashed { rank: self.rank, peer: to });
+        }
     }
 
     /// Blocking receive of the next message from `from` with `tag`
-    /// (out-of-order arrivals are stashed). Times out after 60 s so that a
-    /// panicked peer rank surfaces as a loud failure instead of a
-    /// cluster-wide hang.
+    /// (out-of-order arrivals are stashed). Waits at most the configured
+    /// timeout (`ClusterConfig::timeout_secs` / `GPM_MSG_TIMEOUT_SECS`),
+    /// then aborts the rank with a typed [`MsgError::RecvTimeout`] instead
+    /// of panicking; a peer's crash notice aborts immediately with
+    /// [`MsgError::PeerCrashed`].
     pub fn recv(&mut self, from: usize, tag: u32) -> Vec<u32> {
+        self.crash_point();
+        if let (Some(inj), Some(sites)) = (&self.injector, &self.sites) {
+            if inj.is_active() {
+                match inj.check(&sites.recv) {
+                    Some(f) if f.kind == FaultKind::MsgDelay => {
+                        // The matching message is "late": stall the reader.
+                        std::thread::sleep(backoff_wall(&self.retry, 1));
+                    }
+                    Some(f) if f.kind == FaultKind::RankCrash => {
+                        self.abort(MsgError::InjectedCrash { rank: self.rank });
+                    }
+                    _ => {}
+                }
+            }
+        }
         if let Some(pos) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
             return self.stash.remove(pos).data;
         }
         loop {
-            let m = self.receiver.recv_timeout(std::time::Duration::from_secs(60)).unwrap_or_else(
-                |e| {
-                    panic!(
-                        "rank {} stuck waiting for (from={from}, tag={tag}): {e} — \
-                         a peer rank likely panicked",
-                        self.rank
-                    )
-                },
-            );
-            if m.from == from && m.tag == tag {
-                return m.data;
+            match self.receiver.recv_timeout(self.timeout) {
+                Ok(m) if m.tag == CRASH_TAG => {
+                    let peer = m.from;
+                    self.abort(MsgError::PeerCrashed { rank: self.rank, peer });
+                }
+                Ok(m) if m.from == from && m.tag == tag => return m.data,
+                Ok(m) => self.stash.push(m),
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    let e = MsgError::RecvTimeout {
+                        rank: self.rank,
+                        from,
+                        tag,
+                        secs: self.timeout.as_secs(),
+                    };
+                    self.abort(e);
+                }
+                Err(channel::RecvTimeoutError::Disconnected) => {
+                    self.abort(MsgError::PeerCrashed { rank: self.rank, peer: from });
+                }
             }
-            self.stash.push(m);
         }
     }
 
@@ -137,9 +322,19 @@ impl RankCtx {
         inbox
     }
 
-    /// Synchronize all ranks.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    /// Synchronize all ranks. Aborts with a typed error if a peer crashes
+    /// (poisoned barrier) or the configured timeout elapses.
+    pub fn barrier(&mut self) {
+        match self.barrier.wait(self.timeout) {
+            BarrierWait::Released => {}
+            BarrierWait::Poisoned(peer) => {
+                self.abort(MsgError::PeerCrashed { rank: self.rank, peer });
+            }
+            BarrierWait::TimedOut => {
+                let e = MsgError::BarrierTimeout { rank: self.rank, secs: self.timeout.as_secs() };
+                self.abort(e);
+            }
+        }
     }
 
     /// All-reduce a `u64` with a binary op (implemented as gather at rank
@@ -217,6 +412,14 @@ impl RankCtx {
     }
 }
 
+/// Wall-clock backoff for message retries/delays: the modeled α–β cost is
+/// unaffected (the BSP model charges successful traffic), but a real sleep
+/// keeps retried sends from busy-spinning. Capped so exhausted budgets
+/// stay fast.
+fn backoff_wall(retry: &RetryPolicy, attempt: u32) -> Duration {
+    Duration::from_secs_f64(retry.backoff_secs(attempt).min(0.02))
+}
+
 /// Run `f` on every rank of a simulated cluster; returns each rank's
 /// result and phase records, indexed by rank.
 ///
@@ -225,7 +428,47 @@ impl RankCtx {
 /// rank it is waiting for. They run on [`gpm_pool::scoped_blocking`]'s
 /// dedicated seat threads instead, which persist across calls like the
 /// pool workers do.
+///
+/// Panics if the cluster fails (a rank timed out, crashed, or was crashed
+/// by a fault schedule) — the legacy surface. Use [`try_run_cluster`] for
+/// the typed error.
 pub fn run_cluster<T, F>(cfg: &ClusterConfig, f: F) -> Vec<(T, Vec<RankPhase>)>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    try_run_cluster(cfg, f).unwrap_or_else(|e| panic!("cluster failed: {e}"))
+}
+
+/// [`run_cluster`] with a typed error surface: a rank that times out,
+/// observes a crashed peer, or is crashed by the active `GPM_FAULTS`
+/// schedule aborts the run and the root-cause [`MsgError`] is returned
+/// instead of panicking inside the rank body.
+pub fn try_run_cluster<T, F>(
+    cfg: &ClusterConfig,
+    f: F,
+) -> Result<Vec<(T, Vec<RankPhase>)>, MsgError>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    let injector = match FaultPlan::from_env() {
+        Ok(Some(plan)) => Some(Arc::new(FaultInjector::new(plan))),
+        Ok(None) => None,
+        Err(e) => return Err(MsgError::BadFaultPlan(e.to_string())),
+    };
+    try_run_cluster_with(cfg, injector, f)
+}
+
+/// [`try_run_cluster`] under an explicit fault injector (or `None` for a
+/// clean run). Sites per rank `r`: `msg.send.r<r>`, `msg.recv.r<r>`,
+/// `msg.crash.r<r>` — rank-scoped counters keep schedules deterministic
+/// regardless of thread interleaving.
+pub fn try_run_cluster_with<T, F>(
+    cfg: &ClusterConfig,
+    injector: Option<Arc<FaultInjector>>,
+    f: F,
+) -> Result<Vec<(T, Vec<RankPhase>)>, MsgError>
 where
     T: Send,
     F: Fn(&mut RankCtx) -> T + Sync,
@@ -239,8 +482,10 @@ where
         senders.push(s);
         receivers.push(Mutex::new(Some(r)));
     }
-    let barrier = std::sync::Arc::new(Barrier::new(p));
-    gpm_pool::scoped_blocking(p, |rank| {
+    let barrier = Arc::new(PoisonBarrier::new(p));
+    let timeout = Duration::from_secs(cfg.timeout_secs.max(1));
+    let active = injector.as_ref().is_some_and(|i| i.is_active());
+    let results = gpm_pool::scoped_blocking(p, |rank| {
         let receiver = receivers[rank].lock().unwrap().take().expect("rank body runs once");
         let mut ctx = RankCtx {
             rank,
@@ -249,6 +494,14 @@ where
             receiver,
             stash: Vec::new(),
             barrier: barrier.clone(),
+            timeout,
+            injector: injector.clone(),
+            retry: RetryPolicy::default(),
+            sites: active.then(|| RankSites {
+                send: format!("msg.send.r{rank}"),
+                recv: format!("msg.recv.r{rank}"),
+                crash: format!("msg.crash.r{rank}"),
+            }),
             msgs: 0,
             bytes: 0,
             edges: 0,
@@ -256,12 +509,45 @@ where
             ws_bytes: 0,
             phases: Vec::new(),
         };
-        let result = f(&mut ctx);
-        if ctx.edges > 0 || ctx.vertices > 0 || ctx.msgs > 0 {
-            ctx.phase_end("tail");
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+        match out {
+            Ok(result) => {
+                if ctx.edges > 0 || ctx.vertices > 0 || ctx.msgs > 0 {
+                    ctx.phase_end("tail");
+                }
+                Ok((result, ctx.phases))
+            }
+            Err(payload) => match payload.downcast::<RankAbort>() {
+                Ok(abort) => Err(abort.0),
+                // A genuine user panic (test assertion, bug): re-raise so
+                // scoped_blocking surfaces it unchanged.
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
         }
-        (result, ctx.phases)
-    })
+    });
+    let mut results: Vec<Result<(T, Vec<RankPhase>), MsgError>> = results;
+    // Root-cause selection, deterministically: a direct failure
+    // (timeout/injected crash/send exhaustion) beats the PeerCrashed
+    // echoes it causes; ties break by rank order.
+    let mut first_peer_crash = None;
+    for (i, r) in results.iter().enumerate() {
+        if let Err(e) = r {
+            match e {
+                MsgError::PeerCrashed { .. } => {
+                    if first_peer_crash.is_none() {
+                        first_peer_crash = Some(i);
+                    }
+                }
+                _ => return Err(e.clone()),
+            }
+        }
+    }
+    if let Some(i) = first_peer_crash {
+        if let Err(e) = &results[i] {
+            return Err(e.clone());
+        }
+    }
+    Ok(results.drain(..).map(|r| r.expect("all ranks succeeded")).collect())
 }
 
 /// Modeled BSP seconds for aligned phase records: for each phase index,
@@ -439,5 +725,150 @@ mod tests {
             inbox[0][0]
         });
         assert_eq!(res[0].0, 42);
+    }
+
+    // ---- fault injection & typed failure surface ----
+
+    use gpm_faults::Selector;
+
+    fn inj(plan: FaultPlan) -> Option<Arc<FaultInjector>> {
+        Some(Arc::new(FaultInjector::new(plan)))
+    }
+
+    #[test]
+    fn recv_timeout_is_typed_not_a_panic() {
+        // Rank 0 waits for a message nobody sends; the configured (1 s)
+        // timeout surfaces as a typed RecvTimeout through try_run_cluster.
+        let err = try_run_cluster(&cfg(2).with_timeout_secs(1), |ctx| {
+            if ctx.rank == 0 {
+                ctx.recv(1, 9)
+            } else {
+                vec![]
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, MsgError::RecvTimeout { rank: 0, from: 1, tag: 9, secs: 1 });
+    }
+
+    #[test]
+    fn injected_rank_crash_is_root_cause() {
+        let plan = FaultPlan::new(3).with("msg.crash.r1", Selector::One(0), FaultKind::RankCrash);
+        let err = try_run_cluster_with(&cfg(2).with_timeout_secs(30), inj(plan), |ctx| {
+            if ctx.rank == 0 {
+                ctx.recv(1, 7)
+            } else {
+                ctx.send(0, 7, vec![1]);
+                vec![]
+            }
+        })
+        .unwrap_err();
+        // Rank 0 observes PeerCrashed, but the reported root cause is the
+        // injected crash on rank 1.
+        assert_eq!(err, MsgError::InjectedCrash { rank: 1 });
+    }
+
+    #[test]
+    fn crash_notice_wakes_blocked_peer_fast() {
+        // Timeout is 60 s; the crash notice must unblock rank 0 in well
+        // under that.
+        let started = std::time::Instant::now();
+        let plan = FaultPlan::new(4).with("msg.crash.r1", Selector::One(0), FaultKind::RankCrash);
+        let err = try_run_cluster_with(&cfg(2).with_timeout_secs(60), inj(plan), |ctx| {
+            if ctx.rank == 0 {
+                ctx.recv(1, 7)
+            } else {
+                ctx.send(0, 7, vec![1]);
+                vec![]
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, MsgError::InjectedCrash { rank: 1 });
+        assert!(started.elapsed() < std::time::Duration::from_secs(30), "peer waited out timeout");
+    }
+
+    #[test]
+    fn crash_poisons_barrier() {
+        // Rank 2 crashes before the barrier; parked ranks wake poisoned
+        // instead of timing out.
+        let plan = FaultPlan::new(5).with("msg.crash.r2", Selector::One(0), FaultKind::RankCrash);
+        let err = try_run_cluster_with(&cfg(3).with_timeout_secs(60), inj(plan), |ctx| {
+            if ctx.rank == 2 {
+                ctx.send(0, 1, vec![]); // crash point fires here
+            }
+            ctx.barrier();
+        })
+        .unwrap_err();
+        assert_eq!(err, MsgError::InjectedCrash { rank: 2 });
+    }
+
+    #[test]
+    fn dropped_sends_are_retried_transparently() {
+        // First two attempts of rank 0's first send are dropped; the
+        // bounded retry redelivers and the run still succeeds.
+        let plan = FaultPlan::new(6).with("msg.send.r0", Selector::Range(0, 2), FaultKind::MsgDrop);
+        let res = try_run_cluster_with(&cfg(2), inj(plan), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 7, vec![1, 2, 3]);
+                vec![]
+            } else {
+                ctx.recv(0, 7)
+            }
+        })
+        .unwrap();
+        assert_eq!(res[1].0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn drop_every_attempt_exhausts_retry_budget() {
+        let plan = FaultPlan::new(7).with("msg.send.r0", Selector::Always, FaultKind::MsgDrop);
+        let err = try_run_cluster_with(&cfg(2).with_timeout_secs(2), inj(plan), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 7, vec![1]);
+            } else {
+                let _ = ctx.recv(0, 7);
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, MsgError::SendFailed { rank: 0, to: 1, tag: 7, attempts: 4 });
+    }
+
+    #[test]
+    fn delayed_messages_still_arrive() {
+        let plan = FaultPlan::new(8).with("msg.send.r0", Selector::Always, FaultKind::MsgDelay);
+        let res = try_run_cluster_with(&cfg(2), inj(plan), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 7, vec![9]);
+                vec![]
+            } else {
+                ctx.recv(0, 7)
+            }
+        })
+        .unwrap();
+        assert_eq!(res[1].0, vec![9]);
+    }
+
+    #[test]
+    fn timeout_env_var_sets_default() {
+        // Whatever GPM_MSG_TIMEOUT_SECS holds must land in intra_node's
+        // default (60 when unset).
+        match std::env::var("GPM_MSG_TIMEOUT_SECS") {
+            Ok(v) => assert_eq!(cfg(2).timeout_secs.to_string(), v),
+            Err(_) => assert_eq!(cfg(2).timeout_secs, 60),
+        }
+        assert_eq!(cfg(2).with_timeout_secs(5).timeout_secs, 5);
+    }
+
+    #[test]
+    fn user_panics_still_surface_as_panics() {
+        // A genuine bug in a rank body must not be swallowed into an
+        // MsgError — it re-raises through scoped_blocking.
+        let out = std::panic::catch_unwind(|| {
+            run_cluster(&cfg(2).with_timeout_secs(1), |ctx| {
+                if ctx.rank == 1 {
+                    panic!("rank body bug");
+                }
+            })
+        });
+        assert!(out.is_err());
     }
 }

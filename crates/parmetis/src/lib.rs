@@ -24,7 +24,7 @@ use gpm_graph::csr::CsrGraph;
 use gpm_metis::coarsen::CoarsenConfig;
 use gpm_metis::cost::{CostLedger, CpuModel};
 use gpm_metis::PartitionResult;
-use gpm_msg::{bsp_time, run_cluster, ClusterConfig};
+use gpm_msg::{bsp_time, try_run_cluster, ClusterConfig, MsgError};
 use local::LocalGraph;
 
 /// Configuration of the distributed partitioner.
@@ -79,13 +79,24 @@ impl ParMetisConfig {
 
 /// Partition `g` into `cfg.k` parts with the distributed multilevel
 /// algorithm on a simulated cluster of `cfg.ranks` ranks.
+///
+/// Panics if the cluster fails (rank timeout/crash); [`try_partition`]
+/// returns the typed [`MsgError`] instead.
 pub fn partition(g: &CsrGraph, cfg: &ParMetisConfig) -> PartitionResult {
+    try_partition(g, cfg).unwrap_or_else(|e| panic!("parmetis cluster failed: {e}"))
+}
+
+/// [`partition`] with a typed error surface: a rank that times out
+/// (`GPM_MSG_TIMEOUT_SECS`), crashes, or is crashed by the active
+/// `GPM_FAULTS` schedule surfaces as an `Err` instead of a panic inside
+/// the rank body.
+pub fn try_partition(g: &CsrGraph, cfg: &ParMetisConfig) -> Result<PartitionResult, MsgError> {
     let t0 = std::time::Instant::now();
     let total_vwgt = g.total_vwgt();
     let ccfg = CoarsenConfig::for_k(cfg.k);
     let max_vwgt = CoarsenConfig { coarsen_to: cfg.coarsen_to, ..ccfg }.max_vwgt(total_vwgt);
 
-    let results = run_cluster(&cfg.comm, |ctx| {
+    let results = try_run_cluster(&cfg.comm, |ctx| {
         let mut cur = LocalGraph::from_global(g, cfg.ranks, ctx.rank);
         let mut levels: Vec<(LocalGraph, Vec<u32>)> = Vec::new();
 
@@ -135,7 +146,7 @@ pub fn partition(g: &CsrGraph, cfg: &ParMetisConfig) -> PartitionResult {
         let first = LocalGraph::from_global(g, cfg.ranks, ctx.rank).first();
         let levels_used = levels.len() + 1;
         (first, part, levels_used)
-    });
+    })?;
 
     // assemble the global partition from the rank slices
     let mut part = vec![0u32; g.n()];
@@ -162,7 +173,7 @@ pub fn partition(g: &CsrGraph, cfg: &ParMetisConfig) -> PartitionResult {
 
     let edge_cut = gpm_graph::metrics::edge_cut(g, &part);
     let imbalance = gpm_graph::metrics::imbalance(g, &part, cfg.k);
-    PartitionResult {
+    Ok(PartitionResult {
         part,
         k: cfg.k,
         edge_cut,
@@ -170,7 +181,7 @@ pub fn partition(g: &CsrGraph, cfg: &ParMetisConfig) -> PartitionResult {
         ledger,
         wall_seconds: t0.elapsed().as_secs_f64(),
         levels: levels_used,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,60 @@
+//! Graceful degradation: kill the GPU mid-coarsening with a deterministic
+//! fault plan and watch the pipeline finish on the CPU from its
+//! checkpoint.
+//!
+//! ```text
+//! cargo run --release --example degraded_pipeline
+//! ```
+//!
+//! The same schedule can be driven from the environment instead:
+//! `GPM_FAULTS="7:gpu.launch@40=lost" cargo run --example quickstart`.
+
+use gp_metis_repro::faults::{FaultKind, FaultPlan, Selector};
+use gp_metis_repro::gpmetis::{self, GpMetisConfig};
+use gp_metis_repro::graph::gen::delaunay_like;
+use gp_metis_repro::graph::metrics::{edge_cut, imbalance, validate_partition};
+
+fn main() {
+    let g = delaunay_like(30_000, 42);
+    let k = 16;
+    let cfg = GpMetisConfig::new(k).with_seed(7).with_gpu_threshold(2_000).with_fallback(true);
+
+    // A clean run, for reference.
+    let clean = gpmetis::partition_with_plan(&g, &cfg, None).expect("clean run");
+    println!("clean    : cut {}  gpu levels {}", clean.result.edge_cut, clean.gpu.gpu_levels);
+
+    // Deterministic fault schedules, from a light breeze to a hard kill:
+    //
+    // * transient transfer faults are retried inside the device (with
+    //   modeled backoff) and never surface;
+    // * a DeviceLost fault is fatal — with `fallback` armed, the driver
+    //   resumes on the CPU engine from the last checkpointed level.
+    let transient = FaultPlan::new(3).with("gpu.h2d", Selector::One(2), FaultKind::TransferError);
+    let r = gpmetis::partition_with_plan(&g, &cfg, Some(transient)).expect("transient run");
+    println!(
+        "transient: cut {}  retries {}  degraded {}",
+        r.result.edge_cut, r.report.device_retries, r.report.degraded
+    );
+
+    let kill = FaultPlan::new(7).with("gpu.launch", Selector::One(40), FaultKind::DeviceLost);
+    let r = gpmetis::partition_with_plan(&g, &cfg, Some(kill)).expect("degraded run");
+    assert!(r.report.degraded, "the kill schedule must trigger degradation");
+    validate_partition(&g, &r.result.part, k, 1.10).expect("fallback partition is valid");
+    println!(
+        "degraded : cut {}  imbalance {:.4}  (clean cut {})",
+        r.result.edge_cut,
+        imbalance(&g, &r.result.part, k),
+        clean.result.edge_cut
+    );
+    println!(
+        "  GPU died at {} — {}",
+        r.report.degrade_point.as_deref().unwrap_or("?"),
+        r.report.device_error.as_deref().unwrap_or("?")
+    );
+    println!(
+        "  resumed on CPU from a checkpoint of {} GPU level(s); fallback work: {:.4} s",
+        r.report.checkpoint_gpu_levels,
+        r.result.ledger.total_for("cpufb:")
+    );
+    assert!(edge_cut(&g, &r.result.part) > 0);
+}

@@ -4,12 +4,18 @@
 //! ```text
 //! gpartition <graph.metis> <k> [--algo gpmetis|metis|mtmetis|parmetis]
 //!            [--ub 1.03] [--seed 1] [--threads 8] [--ranks 8]
-//!            [--output out.part] [--quiet]
+//!            [--gpu-threshold N] [--fallback] [--output out.part] [--quiet]
 //! ```
 //!
 //! The input is a Metis `.graph` file (or a DIMACS9 `.gr` file when the
 //! path ends in `.gr`); the output (with `--output`) is one partition id
 //! per line, in vertex order — the same format Metis writes.
+//!
+//! Fault injection: set `GPM_FAULTS=<seed>:<spec>[,<spec>...]` to run the
+//! hybrid engine under a deterministic fault schedule (see `gpm-faults`),
+//! e.g. `GPM_FAULTS="7:gpu.launch@8=lost"`. With `--fallback`, an
+//! unrecoverable device failure degrades to the CPU engine from the last
+//! checkpointed level instead of failing the run.
 
 use gp_metis_repro::gpmetis;
 use gp_metis_repro::graph::io;
@@ -28,13 +34,15 @@ struct Args {
     ranks: usize,
     output: Option<String>,
     quiet: bool,
+    gpu_threshold: Option<usize>,
+    fallback: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gpartition <graph.metis|graph.gr> <k> [--algo gpmetis|metis|mtmetis|parmetis]\n\
          \x20                [--ub 1.03] [--seed 1] [--threads 8] [--ranks 8]\n\
-         \x20                [--output out.part] [--quiet]"
+         \x20                [--gpu-threshold N] [--fallback] [--output out.part] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -53,6 +61,8 @@ fn parse_args() -> Args {
         ranks: 8,
         output: None,
         quiet: false,
+        gpu_threshold: None,
+        fallback: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -68,6 +78,11 @@ fn parse_args() -> Args {
                 args.ranks = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
             "--output" => args.output = Some(argv.next().unwrap_or_else(|| usage())),
+            "--gpu-threshold" => {
+                args.gpu_threshold =
+                    Some(argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--fallback" => args.fallback = true,
             "--quiet" => args.quiet = true,
             _ => usage(),
         }
@@ -131,8 +146,29 @@ fn main() -> ExitCode {
             let mut c = gpmetis::GpMetisConfig::new(a.k).with_seed(a.seed);
             c.ubfactor = a.ub;
             c.cpu_threads = a.threads;
+            c.fallback = a.fallback;
+            if let Some(t) = a.gpu_threshold {
+                c.gpu_threshold = t;
+            }
             match gpmetis::partition(&g, &c) {
-                Ok(r) => (r.result.part, r.result.ledger.total(), "GP-metis (hybrid CPU-GPU)"),
+                Ok(r) => {
+                    if !a.quiet && r.report.faults_injected > 0 {
+                        eprintln!(
+                            "faults         : {} injected, {} retried",
+                            r.report.faults_injected, r.report.device_retries
+                        );
+                    }
+                    if r.report.degraded {
+                        eprintln!(
+                            "degraded       : GPU lost at {} ({}); resumed on CPU from \
+                             checkpoint of {} GPU level(s)",
+                            r.report.degrade_point.as_deref().unwrap_or("?"),
+                            r.report.device_error.as_deref().unwrap_or("?"),
+                            r.report.checkpoint_gpu_levels
+                        );
+                    }
+                    (r.result.part, r.result.ledger.total(), "GP-metis (hybrid CPU-GPU)")
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;

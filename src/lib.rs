@@ -5,6 +5,7 @@
 //! downstream user can pull the whole system with one `use`.
 //!
 //! * [`graph`] — CSR graphs, generators, I/O, metrics.
+//! * [`faults`] — deterministic fault injection (`GPM_FAULTS`).
 //! * [`gpu`] — the SIMT GPU simulator substrate.
 //! * [`msg`] — the message-passing (MPI stand-in) substrate.
 //! * [`metis`] — the serial multilevel baseline.
@@ -13,6 +14,7 @@
 //! * [`gpmetis`] — the paper's hybrid CPU-GPU partitioner.
 
 pub use gp_metis as gpmetis;
+pub use gpm_faults as faults;
 pub use gpm_gpu_sim as gpu;
 pub use gpm_graph as graph;
 pub use gpm_metis as metis;

@@ -70,8 +70,10 @@ fn gpu_pipeline_one_level_equals_serial_on_many_graphs() {
         assert!(is_valid_matching(g, &mat), "graph {i}");
         let (dcmap, nc) = gpu_cmap(&d, &dmat, Distribution::Cyclic, 1024).unwrap();
         for strategy in [MergeStrategy::SortMerge, MergeStrategy::Hash] {
-            let coarse =
-                gpu_contract(&d, &gg, &dmat, &dcmap, nc, strategy, 256).unwrap().download(&d);
+            let coarse = gpu_contract(&d, &gg, &dmat, &dcmap, nc, strategy, 256)
+                .unwrap()
+                .download(&d)
+                .unwrap();
             let mut w = Work::default();
             let (serial, _) = contract(g, &mat, &mut w);
             assert_eq!(coarse.n(), serial.n(), "graph {i} {strategy:?}");
@@ -153,6 +155,10 @@ fn oom_propagates_from_mid_pipeline() {
     };
     let err = gp_metis_repro::gpmetis::partition(&g, &cfg);
     assert!(err.is_err(), "expected mid-pipeline OOM");
-    let e = err.err().unwrap();
-    assert!(e.capacity == cap);
+    match err.err().unwrap() {
+        gp_metis_repro::gpmetis::PartitionError::Device(gp_metis_repro::gpu::DeviceError::Oom(
+            oom,
+        )) => assert_eq!(oom.capacity, cap),
+        other => panic!("expected an OOM device error, got {other}"),
+    }
 }
