@@ -88,4 +88,16 @@ GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke"
     cargo bench --offline -p gpm-bench --bench pool
 ./target/release/validate_bench "$smoke/BENCH_pool.json" "$smoke/BENCH_phases.json"
 
+step "refine-perf smoke (boundary layer: identity + bench JSON)"
+# The identity suites pin every refiner to its verbatim pre-change
+# reference (byte-identical partitions); the golden GPU test additionally
+# asserts the compacted work-list is faster on a sliver boundary.
+cargo test -q --offline -p gpm-metis --test refine_identity
+cargo test -q --offline -p gpm-mtmetis --test prefine_identity
+cargo test -q --offline -p gpm-parmetis --test drefine_identity
+cargo test -q --offline -p gp-metis --test gpu_refine_identity
+GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke" \
+    cargo bench --offline -p gpm-bench --bench refine
+./target/release/validate_bench "$smoke/BENCH_refine.json"
+
 printf '\nci.sh: all checks passed\n'

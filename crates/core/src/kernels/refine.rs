@@ -7,7 +7,7 @@
 //! commits the moves that keep the partition under its maximum weight.
 
 use crate::gpu_graph::{assigned_vertices, launch_threads, Distribution, GpuCsr};
-use gpm_gpu_sim::{DBuf, Device, DeviceError};
+use gpm_gpu_sim::{inclusive_scan_u32, DBuf, Device, DeviceError};
 
 /// Project a coarse partition onto the fine graph through the per-level
 /// cmap (the paper's saved pointer arrays).
@@ -73,6 +73,28 @@ pub fn gpu_refine(
     // scheduling; the snapshot (plus own additions) is conservative but
     // identical on every run
     let pw0 = dev.alloc::<u32>(k)?;
+    // boundary work-list state: persistent mark flags, scan positions,
+    // the compacted vertex list the request kernel launches over, the
+    // previous pass's committed moves (seed for the incremental re-mark),
+    // and a boundary counter for the full-grid mode
+    let bflag = dev.alloc::<u32>(n)?;
+    let bpos = dev.alloc::<u32>(n)?;
+    let worklist = dev.alloc::<u32>(n)?;
+    let moved_list = dev.alloc::<u32>(n)?;
+    let bndctr = dev.alloc::<u32>(1)?;
+    let mut prev_moves = 0usize;
+    // Mode selection between the two request strategies. Compaction pays
+    // an O(n) scan/scatter plus an O(moves * deg^2) incremental re-mark
+    // per pass to shrink the request grid from n to the boundary, so it
+    // only wins when the boundary times the degree-dependent work it
+    // saves exceeds that overhead — a sliver boundary on a sparse graph.
+    // `nbnd * (deg + 4) < n` is that break-even, with `nbnd` the boundary
+    // measured at the previous pass (both modes produce it). Pass 0
+    // always runs the full grid (it must discover the boundary anyway).
+    // Both modes request for exactly the boundary-vertex set, so the
+    // partition trajectory is identical whichever is picked.
+    let deg_est = g.adjncy.len() / n.max(1);
+    let mut use_compact = false;
 
     for pass in 0..max_passes {
         stats.passes += 1;
@@ -84,74 +106,167 @@ pub fn gpu_refine(
             let dir_up = if pass % 2 == 0 { 1u32 } else { 0u32 };
             bufsize.fill(0);
             moved.store(0, 0);
-            // --- boundary/request kernel --------------------------------
-            dev.launch("gp:refine:request", launch_threads(n, max_threads), |lane| {
-                for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
-                    let pu = lane.ld(part, u);
-                    let s = lane.ld(&g.xadj, u) as usize;
-                    let e = lane.ld(&g.xadj, u + 1) as usize;
-                    // connectivity to each adjacent partition (lane-local)
-                    let mut parts: [u32; 24] = [0; 24];
-                    let mut wgts: [i64; 24] = [0; 24];
-                    let mut np = 0usize;
-                    let mut boundary = false;
-                    for i in s..e {
-                        let v = lane.ld(&g.adjncy, i);
-                        let w = lane.ld(&g.adjwgt, i) as i64;
-                        let pv = lane.ld(part, v as usize);
-                        if pv != pu {
-                            boundary = true;
-                        }
-                        // the connectivity table is per-thread scratch in
-                        // local memory; the linear scan is the
-                        // degree-dependent cost that makes dense graphs
-                        // expensive for the GPU refiner
-                        lane.local_mem((np as u64 / 2).max(1));
-                        match parts[..np].iter().position(|&x| x == pv) {
-                            Some(j) => wgts[j] += w,
-                            None if np < 24 => {
-                                parts[np] = pv;
-                                wgts[np] = w;
-                                np += 1;
-                            }
-                            None => {} // >24 adjacent partitions: ignore rest
-                        }
+            // The request body shared by both modes: one walk gathers the
+            // connectivity and detects the boundary as it goes (exactly
+            // the pre-work-list kernel shape); a boundary vertex then
+            // picks the best destination under the direction constraint
+            // and claims a slot in its buffer. Returns the boundary bit.
+            let request = |lane: &mut gpm_gpu_sim::Lane, u: usize| -> u32 {
+                let pu = lane.ld(part, u);
+                let s = lane.ld(&g.xadj, u) as usize;
+                let e = lane.ld(&g.xadj, u + 1) as usize;
+                // connectivity to each adjacent partition (lane-local)
+                let mut parts: [u32; 24] = [0; 24];
+                let mut wgts: [i64; 24] = [0; 24];
+                let mut np = 0usize;
+                let mut boundary = 0u32;
+                for i in s..e {
+                    let v = lane.ld(&g.adjncy, i);
+                    let w = lane.ld(&g.adjwgt, i) as i64;
+                    let pv = lane.ld(part, v as usize);
+                    if pv != pu {
+                        boundary = 1;
                     }
-                    if !boundary {
-                        continue;
-                    }
-                    let w_own = parts[..np].iter().position(|&x| x == pu).map_or(0, |j| wgts[j]);
-                    let vw = lane.ld(&g.vwgt, u);
-                    let mut best: Option<(u32, i64)> = None;
-                    for j in 0..np {
-                        let q = parts[j];
-                        if q == pu || (dir_up == 1) != (q > pu) {
-                            continue;
+                    // the connectivity table is per-thread scratch in
+                    // local memory; the linear scan is the
+                    // degree-dependent cost that makes dense graphs
+                    // expensive for the GPU refiner
+                    lane.local_mem((np as u64 / 2).max(1));
+                    match parts[..np].iter().position(|&x| x == pv) {
+                        Some(j) => wgts[j] += w,
+                        None if np < 24 => {
+                            parts[np] = pv;
+                            wgts[np] = w;
+                            np += 1;
                         }
-                        let gain = wgts[j] - w_own;
-                        let improves_balance =
-                            lane.ld(pw, q as usize) + vw < lane.ld(pw, pu as usize);
-                        if gain > 0 || (gain == 0 && improves_balance) {
-                            match best {
-                                Some((_, bg)) if bg >= gain => {}
-                                _ => best = Some((q, gain)),
-                            }
-                        }
-                    }
-                    if let Some((q, gain)) = best {
-                        // atomically claim a slot in q's buffer; the slot
-                        // value races, so the stores are traced at a
-                        // deterministic proxy (warp-concurrent claims get
-                        // adjacent slots, so the in-warp lane offset has
-                        // the same coalescing shape)
-                        let slot = lane.atomic_add(&bufsize, q as usize, 1) as usize;
-                        let kept = (slot < cap).then_some(q as usize * cap + slot);
-                        let model = q as usize * cap + (lane.tid % 32) % cap;
-                        lane.st_claimed(&req_vertex, kept, model, u as u32);
-                        lane.st_claimed(&req_gain, kept, model, gain as u32);
+                        None => {} // >24 adjacent partitions: ignore rest
                     }
                 }
-            })?;
+                if boundary == 0 {
+                    return 0; // interior: no foreign destination exists
+                }
+                let w_own = parts[..np].iter().position(|&x| x == pu).map_or(0, |j| wgts[j]);
+                let vw = lane.ld(&g.vwgt, u);
+                let mut best: Option<(u32, i64)> = None;
+                for j in 0..np {
+                    let q = parts[j];
+                    if q == pu || (dir_up == 1) != (q > pu) {
+                        continue;
+                    }
+                    let gain = wgts[j] - w_own;
+                    let improves_balance = lane.ld(pw, q as usize) + vw < lane.ld(pw, pu as usize);
+                    if gain > 0 || (gain == 0 && improves_balance) {
+                        match best {
+                            Some((_, bg)) if bg >= gain => {}
+                            _ => best = Some((q, gain)),
+                        }
+                    }
+                }
+                if let Some((q, gain)) = best {
+                    // atomically claim a slot in q's buffer; the slot
+                    // value races, so the stores are traced at a
+                    // deterministic proxy (warp-concurrent claims get
+                    // adjacent slots, so the in-warp lane offset has
+                    // the same coalescing shape)
+                    let slot = lane.atomic_add(&bufsize, q as usize, 1) as usize;
+                    let kept = (slot < cap).then_some(q as usize * cap + slot);
+                    let model = q as usize * cap + (lane.tid % 32) % cap;
+                    lane.st_claimed(&req_vertex, kept, model, u as u32);
+                    lane.st_claimed(&req_gain, kept, model, gain as u32);
+                }
+                1
+            };
+            // boundary count at the start of this pass, for mode selection
+            let nbnd_known: usize;
+            if use_compact {
+                // --- incremental re-mark + stream compaction ------------
+                // The flags live across passes; a flag can only change if
+                // the vertex or one of its neighbors moved, so only the
+                // previous pass's committed moves and their neighborhoods
+                // are re-derived. Every recompute sees the final partition
+                // of the previous pass, so overlapping updates are
+                // idempotent and the flags match a full re-mark. A prefix
+                // scan turns the flags into compacted positions and a
+                // scatter builds the work-list, so the request kernel
+                // launches a grid sized to the boundary, not to n. The
+                // compacted list stays in ascending vertex order (the
+                // scan is order-preserving), and the explore kernel's
+                // total-order sort makes commits independent of
+                // slot-claim order anyway, so partitions are unchanged.
+                let m = prev_moves;
+                let remark = |lane: &mut gpm_gpu_sim::Lane, x: usize| {
+                    let px = lane.ld(part, x);
+                    let s = lane.ld(&g.xadj, x) as usize;
+                    let e = lane.ld(&g.xadj, x + 1) as usize;
+                    let mut b = 0u32;
+                    for i in s..e {
+                        let v = lane.ld(&g.adjncy, i);
+                        if lane.ld(part, v as usize) != px {
+                            b = 1;
+                            break;
+                        }
+                    }
+                    lane.st(&bflag, x, b);
+                };
+                dev.launch("gp:refine:remark", launch_threads(m, max_threads), |lane| {
+                    for i in assigned_vertices(dist, lane.tid, lane.n_threads, m) {
+                        let u = lane.ld(&moved_list, i) as usize;
+                        remark(lane, u);
+                        let s = lane.ld(&g.xadj, u) as usize;
+                        let e = lane.ld(&g.xadj, u + 1) as usize;
+                        for j in s..e {
+                            let v = lane.ld(&g.adjncy, j) as usize;
+                            remark(lane, v);
+                        }
+                    }
+                })?;
+                dev.launch("gp:refine:poscopy", launch_threads(n, max_threads), |lane| {
+                    for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+                        let b = lane.ld(&bflag, u);
+                        lane.st(&bpos, u, b);
+                    }
+                })?;
+                let nbnd = inclusive_scan_u32(dev, &bpos)? as usize;
+                if nbnd == 0 {
+                    break; // boundary emptied mid-schedule: skip all launches
+                }
+                dev.launch("gp:refine:compact", launch_threads(n, max_threads), |lane| {
+                    for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+                        if lane.ld(&bflag, u) == 1 {
+                            let pos = (lane.ld(&bpos, u) - 1) as usize;
+                            lane.st(&worklist, pos, u as u32);
+                        }
+                    }
+                })?;
+                // request kernel over the compacted boundary work-list
+                dev.launch("gp:refine:request", launch_threads(nbnd, max_threads), |lane| {
+                    for wi in assigned_vertices(dist, lane.tid, lane.n_threads, nbnd) {
+                        let u = lane.ld(&worklist, wi) as usize;
+                        request(lane, u);
+                    }
+                })?;
+                nbnd_known = nbnd;
+            } else {
+                // --- full-grid request ----------------------------------
+                // One thread's worth of work per vertex, as before the
+                // work-list existed — but the kernel now refreshes the
+                // boundary flags and counts the boundary as it goes, so a
+                // later pass can switch to the compacted mode for free.
+                bndctr.store(0, 0);
+                dev.launch("gp:refine:request", launch_threads(n, max_threads), |lane| {
+                    for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+                        let b = request(lane, u);
+                        lane.st(&bflag, u, b);
+                        if b == 1 {
+                            lane.atomic_add(&bndctr, 0, 1);
+                        }
+                    }
+                })?;
+                nbnd_known = bndctr.load(0) as usize;
+            }
+            // pick the request strategy for the next pass from this
+            // pass's measured boundary (break-even note above)
+            use_compact = nbnd_known * (deg_est + 4) < n;
             // snapshot kernel: freeze pw before the explore threads race
             dev.launch("gp:refine:snapshot", k, |lane| {
                 let v = lane.ld(pw, lane.tid);
@@ -187,10 +302,15 @@ pub fn gpu_refine(
                     myw += vw;
                     lane.atomic_add(pw, q, vw);
                     lane.atomic_add(pw, from as usize, vw.wrapping_neg());
-                    lane.atomic_add(&moved, 0, 1);
+                    // record the move for the next pass's incremental
+                    // re-mark; the list is consumed as an unordered set,
+                    // so the racy slot order is harmless
+                    let slot = lane.atomic_add(&moved, 0, 1) as usize;
+                    lane.st(&moved_list, slot, u);
                 }
             })?;
             let m = moved.load(0) as u64;
+            prev_moves = m as usize;
             pass_moves += m;
             stats.moves += m;
             // accounting for rejected/overflow (host-side inspection)

@@ -8,6 +8,7 @@
 //! RNG helpers shared by every crate in the workspace.
 
 pub mod analysis;
+pub mod boundary;
 pub mod builder;
 pub mod csr;
 pub mod gen;
@@ -16,6 +17,7 @@ pub mod metrics;
 pub mod rng;
 pub mod subgraph;
 
+pub use boundary::BoundaryTracker;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, Vid};
 pub use metrics::{comm_volume, edge_cut, imbalance, part_weights, validate_partition};

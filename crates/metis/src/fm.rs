@@ -54,33 +54,11 @@ pub fn fm_refine(
     if n == 0 {
         return 0;
     }
-    let mut cut = bisection_cut(g, part);
-    work.edges += g.adjncy.len() as u64;
-    for _ in 0..passes {
-        let improved = fm_pass(g, part, targets, &mut cut, work);
-        if !improved {
-            break;
-        }
-    }
-    cut
-}
-
-/// State ranking: feasible beats infeasible; then lower cut; then lower
-/// max overweight.
-fn state_key(cut: u64, w: [u64; 2], t: &BisectTargets) -> (bool, u64, u64) {
-    let over = (w[0].saturating_sub(t.max_w(0))) + (w[1].saturating_sub(t.max_w(1)));
-    (over > 0, cut, over)
-}
-
-fn fm_pass(
-    g: &CsrGraph,
-    part: &mut [u32],
-    targets: &BisectTargets,
-    cut: &mut u64,
-    work: &mut Work,
-) -> bool {
-    let n = g.n();
-    // ed/id: external / internal incident edge weight.
+    // ed/id (external / internal incident edge weight) are built once in
+    // O(|E|) and maintained incrementally across passes — each move costs
+    // O(deg), and rollback applies the exact inverse updates — so a pass
+    // no longer pays a full adjacency rebuild. The cut falls out of the
+    // build: Σ ed / 2.
     let mut ed = vec![0i64; n];
     let mut id = vec![0i64; n];
     let mut w = [0u64; 2];
@@ -97,29 +75,60 @@ fn fm_pass(
     }
     work.edges += g.adjncy.len() as u64;
     work.vertices += n as u64;
+    let mut cut = (ed.iter().sum::<i64>() / 2) as u64;
+    debug_assert_eq!(cut, bisection_cut(g, part));
+    for _ in 0..passes {
+        let improved = fm_pass(g, part, targets, &mut cut, &mut ed, &mut id, &mut w, work);
+        if !improved {
+            break;
+        }
+    }
+    cut
+}
 
+/// State ranking: feasible beats infeasible; then lower cut; then lower
+/// max overweight.
+fn state_key(cut: u64, w: [u64; 2], t: &BisectTargets) -> (bool, u64, u64) {
+    let over = (w[0].saturating_sub(t.max_w(0))) + (w[1].saturating_sub(t.max_w(1)));
+    (over > 0, cut, over)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fm_pass(
+    g: &CsrGraph,
+    part: &mut [u32],
+    targets: &BisectTargets,
+    cut: &mut u64,
+    ed: &mut [i64],
+    id: &mut [i64],
+    w: &mut [u64; 2],
+    work: &mut Work,
+) -> bool {
+    let n = g.n();
     // Max-heaps of (gain, vertex) per side, with lazy staleness checks.
+    // Seeded from the maintained ed counters: O(n), no adjacency walk.
     let mut heaps: [BinaryHeap<(i64, Vid)>; 2] = [BinaryHeap::new(), BinaryHeap::new()];
     let mut locked = vec![false; n];
     let gain = |u: usize, ed: &[i64], id: &[i64]| ed[u] - id[u];
     for u in 0..n {
         if ed[u] > 0 {
-            heaps[part[u] as usize].push((gain(u, &ed, &id), u as Vid));
+            heaps[part[u] as usize].push((gain(u, ed, id), u as Vid));
         }
     }
+    work.vertices += n as u64;
     // If a side is overweight but has no boundary vertices, seed its heap
     // with everything on that side so balance can still be repaired.
     for side in 0..2 {
         if w[side] > targets.max_w(side) && heaps[side].is_empty() {
             for (u, &p) in part.iter().enumerate() {
                 if p as usize == side {
-                    heaps[side].push((gain(u, &ed, &id), u as Vid));
+                    heaps[side].push((gain(u, ed, id), u as Vid));
                 }
             }
         }
     }
 
-    let entry_key = state_key(*cut, w, targets);
+    let entry_key = state_key(*cut, *w, targets);
     let mut best_key = entry_key;
     let mut best_prefix = 0usize;
     let mut moves: Vec<Vid> = Vec::new();
@@ -135,7 +144,7 @@ fn fm_pass(
         for (h, heap) in heaps.iter_mut().enumerate() {
             while let Some(&(gtop, u)) = heap.peek() {
                 let u = u as usize;
-                if locked[u] || part[u] as usize != h || gtop != gain(u, &ed, &id) {
+                if locked[u] || part[u] as usize != h || gtop != gain(u, ed, id) {
                     heap.pop();
                 } else {
                     break;
@@ -197,11 +206,11 @@ fn fm_pass(
                 id[vi] += ewi;
             }
             if !locked[vi] && ed[vi] > 0 {
-                heaps[part[vi] as usize].push((gain(vi, &ed, &id), v));
+                heaps[part[vi] as usize].push((gain(vi, ed, id), v));
             }
         }
         moves.push(u);
-        let key = state_key(*cut, w, targets);
+        let key = state_key(*cut, *w, targets);
         if key < best_key {
             best_key = key;
             best_prefix = moves.len();
@@ -214,10 +223,29 @@ fn fm_pass(
         }
     }
 
-    // Roll back to the best prefix.
+    // Roll back to the best prefix, applying the exact inverse of each
+    // move (reverse order) so ed/id/w stay consistent for the next pass.
     for &u in moves[best_prefix..].iter().rev() {
         let ui = u as usize;
-        part[ui] = 1 - part[ui];
+        let to = part[ui] as usize;
+        let from = 1 - to;
+        part[ui] = from as u32;
+        std::mem::swap(&mut ed[ui], &mut id[ui]);
+        let vw = g.vwgt[ui] as u64;
+        w[to] -= vw;
+        w[from] += vw;
+        work.edges += g.degree(u) as u64;
+        for (v, ew) in g.edges(u) {
+            let vi = v as usize;
+            let ewi = ew as i64;
+            if part[vi] as usize == from {
+                ed[vi] -= ewi;
+                id[vi] += ewi;
+            } else {
+                ed[vi] += ewi;
+                id[vi] -= ewi;
+            }
+        }
     }
     work.vertices += (moves.len() - best_prefix) as u64;
     *cut = best_key.1;

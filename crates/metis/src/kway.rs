@@ -5,6 +5,7 @@
 //! outcome quality.
 
 use crate::cost::Work;
+use gpm_graph::boundary::BoundaryTracker;
 use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_graph::metrics::max_part_weight;
 use gpm_graph::rng::{random_permutation, SplitMix64};
@@ -20,38 +21,6 @@ pub struct RefineStats {
     pub gain: i64,
 }
 
-/// Scratch state for computing a vertex's connectivity to adjacent parts.
-struct NeighborParts {
-    parts: Vec<u32>,
-    weights: Vec<i64>,
-}
-
-impl NeighborParts {
-    fn new() -> Self {
-        NeighborParts { parts: Vec::with_capacity(8), weights: Vec::with_capacity(8) }
-    }
-
-    /// Accumulate (partition -> incident edge weight) for `u`.
-    fn gather(&mut self, g: &CsrGraph, part: &[u32], u: Vid) {
-        self.parts.clear();
-        self.weights.clear();
-        for (v, w) in g.edges(u) {
-            let p = part[v as usize];
-            match self.parts.iter().position(|&x| x == p) {
-                Some(i) => self.weights[i] += w as i64,
-                None => {
-                    self.parts.push(p);
-                    self.weights.push(w as i64);
-                }
-            }
-        }
-    }
-
-    fn weight_to(&self, p: u32) -> i64 {
-        self.parts.iter().position(|&x| x == p).map_or(0, |i| self.weights[i])
-    }
-}
-
 /// Run greedy k-way refinement in place. Returns statistics.
 ///
 /// Per pass, vertices are visited in random order; each boundary vertex is
@@ -59,6 +28,13 @@ impl NeighborParts {
 /// is positive (or zero with a balance improvement) and the destination
 /// stays under `ubfactor * total / k`. Terminates early on a pass with no
 /// moves (the paper's criterion).
+///
+/// The boundary test and per-vertex connectivity come from an incremental
+/// [`BoundaryTracker`]: one O(|E|) build, then O(deg) updates per move, so
+/// a pass costs O(n) plus work proportional to the boundary instead of a
+/// full O(|E|) adjacency sweep. The visit order stays the full random
+/// permutation (one draw per pass, boundary or not), so partitions and RNG
+/// consumption are byte-identical to the sweep implementation.
 pub fn kway_refine(
     g: &CsrGraph,
     part: &mut [u32],
@@ -73,7 +49,8 @@ pub fn kway_refine(
     let maxw = max_part_weight(total, k, ubfactor);
     let mut pw = gpm_graph::metrics::part_weights(g, part, k);
     let mut stats = RefineStats::default();
-    let mut np = NeighborParts::new();
+    let mut bt = BoundaryTracker::build(g, part);
+    work.edges += bt.drain_scanned();
 
     for _pass in 0..max_passes {
         stats.passes += 1;
@@ -81,39 +58,36 @@ pub fn kway_refine(
         let perm = random_permutation(g.n(), rng);
         work.vertices += g.n() as u64;
         for &u in &perm {
-            let pu = part[u as usize];
-            // boundary test scans the adjacency — counted, so the serial
-            // baseline is charged the same per-pass sweep the parallel
-            // refiners pay
-            work.edges += g.degree(u) as u64;
-            let boundary = g.neighbors(u).iter().any(|&v| part[v as usize] != pu);
-            if !boundary {
+            if !bt.is_boundary(u) {
                 continue;
             }
-            np.gather(g, part, u);
-            let w_own = np.weight_to(pu);
+            let pu = part[u as usize];
             let vw = g.vwgt[u as usize] as u64;
             // best destination among adjacent parts
             let mut best: Option<(u32, i64)> = None;
-            for (&p, &wp) in np.parts.iter().zip(np.weights.iter()) {
-                if p == pu {
-                    continue;
-                }
-                let gain = wp - w_own;
-                let fits = pw[p as usize] + vw <= maxw;
-                if !fits {
-                    continue;
-                }
-                let improves_balance = pw[p as usize] + vw < pw[pu as usize];
-                if gain > 0 || (gain == 0 && improves_balance) {
-                    match best {
-                        Some((_, bg)) if bg >= gain => {}
-                        _ => best = Some((p, gain)),
+            {
+                let (parts, weights) = bt.connectivity(g, part, u);
+                let w_own = parts.iter().position(|&x| x == pu).map_or(0, |i| weights[i]);
+                for (&p, &wp) in parts.iter().zip(weights.iter()) {
+                    if p == pu {
+                        continue;
+                    }
+                    let gain = wp - w_own;
+                    let fits = pw[p as usize] + vw <= maxw;
+                    if !fits {
+                        continue;
+                    }
+                    let improves_balance = pw[p as usize] + vw < pw[pu as usize];
+                    if gain > 0 || (gain == 0 && improves_balance) {
+                        match best {
+                            Some((_, bg)) if bg >= gain => {}
+                            _ => best = Some((p, gain)),
+                        }
                     }
                 }
             }
             if let Some((to, gain)) = best {
-                part[u as usize] = to;
+                bt.apply_move(g, part, u, to);
                 pw[pu as usize] -= vw;
                 pw[to as usize] += vw;
                 stats.moves += 1;
@@ -121,6 +95,7 @@ pub fn kway_refine(
                 stats.gain += gain;
             }
         }
+        work.edges += bt.drain_scanned();
         if moved_this_pass == 0 {
             break;
         }
@@ -144,7 +119,11 @@ pub fn kway_balance(
     let avg = (total as f64 / k as f64).ceil() as u64;
     let mut pw = gpm_graph::metrics::part_weights(g, part, k);
     let mut moves = 0u64;
-    let mut np = NeighborParts::new();
+    // Built lazily on the first overweight sweep so a balanced partition
+    // costs nothing, as before. A mover always has a foreign neighbor
+    // (its candidate destinations come from its connectivity), so
+    // non-boundary vertices can never move and are skipped in O(1).
+    let mut bt: Option<BoundaryTracker> = None;
     // Bounded number of sweeps; each sweep scans all vertices once. When an
     // overweight partition's only neighbors are themselves near the cap,
     // weight must cascade through intermediate partitions, so partitions
@@ -155,6 +134,7 @@ pub fn kway_balance(
         if !pw.iter().any(|&w| w > maxw) {
             break;
         }
+        let bt = bt.get_or_insert_with(|| BoundaryTracker::build(g, part));
         let mut any = false;
         for u in 0..g.n() as Vid {
             let pu = part[u as usize];
@@ -164,42 +144,47 @@ pub fn kway_balance(
             if !over && !cascade {
                 continue;
             }
-            np.gather(g, part, u);
-            work.edges += g.degree(u) as u64;
-            let w_own = np.weight_to(pu);
+            if !bt.is_boundary(u) {
+                continue;
+            }
             // least-damage adjacent destination with room; cascade moves
             // only target strictly-underweight partitions to avoid thrash
             let mut best: Option<(u32, i64)> = None;
-            for (&p, &wp) in np.parts.iter().zip(np.weights.iter()) {
-                if p == pu {
-                    continue;
-                }
-                let room = if over {
-                    pw[p as usize] + vw <= maxw
-                } else {
-                    // cascade moves flow strictly downhill (heavier to
-                    // lighter), so weight can drain through saturated
-                    // intermediate partitions while total disorder
-                    // decreases monotonically
-                    pw[p as usize] + vw <= pw[pu as usize].saturating_sub(vw)
-                };
-                if !room {
-                    continue;
-                }
-                let loss = w_own - wp; // cut increase
-                match best {
-                    Some((_, bl)) if bl <= loss => {}
-                    _ => best = Some((p, loss)),
+            {
+                let (parts, weights) = bt.connectivity(g, part, u);
+                let w_own = parts.iter().position(|&x| x == pu).map_or(0, |i| weights[i]);
+                for (&p, &wp) in parts.iter().zip(weights.iter()) {
+                    if p == pu {
+                        continue;
+                    }
+                    let room = if over {
+                        pw[p as usize] + vw <= maxw
+                    } else {
+                        // cascade moves flow strictly downhill (heavier to
+                        // lighter), so weight can drain through saturated
+                        // intermediate partitions while total disorder
+                        // decreases monotonically
+                        pw[p as usize] + vw <= pw[pu as usize].saturating_sub(vw)
+                    };
+                    if !room {
+                        continue;
+                    }
+                    let loss = w_own - wp; // cut increase
+                    match best {
+                        Some((_, bl)) if bl <= loss => {}
+                        _ => best = Some((p, loss)),
+                    }
                 }
             }
             if let Some((to, _)) = best {
-                part[u as usize] = to;
+                bt.apply_move(g, part, u, to);
                 pw[pu as usize] -= vw;
                 pw[to as usize] += vw;
                 moves += 1;
                 any = true;
             }
         }
+        work.edges += bt.drain_scanned();
         if !any {
             break;
         }

@@ -12,6 +12,7 @@
 //! before committing, so the result is independent of scheduling.
 
 use crate::util::{chunk_range, chunks_by_edges};
+use gpm_graph::boundary::BoundaryTracker;
 use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_graph::metrics::max_part_weight;
 use gpm_metis::cost::Work;
@@ -61,6 +62,37 @@ pub fn parallel_refine(
     let mut stats = ParRefineStats::default();
     // Edge-balanced scan chunks: computed once, reused every pass.
     let scan_chunks = chunks_by_edges(g, threads);
+    // Incremental boundary state, mirrored on `part` (apart stays the
+    // authoritative shared view; `part` tracks it move-for-move). The
+    // O(|E|) external-degree sweep runs once, parallel over the same
+    // edge-balanced chunks as the scan phase (each worker charges its own
+    // edges — serializing the build onto one work record would put a full
+    // sweep on the critical path the cost ledger reports). Workers read
+    // the O(1) flag; the main thread replays the committed moves
+    // sequentially after each pass — the scan phase never writes apart,
+    // so the flag workers see is exact.
+    let mut bt = {
+        let part = &*part;
+        let chunk_ext = gpm_pool::parallel_chunks(scan_chunks.len(), |c| {
+            let (lo, hi) = scan_chunks[c];
+            let mut ext = vec![0u32; hi - lo];
+            let mut edges = 0u64;
+            for u in lo..hi {
+                let pu = part[u];
+                edges += g.degree(u as Vid) as u64;
+                ext[u - lo] =
+                    g.neighbors(u as Vid).iter().filter(|&&v| part[v as usize] != pu).count()
+                        as u32;
+            }
+            (lo, ext, edges)
+        });
+        let mut ext = vec![0u32; n];
+        for (c, (lo, chunk, edges)) in chunk_ext.into_iter().enumerate() {
+            ext[lo..lo + chunk.len()].copy_from_slice(&chunk);
+            works[c % threads].edges += edges;
+        }
+        BoundaryTracker::from_ext(g, ext)
+    };
 
     for pass in 0..max_passes {
         stats.passes += 1;
@@ -76,23 +108,26 @@ pub fn parallel_refine(
                 let apart = &apart;
                 let pw = &pw;
                 let buffers = &buffers;
+                let bt = &bt;
                 gpm_pool::parallel_chunks(scan_chunks.len(), |c| {
                     let mut w = Work::default();
                     let (lo, hi) = scan_chunks[c];
                     let mut parts: Vec<u32> = Vec::with_capacity(8);
                     let mut wgts: Vec<i64> = Vec::with_capacity(8);
                     for u in lo..hi {
-                        let pu = apart[u].load(Ordering::Relaxed);
                         w.vertices += 1;
-                        // connectivity gather
+                        // O(1) boundary test — interior vertices cost no
+                        // edge traffic and can never submit a request
+                        // (no foreign adjacent partition to move to)
+                        if !bt.is_boundary(u as Vid) {
+                            continue;
+                        }
+                        let pu = apart[u].load(Ordering::Relaxed);
+                        // connectivity gather over the boundary only
                         parts.clear();
                         wgts.clear();
-                        let mut boundary = false;
                         for (v, ew) in g.edges(u as Vid) {
                             let pv = apart[v as usize].load(Ordering::Relaxed);
-                            if pv != pu {
-                                boundary = true;
-                            }
                             match parts.iter().position(|&x| x == pv) {
                                 Some(i) => wgts[i] += ew as i64,
                                 None => {
@@ -102,9 +137,6 @@ pub fn parallel_refine(
                             }
                         }
                         w.edges += g.degree(u as Vid) as u64;
-                        if !boundary {
-                            continue;
-                        }
                         let w_own = parts.iter().position(|&x| x == pu).map_or(0, |i| wgts[i]);
                         let vw = g.vwgt[u] as u64;
                         let mut best: Option<(u32, i64)> = None;
@@ -151,11 +183,17 @@ pub fn parallel_refine(
             let pw0: Vec<u64> = pw.iter().map(|w| w.load(Ordering::Relaxed)).collect();
             let moved = AtomicU64::new(0);
             let rejected = AtomicU64::new(0);
+            // Committed vertices per destination, in commit order, so the
+            // main thread can replay them into the boundary tracker after
+            // the barrier (tracker updates must not race with commits:
+            // reading neighbor parts mid-commit is nondeterministic).
+            let committed: Vec<Mutex<Vec<Vid>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
             let commit_works = {
                 let apart = &apart;
                 let pw = &pw;
                 let pw0 = &pw0;
                 let buffers = &buffers;
+                let committed = &committed;
                 let moved = &moved;
                 let rejected = &rejected;
                 gpm_pool::parallel_chunks(threads, |t| {
@@ -189,6 +227,7 @@ pub fn parallel_refine(
                             apart[u].store(p as u32, Ordering::Relaxed);
                             pw[p].fetch_add(vw, Ordering::Relaxed);
                             pw[r.from as usize].fetch_sub(vw, Ordering::Relaxed);
+                            committed[p].lock().unwrap().push(r.vertex);
                             moved.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -198,12 +237,25 @@ pub fn parallel_refine(
             for (t, w) in commit_works.into_iter().enumerate() {
                 works[t].add(w);
             }
+            // Replay committed moves into the tracker sequentially. Each
+            // vertex moves at most once per pass and apply_move preserves
+            // the counter invariant in any order, so `part` converges to
+            // apart and the tracker stays exact.
+            for (p, cm) in committed.iter().enumerate() {
+                for &u in cm.lock().unwrap().iter() {
+                    bt.apply_move(g, part, u, p as u32);
+                }
+            }
+            works[0].edges += bt.drain_scanned();
             stats.moves += moved.load(Ordering::Relaxed);
             stats.rejected += rejected.load(Ordering::Relaxed);
             pass_moves += moved.load(Ordering::Relaxed);
         }
         if pass_moves == 0 {
             break; // the paper's early-termination criterion
+        }
+        if bt.boundary_count() == 0 {
+            break; // boundary emptied mid-schedule: nothing left to move
         }
     }
 

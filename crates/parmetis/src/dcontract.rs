@@ -8,7 +8,6 @@ use crate::dmatch::DistMatching;
 use crate::exchange::{allgather_u32, fetch_remote};
 use crate::local::LocalGraph;
 use gpm_msg::RankCtx;
-use std::collections::HashMap;
 
 /// Contract the distributed fine graph. Collective. Returns the coarse
 /// local graph and `cmap_local` (coarse gid of every local fine vertex).
@@ -98,17 +97,19 @@ pub fn dist_contract(
         ctx.work(lg.degree(u) as u64, 1);
     }
     let incoming_rows = ctx.all_to_all(tag + 6, row_msgs);
-    let mut shipped: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+    // Shipped rows land on the rank that owns their coarse gid, so they
+    // index densely by position (cgid - my_c0) — no hashing in the
+    // assembly hot loop.
+    let mut shipped: Vec<Vec<(u32, u32)>> = vec![Vec::new(); rep_count as usize];
     for msgs in incoming_rows {
         let mut i = 0usize;
         while i < msgs.len() {
             let cgid = msgs[i];
             let deg = msgs[i + 1] as usize;
-            let mut row = Vec::with_capacity(deg);
+            let row = &mut shipped[(cgid - my_c0) as usize];
             for j in 0..deg {
                 row.push((msgs[i + 2 + 2 * j], msgs[i + 3 + 2 * j]));
             }
-            shipped.entry(cgid).or_default().extend(row);
             i += 2 + 2 * deg;
         }
     }
@@ -119,7 +120,11 @@ pub fn dist_contract(
     let mut adjncy: Vec<u32> = Vec::new();
     let mut adjwgt: Vec<u32> = Vec::new();
     let mut vwgt = vec![0u32; nc_local];
-    let mut pos: HashMap<u32, usize> = HashMap::new();
+    // Dense dedup scatter (the trick contract.rs uses): slot[cn] holds the
+    // adjncy index of coarse neighbor cn. Entries from earlier rows are
+    // always < the current row's start, so no per-row clearing is needed.
+    let nc_global = vtxdist_c[p] as usize;
+    let mut slot = vec![u32::MAX; nc_global];
     let mut ci = 0usize;
     for u in 0..n {
         if !is_rep(u) {
@@ -135,38 +140,36 @@ pub fn dist_contract(
             } else {
                 m.pvw[u]
             };
-        pos.clear();
-        let emit = |cn: u32,
-                    w: u32,
-                    adjncy: &mut Vec<u32>,
-                    adjwgt: &mut Vec<u32>,
-                    pos: &mut HashMap<u32, usize>| {
-            if cn == c {
-                return;
-            }
-            match pos.get(&cn) {
-                Some(&i) => adjwgt[i] += w,
-                None => {
-                    pos.insert(cn, adjncy.len());
+        let row_start = adjncy.len();
+        let emit =
+            |cn: u32, w: u32, adjncy: &mut Vec<u32>, adjwgt: &mut Vec<u32>, slot: &mut [u32]| {
+                if cn == c {
+                    return;
+                }
+                let s = slot[cn as usize] as usize;
+                if s >= row_start && s < adjncy.len() {
+                    adjwgt[s] += w;
+                } else {
+                    slot[cn as usize] = adjncy.len() as u32;
                     adjncy.push(cn);
                     adjwgt.push(w);
                 }
-            }
-        };
+            };
         for (v, w) in lg.edges(u) {
-            emit(cmap_of(v), w, &mut adjncy, &mut adjwgt, &mut pos);
+            emit(cmap_of(v), w, &mut adjncy, &mut adjwgt, &mut slot);
         }
         ctx.work(lg.degree(u) as u64, 1);
         if partner != lg.gid(u) && lg.is_local(partner) {
             let pl = lg.lid(partner);
             for (v, w) in lg.edges(pl) {
-                emit(cmap_of(v), w, &mut adjncy, &mut adjwgt, &mut pos);
+                emit(cmap_of(v), w, &mut adjncy, &mut adjwgt, &mut slot);
             }
             ctx.work(lg.degree(pl) as u64, 0);
         }
-        if let Some(row) = shipped.get(&c) {
-            for &(cn, w) in row {
-                emit(cn, w, &mut adjncy, &mut adjwgt, &mut pos);
+        let row = std::mem::take(&mut shipped[(c - my_c0) as usize]);
+        if !row.is_empty() {
+            for &(cn, w) in &row {
+                emit(cn, w, &mut adjncy, &mut adjwgt, &mut slot);
             }
             ctx.work(row.len() as u64, 0);
         }

@@ -67,11 +67,56 @@ pub fn dist_refine(
     }
     let mut pw = allreduce_sum_vec(ctx, tag, &local_w);
 
+    // --- incremental boundary state ------------------------------------
+    // ext[u] = number of adjacency entries of u in a foreign partition
+    // (w.r.t. the current pass's ghost snapshot). Maintained across
+    // passes: local commits update it in O(deg), and between passes only
+    // the edges touching *changed* ghost labels are re-examined, via a
+    // reverse ghost→local-neighbors CSR built once here. cparts/cwgts is
+    // the per-vertex connectivity cache in adjacency first-encounter
+    // order (identical to a fresh gather), invalidated only for vertices
+    // whose neighborhood actually changed.
+    let ng = ghost_gids.len();
+    let mut gdeg = vec![0u32; n]; // ghost-edge count per local vertex
+    let mut rev_xadj = vec![0u32; ng + 1];
+    for (u, gd) in gdeg.iter_mut().enumerate() {
+        for (v, _) in lg.edges(u) {
+            if !lg.is_local(v) {
+                *gd += 1;
+                let gi = ghost_gids.binary_search(&v).unwrap();
+                rev_xadj[gi + 1] += 1;
+            }
+        }
+    }
+    for i in 0..ng {
+        rev_xadj[i + 1] += rev_xadj[i];
+    }
+    let mut rev_adj = vec![0u32; rev_xadj[ng] as usize];
+    {
+        let mut cursor = rev_xadj.clone();
+        for u in 0..n {
+            for (v, _) in lg.edges(u) {
+                if !lg.is_local(v) {
+                    let gi = ghost_gids.binary_search(&v).unwrap();
+                    rev_adj[cursor[gi] as usize] = u as u32;
+                    cursor[gi] += 1;
+                }
+            }
+        }
+    }
+    ctx.work(lg.adjncy.len() as u64, 0); // one-time reverse-map build
+    let mut ext = vec![0u32; n];
+    let mut prev_ghost: Vec<u32> = Vec::new(); // aligned to ghost_gids
+    let mut cparts: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut cwgts: Vec<Vec<i64>> = vec![Vec::new(); n];
+    let mut cvalid = vec![false; n];
+
     for pass in 0..max_passes {
         let up = pass % 2 == 0;
         let ptag = tag + 10 + pass as u32 * 10;
         // refresh ghost partition labels
         let ghost_part = fetch_remote(ctx, lg, &ghost_gids, ptag, |gid| part[lg.lid(gid)]);
+        let gp_now: Vec<u32> = ghost_gids.iter().map(|g| ghost_part[g]).collect();
         let part_of = |gid: u32, part: &[u32]| -> u32 {
             if lg.is_local(gid) {
                 part[lg.lid(gid)]
@@ -80,37 +125,68 @@ pub fn dist_refine(
             }
         };
 
-        // candidate moves, best gain first
-        let mut cands: Vec<(i64, usize, u32)> = Vec::new(); // (gain, lid, dest)
-        let mut parts: Vec<u32> = Vec::with_capacity(8);
-        let mut wgts: Vec<i64> = Vec::with_capacity(8);
         let mut ghost_touches = 0u64;
-        for u in 0..n {
-            let pu = part[u];
-            parts.clear();
-            wgts.clear();
-            let mut boundary = false;
-            for (v, w) in lg.edges(u) {
-                if !lg.is_local(v) {
+        if pass > 0 {
+            // diff the ghost snapshot: only edges into changed ghosts can
+            // alter ext, and only their local endpoints' caches go stale
+            for gi in 0..ng {
+                let (old, new) = (prev_ghost[gi], gp_now[gi]);
+                if old == new {
+                    continue;
+                }
+                for &u32u in &rev_adj[rev_xadj[gi] as usize..rev_xadj[gi + 1] as usize] {
+                    let u = u32u as usize;
+                    let pu = part[u];
+                    if old != pu && new == pu {
+                        ext[u] -= 1;
+                    } else if old == pu && new != pu {
+                        ext[u] += 1;
+                    }
+                    cvalid[u] = false;
                     ghost_touches += 1;
                 }
-                let pv = part_of(v, part);
-                if pv != pu {
-                    boundary = true;
-                }
-                match parts.iter().position(|&x| x == pv) {
-                    Some(i) => wgts[i] += w as i64,
-                    None => {
-                        parts.push(pv);
-                        wgts.push(w as i64);
-                    }
-                }
             }
-            ctx.work(lg.degree(u) as u64, 1);
-            if !boundary {
+        }
+
+        // candidate moves, best gain first
+        let mut cands: Vec<(i64, usize, u32)> = Vec::new(); // (gain, lid, dest)
+        for u in 0..n {
+            let pu = part[u];
+            ctx.work(0, 1);
+            if pass > 0 && ext[u] == 0 {
+                // O(1) interior skip: no foreign neighbor, no candidate
                 continue;
             }
-            // (ghost_touches charged after the scan loop)
+            if !cvalid[u] {
+                // gather connectivity (and on pass 0, seed ext) in one
+                // adjacency walk — first-encounter order as always
+                let parts = &mut cparts[u];
+                let wgts = &mut cwgts[u];
+                parts.clear();
+                wgts.clear();
+                let mut e = 0u32;
+                for (v, w) in lg.edges(u) {
+                    let pv = part_of(v, part);
+                    if pv != pu {
+                        e += 1;
+                    }
+                    match parts.iter().position(|&x| x == pv) {
+                        Some(i) => wgts[i] += w as i64,
+                        None => {
+                            parts.push(pv);
+                            wgts.push(w as i64);
+                        }
+                    }
+                }
+                ext[u] = e;
+                cvalid[u] = true;
+                ctx.work(lg.degree(u) as u64, 0);
+                ghost_touches += gdeg[u] as u64;
+            }
+            if ext[u] == 0 {
+                continue;
+            }
+            let (parts, wgts) = (&cparts[u], &cwgts[u]);
             let w_own = parts.iter().position(|&x| x == pu).map_or(0, |i| wgts[i]);
             let overweight = pw[pu as usize] > maxw;
             let mut best: Option<(u32, i64)> = None;
@@ -147,12 +223,35 @@ pub fn dist_refine(
                 continue;
             }
             budget[q as usize] -= vw;
-            delta[part[u] as usize] -= vw;
+            let from = part[u];
+            delta[from as usize] -= vw;
             delta[q as usize] += vw;
             part[u] = q;
+            // keep ext exact in O(deg): recount u against the current
+            // snapshot, adjust local neighbors, stale both caches
+            let mut e = 0u32;
+            for (v, _) in lg.edges(u) {
+                let pv = part_of(v, part);
+                if pv != q {
+                    e += 1;
+                }
+                if lg.is_local(v) {
+                    let vl = lg.lid(v);
+                    if pv == from {
+                        ext[vl] += 1;
+                    } else if pv == q {
+                        ext[vl] -= 1;
+                    }
+                    cvalid[vl] = false;
+                }
+            }
+            ext[u] = e;
+            cvalid[u] = false;
+            ctx.work(lg.degree(u) as u64 + 3 * gdeg[u] as u64, 0);
             moves += 1;
         }
         ctx.work(0, moves);
+        prev_ghost = gp_now;
 
         // update global weights and decide termination collectively
         let delta_enc: Vec<u64> = delta.iter().map(|&d| d as u64).collect();
