@@ -100,4 +100,20 @@ GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke"
     cargo bench --offline -p gpm-bench --bench refine
 ./target/release/validate_bench "$smoke/BENCH_refine.json"
 
+step "coarsen-perf smoke (zero-allocation coarsening: identity + bench JSON)"
+# Each contraction path is pinned byte-identical to its verbatim
+# pre-change reference; the allocation test proves the recycled workspace
+# stays off the allocator on warm V-cycles; the parallel identity suite
+# re-runs under several physical worker counts.
+cargo test -q --offline -p gpm-metis --test contract_identity
+cargo test -q --offline -p gpm-metis --test coarsen_alloc
+cargo test -q --offline -p gpm-parmetis --test dcontract_identity
+cargo test -q --offline -p gp-metis --test gpu_contract_identity
+for t in 1 4 8; do
+    GPM_THREADS=$t cargo test -q --offline -p gpm-mtmetis --test pcontract_identity
+done
+GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke" \
+    cargo bench --offline -p gpm-bench --bench coarsen
+./target/release/validate_bench "$smoke/BENCH_coarsen.json"
+
 printf '\nci.sh: all checks passed\n'

@@ -1,0 +1,111 @@
+//! Benchmarks of the zero-allocation coarsening layer (ISSUE 5): serial
+//! and thread-parallel contraction with cold vs recycled workspaces, the
+//! workspace's amortization across a whole V-cycle descent, and the
+//! host-side cost of the device coarsening loop with its recycled scan /
+//! contraction scratch. Writes `BENCH_coarsen.json`.
+//!
+//! The headline comparison is `contract/serial/{cold,recycled}`: a cold
+//! workspace pays the dense-table allocation-and-refill (`O(nc)` per
+//! level — the old `vec![u32::MAX; nc]` pattern) on every call, while a
+//! warm one restamps an epoch counter and touches only `O(n + m)` data.
+
+use gp_metis::{partition as gpu_partition, GpMetisConfig};
+use gpm_graph::coarsen_ws::CoarsenWorkspace;
+use gpm_graph::csr::CsrGraph;
+use gpm_graph::gen::{delaunay_like, grid2d, rmat};
+use gpm_graph::rng::SplitMix64;
+use gpm_metis::contract::contract_ws;
+use gpm_metis::cost::Work;
+use gpm_metis::matching::{find_matching, MatchScheme};
+use gpm_mtmetis::pcontract::parallel_contract_ws;
+use gpm_testkit::bench::{black_box, scaled, BenchSuite};
+
+/// A graph plus one fixed matching on it — the contraction input.
+fn level_instance(g: CsrGraph, seed: u64) -> (CsrGraph, Vec<u32>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut w = Work::default();
+    let mat = find_matching(&g, MatchScheme::Hem, u32::MAX, &mut rng, &mut w);
+    (g, mat)
+}
+
+fn bench_serial(b: &mut BenchSuite) {
+    // `cold` pays the old per-call cost — allocate and refill the dense
+    // O(nc) scatter table — while `recycled` restamps an epoch. A sparse
+    // instance (a tall thin grid: m ≈ 2n, nc ≈ n/2) keeps the table cost
+    // a visible fraction of the O(n + m) contraction proper.
+    let (g, mat) = level_instance(grid2d(scaled(400_000), 2), 9);
+    b.run("contract/serial/cold", || {
+        let mut ws = CoarsenWorkspace::new();
+        let mut w = Work::default();
+        black_box(contract_ws(&g, &mat, &mut w, &mut ws)).0.n()
+    });
+    let mut ws = CoarsenWorkspace::new();
+    b.run("contract/serial/recycled", || {
+        let mut w = Work::default();
+        black_box(contract_ws(&g, &mat, &mut w, &mut ws)).0.n()
+    });
+}
+
+fn bench_parallel(b: &mut BenchSuite) {
+    let (g, mat) = level_instance(delaunay_like(scaled(60_000), 13), 13);
+    for threads in [1usize, 4, 8] {
+        let mut ws = CoarsenWorkspace::new();
+        b.run(&format!("contract/parallel/t{threads}"), || {
+            black_box(parallel_contract_ws(&g, &mat, threads, &mut ws)).0.n()
+        });
+    }
+}
+
+fn bench_vcycle(b: &mut BenchSuite) {
+    // A full descent: `per_level` rebuilds the workspace on every level
+    // (the old allocation pattern); `recycled` carries one workspace down
+    // the hierarchy, so the savings compound with depth.
+    let g = delaunay_like(scaled(40_000), 4);
+    let descend = |ws: Option<&mut CoarsenWorkspace>| {
+        let mut fresh = CoarsenWorkspace::new();
+        let per_level = ws.is_none();
+        let ws = ws.unwrap_or(&mut fresh);
+        let mut cur = g.clone();
+        let mut rng = SplitMix64::new(2);
+        let mut levels = 0usize;
+        while cur.n() > 100 && levels < 32 {
+            if per_level {
+                *ws = CoarsenWorkspace::new();
+            }
+            let mut w = Work::default();
+            let mat = find_matching(&cur, MatchScheme::Hem, u32::MAX, &mut rng, &mut w);
+            let (coarse, _) = contract_ws(&cur, &mat, &mut w, ws);
+            if coarse.n() as f64 / cur.n() as f64 > 0.95 {
+                break;
+            }
+            cur = coarse;
+            levels += 1;
+        }
+        levels
+    };
+    b.run("vcycle/per_level", || black_box(descend(None)));
+    let mut ws = CoarsenWorkspace::new();
+    b.run("vcycle/recycled", || black_box(descend(Some(&mut ws))));
+}
+
+fn bench_gpu_loop(b: &mut BenchSuite) {
+    // Host wall-clock of the full hybrid pipeline (its coarsening loop
+    // recycles GpuCoarsenScratch/ScanScratch across device levels); the
+    // modeled device time is pinned byte-identical by the
+    // gpu_contract_identity suite, so only simulator host cost can move.
+    let scale: u32 = if scaled(1 << 11) < (1 << 11) { 9 } else { 11 };
+    let g = rmat(scale, 8, 5);
+    let cfg = GpMetisConfig::new(8).with_seed(3);
+    b.run("gpu/pipeline", || {
+        black_box(gpu_partition(&g, &cfg).map(|r| r.result.edge_cut).unwrap_or(0))
+    });
+}
+
+fn main() {
+    let mut b = BenchSuite::new("coarsen");
+    bench_serial(&mut b);
+    bench_parallel(&mut b);
+    bench_vcycle(&mut b);
+    bench_gpu_loop(&mut b);
+    b.finish();
+}

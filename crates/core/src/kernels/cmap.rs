@@ -4,15 +4,31 @@
 //! memory beyond the scan's own — exactly the paper's pipeline.
 
 use crate::gpu_graph::{assigned_vertices, launch_threads, Distribution};
-use gpm_gpu_sim::{inclusive_scan_u32, DBuf, Device, DeviceError};
+use crate::kernels::contract::GpuCoarsenScratch;
+use gpm_gpu_sim::{inclusive_scan_prefix_u32, DBuf, Device, DeviceError};
 
 /// Build the fine→coarse label map from a device matching array.
-/// Returns `(cmap, n_coarse)`.
+/// Returns `(cmap, n_coarse)`. Convenience wrapper over [`gpu_cmap_ws`]
+/// with a cold, single-use scratch for the scan.
 pub fn gpu_cmap(
     dev: &Device,
     mat: &DBuf<u32>,
     dist: Distribution,
     max_threads: usize,
+) -> Result<(DBuf<u32>, usize), DeviceError> {
+    gpu_cmap_ws(dev, mat, dist, max_threads, &mut GpuCoarsenScratch::new())
+}
+
+/// Cmap construction drawing the prefix sum's auxiliary buffers from the
+/// coarsening scratch. The `cmap` output itself is always a fresh
+/// exact-size allocation (the hierarchy retains it). Launches and memory
+/// traces are byte-identical to a cold [`gpu_cmap`] call.
+pub fn gpu_cmap_ws(
+    dev: &Device,
+    mat: &DBuf<u32>,
+    dist: Distribution,
+    max_threads: usize,
+    ws: &mut GpuCoarsenScratch,
 ) -> Result<(DBuf<u32>, usize), DeviceError> {
     let n = mat.len();
     let cmap = dev.alloc::<u32>(n)?;
@@ -29,7 +45,7 @@ pub fn gpu_cmap(
     })?;
     // Kernel 2: inclusive prefix sum (the paper uses the CUB scan). The
     // last element is the coarse vertex count.
-    let nc = inclusive_scan_u32(dev, &cmap)? as usize;
+    let nc = inclusive_scan_prefix_u32(dev, &cmap, n, &mut ws.scan)? as usize;
     // Kernel 3: subtract one from every entry (labels become 0-based).
     dev.launch("gp:cmap:subtract", nt, |lane| {
         for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {

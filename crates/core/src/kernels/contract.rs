@@ -17,7 +17,7 @@
 //! the contraction").
 
 use crate::gpu_graph::{launch_threads, GpuCsr};
-use gpm_gpu_sim::{exclusive_scan_u32, DBuf, Device, DeviceError, Lane};
+use gpm_gpu_sim::{exclusive_scan_prefix_u32, DBuf, Device, DeviceError, Lane, ScanScratch};
 
 /// Which adjacency-merge strategy the merge kernel uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,8 +28,54 @@ pub enum MergeStrategy {
     Hash,
 }
 
+/// Recycled device buffers for the coarsening loop: the contraction's
+/// temporaries plus the prefix-sum scratch shared with cmap construction.
+/// The first (largest) level sizes every buffer high-water; later levels
+/// reuse them without touching the allocator. Only scratch lives here —
+/// the arrays a level *retains* (cxadj, cvwgt, cadjncy, cadjwgt, cmap)
+/// are always allocated fresh at exact size, so the hierarchy carries no
+/// slack. Buffer identity is invisible to the timing model (allocation
+/// charges no device time and coalescing segments only distinguish
+/// buffers within a single instruction group), so a recycled contraction
+/// is modeled identically to a cold one; device *peak residency* rises
+/// because scratch stays resident across levels.
+#[derive(Default)]
+pub struct GpuCoarsenScratch {
+    rep_of: Option<DBuf<u32>>,
+    temp: Option<DBuf<u32>>,
+    temp2: Option<DBuf<u32>>,
+    tmp_adjncy: Option<DBuf<u32>>,
+    tmp_adjwgt: Option<DBuf<u32>>,
+    pub(crate) scan: ScanScratch,
+}
+
+impl GpuCoarsenScratch {
+    /// An empty scratch; buffers are allocated lazily, high-water.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Hand out the slot's buffer, reallocating only when absent or smaller
+/// than `len`. Any stale (too-small) buffer is dropped *before* the
+/// replacement is allocated so residency never double-counts.
+fn ensure_u32<'a>(
+    dev: &Device,
+    slot: &'a mut Option<DBuf<u32>>,
+    len: usize,
+) -> Result<&'a DBuf<u32>, DeviceError> {
+    let fits = matches!(slot, Some(b) if b.len() >= len);
+    if !fits {
+        *slot = None;
+        *slot = Some(dev.alloc::<u32>(len)?);
+    }
+    Ok(slot.as_ref().expect("slot populated above"))
+}
+
 /// Contract the device graph given the matching and cmap. Returns the
-/// coarse device graph.
+/// coarse device graph. Convenience wrapper over [`gpu_contract_ws`]
+/// with a cold, single-use scratch — the coarsening loop holds one
+/// [`GpuCoarsenScratch`] for the whole V-cycle instead.
 #[allow(clippy::too_many_arguments)]
 pub fn gpu_contract(
     dev: &Device,
@@ -40,18 +86,36 @@ pub fn gpu_contract(
     strategy: MergeStrategy,
     max_threads: usize,
 ) -> Result<GpuCsr, DeviceError> {
+    gpu_contract_ws(dev, g, mat, cmap, nc, strategy, max_threads, &mut GpuCoarsenScratch::new())
+}
+
+/// Contraction drawing all device temporaries from `ws`. Launch names,
+/// order, thread counts and memory traces are byte-identical to a cold
+/// [`gpu_contract`] call — pinned by `tests/gpu_contract_identity.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn gpu_contract_ws(
+    dev: &Device,
+    g: &GpuCsr,
+    mat: &DBuf<u32>,
+    cmap: &DBuf<u32>,
+    nc: usize,
+    strategy: MergeStrategy,
+    max_threads: usize,
+    ws: &mut GpuCoarsenScratch,
+) -> Result<GpuCsr, DeviceError> {
+    let GpuCoarsenScratch { rep_of, temp, temp2, tmp_adjncy, tmp_adjwgt, scan } = ws;
     let n = g.n;
     // Representative fine vertex of each coarse vertex, so threads can be
     // assigned contiguous coarse-id ranges (keeps the final copy phase's
     // regions contiguous).
-    let rep_of = dev.alloc::<u32>(nc.max(1))?;
+    let rep_of = ensure_u32(dev, rep_of, nc.max(1))?;
     dev.launch("gp:contract:repof", launch_threads(n, max_threads), |lane| {
         let mut u = lane.tid;
         while u < n {
             let m = lane.ld(mat, u);
             if u as u32 <= m {
                 let c = lane.ld(cmap, u);
-                lane.st(&rep_of, c as usize, u as u32);
+                lane.st(rep_of, c as usize, u as u32);
             }
             u += lane.n_threads;
         }
@@ -66,36 +130,36 @@ pub fn gpu_contract(
     };
 
     // --- phase 1: per-thread upper bounds -> provisional offsets ---------
-    let temp = dev.alloc::<u32>(nt)?;
+    let temp = ensure_u32(dev, temp, nt)?;
     dev.launch("gp:contract:count", nt, |lane| {
         let (lo, hi) = my_range(lane.tid);
         let mut total = 0u32;
         for c in lo..hi {
-            let u = lane.ld(&rep_of, c) as usize;
+            let u = lane.ld(rep_of, c) as usize;
             let v = lane.ld(mat, u) as usize;
             let du = lane.ld(&g.xadj, u + 1) - lane.ld(&g.xadj, u);
             let dv = if v != u { lane.ld(&g.xadj, v + 1) - lane.ld(&g.xadj, v) } else { 0 };
             total += du + dv;
         }
-        lane.st(&temp, lane.tid, total);
+        lane.st(temp, lane.tid, total);
     })?;
-    let tmp_total = exclusive_scan_u32(dev, &temp)? as usize;
+    let tmp_total = exclusive_scan_prefix_u32(dev, temp, nt, scan)? as usize;
 
-    let tmp_adjncy = dev.alloc::<u32>(tmp_total.max(1))?;
-    let tmp_adjwgt = dev.alloc::<u32>(tmp_total.max(1))?;
+    let tmp_adjncy = ensure_u32(dev, tmp_adjncy, tmp_total.max(1))?;
+    let tmp_adjwgt = ensure_u32(dev, tmp_adjwgt, tmp_total.max(1))?;
     let deg = dev.alloc::<u32>(nc + 1)?; // degree per coarse vertex (+1 scan slot)
     let cvwgt = dev.alloc::<u32>(nc.max(1))?;
-    let temp2 = dev.alloc::<u32>(nt)?;
+    let temp2 = ensure_u32(dev, temp2, nt)?;
 
     // --- phase 2: merge into the temporaries ------------------------------
     dev.launch("gp:contract:merge", nt, |lane| {
         let (lo, hi) = my_range(lane.tid);
-        let mut cursor = lane.ld(&temp, lane.tid) as usize;
+        let mut cursor = lane.ld(temp, lane.tid) as usize;
         let mut actual = 0u32;
         // lane-local scratch (GPU local memory)
         let mut scratch: Vec<(u32, u32)> = Vec::new();
         for c in lo..hi {
-            let u = lane.ld(&rep_of, c) as usize;
+            let u = lane.ld(rep_of, c) as usize;
             let v = lane.ld(mat, u) as usize;
             let wu = lane.ld(&g.vwgt, u);
             let wv = if v != u { lane.ld(&g.vwgt, v) } else { 0 };
@@ -124,45 +188,46 @@ pub fn gpu_contract(
             };
             lane.st(&deg, c, row_len as u32);
             for (i, &(cn, w)) in scratch[..row_len].iter().enumerate() {
-                lane.st(&tmp_adjncy, cursor + i, cn);
-                lane.st(&tmp_adjwgt, cursor + i, w);
+                lane.st(tmp_adjncy, cursor + i, cn);
+                lane.st(tmp_adjwgt, cursor + i, w);
             }
             cursor += row_len;
             actual += row_len as u32;
         }
-        lane.st(&temp2, lane.tid, actual);
+        lane.st(temp2, lane.tid, actual);
     })?;
 
     // --- prefix sums for the final layout ---------------------------------
-    let final_total = exclusive_scan_u32(dev, &temp2)? as usize;
+    let final_total = exclusive_scan_prefix_u32(dev, temp2, nt, scan)? as usize;
     // coarse xadj = exclusive scan over the degree array (nc + 1 slots; the
     // trailing slot's input value is irrelevant)
     dev.launch("gp:contract:degtail", 1, |lane| {
         lane.st(&deg, nc, 0);
     })?;
     let cxadj = deg; // scanned in place below
-    exclusive_scan_u32(dev, &cxadj)?;
+    exclusive_scan_prefix_u32(dev, &cxadj, nc + 1, scan)?;
 
     // --- compaction ---------------------------------------------------------
     let cadjncy = dev.alloc::<u32>(final_total.max(1))?;
     let cadjwgt = dev.alloc::<u32>(final_total.max(1))?;
     dev.launch("gp:contract:compact", nt, |lane| {
         let (lo, hi) = my_range(lane.tid);
-        let mut src = lane.ld(&temp, lane.tid) as usize;
+        let mut src = lane.ld(temp, lane.tid) as usize;
         for c in lo..hi {
             let dst = lane.ld(&cxadj, c) as usize;
             let len = (lane.ld(&cxadj, c + 1) - lane.ld(&cxadj, c)) as usize;
             for i in 0..len {
-                let a = lane.ld(&tmp_adjncy, src + i);
-                let w = lane.ld(&tmp_adjwgt, src + i);
+                let a = lane.ld(tmp_adjncy, src + i);
+                let w = lane.ld(tmp_adjwgt, src + i);
                 lane.st(&cadjncy, dst + i, a);
                 lane.st(&cadjwgt, dst + i, w);
             }
             src += len;
         }
     })?;
-    // temp, temp2, tmp_adjncy, tmp_adjwgt, rep_of are freed on drop here —
-    // the paper's "we can free the arrays at the end of the contraction".
+    // temp, temp2, tmp_adjncy, tmp_adjwgt, rep_of return to the scratch for
+    // the next level (the paper's "we can free the arrays at the end of the
+    // contraction" — they are freed when the V-cycle drops the scratch).
     Ok(GpuCsr {
         n: nc,
         m2: final_total,

@@ -34,8 +34,8 @@ use gpm_metis::cost::{CostLedger, CpuModel};
 use gpm_metis::PartitionResult;
 use gpm_mtmetis::MtMetisConfig;
 use gpu_graph::{Distribution, GpuCsr};
-use kernels::cmap::gpu_cmap;
-use kernels::contract::{gpu_contract, MergeStrategy};
+use kernels::cmap::gpu_cmap_ws;
+use kernels::contract::{gpu_contract_ws, GpuCoarsenScratch, MergeStrategy};
 use kernels::matching::gpu_matching;
 use kernels::refine::{gpu_part_weights, gpu_project, gpu_refine};
 use std::sync::Arc;
@@ -252,6 +252,11 @@ pub(crate) fn gpu_coarsen_loop(
     let mut cur = g0;
     let mut conflicts = 0u64;
     let mut peak_mem = 0u64;
+    // One device scratch for the whole coarsening loop: the first level
+    // sizes the contraction temporaries and scan buffers high-water,
+    // later levels recycle them without touching the device allocator.
+    // Dropped with this function, before the uncoarsening ascent.
+    let mut scratch = GpuCoarsenScratch::new();
     while cur.n > cfg.gpu_threshold && levels.len() < ccfg.max_levels {
         let lvl = levels.len();
         let (mat, mstats) = gpu_matching(
@@ -265,11 +270,12 @@ pub(crate) fn gpu_coarsen_loop(
             cfg.max_threads,
         )?;
         conflicts += mstats.conflicts;
-        let (cmap, nc) = gpu_cmap(dev, &mat, cfg.distribution, cfg.max_threads)?;
+        let (cmap, nc) = gpu_cmap_ws(dev, &mat, cfg.distribution, cfg.max_threads, &mut scratch)?;
         if nc as f64 / cur.n as f64 > ccfg.reduction_cutoff {
             break; // stalled; hand over to the CPU
         }
-        let coarse = gpu_contract(dev, &cur, &mat, &cmap, nc, cfg.merge, cfg.max_threads)?;
+        let coarse =
+            gpu_contract_ws(dev, &cur, &mat, &cmap, nc, cfg.merge, cfg.max_threads, &mut scratch)?;
         peak_mem = peak_mem.max(dev.mem_used());
         if let Some(ck) = ckpt.as_deref_mut() {
             // Checkpoint the finished level on the host. If the download

@@ -1,0 +1,362 @@
+//! Byte-identity of the device-workspace coarsening loop (ISSUE 5):
+//! recycling the contraction temporaries and scan scratch across GPU
+//! levels must not change a single modeled quantity — the per-level
+//! coarse graphs, cmaps, the full kernel log (names, order, thread
+//! counts, transactions, modeled seconds), and the device's total
+//! elapsed time must be bit-identical to the pre-change
+//! allocate-per-level implementation, preserved verbatim below as the
+//! reference. Only *peak residency* may differ (scratch stays resident
+//! between levels — documented in DESIGN.md §11). Reassembled levels
+//! also pass the structural [`check_contraction`] invariants.
+
+use gp_metis::gpu_graph::{assigned_vertices, launch_threads, Distribution, GpuCsr};
+use gp_metis::kernels::cmap::gpu_cmap_ws;
+use gp_metis::kernels::contract::{gpu_contract_ws, GpuCoarsenScratch, MergeStrategy};
+use gp_metis::kernels::matching::gpu_matching;
+use gpm_gpu_sim::{
+    exclusive_scan_u32, inclusive_scan_u32, DBuf, Device, DeviceError, GpuConfig, Lane,
+};
+use gpm_graph::check_contraction;
+use gpm_graph::csr::CsrGraph;
+use gpm_graph::gen::{delaunay_like, grid2d, rmat};
+use gpm_testkit::{check, tk_assert, tk_assert_eq, Source};
+
+// ===== pre-change reference implementation (verbatim) ===================
+
+/// The allocate-per-call cmap pipeline as it stood before the rewrite.
+fn ref_gpu_cmap(
+    dev: &Device,
+    mat: &DBuf<u32>,
+    dist: Distribution,
+    max_threads: usize,
+) -> Result<(DBuf<u32>, usize), DeviceError> {
+    let n = mat.len();
+    let cmap = dev.alloc::<u32>(n)?;
+    if n == 0 {
+        return Ok((cmap, 0));
+    }
+    let nt = launch_threads(n, max_threads);
+    dev.launch("gp:cmap:flags", nt, |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let m = lane.ld(mat, u);
+            lane.st(&cmap, u, u32::from(u as u32 <= m));
+        }
+    })?;
+    let nc = inclusive_scan_u32(dev, &cmap)? as usize;
+    dev.launch("gp:cmap:subtract", nt, |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let v = lane.ld(&cmap, u);
+            lane.st(&cmap, u, v.wrapping_sub(1));
+        }
+    })?;
+    dev.launch("gp:cmap:gather", nt, |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let m = lane.ld(mat, u);
+            if (u as u32) > m {
+                let label = lane.ld(&cmap, m as usize);
+                lane.st(&cmap, u, label);
+            }
+        }
+    })?;
+    Ok((cmap, nc))
+}
+
+/// The allocate-per-call contraction as it stood before the rewrite.
+#[allow(clippy::too_many_arguments)]
+fn ref_gpu_contract(
+    dev: &Device,
+    g: &GpuCsr,
+    mat: &DBuf<u32>,
+    cmap: &DBuf<u32>,
+    nc: usize,
+    strategy: MergeStrategy,
+    max_threads: usize,
+) -> Result<GpuCsr, DeviceError> {
+    let n = g.n;
+    let rep_of = dev.alloc::<u32>(nc.max(1))?;
+    dev.launch("gp:contract:repof", launch_threads(n, max_threads), |lane| {
+        let mut u = lane.tid;
+        while u < n {
+            let m = lane.ld(mat, u);
+            if u as u32 <= m {
+                let c = lane.ld(cmap, u);
+                lane.st(&rep_of, c as usize, u as u32);
+            }
+            u += lane.n_threads;
+        }
+    })?;
+
+    let nt = launch_threads(nc, max_threads);
+    let chunk = nc.div_ceil(nt.max(1));
+    let my_range = move |tid: usize| {
+        let lo = (tid * chunk).min(nc);
+        let hi = ((tid + 1) * chunk).min(nc);
+        (lo, hi)
+    };
+
+    let temp = dev.alloc::<u32>(nt)?;
+    dev.launch("gp:contract:count", nt, |lane| {
+        let (lo, hi) = my_range(lane.tid);
+        let mut total = 0u32;
+        for c in lo..hi {
+            let u = lane.ld(&rep_of, c) as usize;
+            let v = lane.ld(mat, u) as usize;
+            let du = lane.ld(&g.xadj, u + 1) - lane.ld(&g.xadj, u);
+            let dv = if v != u { lane.ld(&g.xadj, v + 1) - lane.ld(&g.xadj, v) } else { 0 };
+            total += du + dv;
+        }
+        lane.st(&temp, lane.tid, total);
+    })?;
+    let tmp_total = exclusive_scan_u32(dev, &temp)? as usize;
+
+    let tmp_adjncy = dev.alloc::<u32>(tmp_total.max(1))?;
+    let tmp_adjwgt = dev.alloc::<u32>(tmp_total.max(1))?;
+    let deg = dev.alloc::<u32>(nc + 1)?;
+    let cvwgt = dev.alloc::<u32>(nc.max(1))?;
+    let temp2 = dev.alloc::<u32>(nt)?;
+
+    dev.launch("gp:contract:merge", nt, |lane| {
+        let (lo, hi) = my_range(lane.tid);
+        let mut cursor = lane.ld(&temp, lane.tid) as usize;
+        let mut actual = 0u32;
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
+        for c in lo..hi {
+            let u = lane.ld(&rep_of, c) as usize;
+            let v = lane.ld(mat, u) as usize;
+            let wu = lane.ld(&g.vwgt, u);
+            let wv = if v != u { lane.ld(&g.vwgt, v) } else { 0 };
+            lane.st(&cvwgt, c, wu + wv);
+            scratch.clear();
+            let gather = |x: usize, lane: &mut Lane, scratch: &mut Vec<(u32, u32)>| {
+                let s = lane.ld(&g.xadj, x) as usize;
+                let e = lane.ld(&g.xadj, x + 1) as usize;
+                for i in s..e {
+                    let nb = lane.ld(&g.adjncy, i);
+                    let w = lane.ld(&g.adjwgt, i);
+                    let cn = lane.ld(cmap, nb as usize);
+                    if cn != c as u32 {
+                        scratch.push((cn, w));
+                    }
+                }
+            };
+            gather(u, lane, &mut scratch);
+            if v != u {
+                gather(v, lane, &mut scratch);
+            }
+            let row_len = match strategy {
+                MergeStrategy::SortMerge => ref_merge_by_sort(lane, &mut scratch),
+                MergeStrategy::Hash => ref_merge_by_hash(lane, &mut scratch),
+            };
+            lane.st(&deg, c, row_len as u32);
+            for (i, &(cn, w)) in scratch[..row_len].iter().enumerate() {
+                lane.st(&tmp_adjncy, cursor + i, cn);
+                lane.st(&tmp_adjwgt, cursor + i, w);
+            }
+            cursor += row_len;
+            actual += row_len as u32;
+        }
+        lane.st(&temp2, lane.tid, actual);
+    })?;
+
+    let final_total = exclusive_scan_u32(dev, &temp2)? as usize;
+    dev.launch("gp:contract:degtail", 1, |lane| {
+        lane.st(&deg, nc, 0);
+    })?;
+    let cxadj = deg;
+    exclusive_scan_u32(dev, &cxadj)?;
+
+    let cadjncy = dev.alloc::<u32>(final_total.max(1))?;
+    let cadjwgt = dev.alloc::<u32>(final_total.max(1))?;
+    dev.launch("gp:contract:compact", nt, |lane| {
+        let (lo, hi) = my_range(lane.tid);
+        let mut src = lane.ld(&temp, lane.tid) as usize;
+        for c in lo..hi {
+            let dst = lane.ld(&cxadj, c) as usize;
+            let len = (lane.ld(&cxadj, c + 1) - lane.ld(&cxadj, c)) as usize;
+            for i in 0..len {
+                let a = lane.ld(&tmp_adjncy, src + i);
+                let w = lane.ld(&tmp_adjwgt, src + i);
+                lane.st(&cadjncy, dst + i, a);
+                lane.st(&cadjwgt, dst + i, w);
+            }
+            src += len;
+        }
+    })?;
+    Ok(GpuCsr {
+        n: nc,
+        m2: final_total,
+        xadj: cxadj,
+        adjncy: cadjncy,
+        adjwgt: cadjwgt,
+        vwgt: cvwgt,
+    })
+}
+
+fn ref_merge_by_sort(lane: &mut Lane, scratch: &mut [(u32, u32)]) -> usize {
+    let len = scratch.len();
+    if len == 0 {
+        return 0;
+    }
+    scratch.sort_unstable_by_key(|&(c, _)| c);
+    lane.local_mem(2 * (len as u64) * (usize::BITS - len.leading_zeros()) as u64);
+    let mut out = 0usize;
+    let mut i = 0usize;
+    while i < len {
+        let (c, mut w) = scratch[i];
+        let mut j = i + 1;
+        while j < len && scratch[j].0 == c {
+            w += scratch[j].1;
+            j += 1;
+        }
+        scratch[out] = (c, w);
+        out += 1;
+        i = j;
+        lane.alu(1);
+    }
+    out
+}
+
+fn ref_merge_by_hash(lane: &mut Lane, scratch: &mut Vec<(u32, u32)>) -> usize {
+    let len = scratch.len();
+    if len == 0 {
+        return 0;
+    }
+    let cap = (2 * len).next_power_of_two();
+    let mask = cap - 1;
+    let mut table: Vec<(u32, u32)> = vec![(0, 0); cap];
+    let mut keys_in_order: Vec<u32> = Vec::with_capacity(len);
+    let mut probes = 0u64;
+    for &(c, w) in scratch.iter() {
+        let mut h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
+            >> (64 - cap.trailing_zeros()) as usize
+            & mask;
+        loop {
+            probes += 1;
+            let (k, _) = table[h];
+            if k == 0 {
+                table[h] = (c + 1, w);
+                keys_in_order.push(c);
+                break;
+            }
+            if k == c + 1 {
+                table[h].1 += w;
+                break;
+            }
+            h = (h + 1) & mask;
+        }
+    }
+    lane.local_mem(2 * probes + len as u64);
+    scratch.clear();
+    for &c in &keys_in_order {
+        let mut h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
+            >> (64 - cap.trailing_zeros()) as usize
+            & mask;
+        loop {
+            let (k, w) = table[h];
+            if k == c + 1 {
+                scratch.push((c, w));
+                break;
+            }
+            h = (h + 1) & mask;
+        }
+    }
+    scratch.len()
+}
+
+// ===== the identity property ============================================
+
+fn arbitrary_graph(src: &mut Source) -> CsrGraph {
+    match src.below(3) {
+        0 => delaunay_like(src.usize_in(200, 1200), src.below(1 << 30)),
+        1 => rmat(src.usize_in(7, 10) as u32, 7, src.below(1 << 30)),
+        _ => grid2d(src.usize_in(8, 36), src.usize_in(8, 36)),
+    }
+}
+
+/// Run a multi-level GPU coarsening loop with either the reference
+/// per-level allocations or the recycled workspace; return the host
+/// copies of every level plus the device itself for trace comparison.
+fn coarsen_levels(
+    g: &CsrGraph,
+    strategy: MergeStrategy,
+    seed: u64,
+    levels: usize,
+    recycled: bool,
+) -> (Vec<(CsrGraph, Vec<u32>, CsrGraph)>, Device) {
+    let dev = Device::new(GpuConfig::gtx_titan());
+    let mut cur = GpuCsr::upload(&dev, g).unwrap();
+    let mut out = Vec::new();
+    let mut scratch = GpuCoarsenScratch::new();
+    let mut uniform = g.uniform_edge_weights();
+    for lvl in 0..levels {
+        if cur.n <= 32 {
+            break;
+        }
+        let (mat, _) = gpu_matching(
+            &dev,
+            &cur,
+            u32::MAX,
+            3,
+            uniform,
+            seed.wrapping_add(lvl as u64),
+            Distribution::Cyclic,
+            1024,
+        )
+        .unwrap();
+        let (cmap, nc, coarse) = if recycled {
+            let (cmap, nc) =
+                gpu_cmap_ws(&dev, &mat, Distribution::Cyclic, 1024, &mut scratch).unwrap();
+            let coarse =
+                gpu_contract_ws(&dev, &cur, &mat, &cmap, nc, strategy, 512, &mut scratch).unwrap();
+            (cmap, nc, coarse)
+        } else {
+            let (cmap, nc) = ref_gpu_cmap(&dev, &mat, Distribution::Cyclic, 1024).unwrap();
+            let coarse = ref_gpu_contract(&dev, &cur, &mat, &cmap, nc, strategy, 512).unwrap();
+            (cmap, nc, coarse)
+        };
+        if nc as f64 / cur.n as f64 > 0.98 {
+            break;
+        }
+        let fine_host = cur.download(&dev).unwrap();
+        let coarse_host = coarse.download(&dev).unwrap();
+        out.push((fine_host, cmap.to_vec(), coarse_host));
+        cur = coarse;
+        uniform = false;
+    }
+    (out, dev)
+}
+
+#[test]
+fn recycled_device_workspace_is_trace_identical() {
+    check("gpu_recycled_workspace_trace_identical", 10, |src| {
+        let g = arbitrary_graph(src);
+        let strategy = *src.choose(&[MergeStrategy::SortMerge, MergeStrategy::Hash]);
+        let seed = src.next_u64();
+
+        let (lv_ref, dev_ref) = coarsen_levels(&g, strategy, seed, 4, false);
+        let (lv_new, dev_new) = coarsen_levels(&g, strategy, seed, 4, true);
+
+        tk_assert_eq!(lv_new.len(), lv_ref.len());
+        for (l, (new, old)) in lv_new.iter().zip(lv_ref.iter()).enumerate() {
+            tk_assert_eq!(new.0, old.0, "level {} fine graph", l);
+            tk_assert_eq!(new.1, old.1, "level {} cmap", l);
+            tk_assert_eq!(new.2, old.2, "level {} coarse graph", l);
+            check_contraction(&new.0, &new.2, &new.1)?;
+        }
+        // download/upload traffic is identical on both devices, so the
+        // whole modeled timeline must agree to the last bit
+        tk_assert_eq!(
+            dev_new.elapsed().to_bits(),
+            dev_ref.elapsed().to_bits(),
+            "modeled device time diverged"
+        );
+        let log_ref = dev_ref.kernel_log();
+        let log_new = dev_new.kernel_log();
+        tk_assert_eq!(log_new.len(), log_ref.len());
+        for (i, (a, b)) in log_new.iter().zip(log_ref.iter()).enumerate() {
+            tk_assert_eq!(a, b, "kernel launch {} diverged", i);
+        }
+        tk_assert!(!lv_new.is_empty() || g.n() <= 32);
+        Ok(())
+    });
+}

@@ -28,4 +28,7 @@ pub use config::GpuConfig;
 pub use device::{Device, DeviceError, GpuOom, KernelStats, KernelSummary};
 pub use lane::Lane;
 pub use reduce::{reduce_max_u32, reduce_sum_u32};
-pub use scan::{exclusive_scan_u32, inclusive_scan_u32};
+pub use scan::{
+    exclusive_scan_prefix_u32, exclusive_scan_u32, inclusive_scan_prefix_u32, inclusive_scan_u32,
+    ScanScratch,
+};

@@ -14,11 +14,80 @@ use crate::device::{Device, DeviceError};
 /// Elements each thread scans sequentially.
 const CHUNK: usize = 256;
 
+/// Recycled device-side scan scratch: the auxiliary chunk-total buffers
+/// (one per recursion depth) plus the exclusive scan's shifted copy.
+/// Holding one of these across a coarsening loop reuses the device
+/// allocations of every level — the first (largest) level sizes each
+/// buffer high-water, later levels scan a prefix of it. Buffer *identity*
+/// does not influence the timing model (coalescing segments only compare
+/// accesses within one instruction group, and `alloc` charges no device
+/// time), so a recycled scan is modeled identically to a fresh one.
+#[derive(Default)]
+pub struct ScanScratch {
+    bufs: Vec<Option<DBuf<u32>>>,
+}
+
+impl ScanScratch {
+    /// An empty scratch; buffers are allocated lazily, high-water.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the buffer for slot `idx`, allocating (exactly `len`) when
+    /// the slot is empty or too small. Slot 0 is the exclusive scan's
+    /// copy; slot `1 + d` is the inclusive recursion's depth-`d` aux.
+    fn take(&mut self, dev: &Device, idx: usize, len: usize) -> Result<DBuf<u32>, DeviceError> {
+        if idx >= self.bufs.len() {
+            self.bufs.resize_with(idx + 1, || None);
+        }
+        match self.bufs[idx].take() {
+            Some(b) if b.len() >= len => Ok(b),
+            stale => {
+                drop(stale); // free before allocating the replacement
+                dev.alloc::<u32>(len)
+            }
+        }
+    }
+
+    fn put(&mut self, idx: usize, buf: DBuf<u32>) {
+        self.bufs[idx] = Some(buf);
+    }
+}
+
 /// In-place device-wide *inclusive* prefix sum over `buf` (wrapping u32
 /// arithmetic, like the 32-bit CUB scan). Returns the total (the last
 /// element after the scan).
 pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceError> {
-    let n = buf.len();
+    inclusive_scan_prefix_u32(dev, buf, buf.len(), &mut ScanScratch::new())
+}
+
+/// In-place device-wide *exclusive* prefix sum. Returns the total of all
+/// input elements.
+pub fn exclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceError> {
+    exclusive_scan_prefix_u32(dev, buf, buf.len(), &mut ScanScratch::new())
+}
+
+/// Inclusive scan over the first `n` elements of `buf` (which may be a
+/// recycled high-water buffer longer than `n`), drawing auxiliary
+/// buffers from `ws`. Launch sequence, thread counts and memory traces
+/// are byte-identical to [`inclusive_scan_u32`] on an exactly-`n` buffer.
+pub fn inclusive_scan_prefix_u32(
+    dev: &Device,
+    buf: &DBuf<u32>,
+    n: usize,
+    ws: &mut ScanScratch,
+) -> Result<u32, DeviceError> {
+    inclusive_rec(dev, buf, n, ws, 0)
+}
+
+fn inclusive_rec(
+    dev: &Device,
+    buf: &DBuf<u32>,
+    n: usize,
+    ws: &mut ScanScratch,
+    depth: usize,
+) -> Result<u32, DeviceError> {
+    assert!(n <= buf.len(), "scan prefix exceeds buffer length");
     if n == 0 {
         return Ok(0);
     }
@@ -33,7 +102,7 @@ pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceEr
         })?;
         return Ok(buf.load(n - 1));
     }
-    let aux = dev.alloc::<u32>(n_chunks)?;
+    let aux = ws.take(dev, 1 + depth, n_chunks)?;
     dev.launch("scan:partial", n_chunks, |lane| {
         let start = lane.tid * CHUNK;
         let end = (start + CHUNK).min(n);
@@ -45,7 +114,7 @@ pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceEr
         lane.st(&aux, lane.tid, acc);
     })?;
     // Scan the chunk totals (recursive; depth log_CHUNK(n)).
-    inclusive_scan_u32(dev, &aux)?;
+    inclusive_rec(dev, &aux, n_chunks, ws, depth + 1)?;
     dev.launch("scan:add", n_chunks, |lane| {
         if lane.tid == 0 {
             return;
@@ -58,26 +127,35 @@ pub fn inclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceEr
             lane.st(buf, i, v.wrapping_add(offset));
         }
     })?;
+    ws.put(1 + depth, aux);
     Ok(buf.load(n - 1))
 }
 
-/// In-place device-wide *exclusive* prefix sum. Returns the total of all
-/// input elements.
-pub fn exclusive_scan_u32(dev: &Device, buf: &DBuf<u32>) -> Result<u32, DeviceError> {
-    let n = buf.len();
+/// Exclusive scan over the first `n` elements of `buf`, drawing the
+/// shifted copy and auxiliary buffers from `ws`. Launch sequence, thread
+/// counts and memory traces are byte-identical to
+/// [`exclusive_scan_u32`] on an exactly-`n` buffer.
+pub fn exclusive_scan_prefix_u32(
+    dev: &Device,
+    buf: &DBuf<u32>,
+    n: usize,
+    ws: &mut ScanScratch,
+) -> Result<u32, DeviceError> {
+    assert!(n <= buf.len(), "scan prefix exceeds buffer length");
     if n == 0 {
         return Ok(0);
     }
-    let tmp = dev.alloc::<u32>(n)?;
+    let tmp = ws.take(dev, 0, n)?;
     dev.launch("scan:copy", n, |lane| {
         let v = lane.ld(buf, lane.tid);
         lane.st(&tmp, lane.tid, v);
     })?;
-    let total = inclusive_scan_u32(dev, &tmp)?;
+    let total = inclusive_rec(dev, &tmp, n, ws, 0)?;
     dev.launch("scan:shift", n, |lane| {
         let v = if lane.tid == 0 { 0 } else { lane.ld(&tmp, lane.tid - 1) };
         lane.st(buf, lane.tid, v);
     })?;
+    ws.put(0, tmp);
     Ok(total)
 }
 

@@ -1,0 +1,321 @@
+//! Recycled coarsening scratch: the workspace arena every contraction
+//! implementation draws its per-level scratch from, plus the structural
+//! invariants a correct contraction must satisfy.
+//!
+//! Contraction is the dominant non-refinement hot path of the multilevel
+//! pipeline, and before this workspace existed every level of every code
+//! allocated fresh `slot`/staging buffers and re-initialized the dense
+//! dedup table to `u32::MAX` (an O(nc) write per level even though `nc`
+//! shrinks monotonically). The workspace is created once per V-cycle,
+//! sized high-water by the first (largest) level, and recycled:
+//!
+//! * [`EpochSlots`] — a dense scatter/dedup table whose entries are
+//!   invalidated in O(1) by bumping an epoch counter instead of refilling
+//!   the array (Akhremtsev–Sanders–Schulz describe exactly this reuse as
+//!   one of the main shared-memory coarsening wins).
+//! * recycled atomic label and count arrays for the thread-parallel
+//!   two-pass contraction (cmap staging and per-coarse-row exact counts).
+//!
+//! Everything here is plain `std`; the workspace is shared by the serial
+//! Metis code, the mt-metis shared-memory code and the per-rank ParMetis
+//! code. The GPU simulator keeps its own device-buffer arena (same idea,
+//! device side) in `gp-metis`.
+
+use crate::csr::{CsrGraph, Vid};
+use std::sync::atomic::AtomicU32;
+
+/// Dense epoch-stamped slot table addressing keys `0..n`.
+///
+/// `insert`/`get` are O(1); invalidating every entry costs O(1) via
+/// [`EpochSlots::next_row`] (epoch bump). The backing arrays only ever
+/// grow, so across a V-cycle — where the addressed range `nc` shrinks
+/// monotonically — each backing array is allocated at most once.
+pub struct EpochSlots {
+    slot: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    grows: u64,
+}
+
+impl Default for EpochSlots {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochSlots {
+    /// An empty table. Call [`EpochSlots::reset`] before first use.
+    pub fn new() -> Self {
+        EpochSlots { slot: Vec::new(), stamp: Vec::new(), epoch: 0, grows: 0 }
+    }
+
+    /// Make the table address keys `0..n` and begin a fresh epoch.
+    /// Amortized O(1): O(n) work happens only when the table grows past
+    /// its high-water mark (at most once per V-cycle).
+    pub fn reset(&mut self, n: usize) {
+        if n > self.slot.len() {
+            self.slot.resize(n, 0);
+            self.stamp.resize(n, 0);
+            self.grows += 1;
+        }
+        self.next_row();
+    }
+
+    /// Invalidate every entry in O(1). The u32 epoch wraps after 2^32
+    /// rows; the wrap is repaired with one O(n) stamp clear, preserving
+    /// the "stamp == epoch means live" invariant.
+    #[inline]
+    pub fn next_row(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Value stored for `key` in the current epoch, if any.
+    #[inline]
+    pub fn get(&self, key: u32) -> Option<u32> {
+        let k = key as usize;
+        if self.stamp[k] == self.epoch {
+            Some(self.slot[k])
+        } else {
+            None
+        }
+    }
+
+    /// Store `value` for `key` in the current epoch.
+    #[inline]
+    pub fn insert(&mut self, key: u32, value: u32) {
+        let k = key as usize;
+        self.stamp[k] = self.epoch;
+        self.slot[k] = value;
+    }
+
+    /// Number of times the backing arrays grew (each growth is one
+    /// reallocation of the slot and stamp arrays).
+    pub fn grow_events(&self) -> u64 {
+        self.grows
+    }
+}
+
+/// Arena owning all host-side per-level coarsening scratch, recycled
+/// across levels and across the whole V-cycle.
+#[derive(Default)]
+pub struct CoarsenWorkspace {
+    /// Dedup/scatter table for the serial (and per-rank distributed)
+    /// two-pass contraction.
+    slots: EpochSlots,
+    /// One dedup table per worker chunk for the thread-parallel code.
+    thread_slots: Vec<EpochSlots>,
+    /// Recycled cmap staging (written concurrently, hence atomic).
+    labels: Vec<AtomicU32>,
+    /// Recycled exact per-coarse-row counts for the two-pass scheme.
+    counts: Vec<AtomicU32>,
+    /// Growth events of `labels` + `counts` (thread/slot growth is
+    /// tracked inside each [`EpochSlots`]).
+    vec_grows: u64,
+}
+
+impl CoarsenWorkspace {
+    /// An empty workspace; buffers are sized lazily, high-water.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The serial dedup table (also used per rank by ParMetis).
+    pub fn serial_slots(&mut self) -> &mut EpochSlots {
+        &mut self.slots
+    }
+
+    /// Scratch for the thread-parallel two-pass contraction:
+    /// `(labels, counts, thread_slots)` with `labels.len() == n`,
+    /// `counts.len() == nc`, one `EpochSlots` per worker chunk.
+    ///
+    /// Every returned element is fully overwritten by the contraction
+    /// before being read, so recycling stale contents is safe.
+    pub fn parallel_parts(
+        &mut self,
+        threads: usize,
+        n: usize,
+        nc: usize,
+    ) -> (&[AtomicU32], &[AtomicU32], &mut [EpochSlots]) {
+        if n > self.labels.len() {
+            self.labels.resize_with(n, || AtomicU32::new(0));
+            self.vec_grows += 1;
+        }
+        if nc > self.counts.len() {
+            self.counts.resize_with(nc, || AtomicU32::new(0));
+            self.vec_grows += 1;
+        }
+        if threads > self.thread_slots.len() {
+            self.thread_slots.resize_with(threads, EpochSlots::new);
+        }
+        (&self.labels[..n], &self.counts[..nc], &mut self.thread_slots[..threads])
+    }
+
+    /// Total growth events across every buffer the workspace owns. A
+    /// warm workspace run must not change this value; a cold V-cycle
+    /// grows each buffer at most once (the regression test in
+    /// `gpm-metis` pins both properties with a counting allocator).
+    pub fn grow_events(&self) -> u64 {
+        self.vec_grows
+            + self.slots.grow_events()
+            + self.thread_slots.iter().map(EpochSlots::grow_events).sum::<u64>()
+    }
+}
+
+/// Check the structural invariants any contraction must preserve:
+///
+/// 1. `cmap` maps every fine vertex into `0..coarse.n()` and is
+///    surjective (every coarse vertex has at least one fine preimage);
+/// 2. each coarse vertex weight is the sum of its preimages' weights
+///    (so total vertex weight is conserved);
+/// 3. total edge weight is conserved modulo removed self-loops: the
+///    directed fine weight equals the directed coarse weight plus the
+///    weight of fine edges collapsed inside a coarse vertex;
+/// 4. the coarse graph is a valid symmetric CSR graph.
+pub fn check_contraction(fine: &CsrGraph, coarse: &CsrGraph, cmap: &[Vid]) -> Result<(), String> {
+    let nc = coarse.n();
+    if cmap.len() != fine.n() {
+        return Err(format!("cmap.len() = {} != fine n = {}", cmap.len(), fine.n()));
+    }
+    let mut hit = vec![false; nc];
+    let mut vw = vec![0u64; nc];
+    for (u, &c) in cmap.iter().enumerate() {
+        if c as usize >= nc {
+            return Err(format!("cmap[{u}] = {c} out of range (nc = {nc})"));
+        }
+        hit[c as usize] = true;
+        vw[c as usize] += fine.vwgt[u] as u64;
+    }
+    if let Some(c) = hit.iter().position(|&h| !h) {
+        return Err(format!("coarse vertex {c} has no fine preimage (cmap not surjective)"));
+    }
+    for (c, &w) in vw.iter().enumerate() {
+        if w != coarse.vwgt[c] as u64 {
+            return Err(format!(
+                "coarse vwgt[{c}] = {} != sum of fine preimages = {}",
+                coarse.vwgt[c], w
+            ));
+        }
+    }
+    let fine_directed: u64 = fine.adjwgt.iter().map(|&w| w as u64).sum();
+    let coarse_directed: u64 = coarse.adjwgt.iter().map(|&w| w as u64).sum();
+    let mut collapsed = 0u64;
+    for u in 0..fine.n() as Vid {
+        for (v, w) in fine.edges(u) {
+            if cmap[u as usize] == cmap[v as usize] {
+                collapsed += w as u64;
+            }
+        }
+    }
+    if fine_directed != coarse_directed + collapsed {
+        return Err(format!(
+            "edge weight not conserved: fine {fine_directed} != \
+             coarse {coarse_directed} + collapsed self-loops {collapsed}"
+        ));
+    }
+    coarse.validate().map_err(|e| format!("coarse graph invalid: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn epoch_slots_basic() {
+        let mut s = EpochSlots::new();
+        s.reset(4);
+        assert_eq!(s.get(0), None);
+        s.insert(2, 7);
+        assert_eq!(s.get(2), Some(7));
+        s.next_row();
+        assert_eq!(s.get(2), None, "epoch bump invalidates without clearing");
+        s.insert(2, 9);
+        assert_eq!(s.get(2), Some(9));
+    }
+
+    #[test]
+    fn epoch_slots_grows_once_for_shrinking_range() {
+        let mut s = EpochSlots::new();
+        s.reset(100);
+        assert_eq!(s.grow_events(), 1);
+        for n in [80, 50, 100, 3] {
+            s.reset(n);
+        }
+        assert_eq!(s.grow_events(), 1, "shrinking resets must not reallocate");
+        s.reset(101);
+        assert_eq!(s.grow_events(), 2);
+    }
+
+    #[test]
+    fn epoch_wrap_is_repaired() {
+        let mut s = EpochSlots::new();
+        s.reset(2);
+        s.insert(1, 5);
+        s.epoch = u32::MAX; // fast-forward to the wrap
+        s.stamp[1] = u32::MAX; // keep the entry live in the forced epoch
+        assert_eq!(s.get(1), Some(5));
+        s.next_row();
+        assert_eq!(s.get(1), None, "wrap must not resurrect stale entries");
+        s.insert(0, 3);
+        assert_eq!(s.get(0), Some(3));
+    }
+
+    #[test]
+    fn workspace_grow_events_stabilize() {
+        let mut ws = CoarsenWorkspace::new();
+        ws.serial_slots().reset(50);
+        let _ = ws.parallel_parts(4, 200, 90);
+        let cold = ws.grow_events();
+        assert!(cold >= 3);
+        ws.serial_slots().reset(40);
+        let _ = ws.parallel_parts(4, 150, 70);
+        assert_eq!(ws.grow_events(), cold, "warm reuse must not grow any buffer");
+    }
+
+    fn path4() -> CsrGraph {
+        GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).build()
+    }
+
+    #[test]
+    fn checker_accepts_valid_contraction() {
+        // path 0-1-2-3 contracted by pairs (0,1) (2,3): coarse path of 2
+        let fine = path4();
+        let coarse =
+            GraphBuilder::from_weighted_edges(2, &[(0, 1, 1)]).vertex_weights(vec![2, 2]).build();
+        check_contraction(&fine, &coarse, &[0, 0, 1, 1]).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_weight_loss() {
+        let fine = path4();
+        // vertex weights wrong: 3 + 1 instead of 2 + 2
+        let coarse =
+            GraphBuilder::from_weighted_edges(2, &[(0, 1, 1)]).vertex_weights(vec![3, 1]).build();
+        let err = check_contraction(&fine, &coarse, &[0, 0, 1, 1]).unwrap_err();
+        assert!(err.contains("vwgt"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_dropped_edge_weight() {
+        let fine = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        // the two crossing edges must merge to weight 2; claim 1 instead
+        let coarse =
+            GraphBuilder::from_weighted_edges(2, &[(0, 1, 1)]).vertex_weights(vec![2, 2]).build();
+        let err = check_contraction(&fine, &coarse, &[0, 0, 1, 1]).unwrap_err();
+        assert!(err.contains("edge weight not conserved"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_non_surjective_cmap() {
+        let fine = path4();
+        let coarse = GraphBuilder::from_weighted_edges(3, &[(0, 1, 1)])
+            .vertex_weights(vec![2, 2, 0])
+            .build();
+        let err = check_contraction(&fine, &coarse, &[0, 0, 1, 1]).unwrap_err();
+        assert!(err.contains("surjective"), "{err}");
+    }
+}

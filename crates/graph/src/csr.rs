@@ -251,6 +251,22 @@ impl CsrGraph {
     pub fn uniform_edge_weights(&self) -> bool {
         *self.uniform_ew.get_or_init(|| self.adjwgt.windows(2).all(|p| p[0] == p[1]))
     }
+
+    /// The cached [`CsrGraph::uniform_edge_weights`] answer, if the scan
+    /// already ran (or the cache was primed). Never forces the O(m) scan.
+    pub fn uniform_edge_weights_cached(&self) -> Option<bool> {
+        self.uniform_ew.get().copied()
+    }
+
+    /// Seed the uniform-edge-weight cache with an answer known by
+    /// construction — e.g. a contraction that copied every edge weight
+    /// from a uniform fine graph without merging parallel edges. The
+    /// caller must guarantee `value` equals what the O(m) scan would
+    /// compute; a wrong value would silently steer the matcher. No-op if
+    /// the cache is already populated.
+    pub fn prime_uniform_edge_weights(&self, value: bool) {
+        let _ = self.uniform_ew.set(value);
+    }
 }
 
 impl fmt::Debug for CsrGraph {

@@ -10,6 +10,7 @@
 pub mod analysis;
 pub mod boundary;
 pub mod builder;
+pub mod coarsen_ws;
 pub mod csr;
 pub mod gen;
 pub mod io;
@@ -19,5 +20,6 @@ pub mod subgraph;
 
 pub use boundary::BoundaryTracker;
 pub use builder::GraphBuilder;
+pub use coarsen_ws::{check_contraction, CoarsenWorkspace, EpochSlots};
 pub use csr::{CsrGraph, Vid};
 pub use metrics::{comm_volume, edge_cut, imbalance, part_weights, validate_partition};

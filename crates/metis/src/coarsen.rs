@@ -1,9 +1,10 @@
 //! The coarsening phase: repeated match + contract until the graph is
 //! small enough to partition directly (§II.A.1).
 
-use crate::contract::contract;
+use crate::contract::contract_ws;
 use crate::cost::{CostLedger, CpuModel, Work};
 use crate::matching::{find_matching, MatchScheme};
+use gpm_graph::coarsen_ws::CoarsenWorkspace;
 use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_graph::rng::SplitMix64;
 
@@ -91,6 +92,9 @@ pub fn coarsen(
     let mut levels: Vec<Level> = Vec::new();
     let mut cur = g.clone();
     let max_vwgt = cfg.max_vwgt(g.total_vwgt());
+    // One workspace for the whole V-cycle: the first (largest) level
+    // sizes it high-water, later levels recycle it allocation-free.
+    let mut ws = CoarsenWorkspace::new();
     for lvl in 0..cfg.max_levels {
         if cur.n() <= cfg.coarsen_to || cur.m() == 0 {
             break;
@@ -104,7 +108,7 @@ pub fn coarsen(
             cfg.scheme
         };
         let mat = find_matching(&cur, scheme, max_vwgt, rng, &mut work);
-        let (coarse, cmap) = contract(&cur, &mat, &mut work);
+        let (coarse, cmap) = contract_ws(&cur, &mat, &mut work, &mut ws);
         ledger.serial(&format!("coarsen:l{lvl}"), model, work);
         let ratio = coarse.n() as f64 / cur.n() as f64;
         let coarse_n = coarse.n();

@@ -1,8 +1,20 @@
 //! Graph contraction (§II.A.1): collapse matched vertex pairs into coarse
 //! vertices, summing vertex weights and merging adjacency lists (parallel
 //! coarse edges are combined by summing their weights).
+//!
+//! The builder is a strict two-pass counting contraction: pass 1 computes
+//! each coarse row's exact distinct-neighbor count (prefix-summed into
+//! `xadj`), pass 2 scatters directly into the final, exactly-sized
+//! `adjncy`/`adjwgt` with in-place row dedup. No `push` growth, no
+//! oversized capacity retained by the hierarchy, and the dense dedup
+//! table comes from a recycled [`CoarsenWorkspace`] (epoch-stamped resets
+//! instead of a `vec![u32::MAX; nc]` refill per level). Output bytes are
+//! identical to the historical single-pass builder because the scatter
+//! emits coarse neighbors in the same first-encounter order (u's edges,
+//! then its partner's) — pinned by `tests/contract_identity.rs`.
 
 use crate::cost::Work;
+use gpm_graph::coarsen_ws::CoarsenWorkspace;
 use gpm_graph::csr::{CsrGraph, Vid};
 
 /// Build the coarse-vertex label map from a matching: coarse labels are
@@ -28,8 +40,26 @@ pub fn build_cmap(mat: &[Vid]) -> (Vec<Vid>, usize) {
 }
 
 /// Contract `g` according to matching `mat`. Returns the coarse graph and
-/// the fine-to-coarse vertex map.
+/// the fine-to-coarse vertex map. Convenience wrapper over
+/// [`contract_ws`] with a cold, single-use workspace — level loops should
+/// hold one [`CoarsenWorkspace`] for the whole V-cycle instead.
 pub fn contract(g: &CsrGraph, mat: &[Vid], work: &mut Work) -> (CsrGraph, Vec<Vid>) {
+    contract_ws(g, mat, work, &mut CoarsenWorkspace::new())
+}
+
+/// Two-pass counting contraction drawing all scratch from `ws`.
+///
+/// Work accounting is unchanged from the historical single-pass builder:
+/// the counting pass re-traverses the adjacency stream the model already
+/// charges once at its `ws_bytes` residency (the pass reads the same
+/// cache-resident data the scatter touches immediately after), so the
+/// ledger keeps modeling the paper's single logical contraction sweep.
+pub fn contract_ws(
+    g: &CsrGraph,
+    mat: &[Vid],
+    work: &mut Work,
+    ws: &mut CoarsenWorkspace,
+) -> (CsrGraph, Vec<Vid>) {
     let n = g.n();
     assert_eq!(mat.len(), n);
     let (cmap, nc) = build_cmap(mat);
@@ -37,50 +67,103 @@ pub fn contract(g: &CsrGraph, mat: &[Vid], work: &mut Work) -> (CsrGraph, Vec<Vi
 
     let mut xadj = vec![0u32; nc + 1];
     let mut vwgt = vec![0u32; nc];
-    // Upper bound on coarse adjacency size: the fine adjacency size.
-    let mut adjncy: Vec<Vid> = Vec::with_capacity(g.adjncy.len());
-    let mut adjwgt: Vec<u32> = Vec::with_capacity(g.adjncy.len());
+    let slots = ws.serial_slots();
+    slots.reset(nc);
 
-    // Dense scatter table: slot[c] holds the position of coarse neighbor c
-    // in the current output row, or MARK_EMPTY.
-    let mut slot = vec![u32::MAX; nc];
+    // --- pass 1: exact distinct-coarse-neighbor count per row -----------
+    {
+        let mut c = 0 as Vid;
+        for u in 0..n as Vid {
+            if mat[u as usize] < u {
+                continue; // handled by its representative
+            }
+            let v = mat[u as usize];
+            slots.next_row();
+            let mut deg = 0u32;
+            let mut count = |nb: Vid, slots: &mut gpm_graph::EpochSlots| {
+                let cn = cmap[nb as usize];
+                if cn != c && slots.get(cn).is_none() {
+                    slots.insert(cn, 0);
+                    deg += 1;
+                }
+            };
+            for &nb in g.neighbors(u) {
+                count(nb, slots);
+            }
+            if v != u {
+                for &nb in g.neighbors(v) {
+                    count(nb, slots);
+                }
+            }
+            xadj[c as usize + 1] = deg;
+            c += 1;
+        }
+        debug_assert_eq!(c as usize, nc);
+    }
+    for c in 0..nc {
+        xadj[c + 1] += xadj[c];
+    }
+    let total = xadj[nc] as usize;
+
+    // --- pass 2: scatter into the exactly-sized final arrays ------------
+    let mut adjncy = vec![0 as Vid; total];
+    let mut adjwgt = vec![0u32; total];
+    let mut merged = false;
     let mut c = 0 as Vid;
     for u in 0..n as Vid {
         if mat[u as usize] < u {
-            continue; // handled by its representative
+            continue;
         }
         let v = mat[u as usize];
         vwgt[c as usize] = g.vwgt[u as usize] + if v != u { g.vwgt[v as usize] } else { 0 };
-        let row_start = adjncy.len();
-        let emit =
-            |nb: Vid, w: u32, adjncy: &mut Vec<Vid>, adjwgt: &mut Vec<u32>, slot: &mut [u32]| {
-                let cn = cmap[nb as usize];
-                if cn == c {
-                    return; // collapsed self-edge
-                }
-                let s = slot[cn as usize];
-                if s != u32::MAX && s as usize >= row_start && adjncy[s as usize] == cn {
+        slots.next_row();
+        let mut cursor = xadj[c as usize];
+        let emit = |nb: Vid,
+                    w: u32,
+                    cursor: &mut u32,
+                    merged: &mut bool,
+                    adjncy: &mut [Vid],
+                    adjwgt: &mut [u32],
+                    slots: &mut gpm_graph::EpochSlots| {
+            let cn = cmap[nb as usize];
+            if cn == c {
+                return; // collapsed self-edge
+            }
+            match slots.get(cn) {
+                Some(s) => {
                     adjwgt[s as usize] += w;
-                } else {
-                    slot[cn as usize] = adjncy.len() as u32;
-                    adjncy.push(cn);
-                    adjwgt.push(w);
+                    *merged = true;
                 }
-            };
+                None => {
+                    slots.insert(cn, *cursor);
+                    adjncy[*cursor as usize] = cn;
+                    adjwgt[*cursor as usize] = w;
+                    *cursor += 1;
+                }
+            }
+        };
         for (nb, w) in g.edges(u) {
-            emit(nb, w, &mut adjncy, &mut adjwgt, &mut slot);
+            emit(nb, w, &mut cursor, &mut merged, &mut adjncy, &mut adjwgt, slots);
         }
         if v != u {
             for (nb, w) in g.edges(v) {
-                emit(nb, w, &mut adjncy, &mut adjwgt, &mut slot);
+                emit(nb, w, &mut cursor, &mut merged, &mut adjncy, &mut adjwgt, slots);
             }
         }
         work.edges += (g.degree(u) + if v != u { g.degree(v) } else { 0 }) as u64;
-        xadj[c as usize + 1] = adjncy.len() as u32;
+        debug_assert_eq!(cursor, xadj[c as usize + 1], "count pass disagrees with scatter");
         c += 1;
     }
     debug_assert_eq!(c as usize, nc);
     let coarse = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
+    // No parallel coarse edges were merged, so every coarse weight is a
+    // copy of a fine one: a uniform fine graph stays uniform and the O(m)
+    // rescan at the next level can be skipped. Only a warm fine cache is
+    // consulted — never forced — and `false` is never propagated (merges
+    // can still produce uniform weights; let the scan decide).
+    if !merged && g.uniform_edge_weights_cached() == Some(true) {
+        coarse.prime_uniform_edge_weights(true);
+    }
     debug_assert!(coarse.validate().is_ok(), "contraction produced invalid graph");
     (coarse, cmap)
 }

@@ -1,0 +1,169 @@
+//! Byte-identity of the two-pass counting contraction (ISSUE 5): the
+//! workspace-backed `contract_ws` is a pure allocation/traversal
+//! optimization — for every graph and matching the coarse graph, cmap,
+//! and `Work` charges must be byte-identical to the pre-change
+//! single-pass push-growth implementation, preserved verbatim below as
+//! the reference. Identity must hold both for a cold workspace and for
+//! one recycled across a whole V-cycle (stale epochs, high-water
+//! buffers). Every case is also run through the structural
+//! [`check_contraction`] invariants.
+
+use gpm_graph::builder::GraphBuilder;
+use gpm_graph::check_contraction;
+use gpm_graph::coarsen_ws::CoarsenWorkspace;
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::gen::{delaunay_like, grid2d, rmat, star};
+use gpm_graph::rng::SplitMix64;
+use gpm_metis::contract::{build_cmap, contract_ws};
+use gpm_metis::cost::Work;
+use gpm_metis::matching::{find_matching, MatchScheme};
+use gpm_testkit::{check, tk_assert_eq, Source};
+
+// ===== pre-change reference implementation (verbatim) ===================
+
+/// The single-pass push-growth contraction as it stood before the
+/// two-pass rewrite (`git show` the pre-ISSUE-5 tree for provenance).
+fn ref_contract(g: &CsrGraph, mat: &[Vid], work: &mut Work) -> (CsrGraph, Vec<Vid>) {
+    let n = g.n();
+    assert_eq!(mat.len(), n);
+    let (cmap, nc) = build_cmap(mat);
+    work.vertices += 2 * n as u64;
+
+    let mut xadj = vec![0u32; nc + 1];
+    let mut vwgt = vec![0u32; nc];
+    // Upper bound on coarse adjacency size: the fine adjacency size.
+    let mut adjncy: Vec<Vid> = Vec::with_capacity(g.adjncy.len());
+    let mut adjwgt: Vec<u32> = Vec::with_capacity(g.adjncy.len());
+
+    // Dense scatter table: slot[c] holds the position of coarse neighbor c
+    // in the current output row, or MARK_EMPTY.
+    let mut slot = vec![u32::MAX; nc];
+    let mut c = 0 as Vid;
+    for u in 0..n as Vid {
+        if mat[u as usize] < u {
+            continue; // handled by its representative
+        }
+        let v = mat[u as usize];
+        vwgt[c as usize] = g.vwgt[u as usize] + if v != u { g.vwgt[v as usize] } else { 0 };
+        let row_start = adjncy.len();
+        let emit =
+            |nb: Vid, w: u32, adjncy: &mut Vec<Vid>, adjwgt: &mut Vec<u32>, slot: &mut [u32]| {
+                let cn = cmap[nb as usize];
+                if cn == c {
+                    return; // collapsed self-edge
+                }
+                let s = slot[cn as usize];
+                if s != u32::MAX && s as usize >= row_start && adjncy[s as usize] == cn {
+                    adjwgt[s as usize] += w;
+                } else {
+                    slot[cn as usize] = adjncy.len() as u32;
+                    adjncy.push(cn);
+                    adjwgt.push(w);
+                }
+            };
+        for (nb, w) in g.edges(u) {
+            emit(nb, w, &mut adjncy, &mut adjwgt, &mut slot);
+        }
+        if v != u {
+            for (nb, w) in g.edges(v) {
+                emit(nb, w, &mut adjncy, &mut adjwgt, &mut slot);
+            }
+        }
+        work.edges += (g.degree(u) + if v != u { g.degree(v) } else { 0 }) as u64;
+        xadj[c as usize + 1] = adjncy.len() as u32;
+        c += 1;
+    }
+    debug_assert_eq!(c as usize, nc);
+    let coarse = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
+    debug_assert!(coarse.validate().is_ok(), "contraction produced invalid graph");
+    (coarse, cmap)
+}
+
+// ===== generators =======================================================
+
+fn arbitrary_graph(src: &mut Source) -> CsrGraph {
+    match src.below(5) {
+        0 => delaunay_like(src.usize_in(50, 600), src.below(1 << 30)),
+        1 => rmat(src.usize_in(6, 9) as u32, 8, src.below(1 << 30)),
+        2 => grid2d(src.usize_in(4, 24), src.usize_in(4, 24)),
+        3 => star(src.usize_in(8, 200)),
+        _ => {
+            let n = src.usize_in(8, 120);
+            let mut b = GraphBuilder::new(n);
+            for _ in 0..src.usize_in(n, 4 * n) {
+                let u = src.usize_in(0, n) as u32;
+                let v = src.usize_in(0, n) as u32;
+                if u != v {
+                    b.add_edge(u.min(v), u.max(v), src.u32_in(1, 20));
+                }
+            }
+            let vwgt = (0..n).map(|_| src.u32_in(1, 8)).collect();
+            b.vertex_weights(vwgt).build()
+        }
+    }
+}
+
+fn arbitrary_matching(g: &CsrGraph, src: &mut Source) -> Vec<Vid> {
+    let scheme = *src.choose(&[MatchScheme::Hem, MatchScheme::Rm]);
+    let cap = if src.chance(0.3) { src.u32_in(2, 16) } else { u32::MAX };
+    let mut rng = SplitMix64::new(src.next_u64());
+    let mut w = Work::default();
+    find_matching(g, scheme, cap, &mut rng, &mut w)
+}
+
+// ===== identity properties ==============================================
+
+#[test]
+fn two_pass_identical_to_push_reference() {
+    check("two_pass_identical_to_push_reference", 64, |src| {
+        let g = arbitrary_graph(src);
+        let mat = arbitrary_matching(&g, src);
+
+        let mut w_ref = Work::default();
+        let (g_ref, m_ref) = ref_contract(&g, &mat, &mut w_ref);
+
+        let mut w_new = Work::default();
+        let mut ws = CoarsenWorkspace::new();
+        let (g_new, m_new) = contract_ws(&g, &mat, &mut w_new, &mut ws);
+
+        tk_assert_eq!(g_new, g_ref);
+        tk_assert_eq!(m_new, m_ref);
+        tk_assert_eq!(w_new, w_ref);
+        check_contraction(&g, &g_new, &m_new)
+    });
+}
+
+#[test]
+fn identity_holds_on_recycled_workspace_across_vcycle() {
+    // The same workspace carried through a full descent (shrinking nc,
+    // stale epochs, high-water slot arrays) must not perturb any level.
+    check("identity_on_recycled_workspace", 24, |src| {
+        let g = arbitrary_graph(src);
+        let seed = src.next_u64();
+        let mut ws = CoarsenWorkspace::new();
+        let mut cur = g.clone();
+        let mut rng = SplitMix64::new(seed);
+        for _lvl in 0..6 {
+            if cur.n() <= 8 || cur.m() == 0 {
+                break;
+            }
+            let mut wm = Work::default();
+            let mat = find_matching(&cur, MatchScheme::Hem, u32::MAX, &mut rng, &mut wm);
+
+            let mut w_ref = Work::default();
+            let (g_ref, m_ref) = ref_contract(&cur, &mat, &mut w_ref);
+            let mut w_new = Work::default();
+            let (g_new, m_new) = contract_ws(&cur, &mat, &mut w_new, &mut ws);
+
+            tk_assert_eq!(g_new, g_ref);
+            tk_assert_eq!(m_new, m_ref);
+            tk_assert_eq!(w_new, w_ref);
+            check_contraction(&cur, &g_new, &m_new)?;
+            if g_new.n() as f64 / cur.n() as f64 > 0.98 {
+                break;
+            }
+            cur = g_new;
+        }
+        Ok(())
+    });
+}

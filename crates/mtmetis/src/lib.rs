@@ -18,12 +18,13 @@ pub mod pmatch;
 pub mod prefine;
 pub mod util;
 
+use gpm_graph::coarsen_ws::CoarsenWorkspace;
 use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_metis::coarsen::{CoarsenConfig, Hierarchy, Level};
 use gpm_metis::cost::{CostLedger, CpuModel, Work};
 use gpm_metis::kway::kway_balance;
 use gpm_metis::PartitionResult;
-use pcontract::parallel_contract;
+use pcontract::{parallel_contract, parallel_contract_ws};
 use pinit::parallel_init_partition;
 use pmatch::parallel_matching;
 use prefine::parallel_refine;
@@ -89,6 +90,9 @@ pub fn parallel_coarsen(
     let max_vwgt = CoarsenConfig { coarsen_to: cfg.coarsen_to, ..ccfg }.max_vwgt(g.total_vwgt());
     let mut levels: Vec<Level> = Vec::new();
     let mut cur = g.clone();
+    // One workspace for the whole V-cycle: the first (largest) level
+    // sizes it high-water, later levels recycle it allocation-free.
+    let mut ws = CoarsenWorkspace::new();
     for lvl in 0..ccfg.max_levels {
         if cur.n() <= cfg.coarsen_to || cur.m() == 0 {
             break;
@@ -96,7 +100,7 @@ pub fn parallel_coarsen(
         let (mat, match_work) =
             parallel_matching(&cur, cfg.threads, max_vwgt, cfg.seed.wrapping_add(lvl as u64));
         ledger.parallel(&format!("coarsen:match:l{lvl}"), model, &match_work, 2);
-        let (coarse, cmap, contract_work) = parallel_contract(&cur, &mat, cfg.threads);
+        let (coarse, cmap, contract_work) = parallel_contract_ws(&cur, &mat, cfg.threads, &mut ws);
         ledger.parallel(&format!("coarsen:contract:l{lvl}"), model, &contract_work, 2);
         let ratio = coarse.n() as f64 / cur.n() as f64;
         let coarse_n = coarse.n();

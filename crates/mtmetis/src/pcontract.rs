@@ -1,44 +1,57 @@
-//! Thread-parallel graph contraction: each worker contracts the coarse
-//! vertices whose representatives lie in its fine-vertex chunk, writing
-//! into private buffers that are stitched into the coarse CSR afterwards
-//! (prefix sums over per-thread lengths — the CPU analogue of the paper's
-//! two-phase GPU contraction). All four internal phases dispatch to the
-//! persistent [`gpm_pool`] executor; chunk results are consumed in index
-//! order, so the output cannot depend on scheduling.
+//! Thread-parallel graph contraction, as a strict two-pass counting
+//! scheme (the CPU analogue of the paper's two-phase GPU contraction):
+//! pass 1 computes every coarse row's *exact* distinct-neighbor count,
+//! a pooled prefix sum turns the counts into the final `xadj`, and pass
+//! 2 scatters each worker's rows straight into its disjoint window of
+//! the final `adjncy`/`adjwgt` with in-place dedup. There are no private
+//! per-thread `Out` vectors and no stitch copy any more — the historical
+//! single-pass builder materialized the whole coarse adjacency twice —
+//! and all dense scratch (cmap staging, row counts, dedup tables) comes
+//! from a recycled [`CoarsenWorkspace`]. Chunk boundaries depend only on
+//! the logical `threads` count, and every worker emits coarse neighbors
+//! in the same first-encounter order as the serial code, so the output
+//! is byte-identical for every thread count (pinned by
+//! `tests/pcontract_identity.rs`).
 
-use crate::util::{atomic_vec, chunk_range, ld, snapshot, st};
+use crate::util::{chunk_range, ld, snapshot, st};
+use gpm_graph::coarsen_ws::{CoarsenWorkspace, EpochSlots};
 use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_metis::cost::Work;
-
-/// Per-thread private output of the merge phase.
-struct LocalOut {
-    adjncy: Vec<Vid>,
-    adjwgt: Vec<u32>,
-    degrees: Vec<u32>,
-    vwgt: Vec<u32>,
-    work: Work,
-}
+use std::sync::Mutex;
 
 /// Contract `g` according to matching `mat` using `threads` workers.
 /// Returns the coarse graph, the fine-to-coarse map, and per-thread work.
-#[allow(clippy::needless_range_loop)] // chunked [lo, hi) index loops
+/// Convenience wrapper over [`parallel_contract_ws`] with a cold,
+/// single-use workspace.
 pub fn parallel_contract(
     g: &CsrGraph,
     mat: &[Vid],
     threads: usize,
 ) -> (CsrGraph, Vec<Vid>, Vec<Work>) {
+    parallel_contract_ws(g, mat, threads, &mut CoarsenWorkspace::new())
+}
+
+/// Two-pass counting contraction drawing all scratch from `ws`.
+#[allow(clippy::needless_range_loop)] // chunked [lo, hi) index loops
+pub fn parallel_contract_ws(
+    g: &CsrGraph,
+    mat: &[Vid],
+    threads: usize,
+    ws: &mut CoarsenWorkspace,
+) -> (CsrGraph, Vec<Vid>, Vec<Work>) {
     let n = g.n();
     assert_eq!(mat.len(), n);
 
-    // --- cmap construction -------------------------------------------------
+    // --- chunk representative counts → contiguous coarse-label ranges ----
     // Representatives (u <= mat[u]) get coarse labels in fine order; each
-    // worker's chunk therefore owns a contiguous coarse-label range.
+    // worker's chunk therefore owns a contiguous coarse-label range, which
+    // keeps its scatter window of the final arrays contiguous too.
     let mut rep_counts = vec![0u32; threads + 1];
-    let counts = gpm_pool::parallel_chunks(threads, |t| {
+    let chunk_reps = gpm_pool::parallel_chunks(threads, |t| {
         let (lo, hi) = chunk_range(n, threads, t);
         (lo..hi).filter(|&u| u as Vid <= mat[u]).count() as u32
     });
-    for (t, c) in counts.into_iter().enumerate() {
+    for (t, c) in chunk_reps.into_iter().enumerate() {
         rep_counts[t + 1] = c;
     }
     for t in 0..threads {
@@ -46,124 +59,210 @@ pub fn parallel_contract(
     }
     let nc = rep_counts[threads] as usize;
 
-    let cmap_atomic = atomic_vec(n, 0);
-    // pass 1: label representatives
+    let (labels, row_counts, thread_slots) = ws.parallel_parts(threads, n, nc);
+
+    // --- cmap construction on the recycled label staging ------------------
+    // pass a: label representatives
     gpm_pool::parallel_chunks(threads, |t| {
         let (lo, hi) = chunk_range(n, threads, t);
         let mut next = rep_counts[t];
         for u in lo..hi {
             if u as Vid <= mat[u] {
-                st(&cmap_atomic, u, next);
+                st(labels, u, next);
                 next += 1;
             }
         }
     });
-    // pass 2: non-representatives copy their partner's label
+    // pass b: non-representatives copy their partner's label
     gpm_pool::parallel_chunks(threads, |t| {
         let (lo, hi) = chunk_range(n, threads, t);
         for u in lo..hi {
             if (u as Vid) > mat[u] {
-                st(&cmap_atomic, u, ld(&cmap_atomic, mat[u] as usize));
+                st(labels, u, ld(labels, mat[u] as usize));
             }
         }
     });
-    let cmap: Vec<Vid> = snapshot(&cmap_atomic);
+    let cmap: Vec<Vid> = snapshot(labels);
 
-    // --- parallel merge into private buffers -------------------------------
-    let locals: Vec<LocalOut> = {
+    // Each worker takes its own dedup table through an uncontended mutex
+    // (chunk t is the only taker of entry t; the lock only satisfies the
+    // executor's `Fn` + `Sync` closure bound).
+    let slots: Vec<Mutex<&mut EpochSlots>> = thread_slots.iter_mut().map(Mutex::new).collect();
+
+    // --- pass 1: exact distinct-coarse-neighbor count per row -------------
+    {
         let cmap = &cmap;
         gpm_pool::parallel_chunks(threads, |t| {
             let (lo, hi) = chunk_range(n, threads, t);
-            let mut out = LocalOut {
-                adjncy: Vec::new(),
-                adjwgt: Vec::new(),
-                degrees: Vec::new(),
-                vwgt: Vec::new(),
-                work: Work::default(),
-            };
-            let mut slot = vec![u32::MAX; nc];
+            let mut guard = slots[t].lock().unwrap();
+            let sl: &mut EpochSlots = &mut guard;
+            sl.reset(nc);
+            for u in lo..hi {
+                let v = mat[u];
+                if v < u as Vid {
+                    continue; // handled by its representative
+                }
+                let c = cmap[u];
+                sl.next_row();
+                let mut deg = 0u32;
+                let mut count = |nb: Vid, sl: &mut EpochSlots| {
+                    let cn = cmap[nb as usize];
+                    if cn != c && sl.get(cn).is_none() {
+                        sl.insert(cn, 0);
+                        deg += 1;
+                    }
+                };
+                for &nb in g.neighbors(u as Vid) {
+                    count(nb, sl);
+                }
+                if v != u as Vid {
+                    for &nb in g.neighbors(v) {
+                        count(nb, sl);
+                    }
+                }
+                st(row_counts, c as usize, deg);
+            }
+        });
+    }
+
+    // --- xadj: pooled prefix sum over the exact counts --------------------
+    let mut xadj = vec![0u32; nc + 1];
+    {
+        let sums = gpm_pool::parallel_chunks(threads, |t| {
+            let (lo, hi) = chunk_range(nc, threads, t);
+            let mut s = 0u32;
+            for c in lo..hi {
+                s += ld(row_counts, c);
+            }
+            s
+        });
+        let mut base = vec![0u32; threads + 1];
+        for t in 0..threads {
+            base[t + 1] = base[t] + sums[t];
+        }
+        // disjoint per-chunk windows of xadj[1..], delivered through
+        // uncontended mutexes like the dedup tables above
+        let mut windows: Vec<Mutex<Option<&mut [u32]>>> = Vec::with_capacity(threads);
+        let mut rest: &mut [u32] = &mut xadj[1..];
+        for t in 0..threads {
+            let (lo, hi) = chunk_range(nc, threads, t);
+            let (win, r) = rest.split_at_mut(hi - lo);
+            windows.push(Mutex::new(Some(win)));
+            rest = r;
+        }
+        gpm_pool::parallel_chunks(threads, |t| {
+            let (lo, hi) = chunk_range(nc, threads, t);
+            let win = windows[t].lock().unwrap().take().unwrap();
+            let mut run = base[t];
+            for (i, c) in (lo..hi).enumerate() {
+                run += ld(row_counts, c);
+                win[i] = run;
+            }
+        });
+    }
+    let total = xadj[nc] as usize;
+
+    // --- pass 2: scatter into disjoint windows of the final arrays --------
+    let mut adjncy = vec![0 as Vid; total];
+    let mut adjwgt = vec![0u32; total];
+    let mut vwgt = vec![0u32; nc];
+    let results: Vec<(Work, bool)> = {
+        let cmap = &cmap;
+        let xadj = &xadj;
+        // worker t owns coarse labels [rep_counts[t], rep_counts[t+1]) and
+        // therefore the adjacency range [xadj[lo], xadj[hi]) — contiguous,
+        // so the final arrays split cleanly with no copies afterwards
+        type ScatterWindow<'a> = (&'a mut [Vid], &'a mut [u32], &'a mut [u32]);
+        let mut parts: Vec<Mutex<Option<ScatterWindow>>> = Vec::with_capacity(threads);
+        let mut a_rest: &mut [Vid] = &mut adjncy;
+        let mut w_rest: &mut [u32] = &mut adjwgt;
+        let mut v_rest: &mut [u32] = &mut vwgt;
+        for t in 0..threads {
+            let (cl_lo, cl_hi) = (rep_counts[t] as usize, rep_counts[t + 1] as usize);
+            let len = (xadj[cl_hi] - xadj[cl_lo]) as usize;
+            let (a, ar) = a_rest.split_at_mut(len);
+            let (w, wr) = w_rest.split_at_mut(len);
+            let (v, vr) = v_rest.split_at_mut(cl_hi - cl_lo);
+            parts.push(Mutex::new(Some((a, w, v))));
+            a_rest = ar;
+            w_rest = wr;
+            v_rest = vr;
+        }
+        gpm_pool::parallel_chunks(threads, |t| {
+            let (lo, hi) = chunk_range(n, threads, t);
+            let cl_lo = rep_counts[t];
+            let base = xadj[cl_lo as usize];
+            let (adj, wgt, vw) = parts[t].lock().unwrap().take().unwrap();
+            let mut guard = slots[t].lock().unwrap();
+            let sl: &mut EpochSlots = &mut guard;
+            let mut work = Work::default();
+            let mut merged = false;
             for u in lo..hi {
                 let v = mat[u];
                 if v < u as Vid {
                     continue;
                 }
                 let c = cmap[u];
-                out.vwgt.push(g.vwgt[u] + if v != u as Vid { g.vwgt[v as usize] } else { 0 });
-                let row_start = out.adjncy.len();
-                let emit = |nb: Vid, w: u32, out: &mut LocalOut, slot: &mut [u32]| {
+                vw[(c - cl_lo) as usize] =
+                    g.vwgt[u] + if v != u as Vid { g.vwgt[v as usize] } else { 0 };
+                sl.next_row();
+                let mut cursor = xadj[c as usize] - base; // window-relative
+                let mut emit = |nb: Vid, w: u32, sl: &mut EpochSlots| {
                     let cn = cmap[nb as usize];
                     if cn == c {
-                        return;
+                        return; // collapsed self-edge
                     }
-                    let sl = slot[cn as usize];
-                    if sl != u32::MAX && sl as usize >= row_start {
-                        out.adjwgt[sl as usize] += w;
-                    } else {
-                        slot[cn as usize] = out.adjncy.len() as u32;
-                        out.adjncy.push(cn);
-                        out.adjwgt.push(w);
+                    match sl.get(cn) {
+                        Some(s) => {
+                            wgt[s as usize] += w;
+                            merged = true;
+                        }
+                        None => {
+                            sl.insert(cn, cursor);
+                            adj[cursor as usize] = cn;
+                            wgt[cursor as usize] = w;
+                            cursor += 1;
+                        }
                     }
                 };
                 for (nb, w) in g.edges(u as Vid) {
-                    emit(nb, w, &mut out, &mut slot);
+                    emit(nb, w, sl);
                 }
                 if v != u as Vid {
                     for (nb, w) in g.edges(v) {
-                        emit(nb, w, &mut out, &mut slot);
+                        emit(nb, w, sl);
                     }
                 }
-                out.work.edges +=
+                work.edges +=
                     (g.degree(u as Vid) + if v != u as Vid { g.degree(v) } else { 0 }) as u64;
-                out.work.vertices += 1;
-                out.degrees.push((out.adjncy.len() - row_start) as u32);
+                work.vertices += 1;
+                debug_assert_eq!(
+                    cursor,
+                    xadj[c as usize + 1] - base,
+                    "count pass disagrees with scatter"
+                );
             }
-            out
+            (work, merged)
         })
     };
 
-    // --- stitch -------------------------------------------------------------
-    let total: usize = locals.iter().map(|l| l.adjncy.len()).sum();
-    let mut adjncy = vec![0 as Vid; total];
-    let mut adjwgt = vec![0u32; total];
-    let mut vwgt = vec![0u32; nc];
-    let mut xadj = vec![0u32; nc + 1];
-    {
-        // contiguous per-thread destination slices, in coarse-label order
-        let mut adj_rest: &mut [Vid] = &mut adjncy;
-        let mut wgt_rest: &mut [u32] = &mut adjwgt;
-        let mut vw_rest: &mut [u32] = &mut vwgt;
-        let mut deg_cursor = 0usize;
-        for l in &locals {
-            let (a, ar) = adj_rest.split_at_mut(l.adjncy.len());
-            let (w, wr) = wgt_rest.split_at_mut(l.adjwgt.len());
-            let (v, vr) = vw_rest.split_at_mut(l.vwgt.len());
-            a.copy_from_slice(&l.adjncy);
-            w.copy_from_slice(&l.adjwgt);
-            v.copy_from_slice(&l.vwgt);
-            adj_rest = ar;
-            wgt_rest = wr;
-            vw_rest = vr;
-            for &d in &l.degrees {
-                xadj[deg_cursor + 1] = d;
-                deg_cursor += 1;
-            }
-        }
-        debug_assert_eq!(deg_cursor, nc);
-    }
-    for i in 0..nc {
-        xadj[i + 1] += xadj[i];
-    }
-    let coarse = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
-    debug_assert!(coarse.validate().is_ok());
-    let ws = g.bytes();
-    let works = locals
+    let ws_bytes = g.bytes();
+    let mut merged_any = false;
+    let works: Vec<Work> = results
         .into_iter()
-        .map(|l| {
-            let mut w = l.work;
-            w.ws_bytes = ws;
+        .map(|(mut w, m)| {
+            merged_any |= m;
+            w.ws_bytes = ws_bytes;
             w
         })
         .collect();
+    let coarse = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
+    // See `gpm_metis::contract::contract_ws`: only a warm `true` answer
+    // propagates; merges leave the coarse cache cold for the O(m) scan.
+    if !merged_any && g.uniform_edge_weights_cached() == Some(true) {
+        coarse.prime_uniform_edge_weights(true);
+    }
+    debug_assert!(coarse.validate().is_ok());
     (coarse, cmap, works)
 }
 
@@ -236,11 +335,56 @@ mod tests {
     }
 
     #[test]
+    fn uniform_flag_propagates_without_merges() {
+        // a path matched in disjoint pairs never merges parallel edges:
+        // the warm uniform answer must carry to the coarse graph for free
+        let n = 64usize;
+        let edges: Vec<(Vid, Vid)> = (0..n as Vid - 1).map(|u| (u, u + 1)).collect();
+        let g = gpm_graph::builder::GraphBuilder::from_edges(n, &edges).build();
+        assert!(g.uniform_edge_weights()); // warm the cache
+        let mut mat: Vec<Vid> = (0..n as Vid).collect();
+        for u in (0..n as Vid).step_by(2) {
+            mat[u as usize] = u + 1;
+            mat[u as usize + 1] = u;
+        }
+        let (coarse, _, _) = parallel_contract(&g, &mat, 4);
+        assert_eq!(coarse.uniform_edge_weights_cached(), Some(true));
+        assert!(coarse.uniform_edge_weights());
+        // the primed answer matches what a cold scan would say
+        assert!(coarse.adjwgt.windows(2).all(|p| p[0] == p[1]));
+    }
+
+    #[test]
     fn identity_matching_identity_graph() {
         let g = grid2d(6, 6);
         let mat: Vec<Vid> = (0..g.n() as Vid).collect();
         let (coarse, cmap, _) = parallel_contract(&g, &mat, 3);
         assert_eq!(coarse, g);
         assert_eq!(cmap, mat);
+    }
+
+    #[test]
+    fn warm_workspace_reused_across_levels() {
+        let g = delaunay_like(2_000, 5);
+        let mut ws = CoarsenWorkspace::new();
+        let mut cur = g;
+        let mut grow_after_first = None;
+        for lvl in 0..4 {
+            let (mat, _) = parallel_matching(&cur, 4, u32::MAX, lvl as u64);
+            let (coarse, _, _) = parallel_contract_ws(&cur, &mat, 4, &mut ws);
+            if coarse.n() == cur.n() {
+                break;
+            }
+            cur = coarse;
+            if lvl == 0 {
+                grow_after_first = Some(ws.grow_events());
+            } else {
+                assert_eq!(
+                    Some(ws.grow_events()),
+                    grow_after_first,
+                    "later (smaller) levels must not grow the workspace"
+                );
+            }
+        }
     }
 }

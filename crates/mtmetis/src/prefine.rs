@@ -114,6 +114,11 @@ pub fn parallel_refine(
                     let (lo, hi) = scan_chunks[c];
                     let mut parts: Vec<u32> = Vec::with_capacity(8);
                     let mut wgts: Vec<i64> = Vec::with_capacity(8);
+                    // Dense partition→slot index (epoch-stamped, O(1)
+                    // invalidation per vertex) replacing the linear
+                    // `position` scans — O(deg) per gather even at large k.
+                    let mut slots = gpm_graph::EpochSlots::new();
+                    slots.reset(k);
                     for u in lo..hi {
                         w.vertices += 1;
                         // O(1) boundary test — interior vertices cost no
@@ -123,21 +128,25 @@ pub fn parallel_refine(
                             continue;
                         }
                         let pu = apart[u].load(Ordering::Relaxed);
-                        // connectivity gather over the boundary only
+                        // connectivity gather over the boundary only;
+                        // `parts` keeps first-encounter order (the tie-break
+                        // order downstream), `slots` makes membership O(1)
                         parts.clear();
                         wgts.clear();
+                        slots.next_row();
                         for (v, ew) in g.edges(u as Vid) {
                             let pv = apart[v as usize].load(Ordering::Relaxed);
-                            match parts.iter().position(|&x| x == pv) {
-                                Some(i) => wgts[i] += ew as i64,
+                            match slots.get(pv) {
+                                Some(i) => wgts[i as usize] += ew as i64,
                                 None => {
+                                    slots.insert(pv, parts.len() as u32);
                                     parts.push(pv);
                                     wgts.push(ew as i64);
                                 }
                             }
                         }
                         w.edges += g.degree(u as Vid) as u64;
-                        let w_own = parts.iter().position(|&x| x == pu).map_or(0, |i| wgts[i]);
+                        let w_own = slots.get(pu).map_or(0, |i| wgts[i as usize]);
                         let vw = g.vwgt[u] as u64;
                         let mut best: Option<(u32, i64)> = None;
                         for (&p, &wp) in parts.iter().zip(wgts.iter()) {

@@ -1,0 +1,257 @@
+//! Byte-identity of the thread-parallel two-pass contraction (ISSUE 5):
+//! the workspace-backed `parallel_contract_ws` replaces per-thread
+//! private push-buffers plus a stitch copy with exact counting and
+//! in-place scatter — for every graph, matching, and thread count the
+//! coarse graph, cmap, and per-thread `Work` records must be
+//! byte-identical to the pre-change implementation, preserved verbatim
+//! below as the reference. Runs under whatever worker count
+//! `GPM_THREADS` selects (CI sweeps 1/4/8), with the *logical* chunk
+//! count varied per case. Every case also passes the structural
+//! [`check_contraction`] invariants.
+
+use gpm_graph::builder::GraphBuilder;
+use gpm_graph::check_contraction;
+use gpm_graph::coarsen_ws::CoarsenWorkspace;
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::gen::{delaunay_like, grid2d, rmat, star};
+use gpm_graph::rng::SplitMix64;
+use gpm_metis::cost::Work;
+use gpm_metis::matching::{find_matching, MatchScheme};
+use gpm_mtmetis::pcontract::{parallel_contract, parallel_contract_ws};
+use gpm_mtmetis::util::{atomic_vec, chunk_range, ld, snapshot, st};
+use gpm_testkit::{check, tk_assert_eq, Source};
+
+// ===== pre-change reference implementation (verbatim) ===================
+
+struct LocalOut {
+    adjncy: Vec<Vid>,
+    adjwgt: Vec<u32>,
+    degrees: Vec<u32>,
+    vwgt: Vec<u32>,
+    work: Work,
+}
+
+/// The private-buffer + stitch contraction as it stood before the
+/// two-pass rewrite.
+#[allow(clippy::needless_range_loop)]
+fn ref_parallel_contract(
+    g: &CsrGraph,
+    mat: &[Vid],
+    threads: usize,
+) -> (CsrGraph, Vec<Vid>, Vec<Work>) {
+    let n = g.n();
+    assert_eq!(mat.len(), n);
+
+    let mut rep_counts = vec![0u32; threads + 1];
+    let counts = gpm_pool::parallel_chunks(threads, |t| {
+        let (lo, hi) = chunk_range(n, threads, t);
+        (lo..hi).filter(|&u| u as Vid <= mat[u]).count() as u32
+    });
+    for (t, c) in counts.into_iter().enumerate() {
+        rep_counts[t + 1] = c;
+    }
+    for t in 0..threads {
+        rep_counts[t + 1] += rep_counts[t];
+    }
+    let nc = rep_counts[threads] as usize;
+
+    let cmap_atomic = atomic_vec(n, 0);
+    gpm_pool::parallel_chunks(threads, |t| {
+        let (lo, hi) = chunk_range(n, threads, t);
+        let mut next = rep_counts[t];
+        for u in lo..hi {
+            if u as Vid <= mat[u] {
+                st(&cmap_atomic, u, next);
+                next += 1;
+            }
+        }
+    });
+    gpm_pool::parallel_chunks(threads, |t| {
+        let (lo, hi) = chunk_range(n, threads, t);
+        for u in lo..hi {
+            if (u as Vid) > mat[u] {
+                st(&cmap_atomic, u, ld(&cmap_atomic, mat[u] as usize));
+            }
+        }
+    });
+    let cmap: Vec<Vid> = snapshot(&cmap_atomic);
+
+    let locals: Vec<LocalOut> = {
+        let cmap = &cmap;
+        gpm_pool::parallel_chunks(threads, |t| {
+            let (lo, hi) = chunk_range(n, threads, t);
+            let mut out = LocalOut {
+                adjncy: Vec::new(),
+                adjwgt: Vec::new(),
+                degrees: Vec::new(),
+                vwgt: Vec::new(),
+                work: Work::default(),
+            };
+            let mut slot = vec![u32::MAX; nc];
+            for u in lo..hi {
+                let v = mat[u];
+                if v < u as Vid {
+                    continue;
+                }
+                let c = cmap[u];
+                out.vwgt.push(g.vwgt[u] + if v != u as Vid { g.vwgt[v as usize] } else { 0 });
+                let row_start = out.adjncy.len();
+                let emit = |nb: Vid, w: u32, out: &mut LocalOut, slot: &mut [u32]| {
+                    let cn = cmap[nb as usize];
+                    if cn == c {
+                        return;
+                    }
+                    let sl = slot[cn as usize];
+                    if sl != u32::MAX && sl as usize >= row_start {
+                        out.adjwgt[sl as usize] += w;
+                    } else {
+                        slot[cn as usize] = out.adjncy.len() as u32;
+                        out.adjncy.push(cn);
+                        out.adjwgt.push(w);
+                    }
+                };
+                for (nb, w) in g.edges(u as Vid) {
+                    emit(nb, w, &mut out, &mut slot);
+                }
+                if v != u as Vid {
+                    for (nb, w) in g.edges(v) {
+                        emit(nb, w, &mut out, &mut slot);
+                    }
+                }
+                out.work.edges +=
+                    (g.degree(u as Vid) + if v != u as Vid { g.degree(v) } else { 0 }) as u64;
+                out.work.vertices += 1;
+                out.degrees.push((out.adjncy.len() - row_start) as u32);
+            }
+            out
+        })
+    };
+
+    let total: usize = locals.iter().map(|l| l.adjncy.len()).sum();
+    let mut adjncy = vec![0 as Vid; total];
+    let mut adjwgt = vec![0u32; total];
+    let mut vwgt = vec![0u32; nc];
+    let mut xadj = vec![0u32; nc + 1];
+    {
+        let mut adj_rest: &mut [Vid] = &mut adjncy;
+        let mut wgt_rest: &mut [u32] = &mut adjwgt;
+        let mut vw_rest: &mut [u32] = &mut vwgt;
+        let mut deg_cursor = 0usize;
+        for l in &locals {
+            let (a, ar) = adj_rest.split_at_mut(l.adjncy.len());
+            let (w, wr) = wgt_rest.split_at_mut(l.adjwgt.len());
+            let (v, vr) = vw_rest.split_at_mut(l.vwgt.len());
+            a.copy_from_slice(&l.adjncy);
+            w.copy_from_slice(&l.adjwgt);
+            v.copy_from_slice(&l.vwgt);
+            adj_rest = ar;
+            wgt_rest = wr;
+            vw_rest = vr;
+            for &d in &l.degrees {
+                xadj[deg_cursor + 1] = d;
+                deg_cursor += 1;
+            }
+        }
+        debug_assert_eq!(deg_cursor, nc);
+    }
+    for i in 0..nc {
+        xadj[i + 1] += xadj[i];
+    }
+    let coarse = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
+    debug_assert!(coarse.validate().is_ok());
+    let ws = g.bytes();
+    let works = locals
+        .into_iter()
+        .map(|l| {
+            let mut w = l.work;
+            w.ws_bytes = ws;
+            w
+        })
+        .collect();
+    (coarse, cmap, works)
+}
+
+// ===== generators =======================================================
+
+fn arbitrary_graph(src: &mut Source) -> CsrGraph {
+    match src.below(5) {
+        0 => delaunay_like(src.usize_in(50, 600), src.below(1 << 30)),
+        1 => rmat(src.usize_in(6, 9) as u32, 8, src.below(1 << 30)),
+        2 => grid2d(src.usize_in(4, 24), src.usize_in(4, 24)),
+        3 => star(src.usize_in(8, 200)),
+        _ => {
+            let n = src.usize_in(8, 120);
+            let mut b = GraphBuilder::new(n);
+            for _ in 0..src.usize_in(n, 4 * n) {
+                let u = src.usize_in(0, n) as u32;
+                let v = src.usize_in(0, n) as u32;
+                if u != v {
+                    b.add_edge(u.min(v), u.max(v), src.u32_in(1, 20));
+                }
+            }
+            let vwgt = (0..n).map(|_| src.u32_in(1, 8)).collect();
+            b.vertex_weights(vwgt).build()
+        }
+    }
+}
+
+fn arbitrary_matching(g: &CsrGraph, src: &mut Source) -> Vec<Vid> {
+    let scheme = *src.choose(&[MatchScheme::Hem, MatchScheme::Rm]);
+    let cap = if src.chance(0.3) { src.u32_in(2, 16) } else { u32::MAX };
+    let mut rng = SplitMix64::new(src.next_u64());
+    let mut w = Work::default();
+    find_matching(g, scheme, cap, &mut rng, &mut w)
+}
+
+// ===== identity properties ==============================================
+
+#[test]
+fn two_pass_identical_to_stitch_reference() {
+    check("parallel_two_pass_identical_to_stitch_reference", 48, |src| {
+        let g = arbitrary_graph(src);
+        let mat = arbitrary_matching(&g, src);
+        let threads = src.usize_in(1, 9);
+
+        let (g_ref, m_ref, w_ref) = ref_parallel_contract(&g, &mat, threads);
+        let (g_new, m_new, w_new) = parallel_contract(&g, &mat, threads);
+
+        tk_assert_eq!(g_new, g_ref);
+        tk_assert_eq!(m_new, m_ref);
+        tk_assert_eq!(w_new, w_ref);
+        check_contraction(&g, &g_new, &m_new)
+    });
+}
+
+#[test]
+fn identity_holds_on_recycled_workspace_across_vcycle() {
+    // The same workspace carried through a descent — with the chunk count
+    // varying level to level — must not perturb any level's output.
+    check("parallel_identity_on_recycled_workspace", 16, |src| {
+        let g = arbitrary_graph(src);
+        let seed = src.next_u64();
+        let mut ws = CoarsenWorkspace::new();
+        let mut cur = g.clone();
+        let mut rng = SplitMix64::new(seed);
+        for _lvl in 0..5 {
+            if cur.n() <= 8 || cur.m() == 0 {
+                break;
+            }
+            let threads = src.usize_in(1, 9);
+            let mut wm = Work::default();
+            let mat = find_matching(&cur, MatchScheme::Hem, u32::MAX, &mut rng, &mut wm);
+
+            let (g_ref, m_ref, w_ref) = ref_parallel_contract(&cur, &mat, threads);
+            let (g_new, m_new, w_new) = parallel_contract_ws(&cur, &mat, threads, &mut ws);
+
+            tk_assert_eq!(g_new, g_ref);
+            tk_assert_eq!(m_new, m_ref);
+            tk_assert_eq!(w_new, w_ref);
+            check_contraction(&cur, &g_new, &m_new)?;
+            if g_new.n() as f64 / cur.n() as f64 > 0.98 {
+                break;
+            }
+            cur = g_new;
+        }
+        Ok(())
+    });
+}

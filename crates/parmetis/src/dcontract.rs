@@ -7,16 +7,38 @@
 use crate::dmatch::DistMatching;
 use crate::exchange::{allgather_u32, fetch_remote};
 use crate::local::LocalGraph;
+use gpm_graph::coarsen_ws::CoarsenWorkspace;
 use gpm_msg::RankCtx;
 
 /// Contract the distributed fine graph. Collective. Returns the coarse
 /// local graph and `cmap_local` (coarse gid of every local fine vertex).
-#[allow(clippy::needless_range_loop)] // rank- and vertex-indexed assembly loops
+/// Convenience wrapper over [`dist_contract_ws`] with a cold, single-use
+/// workspace — the level loop in `try_partition` holds one per rank for
+/// the whole V-cycle instead.
 pub fn dist_contract(
     ctx: &mut RankCtx,
     lg: &LocalGraph,
     m: &DistMatching,
     tag: u32,
+) -> (LocalGraph, Vec<u32>) {
+    dist_contract_ws(ctx, lg, m, tag, &mut CoarsenWorkspace::new())
+}
+
+/// Two-pass counting contraction drawing the per-rank dense dedup table
+/// from `ws` (epoch-stamped resets instead of a `vec![u32::MAX;
+/// nc_global]` refill per level). Pass 1 counts each coarse row's exact
+/// distinct neighbors across the row's three sources (own edges, local
+/// partner's edges, shipped cross-rank rows); pass 2 scatters into the
+/// exactly-sized final arrays in the same first-encounter order the
+/// historical push-grown builder used, so the output is byte-identical
+/// (pinned by `tests/dcontract_identity.rs`).
+#[allow(clippy::needless_range_loop)] // rank- and vertex-indexed assembly loops
+pub fn dist_contract_ws(
+    ctx: &mut RankCtx,
+    lg: &LocalGraph,
+    m: &DistMatching,
+    tag: u32,
+    ws: &mut CoarsenWorkspace,
 ) -> (LocalGraph, Vec<u32>) {
     let n = lg.n_local();
     let p = ctx.ranks;
@@ -117,14 +139,55 @@ pub fn dist_contract(
     // --- build coarse rows ---------------------------------------------------
     let nc_local = rep_count as usize;
     let mut xadj = vec![0u32; nc_local + 1];
-    let mut adjncy: Vec<u32> = Vec::new();
-    let mut adjwgt: Vec<u32> = Vec::new();
     let mut vwgt = vec![0u32; nc_local];
-    // Dense dedup scatter (the trick contract.rs uses): slot[cn] holds the
-    // adjncy index of coarse neighbor cn. Entries from earlier rows are
-    // always < the current row's start, so no per-row clearing is needed.
+    // Dense epoch-stamped dedup table from the recycled workspace, keyed
+    // by *global* coarse id (rows reference remote coarse vertices).
     let nc_global = vtxdist_c[p] as usize;
-    let mut slot = vec![u32::MAX; nc_global];
+    let slot = ws.serial_slots();
+    slot.reset(nc_global);
+
+    // pass 1: exact distinct-coarse-neighbor count per row, traversing
+    // the row's sources in the same order the scatter will
+    {
+        let mut ci = 0usize;
+        for u in 0..n {
+            if !is_rep(u) {
+                continue;
+            }
+            let c = cmap_local[u];
+            let partner = m.mat[u];
+            slot.next_row();
+            let mut deg = 0u32;
+            let mut count = |cn: u32, slot: &mut gpm_graph::EpochSlots| {
+                if cn != c && slot.get(cn).is_none() {
+                    slot.insert(cn, 0);
+                    deg += 1;
+                }
+            };
+            for (v, _) in lg.edges(u) {
+                count(cmap_of(v), slot);
+            }
+            if partner != lg.gid(u) && lg.is_local(partner) {
+                for (v, _) in lg.edges(lg.lid(partner)) {
+                    count(cmap_of(v), slot);
+                }
+            }
+            for &(cn, _) in &shipped[(c - my_c0) as usize] {
+                count(cn, slot);
+            }
+            xadj[ci + 1] = deg;
+            ci += 1;
+        }
+        debug_assert_eq!(ci, nc_local);
+    }
+    for ci in 0..nc_local {
+        xadj[ci + 1] += xadj[ci];
+    }
+    let total = xadj[nc_local] as usize;
+
+    // pass 2: scatter into the exactly-sized final arrays
+    let mut adjncy = vec![0u32; total];
+    let mut adjwgt = vec![0u32; total];
     let mut ci = 0usize;
     for u in 0..n {
         if !is_rep(u) {
@@ -140,40 +203,45 @@ pub fn dist_contract(
             } else {
                 m.pvw[u]
             };
-        let row_start = adjncy.len();
-        let emit =
-            |cn: u32, w: u32, adjncy: &mut Vec<u32>, adjwgt: &mut Vec<u32>, slot: &mut [u32]| {
-                if cn == c {
-                    return;
+        slot.next_row();
+        let mut cursor = xadj[ci];
+        let mut emit = |cn: u32,
+                        w: u32,
+                        adjncy: &mut [u32],
+                        adjwgt: &mut [u32],
+                        slot: &mut gpm_graph::EpochSlots| {
+            if cn == c {
+                return;
+            }
+            match slot.get(cn) {
+                Some(s) => adjwgt[s as usize] += w,
+                None => {
+                    slot.insert(cn, cursor);
+                    adjncy[cursor as usize] = cn;
+                    adjwgt[cursor as usize] = w;
+                    cursor += 1;
                 }
-                let s = slot[cn as usize] as usize;
-                if s >= row_start && s < adjncy.len() {
-                    adjwgt[s] += w;
-                } else {
-                    slot[cn as usize] = adjncy.len() as u32;
-                    adjncy.push(cn);
-                    adjwgt.push(w);
-                }
-            };
+            }
+        };
         for (v, w) in lg.edges(u) {
-            emit(cmap_of(v), w, &mut adjncy, &mut adjwgt, &mut slot);
+            emit(cmap_of(v), w, &mut adjncy, &mut adjwgt, slot);
         }
         ctx.work(lg.degree(u) as u64, 1);
         if partner != lg.gid(u) && lg.is_local(partner) {
             let pl = lg.lid(partner);
             for (v, w) in lg.edges(pl) {
-                emit(cmap_of(v), w, &mut adjncy, &mut adjwgt, &mut slot);
+                emit(cmap_of(v), w, &mut adjncy, &mut adjwgt, slot);
             }
             ctx.work(lg.degree(pl) as u64, 0);
         }
         let row = std::mem::take(&mut shipped[(c - my_c0) as usize]);
         if !row.is_empty() {
             for &(cn, w) in &row {
-                emit(cn, w, &mut adjncy, &mut adjwgt, &mut slot);
+                emit(cn, w, &mut adjncy, &mut adjwgt, slot);
             }
             ctx.work(row.len() as u64, 0);
         }
-        xadj[ci + 1] = adjncy.len() as u32;
+        debug_assert_eq!(cursor, xadj[ci + 1], "count pass disagrees with scatter");
         ci += 1;
     }
     debug_assert_eq!(ci, nc_local);

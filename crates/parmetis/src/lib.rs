@@ -16,10 +16,11 @@ pub mod drefine;
 pub mod exchange;
 pub mod local;
 
-use dcontract::dist_contract;
+use dcontract::dist_contract_ws;
 use dinit::dist_init_partition;
 use dmatch::dist_matching;
 use drefine::{dist_project, dist_refine};
+use gpm_graph::coarsen_ws::CoarsenWorkspace;
 use gpm_graph::csr::CsrGraph;
 use gpm_metis::coarsen::CoarsenConfig;
 use gpm_metis::cost::{CostLedger, CpuModel};
@@ -101,6 +102,10 @@ pub fn try_partition(g: &CsrGraph, cfg: &ParMetisConfig) -> Result<PartitionResu
         let mut levels: Vec<(LocalGraph, Vec<u32>)> = Vec::new();
 
         // --- distributed coarsening -----------------------------------
+        // One contraction workspace per rank for the whole V-cycle: the
+        // first (largest) level sizes it high-water, later levels
+        // recycle it allocation-free.
+        let mut ws = CoarsenWorkspace::new();
         for lvl in 0..ccfg.max_levels {
             if cur.n_global() <= cfg.coarsen_to {
                 break;
@@ -108,7 +113,7 @@ pub fn try_partition(g: &CsrGraph, cfg: &ParMetisConfig) -> Result<PartitionResu
             let base = 10_000 * (lvl as u32 + 1);
             let m = dist_matching(ctx, &cur, max_vwgt, cfg.match_passes, base);
             ctx.phase_end(&format!("coarsen:match:l{lvl}"));
-            let (coarse, cmap) = dist_contract(ctx, &cur, &m, base + 1000);
+            let (coarse, cmap) = dist_contract_ws(ctx, &cur, &m, base + 1000, &mut ws);
             ctx.phase_end(&format!("coarsen:contract:l{lvl}"));
             let ratio = coarse.n_global() as f64 / cur.n_global() as f64;
             let coarse_n = coarse.n_global();

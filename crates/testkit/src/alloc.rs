@@ -1,0 +1,95 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! Wraps the system allocator and counts every allocation call (and the
+//! bytes requested), so a test can assert that a warmed code path stays
+//! off the allocator — e.g. that a recycled [`CoarsenWorkspace`] makes
+//! later coarsening levels allocation-free apart from the exactly-sized
+//! output arrays the hierarchy retains.
+//!
+//! Usage (in a dedicated *integration* test, one per binary):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: gpm_testkit::alloc::CountingAlloc = gpm_testkit::alloc::CountingAlloc::new();
+//!
+//! let before = ALLOC.allocations();
+//! run_warm_path();
+//! let during = ALLOC.allocations() - before;
+//! ```
+//!
+//! Keep such tests single-threaded: pool workers allocate on their own
+//! schedule, which makes counts nondeterministic. The counters themselves
+//! are atomic, so concurrent use is safe — just not reproducible.
+//!
+//! [`CoarsenWorkspace`]: gpm_graph::coarsen_ws::CoarsenWorkspace
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts calls and requested bytes.
+pub struct CountingAlloc {
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+    bytes_allocated: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh counter (all zeros). `const` so it can back a
+    /// `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+            bytes_allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Total allocation calls so far (`alloc` + `alloc_zeroed` + growing
+    /// `realloc`s count once each).
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Total deallocation calls so far.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested across all allocation calls.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates verbatim to `System`; the counters are side effects
+// that never touch the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}

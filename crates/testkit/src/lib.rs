@@ -23,6 +23,7 @@
 //! identical case sequences — the same per-stream discipline the
 //! partitioner kernels themselves rely on.
 
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 
