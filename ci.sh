@@ -116,4 +116,120 @@ GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke"
     cargo bench --offline -p gpm-bench --bench coarsen
 ./target/release/validate_bench "$smoke/BENCH_coarsen.json"
 
+step "committed bench baselines (schema-check every BENCH_*.json in the repo)"
+# --all discovers the baselines from the directory, so a newly committed
+# BENCH_*.json can never be missing from a hand-maintained list.
+./target/release/validate_bench --all crates/bench
+
+step "serve smoke (daemon: cache hit, forced degradation, deadline, identity)"
+serve=./target/release/gpm-serve
+loadgen=./target/release/gpm-loadgen
+start_daemon() { # start_daemon <port-file> [extra daemon args...]
+    local port_file=$1; shift
+    rm -f "$port_file"
+    "$serve" --addr 127.0.0.1:0 --port-file "$port_file" "$@" &
+    daemon_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$port_file" ] && break
+        sleep 0.1
+    done
+    [ -s "$port_file" ] || { echo "ERROR: daemon did not write $port_file" >&2; exit 1; }
+    daemon_addr=$(cat "$port_file")
+}
+start_daemon "$smoke/port" --workers 4 --queue 64 --cache 64 > "$smoke/serve.log" 2>&1
+# 1. a served job is byte-identical to the single-shot gpartition run
+#    (clean.part was written by the fault smoke above: same graph,
+#    k=8, seed 3, gpu-threshold 400)
+"$loadgen" submit "$daemon_addr" "$graph" 8 --seed 3 --gpu-threshold 400 \
+    --output "$smoke/served.part" 2> "$smoke/submit1.txt"
+diff -q "$smoke/clean.part" "$smoke/served.part"
+echo "daemon partition is byte-identical to single-shot gpartition"
+# 2. the duplicate submission is served from the result cache, still
+#    byte-identical
+"$loadgen" submit "$daemon_addr" "$graph" 8 --seed 3 --gpu-threshold 400 \
+    --output "$smoke/served2.part" 2> "$smoke/submit2.txt"
+grep -q "cache_hit=1" "$smoke/submit2.txt"
+diff -q "$smoke/clean.part" "$smoke/served2.part"
+echo "duplicate job hit the result cache, byte-identical"
+# 3. forced degradation (per-job fault plan) matches the single-shot
+#    degraded reference
+GPM_FAULTS="7:gpu.launch@8=lost" run_gp --fallback --output "$smoke/deg_ref.part"
+"$loadgen" submit "$daemon_addr" "$graph" 8 --seed 3 --gpu-threshold 400 \
+    --faults "7:gpu.launch@8=lost" --fallback \
+    --output "$smoke/deg_served.part" 2> "$smoke/submit3.txt"
+grep -q "degraded=1" "$smoke/submit3.txt"
+diff -q "$smoke/deg_ref.part" "$smoke/deg_served.part"
+echo "forced degradation served, byte-identical to single-shot degraded run"
+# 4. a 1 ms deadline on a fresh (uncached) config is rejected explicitly
+if "$loadgen" submit "$daemon_addr" "$graph" 8 --seed 77 --gpu-threshold 400 \
+    --deadline-ms 1 2> "$smoke/submit4.txt"; then
+    echo "ERROR: 1 ms deadline job unexpectedly succeeded" >&2; exit 1
+fi
+grep -q "deadline-expired" "$smoke/submit4.txt"
+echo "deadline expiry rejected explicitly"
+# 5. counters confirm what happened, then clean shutdown: exit 0, no
+#    leaked threads
+"$loadgen" stats "$daemon_addr" > "$smoke/stats.txt"
+awk '$1=="cache_hits" && $2>=1 {ok=1} END {exit !ok}' "$smoke/stats.txt"
+awk '$1=="deadline_expired" && $2>=1 {ok=1} END {exit !ok}' "$smoke/stats.txt"
+awk '$1=="degraded" && $2>=1 {ok=1} END {exit !ok}' "$smoke/stats.txt"
+"$loadgen" shutdown "$daemon_addr"
+wait "$daemon_pid"
+grep -q "clean shutdown" "$smoke/serve.log"
+grep -q "0 in flight" "$smoke/serve.log"
+echo "daemon exited 0 with a clean-shutdown summary (no leaked threads)"
+
+step "serve determinism matrix (GPM_THREADS x steal fuzz, identical partitions)"
+serve_matrix_run() { # serve_matrix_run <label> [env VAR=VAL...]
+    local label=$1; shift
+    env "$@" "$serve" --addr 127.0.0.1:0 --port-file "$smoke/port_$label" \
+        --workers 4 --queue 64 --cache 0 > "$smoke/serve_$label.log" 2>&1 &
+    local pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$smoke/port_$label" ] && break
+        sleep 0.1
+    done
+    local addr; addr=$(cat "$smoke/port_$label")
+    "$loadgen" submit "$addr" "$graph" 8 --seed 3 --gpu-threshold 400 \
+        --output "$smoke/m_${label}_a.part" 2>/dev/null
+    "$loadgen" submit "$addr" "$graph" 8 --seed 5 --gpu-threshold 400 \
+        --output "$smoke/m_${label}_b.part" 2>/dev/null
+    "$loadgen" submit "$addr" "$graph" 8 --seed 3 --algo mtmetis \
+        --output "$smoke/m_${label}_c.part" 2>/dev/null
+    "$loadgen" shutdown "$addr"
+    wait "$pid"
+}
+serve_matrix_run t1 GPM_THREADS=1
+serve_matrix_run t4 GPM_THREADS=4
+serve_matrix_run t8 GPM_THREADS=8
+serve_matrix_run fuzz GPM_THREADS=8 GPM_POOL_STEAL_FUZZ=1
+for cfg in t4 t8 fuzz; do
+    for j in a b c; do
+        diff -q "$smoke/m_t1_$j.part" "$smoke/m_${cfg}_$j.part"
+    done
+done
+echo "served partitions are identical under GPM_THREADS in {1,4,8} and steal fuzz"
+
+step "serve bench smoke (loadgen burst, validated BENCH_serve.json)"
+start_daemon "$smoke/port_bench" --workers 4 --queue 2048 --cache 256 \
+    > "$smoke/serve_bench.log" 2>&1
+"$loadgen" run --addr "$daemon_addr" --jobs 120 --connections 4 --seed 42 \
+    --bench-dir "$smoke"
+./target/release/validate_bench "$smoke/BENCH_serve.json"
+"$loadgen" shutdown "$daemon_addr"
+wait "$daemon_pid"
+grep -q "clean shutdown" "$smoke/serve_bench.log"
+echo "loadgen burst completed with zero lost jobs and a valid BENCH_serve.json"
+
+step "examples coverage (cargo build --examples covers every examples/*.rs)"
+cargo build --release --offline --examples
+for f in examples/*.rs; do
+    name=$(basename "$f" .rs)
+    if [ ! -x "target/release/examples/$name" ]; then
+        echo "ERROR: $f is not built by 'cargo build --examples' (stray file?)" >&2
+        exit 1
+    fi
+done
+echo "every file under examples/ builds as a cargo example"
+
 printf '\nci.sh: all checks passed\n'

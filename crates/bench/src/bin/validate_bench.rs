@@ -2,34 +2,82 @@
 //! schema. Used by the CI bench smoke: a truncated or malformed bench
 //! file fails the pipeline instead of silently rotting.
 //!
-//! Usage: `validate_bench <file.json>...` — exits non-zero on the first
-//! invalid document.
+//! Usage:
+//!   `validate_bench <file.json>...`  — validate the named documents.
+//!   `validate_bench --all <dir>...`  — discover and validate every
+//!     `BENCH_*.json` under each directory (non-recursive). Discovery
+//!     closes the committed-baseline gap: a baseline added to the repo can
+//!     never be silently missing from a hand-maintained validation list,
+//!     because the list *is* the directory. A directory with no baselines
+//!     is an error (an empty sweep validates nothing).
+//!
+//! Exits non-zero on the first invalid document.
 
 use gpm_testkit::bench::validate_bench_json;
+
+fn validate_file(path: &str) {
+    let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("validate_bench: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    match validate_bench_json(&doc) {
+        Ok(summary) => {
+            println!("{path}: ok (suite \"{}\", {} benches)", summary.suite, summary.benches.len());
+        }
+        Err(e) => {
+            eprintln!("validate_bench: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `BENCH_*.json` files directly under `dir`, sorted for stable output.
+fn discover(dir: &str) -> Vec<String> {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| {
+        eprintln!("validate_bench: cannot read directory {dir}: {e}");
+        std::process::exit(1);
+    });
+    let mut found: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .map(|p| p.to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    found
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: validate_bench <BENCH_*.json>...");
+        eprintln!("usage: validate_bench <BENCH_*.json>... | --all <dir>...");
         std::process::exit(2);
     }
-    for path in &args {
-        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("validate_bench: cannot read {path}: {e}");
-            std::process::exit(1);
-        });
-        match validate_bench_json(&doc) {
-            Ok(summary) => {
-                println!(
-                    "{path}: ok (suite \"{}\", {} benches)",
-                    summary.suite,
-                    summary.benches.len()
-                );
-            }
-            Err(e) => {
-                eprintln!("validate_bench: {path}: {e}");
+    if args[0] == "--all" {
+        let dirs = &args[1..];
+        if dirs.is_empty() {
+            eprintln!("usage: validate_bench --all <dir>...");
+            std::process::exit(2);
+        }
+        for dir in dirs {
+            let found = discover(dir);
+            if found.is_empty() {
+                eprintln!("validate_bench: no BENCH_*.json baselines found in {dir}");
                 std::process::exit(1);
             }
+            for path in &found {
+                validate_file(path);
+            }
+            println!("{dir}: all {} committed baselines valid", found.len());
+        }
+    } else {
+        for path in &args {
+            validate_file(path);
         }
     }
 }

@@ -158,6 +158,19 @@ impl From<PlanParseError> for PartitionError {
     }
 }
 
+/// Lets a whole run sit inside a [`gpm_faults::FaultScope`] retry loop
+/// (gpm-serve's per-job resilience ladder): only a transient device error
+/// that exhausted the in-device retry budget is worth re-running; plan
+/// errors and weight overflows are deterministic and fatal.
+impl gpm_faults::Transience for PartitionError {
+    fn is_transient(&self) -> bool {
+        match self {
+            PartitionError::Device(e) => e.is_transient(),
+            PartitionError::Plan(_) | PartitionError::WeightOverflow => false,
+        }
+    }
+}
+
 /// What actually happened during a run: fault-injection and degradation
 /// bookkeeping, present on every result (all zeros/None for a clean run).
 #[derive(Debug, Clone, Default, PartialEq)]

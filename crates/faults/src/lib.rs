@@ -397,6 +397,29 @@ impl RetryPolicy {
     pub fn backoff_secs(&self, attempt: u32) -> f64 {
         self.base_backoff_secs * self.factor.powi(attempt.saturating_sub(1) as i32)
     }
+
+    /// Policy from the environment, for long-lived processes (gpm-serve)
+    /// whose operators tune retry budgets without a rebuild:
+    /// `GPM_RETRY_MAX` (retries after the first attempt),
+    /// `GPM_RETRY_BASE_US` (first backoff, microseconds) and
+    /// `GPM_RETRY_FACTOR` (multiplier). Unset or unparsable variables keep
+    /// the defaults.
+    pub fn from_env() -> RetryPolicy {
+        let d = RetryPolicy::default();
+        let get = |k: &str| std::env::var(k).ok();
+        RetryPolicy {
+            max_retries: get("GPM_RETRY_MAX").and_then(|v| v.parse().ok()).unwrap_or(d.max_retries),
+            base_backoff_secs: get("GPM_RETRY_BASE_US")
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|us| us.is_finite() && *us >= 0.0)
+                .map(|us| us * 1e-6)
+                .unwrap_or(d.base_backoff_secs),
+            factor: get("GPM_RETRY_FACTOR")
+                .and_then(|v| v.parse().ok())
+                .filter(|f: &f64| f.is_finite() && *f >= 1.0)
+                .unwrap_or(d.factor),
+        }
+    }
 }
 
 /// Trait for errors the retry loop can classify.
@@ -576,6 +599,18 @@ mod tests {
         assert_eq!(scope.retries(), 2);
         // 100us + 400us of exponential backoff.
         assert!((scope.backoff_seconds() - 500e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_policy_from_env_defaults_when_unset() {
+        // The test environment does not set GPM_RETRY_*; from_env must
+        // then equal the default policy (CI would catch a stray setting).
+        if std::env::var_os("GPM_RETRY_MAX").is_none()
+            && std::env::var_os("GPM_RETRY_BASE_US").is_none()
+            && std::env::var_os("GPM_RETRY_FACTOR").is_none()
+        {
+            assert_eq!(RetryPolicy::from_env(), RetryPolicy::default());
+        }
     }
 
     #[test]

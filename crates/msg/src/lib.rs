@@ -60,6 +60,18 @@ impl ClusterConfig {
         self.timeout_secs = secs;
         self
     }
+
+    /// Cap the recv/barrier patience to a job deadline: a rank never waits
+    /// longer than `remaining` (rounded up to whole seconds, minimum 1 s),
+    /// so a cluster run cannot out-sleep the deadline of the job that
+    /// issued it. Used by gpm-serve to wire per-job deadlines into the
+    /// message substrate's timeout machinery; an already-shorter timeout
+    /// is kept.
+    pub fn with_deadline(mut self, remaining: Duration) -> Self {
+        let secs = (remaining.as_secs_f64().ceil() as u64).max(1);
+        self.timeout_secs = self.timeout_secs.min(secs);
+        self
+    }
 }
 
 /// Typed failure of a cluster run — what used to be a panic inside a rank
@@ -856,6 +868,16 @@ mod tests {
             Err(_) => assert_eq!(cfg(2).timeout_secs, 60),
         }
         assert_eq!(cfg(2).with_timeout_secs(5).timeout_secs, 5);
+    }
+
+    #[test]
+    fn with_deadline_caps_but_never_raises_timeout() {
+        let c = cfg(2).with_timeout_secs(60);
+        assert_eq!(c.with_deadline(Duration::from_millis(2_500)).timeout_secs, 3);
+        assert_eq!(c.with_deadline(Duration::from_millis(1)).timeout_secs, 1);
+        // an already-shorter timeout is kept
+        let short = cfg(2).with_timeout_secs(2);
+        assert_eq!(short.with_deadline(Duration::from_secs(100)).timeout_secs, 2);
     }
 
     #[test]

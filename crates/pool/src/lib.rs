@@ -45,7 +45,40 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Executor telemetry (gpm-serve exposes these in its stats endpoint)
+// ---------------------------------------------------------------------------
+
+/// Monotonic counters over the life of the process: fork-join batches and
+/// chunks submitted to [`parallel_chunks`] (inline fast paths included),
+/// and blocking tasks dispatched through [`scoped_blocking`]. Purely
+/// observational — never read back by any phase, so they cannot affect
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Fork-join batches submitted (one per `parallel_chunks` call).
+    pub batches: u64,
+    /// Total chunk closures those batches carried.
+    pub chunks: u64,
+    /// Tasks dispatched onto dedicated blocking seats.
+    pub blocking_tasks: u64,
+}
+
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+static CHUNKS: AtomicU64 = AtomicU64::new(0);
+static BLOCKING_TASKS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the process-wide executor counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        batches: BATCHES.load(Ordering::Relaxed),
+        chunks: CHUNKS.load(Ordering::Relaxed),
+        blocking_tasks: BLOCKING_TASKS.load(Ordering::Relaxed),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Balanced chunking
@@ -331,6 +364,8 @@ impl Pool {
         if n == 0 {
             return Vec::new();
         }
+        BATCHES.fetch_add(1, Ordering::Relaxed);
+        CHUNKS.fetch_add(n as u64, Ordering::Relaxed);
         // Inline when parallelism cannot help — and on re-entrant calls
         // from a pool worker, which must not block waiting for siblings
         // that may all be parked on *this* batch's completion.
@@ -481,6 +516,7 @@ where
     if p == 0 {
         return Vec::new();
     }
+    BLOCKING_TASKS.fetch_add(p as u64, Ordering::Relaxed);
     let slots: Vec<Slot<T>> = (0..p).map(|_| Slot::new()).collect();
     let panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let done = Mutex::new(p);
@@ -710,6 +746,17 @@ mod tests {
         assert!(r.is_err());
         // the cache must still be usable afterwards
         assert_eq!(scoped_blocking(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stats_counters_are_monotonic() {
+        let before = stats();
+        parallel_chunks(9, |i| i);
+        scoped_blocking(3, |i| i);
+        let after = stats();
+        assert!(after.batches > before.batches);
+        assert!(after.chunks >= before.chunks + 9);
+        assert!(after.blocking_tasks >= before.blocking_tasks + 3);
     }
 
     #[test]

@@ -1,0 +1,693 @@
+//! `gpm-serve` — partition-as-a-service daemon.
+//!
+//! A long-lived process accepting concurrent partition jobs over the
+//! length-prefixed wire protocol in [`protocol`], scheduling them onto
+//! the process-wide `gpm-pool` executor, and returning partitions plus
+//! per-job telemetry. The serving layer adds four things the one-shot
+//! `gpartition` binary does not have:
+//!
+//! - **Result cache** ([`cache`]): keyed by graph fingerprint plus the
+//!   full engine configuration; identical re-submissions are answered
+//!   from memory, byte-for-byte, with `cache_hit` set.
+//! - **Admission control**: a bounded job queue. When it is full the
+//!   daemon *rejects explicitly* ([`protocol::RejectCode::QueueFull`])
+//!   instead of queueing unboundedly — the client knows immediately and
+//!   can back off.
+//! - **Per-job deadlines**: a job may carry a wall-clock budget. It is
+//!   checked at dequeue (a job that waited too long is never started)
+//!   and again after compute (a result that arrived too late is not
+//!   returned as success); ParMetis jobs additionally have the deadline
+//!   wired into `gpm-msg`'s rank timeout so a stuck cluster step fails
+//!   inside the budget rather than at the global default.
+//! - **Resilience ladder** (per job, from `gpm-faults`): the hybrid
+//!   engine runs under a bounded-retry scope with exponential backoff;
+//!   if the device error is fatal and the job armed `fallback`, the
+//!   engine itself degrades GPU→CPU from the last checkpoint; if even
+//!   that fails, the serve layer falls back to the pure-CPU mt-metis
+//!   engine and marks the result degraded. Jobs can carry a
+//!   `GPM_FAULTS`-syntax fault plan to exercise the ladder
+//!   deterministically.
+//!
+//! Determinism: given the same request bytes, the daemon returns the
+//! same partition bytes as a single-shot `gpartition` run with the same
+//! configuration — regardless of `GPM_THREADS`, steal fuzz, worker
+//! count, or arrival order. The CI serve-smoke stage asserts this
+//! byte-for-byte.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+
+use cache::{CacheEntry, CacheKey, ResultCache};
+use protocol::{
+    Algo, JobReply, JobRequest, JobTelemetry, ProtoError, RejectCode, FT_JOB, FT_JOB_OK, FT_REJECT,
+    FT_SHUTDOWN, FT_SHUTDOWN_ACK, FT_STATS, FT_STATS_REPLY,
+};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use gpm_faults::{FaultScope, RetryPolicy};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an OS-assigned port.
+    pub addr: String,
+    /// Worker threads executing jobs (≥ 1).
+    pub workers: usize,
+    /// Admission queue bound: jobs queued + in flight beyond which new
+    /// jobs are rejected with `QueueFull`.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Suppress per-job log lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 64,
+            cache_cap: 128,
+            quiet: true,
+        }
+    }
+}
+
+/// Monotonic counters exposed by the `Stats` request and the shutdown
+/// summary.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    deadline_expired: AtomicU64,
+    degraded: AtomicU64,
+    engine_failed: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A job admitted to the queue: the decoded request, its admission
+/// instant (deadlines count from here), and the connection to answer on.
+struct QueuedJob {
+    req: JobRequest,
+    admitted: Instant,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    in_flight: usize,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    /// Signalled when a job is enqueued (workers wait) and when the queue
+    /// drains to empty with nothing in flight (shutdown waits).
+    cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+    cache: Mutex<ResultCache>,
+}
+
+/// Handle to a running daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Final accounting returned by [`ServerHandle::join`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    pub completed: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub rejected: u64,
+    pub deadline_expired: u64,
+    pub degraded: u64,
+    /// Threads joined at shutdown (acceptor + workers + connections).
+    pub threads_joined: usize,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown from the server side (equivalent to a client
+    /// `Shutdown` frame, minus the ack).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        wake_acceptor(self.addr);
+    }
+
+    /// Block until the daemon has shut down: queue drained, workers and
+    /// connection threads joined. Returns the final accounting.
+    pub fn join(mut self) -> ServeSummary {
+        let mut joined = 0usize;
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+            joined += 1;
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+            joined += 1;
+        }
+        let c = &self.shared.counters;
+        ServeSummary {
+            completed: c.completed.load(Ordering::SeqCst),
+            cache_hits: c.cache_hits.load(Ordering::SeqCst),
+            cache_misses: c.cache_misses.load(Ordering::SeqCst),
+            rejected: c.rejected_queue_full.load(Ordering::SeqCst)
+                + c.rejected_shutdown.load(Ordering::SeqCst)
+                + c.engine_failed.load(Ordering::SeqCst),
+            deadline_expired: c.deadline_expired.load(Ordering::SeqCst),
+            degraded: c.degraded.load(Ordering::SeqCst),
+            threads_joined: joined,
+        }
+    }
+}
+
+/// Connect-and-close against our own listener so a blocking `accept`
+/// observes the shutdown flag.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+/// Start the daemon. Returns once the socket is bound and workers are
+/// running; serving happens on background threads until a `Shutdown`
+/// frame arrives (or [`ServerHandle::shutdown`] is called).
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
+        cfg,
+        queue: Mutex::new(QueueState { jobs: VecDeque::new(), in_flight: 0 }),
+        cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        counters: Counters::default(),
+    });
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let sh = Arc::clone(&shared);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("gpm-serve-worker-{i}"))
+                .spawn(move || worker_loop(&sh))
+                .expect("spawn worker"),
+        );
+    }
+
+    let sh = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("gpm-serve-accept".into())
+        .spawn(move || accept_loop(listener, addr, &sh))
+        .expect("spawn acceptor");
+
+    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), workers: worker_handles })
+}
+
+fn accept_loop(listener: TcpListener, addr: SocketAddr, sh: &Arc<Shared>) {
+    let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    // The wake connection (or a late client): drop it.
+                    drop(stream);
+                    break;
+                }
+                let sh2 = Arc::clone(sh);
+                let self_addr = addr;
+                let handle = std::thread::Builder::new()
+                    .name("gpm-serve-conn".into())
+                    .spawn(move || conn_loop(stream, self_addr, &sh2))
+                    .expect("spawn connection thread");
+                conns.lock().unwrap().push(handle);
+            }
+            Err(_) if sh.shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        }
+    }
+    // Wait for every connection thread before the acceptor exits, so
+    // `ServerHandle::join` proves no leaked threads.
+    let handles: Vec<_> = std::mem::take(&mut *conns.lock().unwrap());
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Serve one client connection. Frames are read with a poll timeout so
+/// the thread observes shutdown even while the peer is idle.
+fn conn_loop(stream: TcpStream, self_addr: SocketAddr, sh: &Arc<Shared>) {
+    stream.set_read_timeout(Some(Duration::from_millis(250))).ok();
+    stream.set_nodelay(true).ok();
+    let out = Arc::new(Mutex::new(stream.try_clone().expect("clone stream")));
+    let mut reader = stream;
+    let mut buf: Vec<u8> = Vec::new();
+
+    loop {
+        match read_frame_polling(&mut reader, &mut buf, sh) {
+            FrameEvent::Frame(ft, payload) => {
+                if !handle_frame(ft, &payload, &out, self_addr, sh) {
+                    break;
+                }
+            }
+            FrameEvent::Eof | FrameEvent::Closed => break,
+            FrameEvent::Proto(e) => {
+                sh.counters.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                let payload = protocol::encode_reject(0, RejectCode::Protocol, &e.to_string());
+                send(&out, FT_REJECT, &payload);
+                // Framing is unrecoverable: the stream position cannot be
+                // trusted past a bad header or short payload.
+                break;
+            }
+        }
+    }
+}
+
+enum FrameEvent {
+    Frame(u32, Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// Transport error or shutdown while idle.
+    Closed,
+    Proto(ProtoError),
+}
+
+/// Accumulate one frame from a stream with a read timeout, checking the
+/// shutdown flag between polls. Partial reads across polls are kept in
+/// `buf`, so a slow writer is not misread as a protocol error.
+fn read_frame_polling(stream: &mut TcpStream, buf: &mut Vec<u8>, sh: &Arc<Shared>) -> FrameEvent {
+    use std::io::Read;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        // A complete header yet?
+        if buf.len() >= protocol::HEADER_LEN {
+            let header: [u8; protocol::HEADER_LEN] =
+                buf[..protocol::HEADER_LEN].try_into().unwrap();
+            match protocol::decode_header(&header) {
+                Ok((ft, len)) => {
+                    let total = protocol::HEADER_LEN + len as usize;
+                    if buf.len() >= total {
+                        let payload = buf[protocol::HEADER_LEN..total].to_vec();
+                        buf.drain(..total);
+                        return FrameEvent::Frame(ft, payload);
+                    }
+                }
+                Err(e) => return FrameEvent::Proto(e),
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return FrameEvent::Eof;
+                }
+                return FrameEvent::Proto(ProtoError::Truncated {
+                    wanted: protocol::HEADER_LEN,
+                    have: buf.len(),
+                });
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if sh.shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+                    return FrameEvent::Closed;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FrameEvent::Closed,
+        }
+    }
+}
+
+/// Dispatch one request frame. Returns false when the connection should
+/// close (shutdown handshake complete).
+fn handle_frame(
+    ft: u32,
+    payload: &[u8],
+    out: &Arc<Mutex<TcpStream>>,
+    self_addr: SocketAddr,
+    sh: &Arc<Shared>,
+) -> bool {
+    match ft {
+        FT_JOB => {
+            let req = match protocol::decode_job(payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    sh.counters.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                    // The tag may still be readable from an otherwise-bad
+                    // payload prefix; best effort.
+                    let tag = payload
+                        .get(..8)
+                        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                        .unwrap_or(0);
+                    send(
+                        out,
+                        FT_REJECT,
+                        &protocol::encode_reject(tag, RejectCode::Protocol, &e.to_string()),
+                    );
+                    return true; // payload decoded per framing; stream still in sync
+                }
+            };
+            admit(req, out, sh);
+            true
+        }
+        FT_STATS => {
+            send(out, FT_STATS_REPLY, &protocol::encode_stats(&snapshot_stats(sh)));
+            true
+        }
+        FT_SHUTDOWN => {
+            sh.shutdown.store(true, Ordering::SeqCst);
+            sh.cv.notify_all();
+            // Wait for the queue to drain and all in-flight jobs to
+            // finish before acking — the ack promises quiescence.
+            {
+                let mut q = sh.queue.lock().unwrap();
+                while !q.jobs.is_empty() || q.in_flight > 0 {
+                    q = sh.cv.wait(q).unwrap();
+                }
+            }
+            send(out, FT_SHUTDOWN_ACK, &[]);
+            wake_acceptor(self_addr);
+            false
+        }
+        other => {
+            sh.counters.protocol_errors.fetch_add(1, Ordering::SeqCst);
+            send(
+                out,
+                FT_REJECT,
+                &protocol::encode_reject(
+                    0,
+                    RejectCode::Protocol,
+                    &ProtoError::BadFrameType(other).to_string(),
+                ),
+            );
+            true
+        }
+    }
+}
+
+/// Admission control: enqueue or reject explicitly.
+fn admit(req: JobRequest, out: &Arc<Mutex<TcpStream>>, sh: &Arc<Shared>) {
+    if sh.shutdown.load(Ordering::SeqCst) {
+        sh.counters.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
+        send(
+            out,
+            FT_REJECT,
+            &protocol::encode_reject(req.tag, RejectCode::ShuttingDown, "daemon is shutting down"),
+        );
+        return;
+    }
+    let mut q = sh.queue.lock().unwrap();
+    if q.jobs.len() + q.in_flight >= sh.cfg.queue_cap {
+        drop(q);
+        sh.counters.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
+        send(
+            out,
+            FT_REJECT,
+            &protocol::encode_reject(
+                req.tag,
+                RejectCode::QueueFull,
+                &format!("admission queue full (cap {})", sh.cfg.queue_cap),
+            ),
+        );
+        return;
+    }
+    sh.counters.accepted.fetch_add(1, Ordering::SeqCst);
+    q.jobs.push_back(QueuedJob { req, admitted: Instant::now(), out: Arc::clone(out) });
+    drop(q);
+    sh.cv.notify_all();
+}
+
+fn worker_loop(sh: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = sh.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    q.in_flight += 1;
+                    break job;
+                }
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = sh.cv.wait(q).unwrap();
+            }
+        };
+        process_job(job, sh);
+        let mut q = sh.queue.lock().unwrap();
+        q.in_flight -= 1;
+        drop(q);
+        // Wake both idle workers and a shutdown waiter.
+        sh.cv.notify_all();
+    }
+}
+
+/// Remaining budget, or an `Err` with the overrun if expired. `None`
+/// deadline means unbounded.
+fn remaining_budget(req: &JobRequest, admitted: Instant) -> Result<Option<Duration>, Duration> {
+    if req.deadline_ms == 0 {
+        return Ok(None);
+    }
+    let budget = Duration::from_millis(req.deadline_ms);
+    let used = admitted.elapsed();
+    match budget.checked_sub(used) {
+        Some(left) if left > Duration::ZERO => Ok(Some(left)),
+        _ => Err(used.saturating_sub(budget)),
+    }
+}
+
+fn process_job(job: QueuedJob, sh: &Arc<Shared>) {
+    let QueuedJob { req, admitted, out } = job;
+
+    // Deadline check 1: a job that expired while queued never starts.
+    let budget = match remaining_budget(&req, admitted) {
+        Ok(b) => b,
+        Err(over) => {
+            reject_deadline(&req, over, &out, sh, "expired while queued");
+            return;
+        }
+    };
+
+    // Cache lookup.
+    let key = CacheKey::for_job(&req);
+    if let Some(entry) = sh.cache.lock().unwrap().get(&key) {
+        sh.counters.cache_hits.fetch_add(1, Ordering::SeqCst);
+        sh.counters.completed.fetch_add(1, Ordering::SeqCst);
+        let mut telemetry = entry.telemetry.clone();
+        telemetry.wall_us = 0; // no compute happened for *this* job
+        let reply = JobReply { tag: req.tag, cache_hit: true, telemetry, part: entry.part };
+        send(&out, FT_JOB_OK, &protocol::encode_job_ok(&reply));
+        return;
+    }
+    sh.counters.cache_misses.fetch_add(1, Ordering::SeqCst);
+
+    // Compute.
+    let t0 = Instant::now();
+    let outcome = execute(&req, budget);
+    let wall_us = t0.elapsed().as_micros() as u64;
+
+    match outcome {
+        Ok((part, mut telemetry)) => {
+            telemetry.wall_us = wall_us;
+            if telemetry.degraded {
+                sh.counters.degraded.fetch_add(1, Ordering::SeqCst);
+            }
+            // The result is correct regardless of timing: cache it even
+            // if the deadline expired, so a retry of the same job hits.
+            sh.cache
+                .lock()
+                .unwrap()
+                .insert(key, CacheEntry { part: part.clone(), telemetry: telemetry.clone() });
+
+            // Deadline check 2: a correct-but-late result is still a
+            // deadline failure for *this* request.
+            if let Err(over) = remaining_budget(&req, admitted) {
+                reject_deadline(&req, over, &out, sh, "result ready after deadline");
+                return;
+            }
+            sh.counters.completed.fetch_add(1, Ordering::SeqCst);
+            let reply = JobReply { tag: req.tag, cache_hit: false, telemetry, part };
+            send(&out, FT_JOB_OK, &protocol::encode_job_ok(&reply));
+        }
+        Err(msg) => {
+            sh.counters.engine_failed.fetch_add(1, Ordering::SeqCst);
+            send(
+                &out,
+                FT_REJECT,
+                &protocol::encode_reject(req.tag, RejectCode::EngineFailed, &msg),
+            );
+        }
+    }
+}
+
+fn reject_deadline(
+    req: &JobRequest,
+    over: Duration,
+    out: &Arc<Mutex<TcpStream>>,
+    sh: &Arc<Shared>,
+    what: &str,
+) {
+    sh.counters.deadline_expired.fetch_add(1, Ordering::SeqCst);
+    send(
+        out,
+        FT_REJECT,
+        &protocol::encode_reject(
+            req.tag,
+            RejectCode::DeadlineExpired,
+            &format!("deadline {} ms {what} (overran by {} ms)", req.deadline_ms, over.as_millis()),
+        ),
+    );
+}
+
+/// Run one job through the engine ladder. Returns the partition and
+/// telemetry, or a terminal error message after every rung failed.
+///
+/// The configuration mapping mirrors `gpartition` exactly — that is what
+/// makes daemon responses byte-identical to single-shot runs.
+fn execute(req: &JobRequest, budget: Option<Duration>) -> Result<(Vec<u32>, JobTelemetry), String> {
+    let g = &req.graph;
+    let k = req.k as usize;
+    let ub = req.ub();
+    match req.algo {
+        Algo::Metis => {
+            let mut c = gpm_metis::MetisConfig::new(k).with_seed(req.seed);
+            c.ubfactor = ub;
+            let r = gpm_metis::partition(g, &c);
+            Ok((r.part.clone(), base_telemetry(&r)))
+        }
+        Algo::MtMetis => Ok(run_mtmetis(req, false, 0)),
+        Algo::ParMetis => {
+            let mut c = gpm_parmetis::ParMetisConfig::new(k)
+                .with_ranks(req.ranks as usize)
+                .with_seed(req.seed);
+            c.ubfactor = ub;
+            // Wire the job deadline into the cluster timeout so a stuck
+            // rank fails inside the budget.
+            if let Some(left) = budget {
+                c.comm = c.comm.with_deadline(left);
+            }
+            match gpm_parmetis::try_partition(g, &c) {
+                Ok(r) => Ok((r.part.clone(), base_telemetry(&r))),
+                // Cluster failure: degrade to the shared-memory engine.
+                Err(_e) => Ok(run_mtmetis(req, true, 0)),
+            }
+        }
+        Algo::GpMetis => {
+            let mut c = gp_metis::GpMetisConfig::new(k).with_seed(req.seed);
+            c.ubfactor = ub;
+            c.cpu_threads = req.threads as usize;
+            c.fallback = req.fallback;
+            if req.gpu_threshold > 0 {
+                c.gpu_threshold = req.gpu_threshold as usize;
+            }
+            let mut attempts = 0u32;
+            let mut scope = FaultScope::with_policy("serve.job", RetryPolicy::from_env());
+            let out = scope.run(|| {
+                attempts += 1;
+                gp_metis::partition_with_plan(g, &c, req.fault_plan.clone())
+            });
+            let serve_retries = attempts.saturating_sub(1);
+            match out {
+                Ok(r) => {
+                    let mut t = base_telemetry(&r.result);
+                    t.degraded = r.report.degraded;
+                    t.faults_injected = r.report.faults_injected;
+                    t.device_retries = r.report.device_retries;
+                    t.checkpoint_gpu_levels = r.report.checkpoint_gpu_levels as u32;
+                    t.serve_retries = serve_retries;
+                    Ok((r.result.part, t))
+                }
+                // Fatal device error with no (or failed) engine fallback:
+                // last rung is the pure-CPU shared-memory engine.
+                Err(_e) => Ok(run_mtmetis(req, true, serve_retries)),
+            }
+        }
+    }
+}
+
+/// The serve-layer last rung: pure-CPU mt-metis with the job's seed and
+/// balance. `degraded` marks results that only exist because an earlier
+/// rung failed.
+fn run_mtmetis(req: &JobRequest, degraded: bool, serve_retries: u32) -> (Vec<u32>, JobTelemetry) {
+    let mut c = gpm_mtmetis::MtMetisConfig::new(req.k as usize)
+        .with_threads(req.threads as usize)
+        .with_seed(req.seed);
+    c.ubfactor = req.ub();
+    let r = gpm_mtmetis::partition(&req.graph, &c);
+    let mut t = base_telemetry(&r);
+    t.degraded = degraded;
+    t.serve_retries = serve_retries;
+    (r.part.clone(), t)
+}
+
+fn base_telemetry(r: &gpm_metis::PartitionResult) -> JobTelemetry {
+    JobTelemetry {
+        edge_cut: r.edge_cut,
+        imbalance_bits: r.imbalance.to_bits(),
+        modeled_secs_bits: r.modeled_seconds().to_bits(),
+        ..JobTelemetry::default()
+    }
+}
+
+/// Stats snapshot in a deterministic order (scripts `awk` these).
+fn snapshot_stats(sh: &Arc<Shared>) -> Vec<(String, u64)> {
+    let c = &sh.counters;
+    let (q_len, in_flight) = {
+        let q = sh.queue.lock().unwrap();
+        (q.jobs.len() as u64, q.in_flight as u64)
+    };
+    let (cache_len, cache_evictions) = {
+        let cache = sh.cache.lock().unwrap();
+        let (_, _, ev) = cache.counters();
+        (cache.len() as u64, ev)
+    };
+    let pool = gpm_pool::stats();
+    vec![
+        ("accepted".into(), c.accepted.load(Ordering::SeqCst)),
+        ("completed".into(), c.completed.load(Ordering::SeqCst)),
+        ("cache_hits".into(), c.cache_hits.load(Ordering::SeqCst)),
+        ("cache_misses".into(), c.cache_misses.load(Ordering::SeqCst)),
+        ("cache_entries".into(), cache_len),
+        ("cache_evictions".into(), cache_evictions),
+        ("rejected_queue_full".into(), c.rejected_queue_full.load(Ordering::SeqCst)),
+        ("rejected_shutdown".into(), c.rejected_shutdown.load(Ordering::SeqCst)),
+        ("deadline_expired".into(), c.deadline_expired.load(Ordering::SeqCst)),
+        ("degraded".into(), c.degraded.load(Ordering::SeqCst)),
+        ("engine_failed".into(), c.engine_failed.load(Ordering::SeqCst)),
+        ("protocol_errors".into(), c.protocol_errors.load(Ordering::SeqCst)),
+        ("queue_depth".into(), q_len),
+        ("in_flight".into(), in_flight),
+        ("pool_batches".into(), pool.batches),
+        ("pool_chunks".into(), pool.chunks),
+        ("pool_blocking_tasks".into(), pool.blocking_tasks),
+    ]
+}
+
+/// Write one response frame under the per-connection writer lock so
+/// concurrent workers never interleave frames on a shared connection.
+fn send(out: &Arc<Mutex<TcpStream>>, ft: u32, payload: &[u8]) {
+    let mut w = out.lock().unwrap();
+    let _ = w.write_all(&protocol::frame(ft, payload));
+    let _ = w.flush();
+}

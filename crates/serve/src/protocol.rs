@@ -1,0 +1,767 @@
+//! The gpm-serve wire protocol: length-prefixed binary frames over a
+//! byte stream (TCP in practice; anything implementing `Read`/`Write`
+//! works, which is how the property tests drive the codec in memory).
+//!
+//! Every frame is a 12-byte header — magic `"GPM1"`, a frame type, a
+//! payload length — followed by `len` payload bytes. All integers are
+//! little-endian. The payload grammar is fixed per frame type and decoded
+//! by a bounds-checked cursor: *no* input, however truncated, oversized,
+//! or bit-flipped, may panic the decoder — malformed frames surface as
+//! typed [`ProtoError`]s, which the daemon answers with a
+//! [`Reject`](RejectCode::Protocol) response before closing the
+//! connection (a framing error means the stream position can no longer
+//! be trusted).
+//!
+//! A partition job carries the full CSR graph inline plus the engine
+//! configuration (k, balance, seed, algorithm, threads/ranks, GPU
+//! threshold, fallback flag), an optional deadline, and an optional
+//! `GPM_FAULTS`-syntax fault plan so tests and chaos drills can inject
+//! faults *per job* instead of per process. The graph is structurally
+//! validated at decode time ([`gpm_graph::csr::CsrGraph::validate`]), so
+//! the engines only ever see well-formed CSR.
+
+use gpm_faults::FaultPlan;
+use gpm_graph::csr::CsrGraph;
+use std::io::{Read, Write};
+
+/// `"GPM1"` as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"GPM1");
+
+/// Hard cap on a frame payload (64 MiB ≈ a 4M-vertex graph). Frames
+/// declaring more are rejected *before* any allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 26;
+
+/// Frame header size: magic + type + payload length.
+pub const HEADER_LEN: usize = 12;
+
+// Frame type words. Requests are < 16, responses >= 16.
+pub const FT_JOB: u32 = 1;
+pub const FT_STATS: u32 = 2;
+pub const FT_SHUTDOWN: u32 = 3;
+pub const FT_JOB_OK: u32 = 16;
+pub const FT_REJECT: u32 = 17;
+pub const FT_STATS_REPLY: u32 = 18;
+pub const FT_SHUTDOWN_ACK: u32 = 19;
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The magic word did not match — not a gpm-serve peer.
+    BadMagic(u32),
+    /// The header declared a payload larger than [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The frame type word is not one this endpoint understands.
+    BadFrameType(u32),
+    /// The payload ended before the grammar was satisfied.
+    Truncated { wanted: usize, have: usize },
+    /// The payload has bytes left over after the grammar was satisfied.
+    TrailingBytes(usize),
+    /// A field held an out-of-domain value.
+    BadField(String),
+    /// The embedded graph failed CSR validation.
+    BadGraph(String),
+    /// The embedded fault plan failed to parse.
+    BadFaultPlan(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            ProtoError::Oversized(n) => {
+                write!(f, "declared payload {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            ProtoError::BadFrameType(t) => write!(f, "unknown frame type {t}"),
+            ProtoError::Truncated { wanted, have } => {
+                write!(f, "truncated payload: wanted {wanted} bytes, have {have}")
+            }
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            ProtoError::BadField(s) => write!(f, "bad field: {s}"),
+            ProtoError::BadGraph(s) => write!(f, "invalid graph: {s}"),
+            ProtoError::BadFaultPlan(s) => write!(f, "invalid fault plan: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Which engine a job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's hybrid CPU-GPU pipeline (default).
+    GpMetis,
+    /// Serial Metis baseline.
+    Metis,
+    /// Shared-memory mt-metis baseline.
+    MtMetis,
+    /// Distributed ParMetis baseline (simulated cluster).
+    ParMetis,
+}
+
+impl Algo {
+    /// Stable wire discriminant (also used in cache keys).
+    pub fn to_wire(self) -> u32 {
+        match self {
+            Algo::GpMetis => 0,
+            Algo::Metis => 1,
+            Algo::MtMetis => 2,
+            Algo::ParMetis => 3,
+        }
+    }
+
+    fn from_wire(w: u32) -> Result<Algo, ProtoError> {
+        Ok(match w {
+            0 => Algo::GpMetis,
+            1 => Algo::Metis,
+            2 => Algo::MtMetis,
+            3 => Algo::ParMetis,
+            other => return Err(ProtoError::BadField(format!("algo {other}"))),
+        })
+    }
+
+    /// The `--algo` token, matching `gpartition`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::GpMetis => "gpmetis",
+            Algo::Metis => "metis",
+            Algo::MtMetis => "mtmetis",
+            Algo::ParMetis => "parmetis",
+        }
+    }
+
+    /// Parse the `--algo` token, matching `gpartition`.
+    pub fn parse(s: &str) -> Option<Algo> {
+        Some(match s {
+            "gpmetis" => Algo::GpMetis,
+            "metis" => Algo::Metis,
+            "mtmetis" => Algo::MtMetis,
+            "parmetis" => Algo::ParMetis,
+            _ => return None,
+        })
+    }
+}
+
+/// One partition job, as carried on the wire.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Client-chosen correlation tag, echoed verbatim in the response so
+    /// pipelined jobs on one connection can be matched up.
+    pub tag: u64,
+    pub k: u32,
+    /// Balance tolerance as `f64::to_bits` (bit-exact round trip).
+    pub ub_bits: u64,
+    pub seed: u64,
+    pub algo: Algo,
+    /// Wall-clock deadline in milliseconds from admission; 0 = none.
+    pub deadline_ms: u64,
+    /// Arm the engine's checkpointed GPU→CPU degradation path.
+    pub fallback: bool,
+    /// GPU/CPU switchover override; 0 = engine default.
+    pub gpu_threshold: u32,
+    /// CPU threads for the shared-memory phases.
+    pub threads: u32,
+    /// Ranks for the ParMetis engine.
+    pub ranks: u32,
+    /// Per-job fault schedule (`GPM_FAULTS` syntax), already parsed.
+    pub fault_plan: Option<FaultPlan>,
+    /// The raw plan string (part of the cache key: two jobs with
+    /// different schedules may legitimately produce different results).
+    pub fault_plan_str: String,
+    pub graph: CsrGraph,
+}
+
+impl JobRequest {
+    /// A job with `gpartition`'s defaults for everything but the graph.
+    pub fn new(graph: CsrGraph, k: u32) -> JobRequest {
+        JobRequest {
+            tag: 0,
+            k,
+            ub_bits: 1.03f64.to_bits(),
+            seed: 1,
+            algo: Algo::GpMetis,
+            deadline_ms: 0,
+            fallback: false,
+            gpu_threshold: 0,
+            threads: 8,
+            ranks: 8,
+            fault_plan: None,
+            fault_plan_str: String::new(),
+            graph,
+        }
+    }
+
+    /// Balance tolerance as a float.
+    pub fn ub(&self) -> f64 {
+        f64::from_bits(self.ub_bits)
+    }
+}
+
+/// Why a job was answered with a [`FT_REJECT`] frame instead of a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCode {
+    /// Admission control: the bounded queue was full.
+    QueueFull,
+    /// The job's deadline elapsed before (or while) it ran.
+    DeadlineExpired,
+    /// The request could not be decoded.
+    Protocol,
+    /// Every rung of the resilience ladder failed.
+    EngineFailed,
+    /// The daemon is shutting down and no longer admits jobs.
+    ShuttingDown,
+}
+
+impl RejectCode {
+    fn to_wire(self) -> u32 {
+        match self {
+            RejectCode::QueueFull => 1,
+            RejectCode::DeadlineExpired => 2,
+            RejectCode::Protocol => 3,
+            RejectCode::EngineFailed => 4,
+            RejectCode::ShuttingDown => 5,
+        }
+    }
+
+    fn from_wire(w: u32) -> Result<RejectCode, ProtoError> {
+        Ok(match w {
+            1 => RejectCode::QueueFull,
+            2 => RejectCode::DeadlineExpired,
+            3 => RejectCode::Protocol,
+            4 => RejectCode::EngineFailed,
+            5 => RejectCode::ShuttingDown,
+            other => return Err(ProtoError::BadField(format!("reject code {other}"))),
+        })
+    }
+
+    /// Stable lowercase token for logs and CLI output.
+    pub fn token(self) -> &'static str {
+        match self {
+            RejectCode::QueueFull => "queue-full",
+            RejectCode::DeadlineExpired => "deadline-expired",
+            RejectCode::Protocol => "protocol-error",
+            RejectCode::EngineFailed => "engine-failed",
+            RejectCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// Per-job telemetry riding back with every successful response — the
+/// wire form of the engine's `RunReport` plus serve-layer counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobTelemetry {
+    /// The job finished on a degraded path (engine checkpoint fallback or
+    /// the serve-layer mt-metis rung).
+    pub degraded: bool,
+    pub faults_injected: u64,
+    pub device_retries: u64,
+    pub checkpoint_gpu_levels: u32,
+    /// Whole-job retries the serve-layer ladder performed.
+    pub serve_retries: u32,
+    pub edge_cut: u64,
+    /// `f64::to_bits` of the balance actually achieved.
+    pub imbalance_bits: u64,
+    /// `f64::to_bits` of the modeled (paper-testbed) seconds.
+    pub modeled_secs_bits: u64,
+    /// Wall microseconds the engine ran (0 on a cache hit).
+    pub wall_us: u64,
+}
+
+/// A successful job response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReply {
+    pub tag: u64,
+    /// Served from the result cache without recomputation.
+    pub cache_hit: bool,
+    pub telemetry: JobTelemetry,
+    /// One part id per vertex, in vertex order.
+    pub part: Vec<u32>,
+}
+
+/// Any response frame the daemon can send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Ok(JobReply),
+    Reject { tag: u64, code: RejectCode, msg: String },
+    Stats(Vec<(String, u64)>),
+    ShutdownAck,
+}
+
+// ---------------------------------------------------------------------------
+// Payload cursor (decode side)
+// ---------------------------------------------------------------------------
+
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or(ProtoError::Truncated { wanted: n, have: self.b.len() - self.pos })?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u32`-counted vector of `u32`s, with the count bounds-checked
+    /// against the remaining payload *before* allocating.
+    fn vec_u32(&mut self) -> Result<Vec<u32>, ProtoError> {
+        let n = self.u32()? as usize;
+        let bytes = n
+            .checked_mul(4)
+            .ok_or_else(|| ProtoError::BadField(format!("vector length {n} overflows")))?;
+        let raw = self.take(bytes)?;
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// A `u32`-counted UTF-8 string.
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| ProtoError::BadField("string is not UTF-8".into()))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos != self.b.len() {
+            return Err(ProtoError::TrailingBytes(self.b.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_vec_u32(out: &mut Vec<u8>, v: &[u32]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode / decode
+// ---------------------------------------------------------------------------
+
+/// Assemble a complete frame (header + payload).
+pub fn frame(frame_type: u32, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() as u64 <= MAX_PAYLOAD as u64, "payload exceeds MAX_PAYLOAD");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    put_u32(&mut out, MAGIC);
+    put_u32(&mut out, frame_type);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse a frame header, yielding `(frame_type, payload_len)`.
+pub fn decode_header(h: &[u8; HEADER_LEN]) -> Result<(u32, u32), ProtoError> {
+    let magic = u32::from_le_bytes(h[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    let ft = u32::from_le_bytes(h[4..8].try_into().unwrap());
+    let len = u32::from_le_bytes(h[8..12].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized(len));
+    }
+    Ok((ft, len))
+}
+
+/// Encode a [`JobRequest`] payload.
+pub fn encode_job(req: &JobRequest) -> Vec<u8> {
+    let g = &req.graph;
+    let mut p = Vec::with_capacity(64 + 4 * (g.xadj.len() + 2 * g.adjncy.len() + g.vwgt.len()));
+    put_u64(&mut p, req.tag);
+    put_u32(&mut p, req.k);
+    put_u64(&mut p, req.ub_bits);
+    put_u64(&mut p, req.seed);
+    put_u32(&mut p, req.algo.to_wire());
+    put_u64(&mut p, req.deadline_ms);
+    put_u32(&mut p, u32::from(req.fallback));
+    put_u32(&mut p, req.gpu_threshold);
+    put_u32(&mut p, req.threads);
+    put_u32(&mut p, req.ranks);
+    put_string(&mut p, &req.fault_plan_str);
+    put_vec_u32(&mut p, &g.xadj);
+    put_vec_u32(&mut p, &g.adjncy);
+    put_vec_u32(&mut p, &g.adjwgt);
+    put_vec_u32(&mut p, &g.vwgt);
+    p
+}
+
+/// Decode and fully validate a [`JobRequest`] payload. The returned job's
+/// graph passed CSR validation; k, ub, threads and ranks are in domain;
+/// any fault plan parsed.
+pub fn decode_job(payload: &[u8]) -> Result<JobRequest, ProtoError> {
+    let mut r = Rd { b: payload, pos: 0 };
+    let tag = r.u64()?;
+    let k = r.u32()?;
+    let ub_bits = r.u64()?;
+    let seed = r.u64()?;
+    let algo = Algo::from_wire(r.u32()?)?;
+    let deadline_ms = r.u64()?;
+    let fallback = match r.u32()? {
+        0 => false,
+        1 => true,
+        other => return Err(ProtoError::BadField(format!("fallback flag {other}"))),
+    };
+    let gpu_threshold = r.u32()?;
+    let threads = r.u32()?;
+    let ranks = r.u32()?;
+    let fault_plan_str = r.string()?;
+    let xadj = r.vec_u32()?;
+    let adjncy = r.vec_u32()?;
+    let adjwgt = r.vec_u32()?;
+    let vwgt = r.vec_u32()?;
+    r.finish()?;
+
+    let ub = f64::from_bits(ub_bits);
+    if !(ub.is_finite() && (1.0..=10.0).contains(&ub)) {
+        return Err(ProtoError::BadField(format!("ub {ub} outside [1, 10]")));
+    }
+    if !(1..=4096).contains(&threads) {
+        return Err(ProtoError::BadField(format!("threads {threads} outside [1, 4096]")));
+    }
+    if !(1..=4096).contains(&ranks) {
+        return Err(ProtoError::BadField(format!("ranks {ranks} outside [1, 4096]")));
+    }
+    let fault_plan = if fault_plan_str.is_empty() {
+        None
+    } else {
+        Some(FaultPlan::parse(&fault_plan_str).map_err(|e| ProtoError::BadFaultPlan(e.msg))?)
+    };
+    let graph = CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt);
+    graph.validate().map_err(|e| ProtoError::BadGraph(e.to_string()))?;
+    if graph.vwgt.contains(&0) || graph.adjwgt.contains(&0) {
+        return Err(ProtoError::BadGraph("zero vertex or edge weight".into()));
+    }
+    if k < 1 || k as usize > graph.n() {
+        return Err(ProtoError::BadField(format!("k {k} outside [1, n = {}]", graph.n())));
+    }
+    Ok(JobRequest {
+        tag,
+        k,
+        ub_bits,
+        seed,
+        algo,
+        deadline_ms,
+        fallback,
+        gpu_threshold,
+        threads,
+        ranks,
+        fault_plan,
+        fault_plan_str,
+        graph,
+    })
+}
+
+/// Encode a [`JobReply`] payload.
+pub fn encode_job_ok(rep: &JobReply) -> Vec<u8> {
+    let t = &rep.telemetry;
+    let mut p = Vec::with_capacity(96 + 4 * rep.part.len());
+    put_u64(&mut p, rep.tag);
+    put_u32(&mut p, u32::from(rep.cache_hit));
+    put_u32(&mut p, u32::from(t.degraded));
+    put_u64(&mut p, t.faults_injected);
+    put_u64(&mut p, t.device_retries);
+    put_u32(&mut p, t.checkpoint_gpu_levels);
+    put_u32(&mut p, t.serve_retries);
+    put_u64(&mut p, t.edge_cut);
+    put_u64(&mut p, t.imbalance_bits);
+    put_u64(&mut p, t.modeled_secs_bits);
+    put_u64(&mut p, t.wall_us);
+    put_vec_u32(&mut p, &rep.part);
+    p
+}
+
+/// Decode a [`JobReply`] payload.
+pub fn decode_job_ok(payload: &[u8]) -> Result<JobReply, ProtoError> {
+    let mut r = Rd { b: payload, pos: 0 };
+    let tag = r.u64()?;
+    let cache_hit = r.u32()? != 0;
+    let degraded = r.u32()? != 0;
+    let faults_injected = r.u64()?;
+    let device_retries = r.u64()?;
+    let checkpoint_gpu_levels = r.u32()?;
+    let serve_retries = r.u32()?;
+    let edge_cut = r.u64()?;
+    let imbalance_bits = r.u64()?;
+    let modeled_secs_bits = r.u64()?;
+    let wall_us = r.u64()?;
+    let part = r.vec_u32()?;
+    r.finish()?;
+    Ok(JobReply {
+        tag,
+        cache_hit,
+        telemetry: JobTelemetry {
+            degraded,
+            faults_injected,
+            device_retries,
+            checkpoint_gpu_levels,
+            serve_retries,
+            edge_cut,
+            imbalance_bits,
+            modeled_secs_bits,
+            wall_us,
+        },
+        part,
+    })
+}
+
+/// Encode a rejection payload.
+pub fn encode_reject(tag: u64, code: RejectCode, msg: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(16 + msg.len());
+    put_u64(&mut p, tag);
+    put_u32(&mut p, code.to_wire());
+    put_string(&mut p, msg);
+    p
+}
+
+/// Decode a rejection payload into `(tag, code, message)`.
+pub fn decode_reject(payload: &[u8]) -> Result<(u64, RejectCode, String), ProtoError> {
+    let mut r = Rd { b: payload, pos: 0 };
+    let tag = r.u64()?;
+    let code = RejectCode::from_wire(r.u32()?)?;
+    let msg = r.string()?;
+    r.finish()?;
+    Ok((tag, code, msg))
+}
+
+/// Encode a stats payload: ordered `(name, value)` counters.
+pub fn encode_stats(counters: &[(String, u64)]) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_u32(&mut p, counters.len() as u32);
+    for (name, value) in counters {
+        put_string(&mut p, name);
+        put_u64(&mut p, *value);
+    }
+    p
+}
+
+/// Decode a stats payload.
+pub fn decode_stats(payload: &[u8]) -> Result<Vec<(String, u64)>, ProtoError> {
+    let mut r = Rd { b: payload, pos: 0 };
+    let n = r.u32()? as usize;
+    if n > 4096 {
+        return Err(ProtoError::BadField(format!("{n} counters")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.string()?;
+        let value = r.u64()?;
+        out.push((name, value));
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Decode any *response* frame.
+pub fn decode_response(frame_type: u32, payload: &[u8]) -> Result<Response, ProtoError> {
+    match frame_type {
+        FT_JOB_OK => Ok(Response::Ok(decode_job_ok(payload)?)),
+        FT_REJECT => {
+            let (tag, code, msg) = decode_reject(payload)?;
+            Ok(Response::Reject { tag, code, msg })
+        }
+        FT_STATS_REPLY => Ok(Response::Stats(decode_stats(payload)?)),
+        FT_SHUTDOWN_ACK => {
+            if payload.is_empty() {
+                Ok(Response::ShutdownAck)
+            } else {
+                Err(ProtoError::TrailingBytes(payload.len()))
+            }
+        }
+        other => Err(ProtoError::BadFrameType(other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream I/O
+// ---------------------------------------------------------------------------
+
+/// Write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, frame_type: u32, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&frame(frame_type, payload))?;
+    w.flush()
+}
+
+/// Read one frame from a stream, blocking. `Ok(None)` on clean EOF at a
+/// frame boundary; protocol-level problems surface as
+/// `io::ErrorKind::InvalidData` wrapping the [`ProtoError`].
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<(u32, Vec<u8>)>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(proto_io(ProtoError::Truncated { wanted: HEADER_LEN, have: filled }));
+        }
+        filled += n;
+    }
+    let (ft, len) = decode_header(&header).map_err(proto_io)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            proto_io(ProtoError::Truncated { wanted: len as usize, have: 0 })
+        } else {
+            e
+        }
+    })?;
+    Ok(Some((ft, payload)))
+}
+
+/// Wrap a [`ProtoError`] as `io::ErrorKind::InvalidData` so stream
+/// readers can carry both transport and protocol failures in one type.
+pub fn proto_io(e: ProtoError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen::grid2d;
+
+    fn sample_job() -> JobRequest {
+        let mut req = JobRequest::new(grid2d(6, 6), 4);
+        req.tag = 77;
+        req.seed = 9;
+        req.deadline_ms = 1234;
+        req.fallback = true;
+        req.gpu_threshold = 400;
+        req.fault_plan_str = "7:gpu.launch@8=lost".into();
+        req.fault_plan = Some(FaultPlan::parse("7:gpu.launch@8=lost").unwrap());
+        req
+    }
+
+    #[test]
+    fn job_roundtrip() {
+        let req = sample_job();
+        let out = decode_job(&encode_job(&req)).unwrap();
+        assert_eq!(out.tag, 77);
+        assert_eq!(out.k, 4);
+        assert_eq!(out.seed, 9);
+        assert_eq!(out.deadline_ms, 1234);
+        assert!(out.fallback);
+        assert_eq!(out.gpu_threshold, 400);
+        assert_eq!(out.algo, Algo::GpMetis);
+        assert_eq!(out.fault_plan, req.fault_plan);
+        assert_eq!(out.graph.xadj, req.graph.xadj);
+        assert_eq!(out.graph.adjncy, req.graph.adjncy);
+    }
+
+    #[test]
+    fn job_ok_and_reject_roundtrip() {
+        let rep = JobReply {
+            tag: 5,
+            cache_hit: true,
+            telemetry: JobTelemetry {
+                degraded: true,
+                faults_injected: 3,
+                device_retries: 2,
+                checkpoint_gpu_levels: 1,
+                serve_retries: 1,
+                edge_cut: 42,
+                imbalance_bits: 1.01f64.to_bits(),
+                modeled_secs_bits: 0.5f64.to_bits(),
+                wall_us: 1000,
+            },
+            part: vec![0, 1, 2, 3],
+        };
+        assert_eq!(decode_job_ok(&encode_job_ok(&rep)).unwrap(), rep);
+        let p = encode_reject(9, RejectCode::QueueFull, "full");
+        assert_eq!(decode_reject(&p).unwrap(), (9, RejectCode::QueueFull, "full".into()));
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let c = vec![("accepted".to_string(), 10u64), ("cache_hits".to_string(), 3)];
+        assert_eq!(decode_stats(&encode_stats(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_oversize() {
+        let mut h = [0u8; HEADER_LEN];
+        h[0..4].copy_from_slice(&0xDEADBEEFu32.to_le_bytes());
+        assert!(matches!(decode_header(&h), Err(ProtoError::BadMagic(_))));
+        let f = frame(FT_JOB, &[]);
+        let mut h: [u8; HEADER_LEN] = f[..HEADER_LEN].try_into().unwrap();
+        h[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(decode_header(&h), Err(ProtoError::Oversized(_))));
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let p = encode_job(&sample_job());
+        for cut in [0, 1, 7, 20, p.len() - 1] {
+            assert!(decode_job(&p[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut p = encode_job(&sample_job());
+        p.push(0);
+        assert!(matches!(decode_job(&p), Err(ProtoError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn domain_checks_fire() {
+        let mut req = sample_job();
+        req.k = 0;
+        assert!(decode_job(&encode_job(&req)).is_err());
+        let mut req = sample_job();
+        req.k = 10_000; // > n
+        assert!(decode_job(&encode_job(&req)).is_err());
+        let mut req = sample_job();
+        req.ub_bits = f64::NAN.to_bits();
+        assert!(decode_job(&encode_job(&req)).is_err());
+        let mut req = sample_job();
+        req.fault_plan_str = "not-a-plan".into();
+        assert!(decode_job(&encode_job(&req)).is_err());
+        let mut req = sample_job();
+        req.graph.adjncy[0] = 9999; // out-of-range neighbor
+        assert!(matches!(decode_job(&encode_job(&req)), Err(ProtoError::BadGraph(_))));
+    }
+
+    #[test]
+    fn stream_roundtrip_and_clean_eof() {
+        let req = sample_job();
+        let bytes = frame(FT_JOB, &encode_job(&req));
+        let mut cursor = std::io::Cursor::new(bytes);
+        let (ft, payload) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(ft, FT_JOB);
+        assert_eq!(decode_job(&payload).unwrap().tag, 77);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+        // EOF mid-frame is an error, not a silent None
+        let bytes = frame(FT_JOB, &encode_job(&req));
+        let mut cut = std::io::Cursor::new(bytes[..HEADER_LEN + 3].to_vec());
+        assert!(read_frame(&mut cut).is_err());
+    }
+}

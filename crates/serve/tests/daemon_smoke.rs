@@ -1,0 +1,306 @@
+//! In-process integration tests for the daemon: burst service, cache
+//! hits, forced degradation, deadline expiry ordering, admission
+//! control, byte-identity with the direct engine call, and clean
+//! shutdown.
+
+use gpm_graph::gen::{grid2d, hexmesh};
+use gpm_serve::client::Client;
+use gpm_serve::protocol::{Algo, JobRequest, RejectCode, Response};
+use gpm_serve::{start, ServeConfig};
+
+fn serve(workers: usize, queue_cap: usize, cache_cap: usize) -> (gpm_serve::ServerHandle, String) {
+    let cfg =
+        ServeConfig { addr: "127.0.0.1:0".into(), workers, queue_cap, cache_cap, quiet: true };
+    let h = start(cfg).expect("daemon starts");
+    let addr = h.addr().to_string();
+    (h, addr)
+}
+
+fn job(tag: u64, seed: u64) -> JobRequest {
+    let mut req = JobRequest::new(grid2d(20, 20), 4);
+    req.tag = tag;
+    req.seed = seed;
+    req.gpu_threshold = 200;
+    req
+}
+
+fn shutdown_and_join(handle: gpm_serve::ServerHandle, addr: &str) -> gpm_serve::ServeSummary {
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown().expect("shutdown acked");
+    handle.join()
+}
+
+#[test]
+fn burst_of_pipelined_jobs_all_answered() {
+    let (handle, addr) = serve(3, 64, 64);
+    let client = Client::connect(&addr).unwrap();
+    let (mut tx, mut rx) = client.split().unwrap();
+    let n = 24u64;
+    for tag in 0..n {
+        tx.submit(&job(tag, 1 + tag % 3)).unwrap();
+    }
+    let mut seen = vec![false; n as usize];
+    for _ in 0..n {
+        match rx.read_response().unwrap() {
+            Response::Ok(rep) => {
+                assert!(!seen[rep.tag as usize], "duplicate response for tag {}", rep.tag);
+                seen[rep.tag as usize] = true;
+                assert_eq!(rep.part.len(), 400);
+                assert!(rep.part.iter().all(|&p| p < 4));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "zero lost jobs");
+    let summary = shutdown_and_join(handle, &addr);
+    assert_eq!(summary.completed, n);
+}
+
+#[test]
+fn duplicate_job_hits_cache_with_identical_partition() {
+    let (handle, addr) = serve(2, 16, 16);
+    let mut c = Client::connect(&addr).unwrap();
+    let first = match c.submit_wait(&job(1, 7)).unwrap() {
+        Response::Ok(rep) => rep,
+        other => panic!("unexpected: {other:?}"),
+    };
+    assert!(!first.cache_hit);
+    let second = match c.submit_wait(&job(2, 7)).unwrap() {
+        Response::Ok(rep) => rep,
+        other => panic!("unexpected: {other:?}"),
+    };
+    assert!(second.cache_hit, "identical config must be served from cache");
+    assert_eq!(first.part, second.part, "cache hit must be byte-identical");
+    // A different seed is a different key.
+    let third = match c.submit_wait(&job(3, 8)).unwrap() {
+        Response::Ok(rep) => rep,
+        other => panic!("unexpected: {other:?}"),
+    };
+    assert!(!third.cache_hit);
+    let stats = c.stats().unwrap();
+    let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
+    assert_eq!(get("cache_hits"), 1);
+    assert_eq!(get("cache_misses"), 2);
+    shutdown_and_join(handle, &addr);
+}
+
+#[test]
+fn forced_degradation_returns_valid_partition_marked_degraded() {
+    let (handle, addr) = serve(1, 8, 8);
+    let mut c = Client::connect(&addr).unwrap();
+    let mut req = job(1, 3);
+    req.fault_plan_str = "7:gpu.launch@3=lost".into();
+    req.fault_plan = Some(gpm_faults::FaultPlan::parse(&req.fault_plan_str).unwrap());
+    req.fallback = true;
+    match c.submit_wait(&req).unwrap() {
+        Response::Ok(rep) => {
+            assert!(rep.telemetry.degraded, "lost GPU with fallback must report degraded");
+            assert!(rep.telemetry.faults_injected > 0 || rep.telemetry.degraded);
+            assert_eq!(rep.part.len(), 400);
+            gpm_graph::metrics::validate_partition(&req.graph, &rep.part, 4, 1.20)
+                .expect("degraded result is still a valid partition");
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    let summary = shutdown_and_join(handle, &addr);
+    assert_eq!(summary.degraded, 1);
+}
+
+#[test]
+fn deadline_expired_while_queued_is_rejected_before_compute() {
+    let (handle, addr) = serve(1, 8, 8);
+    let mut c = Client::connect(&addr).unwrap();
+    let (mut tx, mut rx) = Client::connect(&addr).unwrap().split().unwrap();
+    // Occupy the single worker with a slow job...
+    let slow = {
+        let mut r = JobRequest::new(hexmesh(40, 48), 8);
+        r.tag = 1;
+        r.seed = 5;
+        r.gpu_threshold = 400;
+        r
+    };
+    tx.submit(&slow).unwrap();
+    // ...then queue a fresh job with a 1 ms budget: it expires in the
+    // queue and must be rejected at dequeue, never computed.
+    let mut tight = job(2, 99);
+    tight.deadline_ms = 1;
+    tx.submit(&tight).unwrap();
+    let mut saw_deadline = false;
+    let mut saw_slow_ok = false;
+    for _ in 0..2 {
+        match rx.read_response().unwrap() {
+            Response::Ok(rep) => {
+                assert_eq!(rep.tag, 1);
+                saw_slow_ok = true;
+            }
+            Response::Reject { tag, code, .. } => {
+                assert_eq!(tag, 2);
+                assert_eq!(code, RejectCode::DeadlineExpired);
+                saw_deadline = true;
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert!(saw_deadline && saw_slow_ok);
+    let stats = c.stats().unwrap();
+    let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
+    assert_eq!(get("deadline_expired"), 1);
+    // The rejected job never reached the cache: only the slow job missed.
+    assert_eq!(get("cache_misses"), 1);
+    shutdown_and_join(handle, &addr);
+}
+
+#[test]
+fn late_result_is_rejected_but_cached_for_retry() {
+    let (handle, addr) = serve(1, 8, 8);
+    let mut c = Client::connect(&addr).unwrap();
+    // Fresh config with a 1 ms budget on an idle daemon: it passes the
+    // dequeue check but any real compute overruns 1 ms, so the *result*
+    // arrives late: rejected, yet cached.
+    let mut tight = job(1, 77);
+    tight.deadline_ms = 1;
+    match c.submit_wait(&tight).unwrap() {
+        Response::Reject { code, .. } => assert_eq!(code, RejectCode::DeadlineExpired),
+        other => panic!("expected deadline rejection, got {other:?}"),
+    }
+    // Retry without a deadline: served from cache without recompute.
+    let retry = job(2, 77);
+    match c.submit_wait(&retry).unwrap() {
+        Response::Ok(rep) => assert!(rep.cache_hit, "late result must have been cached"),
+        other => panic!("unexpected: {other:?}"),
+    }
+    shutdown_and_join(handle, &addr);
+}
+
+#[test]
+fn admission_control_rejects_when_queue_full() {
+    let (handle, addr) = serve(1, 1, 8);
+    let (mut tx, mut rx) = Client::connect(&addr).unwrap().split().unwrap();
+    // One slow job fills the single admission slot...
+    let slow = {
+        let mut r = JobRequest::new(hexmesh(40, 48), 8);
+        r.tag = 1;
+        r.seed = 6;
+        r.gpu_threshold = 400;
+        r
+    };
+    tx.submit(&slow).unwrap();
+    // ...every immediate follow-up must be rejected explicitly.
+    for tag in 2..6u64 {
+        tx.submit(&job(tag, tag)).unwrap();
+    }
+    let mut queue_full = 0;
+    let mut completed = 0;
+    for _ in 0..5 {
+        match rx.read_response().unwrap() {
+            Response::Ok(_) => completed += 1,
+            Response::Reject { code: RejectCode::QueueFull, .. } => queue_full += 1,
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert_eq!(completed + queue_full, 5, "every job answered");
+    assert!(queue_full >= 1, "bounded queue must reject explicitly");
+    shutdown_and_join(handle, &addr);
+}
+
+#[test]
+fn daemon_matches_direct_engine_call_byte_for_byte() {
+    let (handle, addr) = serve(4, 32, 32);
+    let mut c = Client::connect(&addr).unwrap();
+    let g = grid2d(30, 30);
+    for (algo, seed) in
+        [(Algo::GpMetis, 3u64), (Algo::Metis, 3), (Algo::MtMetis, 3), (Algo::ParMetis, 3)]
+    {
+        let mut req = JobRequest::new(g.clone(), 8);
+        req.tag = seed;
+        req.seed = seed;
+        req.algo = algo;
+        req.gpu_threshold = 400;
+        let served = match c.submit_wait(&req).unwrap() {
+            Response::Ok(rep) => rep.part,
+            other => panic!("unexpected: {other:?}"),
+        };
+        let direct: Vec<u32> = match algo {
+            Algo::GpMetis => {
+                let mut cfg = gp_metis::GpMetisConfig::new(8).with_seed(seed);
+                cfg.gpu_threshold = 400;
+                gp_metis::partition(&g, &cfg).unwrap().result.part
+            }
+            Algo::Metis => {
+                gpm_metis::partition(&g, &gpm_metis::MetisConfig::new(8).with_seed(seed)).part
+            }
+            Algo::MtMetis => {
+                gpm_mtmetis::partition(
+                    &g,
+                    &gpm_mtmetis::MtMetisConfig::new(8).with_threads(8).with_seed(seed),
+                )
+                .part
+            }
+            Algo::ParMetis => {
+                gpm_parmetis::partition(
+                    &g,
+                    &gpm_parmetis::ParMetisConfig::new(8).with_ranks(8).with_seed(seed),
+                )
+                .part
+            }
+        };
+        assert_eq!(served, direct, "daemon must match direct {:?} run byte-for-byte", algo);
+    }
+    shutdown_and_join(handle, &addr);
+}
+
+#[test]
+fn clean_shutdown_joins_every_thread() {
+    let (handle, addr) = serve(2, 16, 16);
+    let mut c = Client::connect(&addr).unwrap();
+    for tag in 0..4 {
+        match c.submit_wait(&job(tag, tag)).unwrap() {
+            Response::Ok(_) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    let summary = shutdown_and_join(handle, &addr);
+    assert_eq!(summary.completed, 4);
+    // acceptor + 2 workers; connection threads are joined by the
+    // acceptor before it exits.
+    assert_eq!(summary.threads_joined, 3);
+    // Jobs after shutdown are refused (new daemon required): connecting
+    // may fail outright or the connection closes without service.
+    let refused = match Client::connect(&addr) {
+        Err(_) => true,
+        Ok(mut late) => late.submit_wait(&job(9, 9)).is_err(),
+    };
+    assert!(refused, "a stopped daemon must not serve jobs");
+}
+
+#[test]
+fn malformed_frame_yields_protocol_reject_not_crash() {
+    use std::io::Write;
+    let (handle, addr) = serve(1, 8, 8);
+    {
+        let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+        raw.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        // A correct header followed by a payload that is pure garbage.
+        let garbage = vec![0xAAu8; 32];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&gpm_serve::protocol::MAGIC.to_le_bytes());
+        frame.extend_from_slice(&gpm_serve::protocol::FT_JOB.to_le_bytes());
+        frame.extend_from_slice(&(garbage.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&garbage);
+        raw.write_all(&frame).unwrap();
+        raw.flush().unwrap();
+        let (ft, payload) = gpm_serve::protocol::read_frame(&mut raw)
+            .expect("daemon must answer with a frame")
+            .expect("not EOF");
+        assert_eq!(ft, gpm_serve::protocol::FT_REJECT);
+        let (_, code, _) = gpm_serve::protocol::decode_reject(&payload).unwrap();
+        assert_eq!(code, RejectCode::Protocol);
+    }
+    // The daemon survived and still serves.
+    let mut c = Client::connect(&addr).unwrap();
+    match c.submit_wait(&job(1, 1)).unwrap() {
+        Response::Ok(_) => {}
+        other => panic!("daemon unhealthy after malformed frame: {other:?}"),
+    }
+    shutdown_and_join(handle, &addr);
+}

@@ -1,0 +1,473 @@
+//! `gpm-loadgen` — load generator and scripting client for `gpm-serve`.
+//!
+//! ```text
+//! gpm-loadgen run --addr A [--jobs 1000] [--rate 0] [--seed 42]
+//!                 [--connections 4] [--bench-dir DIR]
+//! gpm-loadgen submit <addr> <graph.metis> <k> [--seed 1] [--ub 1.03]
+//!                 [--algo gpmetis] [--deadline-ms 0] [--faults PLAN]
+//!                 [--fallback] [--gpu-threshold N] [--threads 8]
+//!                 [--ranks 8] [--output out.part]
+//! gpm-loadgen stats <addr>
+//! gpm-loadgen shutdown <addr>
+//! ```
+//!
+//! `run` drives a mixed workload — several graph families and sizes,
+//! several k values, a bounded seed pool so identical jobs recur and hit
+//! the result cache, and a sprinkle of per-job fault plans to exercise
+//! the degradation ladder — then asserts that *every* submitted job got
+//! a response (zero lost jobs) and writes `BENCH_serve.json` with
+//! latency percentiles (p50/p95/p99), throughput, cache-hit rate, and
+//! degradation counts via the gpm-testkit bench schema.
+//!
+//! `submit`, `stats`, and `shutdown` are one-shot verbs used by the CI
+//! serve-smoke stage. `submit` writes the partition in the same format
+//! as `gpartition --output` so the two can be diffed byte-for-byte.
+
+use gp_metis_repro::graph::csr::CsrGraph;
+use gp_metis_repro::graph::gen;
+use gp_metis_repro::graph::io;
+use gpm_graph::rng::SplitMix64;
+use gpm_serve::client::Client;
+use gpm_serve::protocol::{Algo, JobRequest, Response};
+use gpm_testkit::bench::BenchSuite;
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gpm-loadgen run --addr A [--jobs 1000] [--rate 0] [--seed 42]\n\
+         \x20                   [--connections 4] [--bench-dir DIR]\n\
+         \x20      gpm-loadgen submit <addr> <graph.metis> <k> [--seed 1] [--ub 1.03]\n\
+         \x20                   [--algo gpmetis] [--deadline-ms 0] [--faults PLAN]\n\
+         \x20                   [--fallback] [--gpu-threshold N] [--threads 8]\n\
+         \x20                   [--ranks 8] [--output out.part]\n\
+         \x20      gpm-loadgen stats <addr>\n\
+         \x20      gpm-loadgen shutdown <addr>"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("run") => run_load(argv.collect()),
+        Some("submit") => run_submit(argv.collect()),
+        Some("stats") => run_stats(argv.collect()),
+        Some("shutdown") => run_shutdown(argv.collect()),
+        _ => usage(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// submit / stats / shutdown (CI verbs)
+// ---------------------------------------------------------------------------
+
+fn run_submit(args: Vec<String>) -> ExitCode {
+    let mut it = args.into_iter();
+    let addr = it.next().unwrap_or_else(|| usage());
+    let input = it.next().unwrap_or_else(|| usage());
+    let k: u32 = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+    let g = match io::read_metis_file(&input) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut req = JobRequest::new(g, k);
+    let mut output: Option<String> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                req.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--ub" => {
+                let ub: f64 = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                req.ub_bits = ub.to_bits();
+            }
+            "--algo" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                req.algo = Algo::parse(&name).unwrap_or_else(|| usage());
+            }
+            "--deadline-ms" => {
+                req.deadline_ms = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--faults" => req.fault_plan_str = it.next().unwrap_or_else(|| usage()),
+            "--fallback" => req.fallback = true,
+            "--gpu-threshold" => {
+                req.gpu_threshold =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                req.threads = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--ranks" => {
+                req.ranks = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--output" => output = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.submit_wait(&req) {
+        Ok(Response::Ok(rep)) => {
+            eprintln!(
+                "ok: cache_hit={} degraded={} edge_cut={} wall_us={}",
+                rep.cache_hit as u32,
+                rep.telemetry.degraded as u32,
+                rep.telemetry.edge_cut,
+                rep.telemetry.wall_us
+            );
+            if let Some(out) = output {
+                let mut buf = String::with_capacity(rep.part.len() * 2);
+                for p in &rep.part {
+                    buf.push_str(&p.to_string());
+                    buf.push('\n');
+                }
+                if let Err(e) = std::fs::write(&out, buf) {
+                    eprintln!("error: cannot write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Reject { code, msg, .. }) => {
+            eprintln!("rejected: {} ({msg})", code.token());
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("error: unexpected response {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_stats(args: Vec<String>) -> ExitCode {
+    let addr = args.first().cloned().unwrap_or_else(|| usage());
+    match Client::connect(&addr).and_then(|mut c| c.stats()) {
+        Ok(stats) => {
+            for (name, value) in stats {
+                println!("{name} {value}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_shutdown(args: Vec<String>) -> ExitCode {
+    let addr = args.first().cloned().unwrap_or_else(|| usage());
+    match Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+        Ok(()) => {
+            eprintln!("daemon acknowledged shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// run (load generation)
+// ---------------------------------------------------------------------------
+
+struct LoadArgs {
+    addr: String,
+    jobs: usize,
+    /// Target arrival rate in jobs/second; 0 = as fast as possible.
+    rate: f64,
+    seed: u64,
+    connections: usize,
+    bench_dir: Option<String>,
+}
+
+fn parse_load_args(args: Vec<String>) -> LoadArgs {
+    let mut out = LoadArgs {
+        addr: String::new(),
+        jobs: 1000,
+        rate: 0.0,
+        seed: 42,
+        connections: 4,
+        bench_dir: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => out.addr = it.next().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                out.jobs = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--rate" => {
+                out.rate = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                out.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--connections" => {
+                out.connections = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--bench-dir" => out.bench_dir = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if out.addr.is_empty() || out.jobs == 0 || out.connections == 0 {
+        usage();
+    }
+    out
+}
+
+/// The mixed-size graph pool: a handful of families and sizes, generated
+/// once and shared by every job referencing them.
+fn graph_pool() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("grid-20x20", gen::grid2d(20, 20)),
+        ("grid-40x30", gen::grid2d(40, 30)),
+        ("hexmesh-20x24", gen::hexmesh(20, 24)),
+        ("delaunay-900", gen::delaunay_like(900, 11)),
+        ("roads-1200", gen::usa_roads_like(1200, 5)),
+        ("er-600", gen::erdos_renyi(600, 2400, 7)),
+    ]
+}
+
+/// One job drawn deterministically from the mix. A bounded seed pool
+/// (4 seeds) over ~6 graphs × 3 k values yields ~72 distinct configs, so
+/// a 1000-job run revisits each config ~14×: plenty of cache hits.
+/// Every 97th job carries a fault plan plus `fallback`, forcing the
+/// degradation ladder.
+fn make_job(i: usize, rng: &mut SplitMix64, pool: &[(&'static str, CsrGraph)]) -> JobRequest {
+    let (_, g) = &pool[rng.below(pool.len() as u64) as usize];
+    let k = [4u32, 8, 16][rng.below(3) as usize];
+    let mut req = JobRequest::new(g.clone(), k);
+    req.tag = i as u64;
+    req.seed = 1 + rng.below(4);
+    req.gpu_threshold = 400; // small graphs: give the GPU stage real work
+    if i % 97 == 96 {
+        req.fault_plan_str = "7:gpu.launch@3=lost".into();
+        req.fault_plan = Some(gpm_faults::FaultPlan::parse(&req.fault_plan_str).unwrap());
+        req.fallback = true;
+    }
+    req
+}
+
+struct Outcome {
+    latency: Duration,
+    cache_hit: bool,
+    degraded: bool,
+    rejected: bool,
+    deadline_expired: bool,
+}
+
+fn run_load(args: Vec<String>) -> ExitCode {
+    let a = parse_load_args(args);
+    let pool = graph_pool();
+    let mut rng = SplitMix64::new(a.seed);
+    let jobs: Vec<JobRequest> = (0..a.jobs).map(|i| make_job(i, &mut rng, &pool)).collect();
+
+    eprintln!(
+        "loadgen: {} jobs over {} connection(s) to {} (graph pool: {})",
+        a.jobs,
+        a.connections,
+        a.addr,
+        pool.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+    );
+
+    // Spread jobs round-robin over the connections. Each connection gets
+    // a sender thread (paced submissions) and a reader thread (drains
+    // responses, records latency by tag).
+    let outcomes: Arc<Mutex<HashMap<u64, Outcome>>> =
+        Arc::new(Mutex::new(HashMap::with_capacity(a.jobs)));
+    let t_start = Instant::now();
+    let interval = if a.rate > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / a.rate * a.connections as f64))
+    } else {
+        None
+    };
+
+    let mut threads = Vec::new();
+    for conn_id in 0..a.connections {
+        let my_jobs: Vec<JobRequest> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % a.connections == conn_id)
+            .map(|(_, j)| j.clone())
+            .collect();
+        if my_jobs.is_empty() {
+            continue;
+        }
+        let client = match Client::connect(&a.addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot connect to {}: {e}", a.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        let (mut tx, mut rx) = match client.split() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: cannot split connection: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let n = my_jobs.len();
+        let outcomes2 = Arc::clone(&outcomes);
+        let sent_at: Arc<Mutex<HashMap<u64, Instant>>> =
+            Arc::new(Mutex::new(HashMap::with_capacity(n)));
+        let sent_at2 = Arc::clone(&sent_at);
+
+        let reader = std::thread::spawn(move || {
+            for _ in 0..n {
+                let resp = match rx.read_response() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: response stream died: {e}");
+                        return false;
+                    }
+                };
+                let (tag, outcome) = match resp {
+                    Response::Ok(rep) => (
+                        rep.tag,
+                        Outcome {
+                            latency: Duration::ZERO,
+                            cache_hit: rep.cache_hit,
+                            degraded: rep.telemetry.degraded,
+                            rejected: false,
+                            deadline_expired: false,
+                        },
+                    ),
+                    Response::Reject { tag, code, .. } => (
+                        tag,
+                        Outcome {
+                            latency: Duration::ZERO,
+                            cache_hit: false,
+                            degraded: false,
+                            rejected: true,
+                            deadline_expired: code
+                                == gpm_serve::protocol::RejectCode::DeadlineExpired,
+                        },
+                    ),
+                    other => {
+                        eprintln!("error: unexpected response {other:?}");
+                        return false;
+                    }
+                };
+                let mut outcome = outcome;
+                if let Some(t0) = sent_at2.lock().unwrap().get(&tag) {
+                    outcome.latency = t0.elapsed();
+                }
+                outcomes2.lock().unwrap().insert(tag, outcome);
+            }
+            true
+        });
+
+        let sender = std::thread::spawn(move || {
+            for req in &my_jobs {
+                sent_at.lock().unwrap().insert(req.tag, Instant::now());
+                if let Err(e) = tx.submit(req) {
+                    eprintln!("error: submit failed: {e}");
+                    return false;
+                }
+                if let Some(iv) = interval {
+                    std::thread::sleep(iv);
+                }
+            }
+            true
+        });
+        threads.push((sender, reader));
+    }
+
+    let mut ok = true;
+    for (sender, reader) in threads {
+        ok &= sender.join().unwrap_or(false);
+        ok &= reader.join().unwrap_or(false);
+    }
+    let elapsed = t_start.elapsed();
+    if !ok {
+        eprintln!("error: a connection failed mid-run");
+        return ExitCode::FAILURE;
+    }
+
+    // Zero lost jobs: every tag must have an outcome.
+    let outcomes = Arc::try_unwrap(outcomes).ok().expect("threads joined").into_inner().unwrap();
+    let lost: Vec<u64> = (0..a.jobs as u64).filter(|tag| !outcomes.contains_key(tag)).collect();
+    if !lost.is_empty() {
+        eprintln!(
+            "error: {} job(s) lost (no response): {:?}...",
+            lost.len(),
+            &lost[..lost.len().min(8)]
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Aggregate.
+    let mut latencies_ns: Vec<u128> = outcomes.values().map(|o| o.latency.as_nanos()).collect();
+    latencies_ns.sort_unstable();
+    let pct = |p: f64| -> u128 {
+        let idx = ((latencies_ns.len() - 1) as f64 * p).round() as usize;
+        latencies_ns[idx]
+    };
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let completed = outcomes.values().filter(|o| !o.rejected).count();
+    let cache_hits = outcomes.values().filter(|o| o.cache_hit).count();
+    let degraded = outcomes.values().filter(|o| o.degraded).count();
+    let rejected = outcomes.values().filter(|o| o.rejected).count();
+    let deadline_expired = outcomes.values().filter(|o| o.deadline_expired).count();
+    let throughput = a.jobs as f64 / elapsed.as_secs_f64();
+    let hit_rate_pct = 100.0 * cache_hits as f64 / a.jobs as f64;
+
+    eprintln!(
+        "loadgen: {} jobs in {:.2}s ({:.1} jobs/s) — {} completed, {} cache hits ({:.1}%), \
+         {} degraded, {} rejected ({} deadline-expired), p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms",
+        a.jobs,
+        elapsed.as_secs_f64(),
+        throughput,
+        completed,
+        cache_hits,
+        hit_rate_pct,
+        degraded,
+        rejected,
+        deadline_expired,
+        p50 as f64 / 1e6,
+        p95 as f64 / 1e6,
+        p99 as f64 / 1e6,
+    );
+
+    // Emit BENCH_serve.json via the shared bench schema: the latency
+    // distribution as real samples, the scalar service metrics as
+    // single-value records.
+    if let Some(dir) = &a.bench_dir {
+        std::env::set_var("GPM_BENCH_DIR", dir);
+    }
+    let mut suite = BenchSuite::new("serve");
+    suite.record_samples("serve/latency", &mut latencies_ns);
+    suite.record_value("serve/latency_p95_ns", p95);
+    suite.record_value("serve/latency_p99_ns", p99);
+    suite.record_value("serve/throughput_jobs_per_sec_x1000", (throughput * 1000.0) as u128);
+    suite.record_value("serve/cache_hit_rate_pct_x100", (hit_rate_pct * 100.0) as u128);
+    suite.record_value("serve/jobs", a.jobs as u128);
+    suite.record_value("serve/completed", completed as u128);
+    suite.record_value("serve/degraded", degraded as u128);
+    suite.record_value("serve/rejected", rejected as u128);
+    suite.record_value("serve/deadline_expired", deadline_expired as u128);
+    suite.finish();
+
+    let _ = std::io::stderr().flush();
+    ExitCode::SUCCESS
+}

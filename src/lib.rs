@@ -12,6 +12,8 @@
 //! * [`mtmetis`] — the shared-memory parallel baseline.
 //! * [`parmetis`] — the distributed-memory baseline.
 //! * [`gpmetis`] — the paper's hybrid CPU-GPU partitioner.
+//! * [`pool`] — the process-wide work-stealing executor.
+//! * [`serve`] — the partition-as-a-service daemon and its client.
 
 pub use gp_metis as gpmetis;
 pub use gpm_faults as faults;
@@ -21,3 +23,5 @@ pub use gpm_metis as metis;
 pub use gpm_msg as msg;
 pub use gpm_mtmetis as mtmetis;
 pub use gpm_parmetis as parmetis;
+pub use gpm_pool as pool;
+pub use gpm_serve as serve;
