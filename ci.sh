@@ -121,6 +121,29 @@ step "committed bench baselines (schema-check every BENCH_*.json in the repo)"
 # BENCH_*.json can never be missing from a hand-maintained list.
 ./target/release/validate_bench --all crates/bench
 
+step "scale-smoke (out-of-core loader: u64 build, peak-RSS assertion, identity)"
+# The scale bench generates ~1M/5M/10M-edge grids and asserts the
+# streaming loader's peak heap stays at or under the buffered parser's
+# and under 2x the CSR it builds (it panics otherwise). Run it under the
+# u64-index build so the whole out-of-core path is exercised at width 64;
+# the separate target dir keeps the default-feature artifacts warm.
+GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.1 GPM_BENCH_DIR="$smoke" \
+    cargo bench --offline -p gpm-bench --bench scale --features idx64 \
+    --target-dir target/idx64
+./target/release/validate_bench "$smoke/BENCH_scale.json"
+# u32-vs-u64 identity: the same job must produce the same partition bytes
+cargo build --release --offline --features idx64 --bin gpartition \
+    --target-dir target/idx64
+./target/idx64/release/gpartition "$graph" 8 --quiet --gpu-threshold 400 \
+    --seed 3 --output "$smoke/u64.part"
+diff -q "$smoke/clean.part" "$smoke/u64.part"
+echo "u64-index partition is byte-identical to the u32 build"
+# the mmap loader and --eval cover the new CLI surface
+run_gp --mmap --output "$smoke/mmap.part"
+diff -q "$smoke/clean.part" "$smoke/mmap.part"
+"$gp" "$graph" 8 --eval "$smoke/clean.part" | grep -q "^8 "
+echo "mmap load is byte-identical; --eval scores the committed partition"
+
 step "serve smoke (daemon: cache hit, forced degradation, deadline, identity)"
 serve=./target/release/gpm-serve
 loadgen=./target/release/gpm-loadgen

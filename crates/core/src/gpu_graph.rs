@@ -3,7 +3,44 @@
 //! `adjwgt`, `vwgt`.
 
 use gpm_gpu_sim::{DBuf, Device, DeviceError};
-use gpm_graph::csr::CsrGraph;
+use gpm_graph::csr::{CsrGraph, Vid};
+
+/// Upload a host index array (`Vid`-width) as 32-bit device words. The
+/// simulated device keeps CUDA's 32-bit word model regardless of the host
+/// index width; a graph whose ids or offsets exceed `u32` cannot be
+/// addressed on-device and is reported as an allocation failure (same
+/// surface as a capacity OOM — the graph does not fit this device).
+pub(crate) fn h2d_idx(dev: &Device, v: &[Vid]) -> Result<DBuf<u32>, DeviceError> {
+    #[cfg(not(feature = "idx64"))]
+    {
+        dev.h2d(v)
+    }
+    #[cfg(feature = "idx64")]
+    {
+        if v.iter().any(|&x| x > u32::MAX as Vid) {
+            return Err(DeviceError::Oom(gpm_gpu_sim::GpuOom {
+                requested: v.len() as u64 * 8,
+                in_use: 0,
+                capacity: u32::MAX as u64 * 4,
+            }));
+        }
+        let narrowed: Vec<u32> = v.iter().map(|&x| x as u32).collect();
+        dev.h2d(&narrowed)
+    }
+}
+
+/// Download a 32-bit device index array back to `Vid` width.
+pub(crate) fn d2h_idx(dev: &Device, b: &DBuf<u32>) -> Result<Vec<Vid>, DeviceError> {
+    let words = dev.d2h(b)?;
+    #[cfg(not(feature = "idx64"))]
+    {
+        Ok(words)
+    }
+    #[cfg(feature = "idx64")]
+    {
+        Ok(words.into_iter().map(|x| x as Vid).collect())
+    }
+}
 
 /// A graph in device memory.
 pub struct GpuCsr {
@@ -28,8 +65,8 @@ impl GpuCsr {
         Ok(GpuCsr {
             n: g.n(),
             m2: g.adjncy.len(),
-            xadj: dev.h2d(&g.xadj)?,
-            adjncy: dev.h2d(&g.adjncy)?,
+            xadj: h2d_idx(dev, &g.xadj)?,
+            adjncy: h2d_idx(dev, &g.adjncy)?,
             adjwgt: dev.h2d(&g.adjwgt)?,
             vwgt: dev.h2d(&g.vwgt)?,
         })
@@ -38,8 +75,8 @@ impl GpuCsr {
     /// Download to the host (charged D2H).
     pub fn download(&self, dev: &Device) -> Result<CsrGraph, DeviceError> {
         Ok(CsrGraph::from_parts(
-            dev.d2h(&self.xadj)?,
-            dev.d2h(&self.adjncy)?,
+            d2h_idx(dev, &self.xadj)?,
+            d2h_idx(dev, &self.adjncy)?,
             dev.d2h(&self.adjwgt)?,
             dev.d2h(&self.vwgt)?,
         ))

@@ -133,9 +133,9 @@ pub fn partition_multi(
     ledger.seconds("gpu:coarsen(multi,max)", coarsen_max);
 
     // --- merge the coarse subgraphs + cross edges on the host -----------
-    let mut offsets = vec![0u32; d + 1];
+    let mut offsets = vec![0 as Vid; d + 1];
     for (i, s) in states.iter().enumerate() {
-        offsets[i + 1] = offsets[i] + s.coarse_host.n() as u32;
+        offsets[i + 1] = offsets[i] + s.coarse_host.n() as Vid;
     }
     let nc_total = offsets[d] as usize;
     let mut b = GraphBuilder::new(nc_total);
@@ -154,8 +154,8 @@ pub fn partition_multi(
     for &(u, v, w) in &cross {
         let (du, lu) = local_of[u as usize];
         let (dv, lv) = local_of[v as usize];
-        let cu = offsets[du as usize] + states[du as usize].composed_cmap[lu as usize];
-        let cv = offsets[dv as usize] + states[dv as usize].composed_cmap[lv as usize];
+        let cu = offsets[du as usize] + states[du as usize].composed_cmap[lu as usize] as Vid;
+        let cv = offsets[dv as usize] + states[dv as usize].composed_cmap[lv as usize] as Vid;
         if cu != cv {
             b.add_edge(cu, cv, w);
         }

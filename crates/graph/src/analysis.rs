@@ -89,9 +89,9 @@ pub fn relabel(g: &CsrGraph, perm: &[Vid]) -> CsrGraph {
     for (old, &new) in perm.iter().enumerate() {
         inv[new as usize] = old as Vid;
     }
-    let mut xadj = vec![0u32; n + 1];
+    let mut xadj = vec![0 as Vid; n + 1];
     for new in 0..n {
-        xadj[new + 1] = xadj[new] + g.degree(inv[new]) as u32;
+        xadj[new + 1] = xadj[new] + g.degree(inv[new]) as Vid;
     }
     let mut adjncy = vec![0 as Vid; g.adjncy.len()];
     let mut adjwgt = vec![0u32; g.adjwgt.len()];

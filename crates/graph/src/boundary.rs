@@ -277,7 +277,7 @@ mod tests {
         let mut part: Vec<u32> = (0..g.n()).map(|_| rng.below(6) as u32).collect();
         let mut bt = BoundaryTracker::build(&g, &part);
         for round in 0..50 {
-            for u in [0u32, 17, 200, 399] {
+            for u in [0 as Vid, 17, 200, 399] {
                 let want = naive_gather(&g, &part, u);
                 let (parts, wgts) = bt.connectivity(&g, &part, u);
                 assert_eq!((parts.to_vec(), wgts.to_vec()), want, "round {round} u {u}");

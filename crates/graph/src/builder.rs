@@ -66,12 +66,12 @@ impl GraphBuilder {
         let n = self.n;
         // Materialize both directions, then counting-sort by source into
         // CSR, then sort + dedup each adjacency list.
-        let mut deg = vec![0u32; n];
+        let mut deg = vec![0 as Vid; n];
         for &(u, v, _) in &self.edges {
             deg[u as usize] += 1;
             deg[v as usize] += 1;
         }
-        let mut xadj = vec![0u32; n + 1];
+        let mut xadj = vec![0 as Vid; n + 1];
         for i in 0..n {
             xadj[i + 1] = xadj[i] + deg[i];
         }
@@ -90,7 +90,7 @@ impl GraphBuilder {
             cursor[v as usize] += 1;
         }
         // Per-vertex sort + merge of parallel edges.
-        let mut new_xadj = vec![0u32; n + 1];
+        let mut new_xadj = vec![0 as Vid; n + 1];
         let mut out_adj: Vec<Vid> = Vec::with_capacity(total);
         let mut out_wgt: Vec<u32> = Vec::with_capacity(total);
         let mut scratch: Vec<(Vid, u32)> = Vec::new();
@@ -111,7 +111,7 @@ impl GraphBuilder {
                 out_wgt.push(w);
                 i = j;
             }
-            new_xadj[u + 1] = out_adj.len() as u32;
+            new_xadj[u + 1] = out_adj.len() as Vid;
         }
         let vwgt = self.vwgt.unwrap_or_else(|| vec![1; n]);
         let g = CsrGraph::from_parts(new_xadj, out_adj, out_wgt, vwgt);
@@ -122,7 +122,7 @@ impl GraphBuilder {
 
 /// Build a CSR graph directly from Metis-style raw arrays, validating them.
 pub fn from_raw(
-    xadj: Vec<u32>,
+    xadj: Vec<Vid>,
     adjncy: Vec<Vid>,
     adjwgt: Vec<u32>,
     vwgt: Vec<u32>,

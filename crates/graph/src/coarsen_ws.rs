@@ -21,8 +21,7 @@
 //! code. The GPU simulator keeps its own device-buffer arena (same idea,
 //! device side) in `gp-metis`.
 
-use crate::csr::{CsrGraph, Vid};
-use std::sync::atomic::AtomicU32;
+use crate::csr::{AtomicVid, CsrGraph, Vid};
 
 /// Dense epoch-stamped slot table addressing keys `0..n`.
 ///
@@ -31,7 +30,7 @@ use std::sync::atomic::AtomicU32;
 /// grow, so across a V-cycle — where the addressed range `nc` shrinks
 /// monotonically — each backing array is allocated at most once.
 pub struct EpochSlots {
-    slot: Vec<u32>,
+    slot: Vec<Vid>,
     stamp: Vec<u32>,
     epoch: u32,
     grows: u64,
@@ -75,7 +74,7 @@ impl EpochSlots {
 
     /// Value stored for `key` in the current epoch, if any.
     #[inline]
-    pub fn get(&self, key: u32) -> Option<u32> {
+    pub fn get(&self, key: Vid) -> Option<Vid> {
         let k = key as usize;
         if self.stamp[k] == self.epoch {
             Some(self.slot[k])
@@ -86,7 +85,7 @@ impl EpochSlots {
 
     /// Store `value` for `key` in the current epoch.
     #[inline]
-    pub fn insert(&mut self, key: u32, value: u32) {
+    pub fn insert(&mut self, key: Vid, value: Vid) {
         let k = key as usize;
         self.stamp[k] = self.epoch;
         self.slot[k] = value;
@@ -109,9 +108,9 @@ pub struct CoarsenWorkspace {
     /// One dedup table per worker chunk for the thread-parallel code.
     thread_slots: Vec<EpochSlots>,
     /// Recycled cmap staging (written concurrently, hence atomic).
-    labels: Vec<AtomicU32>,
+    labels: Vec<AtomicVid>,
     /// Recycled exact per-coarse-row counts for the two-pass scheme.
-    counts: Vec<AtomicU32>,
+    counts: Vec<AtomicVid>,
     /// Growth events of `labels` + `counts` (thread/slot growth is
     /// tracked inside each [`EpochSlots`]).
     vec_grows: u64,
@@ -139,13 +138,13 @@ impl CoarsenWorkspace {
         threads: usize,
         n: usize,
         nc: usize,
-    ) -> (&[AtomicU32], &[AtomicU32], &mut [EpochSlots]) {
+    ) -> (&[AtomicVid], &[AtomicVid], &mut [EpochSlots]) {
         if n > self.labels.len() {
-            self.labels.resize_with(n, || AtomicU32::new(0));
+            self.labels.resize_with(n, || AtomicVid::new(0));
             self.vec_grows += 1;
         }
         if nc > self.counts.len() {
-            self.counts.resize_with(nc, || AtomicU32::new(0));
+            self.counts.resize_with(nc, || AtomicVid::new(0));
             self.vec_grows += 1;
         }
         if threads > self.thread_slots.len() {

@@ -9,10 +9,91 @@
 use std::fmt;
 use std::sync::OnceLock;
 
-/// Vertex identifier. 32 bits suffice for every workload in the evaluation
-/// (the largest paper input has ~24 M vertices) and halve memory traffic
-/// versus `usize`, which matters for the coalescing model.
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+/// The index type a CSR graph is built over: vertex ids *and* adjacency
+/// offsets (`xadj` entries, so `2m` must fit too). Sealed to `u32`/`u64` —
+/// the two widths the loaders, workspaces and partitioners are tested
+/// against; a third implementation would silently miss those suites.
+///
+/// The compiled-in width is selected by the `idx64` cargo feature through
+/// the [`Vid`] alias rather than by generics: every array and kernel in
+/// the workspace then agrees on one width, the default `u32` build keeps
+/// its memory traffic (and byte-identity suites) unchanged, and the `u64`
+/// build lifts the ~2 G half-edge ceiling for the full DIMACS-scale
+/// inputs.
+pub trait GraphIndex:
+    sealed::Sealed
+    + Copy
+    + Ord
+    + Eq
+    + std::hash::Hash
+    + Default
+    + fmt::Debug
+    + fmt::Display
+    + Send
+    + Sync
+    + 'static
+{
+    /// Largest representable index (used as the "none" sentinel).
+    const MAX: Self;
+    /// Size of one index in bytes (resident-size accounting).
+    const BYTES: usize;
+    /// Widen to `usize` for array indexing.
+    fn index(self) -> usize;
+    /// Narrow from `usize`; debug-asserts the value fits.
+    fn from_usize(x: usize) -> Self;
+}
+
+impl GraphIndex for u32 {
+    const MAX: Self = u32::MAX;
+    const BYTES: usize = 4;
+    #[inline(always)]
+    fn index(self) -> usize {
+        self as usize
+    }
+    #[inline(always)]
+    fn from_usize(x: usize) -> Self {
+        debug_assert!(x <= u32::MAX as usize);
+        x as u32
+    }
+}
+
+impl GraphIndex for u64 {
+    const MAX: Self = u64::MAX;
+    const BYTES: usize = 8;
+    #[inline(always)]
+    fn index(self) -> usize {
+        self as usize
+    }
+    #[inline(always)]
+    fn from_usize(x: usize) -> Self {
+        x as u64
+    }
+}
+
+/// Vertex identifier and adjacency offset. The default 32-bit width
+/// suffices for every workload in the paper's evaluation (the largest
+/// input has ~24 M vertices) and halves memory traffic versus `usize`,
+/// which matters for the coalescing model; the `idx64` feature widens it
+/// to 64 bits for graphs beyond ~2 G half-edges. See [`GraphIndex`].
+#[cfg(not(feature = "idx64"))]
 pub type Vid = u32;
+/// Vertex identifier and adjacency offset (64-bit build — see [`GraphIndex`]).
+#[cfg(feature = "idx64")]
+pub type Vid = u64;
+
+/// Atomic cell holding a [`Vid`] — staging arrays written concurrently by
+/// the parallel contraction and matching phases.
+#[cfg(not(feature = "idx64"))]
+pub type AtomicVid = std::sync::atomic::AtomicU32;
+/// Atomic cell holding a [`Vid`] (64-bit build).
+#[cfg(feature = "idx64")]
+pub type AtomicVid = std::sync::atomic::AtomicU64;
 
 /// An undirected graph in CSR form with integer vertex and edge weights.
 ///
@@ -24,7 +105,7 @@ pub type Vid = u32;
 /// * symmetry: edge `(u, v, w)` appears iff `(v, u, w)` appears.
 pub struct CsrGraph {
     /// Adjacency pointers (`adjp` in the paper), length `n + 1`.
-    pub xadj: Vec<u32>,
+    pub xadj: Vec<Vid>,
     /// Concatenated adjacency lists, length `2|E|`.
     pub adjncy: Vec<Vid>,
     /// Edge weights, parallel to `adjncy`.
@@ -103,7 +184,7 @@ impl CsrGraph {
 
     /// Assemble a graph from the four CSR arrays (no validation — call
     /// [`CsrGraph::validate`] when the arrays come from untrusted code).
-    pub fn from_parts(xadj: Vec<u32>, adjncy: Vec<Vid>, adjwgt: Vec<u32>, vwgt: Vec<u32>) -> Self {
+    pub fn from_parts(xadj: Vec<Vid>, adjncy: Vec<Vid>, adjwgt: Vec<u32>, vwgt: Vec<u32>) -> Self {
         CsrGraph { xadj, adjncy, adjwgt, vwgt, uniform_ew: OnceLock::new() }
     }
 
@@ -172,8 +253,10 @@ impl CsrGraph {
     /// the GPU simulator to enforce the device-memory capacity the paper
     /// identifies as a core constraint.
     pub fn bytes(&self) -> u64 {
-        (self.xadj.len() * 4 + self.adjncy.len() * 4 + self.adjwgt.len() * 4 + self.vwgt.len() * 4)
-            as u64
+        (self.xadj.len() * Vid::BYTES
+            + self.adjncy.len() * Vid::BYTES
+            + self.adjwgt.len() * 4
+            + self.vwgt.len() * 4) as u64
     }
 
     /// Full structural validation of the CSR invariants. `O(m log d)`.
@@ -393,6 +476,7 @@ mod tests {
     #[test]
     fn bytes_counts_all_arrays() {
         let g = triangle();
-        assert_eq!(g.bytes(), (4 * 4 + 6 * 4 + 6 * 4 + 3 * 4) as u64);
+        // index arrays follow the build's Vid width; weights stay 4 bytes
+        assert_eq!(g.bytes(), ((4 + 6) * Vid::BYTES + (6 + 3) * 4) as u64);
     }
 }

@@ -16,7 +16,16 @@ use std::path::Path;
 #[derive(Debug)]
 pub enum IoError {
     Io(std::io::Error),
-    Parse { line: usize, msg: String },
+    Parse {
+        line: usize,
+        msg: String,
+    },
+    /// The header declares more edges than the compiled index width can
+    /// address (CSR offsets run to `2m`).
+    TooLarge {
+        m: usize,
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -24,6 +33,13 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::TooLarge { m, max } => {
+                write!(f, "graph has {m} edges but this build supports at most {max}")?;
+                if cfg!(not(feature = "idx64")) {
+                    write!(f, " (rebuild with `--features idx64` for 64-bit indices)")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -41,18 +57,20 @@ fn parse_err<T>(line: usize, msg: impl Into<String>) -> Result<T, IoError> {
 }
 
 /// Hard cap on header-declared sizes: vertex ids must fit [`Vid`] and the
-/// CSR adjacency offsets (`2m`) must fit `u32`, so a corrupt or hostile
-/// header fails with a typed error instead of an assert or a giant
-/// allocation downstream.
+/// CSR adjacency offsets (`2m`) must fit [`Vid`], so a corrupt — or merely
+/// too-big-for-this-build — header fails with a typed error instead of an
+/// assert or a giant allocation downstream. An over-cap edge count gets
+/// the dedicated [`IoError::TooLarge`], whose message points at the
+/// `idx64` build that can load the file.
 const MAX_N: usize = Vid::MAX as usize;
-const MAX_M: usize = (u32::MAX / 2) as usize;
+const MAX_M: usize = (Vid::MAX / 2) as usize;
 
-fn check_header_dims(line: usize, n: usize, m: usize) -> Result<(), IoError> {
+pub(crate) fn check_header_dims(line: usize, n: usize, m: usize) -> Result<(), IoError> {
     if n > MAX_N {
         return parse_err(line, format!("vertex count {n} exceeds the supported {MAX_N}"));
     }
     if m > MAX_M {
-        return parse_err(line, format!("edge count {m} exceeds the supported {MAX_M}"));
+        return Err(IoError::TooLarge { m, max: MAX_M });
     }
     Ok(())
 }
@@ -207,6 +225,17 @@ pub fn write_partition<W: Write>(part: &[u32], w: W) -> Result<(), IoError> {
 
 /// Read a Metis `.part` file.
 pub fn read_partition<R: BufRead>(r: R) -> Result<Vec<u32>, IoError> {
+    read_partition_checked(r, None)
+}
+
+/// Read a Metis `.part` file, optionally validating every label against
+/// an expected partition count: with `expect_k = Some(k)` a label outside
+/// `0..k` is a parse error at its line instead of a bad partition that
+/// surfaces later as a metrics panic or a silently empty part.
+pub fn read_partition_checked<R: BufRead>(
+    r: R,
+    expect_k: Option<u32>,
+) -> Result<Vec<u32>, IoError> {
     let mut part = Vec::new();
     for (no, line) in r.lines().enumerate() {
         let line = line?;
@@ -214,9 +243,14 @@ pub fn read_partition<R: BufRead>(r: R) -> Result<Vec<u32>, IoError> {
         if t.is_empty() {
             continue;
         }
-        part.push(
-            t.parse::<u32>().map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?,
-        );
+        let p =
+            t.parse::<u32>().map_err(|e| IoError::Parse { line: no + 1, msg: format!("{e}") })?;
+        if let Some(k) = expect_k {
+            if p >= k {
+                return parse_err(no + 1, format!("partition id {p} out of 0..{k}"));
+            }
+        }
+        part.push(p);
     }
     Ok(part)
 }
@@ -373,6 +407,31 @@ mod tests {
     fn partition_rejects_garbage() {
         assert!(read_partition(Cursor::new("1\nx\n")).is_err());
         assert_eq!(read_partition(Cursor::new("")).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn partition_expect_k_validates_labels() {
+        let ok = read_partition_checked(Cursor::new("0\n2\n1\n"), Some(3)).unwrap();
+        assert_eq!(ok, vec![0, 2, 1]);
+        let err = read_partition_checked(Cursor::new("0\n3\n1\n"), Some(3)).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[cfg(not(feature = "idx64"))]
+    #[test]
+    fn oversized_edge_count_is_too_large() {
+        // 3e9 edges: 2m does not fit a u32 offset
+        let err = read_metis(Cursor::new("4 3000000000\n")).unwrap_err();
+        match err {
+            IoError::TooLarge { m, .. } => {
+                assert_eq!(m, 3_000_000_000);
+                assert!(format!("{err}").contains("idx64"));
+            }
+            other => panic!("unexpected: {other}"),
+        }
     }
 
     #[test]

@@ -15,11 +15,16 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod metrics;
+pub mod mmap;
+pub mod packed;
 pub mod rng;
+pub mod stream;
 pub mod subgraph;
 
 pub use boundary::BoundaryTracker;
 pub use builder::GraphBuilder;
 pub use coarsen_ws::{check_contraction, CoarsenWorkspace, EpochSlots};
-pub use csr::{CsrGraph, Vid};
+pub use csr::{AtomicVid, CsrGraph, GraphIndex, Vid};
 pub use metrics::{comm_volume, edge_cut, imbalance, part_weights, validate_partition};
+pub use packed::PackedCsr;
+pub use stream::{read_metis_mmap, read_metis_streamed};

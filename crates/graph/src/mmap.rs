@@ -1,0 +1,166 @@
+//! Read-only file mapping for the out-of-core graph loaders.
+//!
+//! [`FileBytes`] presents a file as a `&[u8]` without materializing it
+//! through a `BufRead` line iterator. On unix it memory-maps the file
+//! (`mmap(PROT_READ, MAP_PRIVATE)` straight through the libc the std
+//! runtime already links — no new dependency), so the page cache backs
+//! the parse and peak RSS stays at the touched pages instead of an extra
+//! heap copy of the whole text. Platforms without `mmap` — or files that
+//! fail to map (pipes, pseudo-files) — fall back to one `read_to_end`.
+//!
+//! The mapping is `MAP_PRIVATE` and never written through. As with every
+//! mmap-based reader, truncating the file while it is mapped can fault
+//! the process; the loaders only map regular files they just `stat`ed.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A file's contents as a byte slice: memory-mapped when possible,
+/// otherwise a heap buffer.
+pub struct FileBytes {
+    ptr: *const u8,
+    len: usize,
+    backing: Backing,
+}
+
+enum Backing {
+    /// `munmap(ptr, len)` on drop.
+    #[cfg(unix)]
+    Mapped,
+    /// Owned heap buffer (also used for empty files — `mmap` rejects
+    /// zero-length mappings).
+    Owned(#[allow(dead_code)] Vec<u8>),
+}
+
+// The mapping is immutable for the lifetime of the value.
+unsafe impl Send for FileBytes {}
+unsafe impl Sync for FileBytes {}
+
+impl FileBytes {
+    /// Map `path` read-only, falling back to reading it into memory.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<FileBytes> {
+        let mut f = File::open(path)?;
+        let len = f.metadata()?.len() as usize;
+        #[cfg(unix)]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    f.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 {
+                return Ok(FileBytes { ptr: ptr as *const u8, len, backing: Backing::Mapped });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        f.read_to_end(&mut buf)?;
+        Ok(FileBytes::from_vec(buf))
+    }
+
+    /// Wrap an in-memory buffer (used by the fallback path and tests).
+    pub fn from_vec(buf: Vec<u8>) -> FileBytes {
+        FileBytes { ptr: buf.as_ptr(), len: buf.len(), backing: Backing::Owned(buf) }
+    }
+
+    /// The file contents.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        // Safety: ptr/len come from a successful mmap or a Vec this value
+        // owns; both stay valid and unmodified until drop.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Whether the contents are memory-mapped (vs. a heap copy).
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(unix)]
+        {
+            matches!(self.backing, Backing::Mapped)
+        }
+        #[cfg(not(unix))]
+        {
+            false
+        }
+    }
+}
+
+impl Drop for FileBytes {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped = self.backing {
+            unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for FileBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_a_real_file() {
+        let dir = std::env::temp_dir().join("gpm_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("data.bin");
+        std::fs::write(&p, b"hello graph\n").unwrap();
+        let fb = FileBytes::open(&p).unwrap();
+        assert_eq!(&fb[..], b"hello graph\n");
+        #[cfg(unix)]
+        assert!(fb.is_mapped());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty_slice() {
+        let dir = std::env::temp_dir().join("gpm_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("empty.bin");
+        std::fs::write(&p, b"").unwrap();
+        let fb = FileBytes::open(&p).unwrap();
+        assert!(fb.bytes().is_empty());
+        assert!(!fb.is_mapped());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let fb = FileBytes::from_vec(vec![1, 2, 3]);
+        assert_eq!(&fb[..], &[1, 2, 3]);
+        assert!(!fb.is_mapped());
+    }
+}

@@ -6,6 +6,8 @@
 //! stream derived from a seed and a stream id, which keeps the racy
 //! lock-free algorithms reproducible enough to test invariants on.
 
+use crate::csr::Vid;
+
 /// SplitMix64 PRNG. Passes BigCrush; one multiply-xor-shift pipeline per
 /// draw.
 #[derive(Clone, Debug)]
@@ -73,9 +75,10 @@ pub fn shuffle<T>(xs: &mut [T], rng: &mut SplitMix64) {
     }
 }
 
-/// A random permutation of `0..n`.
-pub fn random_permutation(n: usize, rng: &mut SplitMix64) -> Vec<u32> {
-    let mut p: Vec<u32> = (0..n as u32).collect();
+/// A random permutation of `0..n`. The draw sequence depends only on `n`,
+/// so the permutation is identical across index widths ([`Vid`] u32/u64).
+pub fn random_permutation(n: usize, rng: &mut SplitMix64) -> Vec<Vid> {
+    let mut p: Vec<Vid> = (0..n as Vid).collect();
     shuffle(&mut p, rng);
     p
 }
@@ -140,7 +143,7 @@ mod tests {
         let p = random_permutation(100, &mut r);
         let mut q = p.clone();
         q.sort_unstable();
-        assert_eq!(q, (0..100).collect::<Vec<u32>>());
+        assert_eq!(q, (0..100).collect::<Vec<Vid>>());
     }
 
     #[test]

@@ -18,10 +18,10 @@ pub fn induced_subgraph(g: &CsrGraph, select: &[bool]) -> (CsrGraph, Vec<Vid>) {
         }
     }
     let nn = new_to_old.len();
-    let mut xadj = vec![0u32; nn + 1];
+    let mut xadj = vec![0 as Vid; nn + 1];
     // First pass: count surviving edges.
     for (nu, &ou) in new_to_old.iter().enumerate() {
-        let cnt = g.neighbors(ou).iter().filter(|&&v| select[v as usize]).count() as u32;
+        let cnt = g.neighbors(ou).iter().filter(|&&v| select[v as usize]).count() as Vid;
         xadj[nu + 1] = xadj[nu] + cnt;
     }
     let total = xadj[nn] as usize;

@@ -6,6 +6,7 @@
 use gpm_graph::builder::GraphBuilder;
 use gpm_graph::gen::{delaunay_like, grid2d};
 use gpm_graph::io::{read_dimacs9, read_metis, write_metis, IoError};
+use gpm_graph::Vid;
 use gpm_testkit::{check, tk_assert, tk_assert_eq, Source};
 use std::io::Cursor;
 
@@ -15,8 +16,8 @@ fn arbitrary_graph(src: &mut Source) -> gpm_graph::csr::CsrGraph {
     let mut b = GraphBuilder::new(n);
     let m = src.usize_in(0, 3 * n);
     for _ in 0..m {
-        let u = src.usize_in(0, n) as u32;
-        let v = src.usize_in(0, n) as u32;
+        let u = src.usize_in(0, n) as Vid;
+        let v = src.usize_in(0, n) as Vid;
         if u != v {
             b.add_edge(u.min(v), u.max(v), src.u32_in(1, 100));
         }
@@ -52,7 +53,7 @@ fn truncated_metis_never_panics() {
                 tk_assert_eq!(h.n(), g.n());
                 tk_assert_eq!(h.m(), g.m());
             }
-            Err(IoError::Parse { .. }) | Err(IoError::Io(_)) => {}
+            Err(IoError::Parse { .. }) | Err(IoError::Io(_)) | Err(IoError::TooLarge { .. }) => {}
         }
         Ok(())
     });
@@ -80,16 +81,33 @@ fn mutated_metis_never_panics() {
 #[test]
 fn overflowing_metis_headers_are_typed_errors() {
     check("overflowing_metis_headers_are_typed_errors", 48, |src| {
-        let huge_n = (u32::MAX as u64) + 1 + src.below(1 << 40);
-        let huge_m = (u32::MAX as u64 / 2) + 1 + src.below(1 << 40);
-        for header in [format!("{huge_n} 1"), format!("4 {huge_m}"), format!("{huge_n} {huge_m}")] {
-            match read_metis(Cursor::new(format!("{header}\n"))) {
+        // the caps move with the index width, so only the default (u32)
+        // build can exceed them with parseable numbers
+        #[cfg(not(feature = "idx64"))]
+        {
+            let huge_n = (u32::MAX as u64) + 1 + src.below(1 << 40);
+            let huge_m = (u32::MAX as u64 / 2) + 1 + src.below(1 << 40);
+            match read_metis(Cursor::new(format!("{huge_n} 1\n"))) {
                 Err(IoError::Parse { .. }) => {}
-                other => {
-                    return Err(format!("header `{header}`: expected parse error, got {other:?}"))
+                other => return Err(format!("huge n: expected parse error, got {other:?}")),
+            }
+            // over-cap edge counts get the dedicated variant whose message
+            // points at the idx64 build
+            match read_metis(Cursor::new(format!("4 {huge_m}\n"))) {
+                Err(e @ IoError::TooLarge { .. }) => {
+                    if !e.to_string().contains("idx64") {
+                        return Err(format!("missing idx64 hint in `{e}`"));
+                    }
                 }
+                other => return Err(format!("huge m: expected TooLarge, got {other:?}")),
+            }
+            // n is checked first when both overflow
+            match read_metis(Cursor::new(format!("{huge_n} {huge_m}\n"))) {
+                Err(IoError::Parse { .. }) => {}
+                other => return Err(format!("huge n+m: expected parse error, got {other:?}")),
             }
         }
+        let _ = &src;
         // astronomically large counts overflow usize parsing itself
         match read_metis(Cursor::new("99999999999999999999999999 1\n")) {
             Err(IoError::Parse { .. }) => Ok(()),
@@ -120,7 +138,7 @@ fn metis_header_vertex_count_must_match_body() {
 /// Serialize a graph as DIMACS9 arcs (both directions, as real files do).
 fn to_dimacs9(g: &gpm_graph::csr::CsrGraph) -> String {
     let mut s = format!("c generated\np sp {} {}\n", g.n(), 2 * g.m());
-    for u in 0..g.n() as u32 {
+    for u in 0..g.n() as Vid {
         for (v, w) in g.edges(u) {
             s.push_str(&format!("a {} {} {w}\n", u + 1, v + 1));
         }
@@ -164,16 +182,23 @@ fn truncated_or_mutated_dimacs9_never_panics() {
 
 #[test]
 fn overflowing_dimacs9_headers_are_typed_errors() {
-    let huge = (u32::MAX as u64) + 2;
-    for text in [
-        format!("p sp {huge} 1\na 1 2 1\n"),
-        format!("p sp 3 {huge}\na 1 2 1\n"),
-        "p sp 99999999999999999999999999 1\n".to_string(),
-    ] {
-        match read_dimacs9(Cursor::new(&text)) {
-            Err(IoError::Parse { .. }) => {}
-            other => panic!("expected parse error, got {other:?}"),
+    // Counts just past the u32 caps are typed errors only in the default
+    // build; under idx64 they declare legal (if enormous) graphs, so the
+    // reader would faithfully allocate for them — skip those cases there.
+    #[cfg(not(feature = "idx64"))]
+    {
+        let huge = (u32::MAX as u64) + 2;
+        for text in [format!("p sp {huge} 1\na 1 2 1\n"), format!("p sp 3 {huge}\na 1 2 1\n")] {
+            match read_dimacs9(Cursor::new(&text)) {
+                Err(IoError::Parse { .. }) | Err(IoError::TooLarge { .. }) => {}
+                other => panic!("expected typed error, got {other:?}"),
+            }
         }
+    }
+    // counts that overflow usize parsing itself fail in every build
+    match read_dimacs9(Cursor::new("p sp 99999999999999999999999999 1\n")) {
+        Err(IoError::Parse { .. }) => {}
+        other => panic!("expected parse error, got {other:?}"),
     }
 }
 

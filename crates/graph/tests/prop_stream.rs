@@ -1,0 +1,163 @@
+//! Property tests pinning the streaming loader to the serial reader.
+//!
+//! The contract of [`gpm_graph::stream::read_metis_streamed`] is byte
+//! identity: on any file the serial [`read_metis`] accepts and the
+//! streaming loader also accepts, the four CSR arrays must be exactly
+//! equal — including after the file is decorated with comment lines,
+//! Windows line endings, `%`-prefixed pre-header lines, and trailing
+//! blank lines. In the other direction the loader may only be *stricter*:
+//! whenever it returns a graph, the serial reader must return the same
+//! graph. (Runs on the in-repo `gpm-testkit` harness.)
+
+use gpm_graph::builder::GraphBuilder;
+use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::io::{read_metis, write_metis};
+use gpm_graph::packed::PackedCsr;
+use gpm_graph::stream::read_metis_streamed;
+use gpm_testkit::{check, tk_assert, tk_assert_eq, Source};
+use std::io::Cursor;
+
+/// A random small weighted graph (possibly with isolated vertices).
+fn arbitrary_graph(src: &mut Source) -> CsrGraph {
+    let n = src.usize_in(1, 40);
+    let mut b = GraphBuilder::new(n);
+    let m = src.usize_in(0, 3 * n);
+    for _ in 0..m {
+        let u = src.usize_in(0, n) as Vid;
+        let v = src.usize_in(0, n) as Vid;
+        if u != v {
+            b.add_edge(u.min(v), u.max(v), src.u32_in(1, 100));
+        }
+    }
+    let vwgt = (0..n).map(|_| src.u32_in(1, 50)).collect();
+    b.vertex_weights(vwgt).build()
+}
+
+fn assert_bit_identical(streamed: &CsrGraph, serial: &CsrGraph) -> Result<(), String> {
+    tk_assert_eq!(streamed.xadj, serial.xadj);
+    tk_assert_eq!(streamed.adjncy, serial.adjncy);
+    tk_assert_eq!(streamed.adjwgt, serial.adjwgt);
+    tk_assert_eq!(streamed.vwgt, serial.vwgt);
+    Ok(())
+}
+
+#[test]
+fn streamed_matches_serial_on_clean_files() {
+    check("streamed_matches_serial_on_clean_files", 96, |src| {
+        let g = arbitrary_graph(src);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).map_err(|e| e.to_string())?;
+        let serial = read_metis(Cursor::new(&buf)).map_err(|e| e.to_string())?;
+        let streamed = read_metis_streamed(&buf).map_err(|e| e.to_string())?;
+        assert_bit_identical(&streamed, &serial)?;
+        tk_assert_eq!(streamed, g);
+        Ok(())
+    });
+}
+
+/// Re-encode a serialized file with parser-irrelevant decorations: CRLF
+/// endings, comment lines (before the header and between vertex lines),
+/// leading blank-ish whitespace, and trailing blank lines.
+fn decorate(src: &mut Source, buf: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(buf.len() * 2);
+    let crlf = src.chance(0.5);
+    for _ in 0..src.usize_in(0, 3) {
+        out.extend_from_slice(b"% decorative pre-header comment\n");
+    }
+    for line in buf.split(|&b| b == b'\n') {
+        if line.is_empty() {
+            continue; // the final piece after the trailing newline
+        }
+        if src.chance(0.2) {
+            out.extend_from_slice(b"  % interleaved comment\r\n");
+        }
+        if src.chance(0.2) {
+            out.push(b' '); // leading whitespace is insignificant
+        }
+        out.extend_from_slice(line);
+        if crlf {
+            out.push(b'\r');
+        }
+        out.push(b'\n');
+    }
+    for _ in 0..src.usize_in(0, 3) {
+        out.extend_from_slice(if crlf { b"\r\n".as_slice() } else { b"\n".as_slice() });
+    }
+    out
+}
+
+#[test]
+fn streamed_matches_serial_on_decorated_files() {
+    check("streamed_matches_serial_on_decorated_files", 96, |src| {
+        let g = arbitrary_graph(src);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).map_err(|e| e.to_string())?;
+        let decorated = decorate(src, &buf);
+        let serial = read_metis(Cursor::new(&decorated)).map_err(|e| e.to_string())?;
+        let streamed = read_metis_streamed(&decorated).map_err(|e| e.to_string())?;
+        assert_bit_identical(&streamed, &serial)?;
+        tk_assert_eq!(streamed, g);
+        Ok(())
+    });
+}
+
+#[test]
+fn streamed_is_never_looser_than_serial() {
+    check("streamed_is_never_looser_than_serial", 96, |src| {
+        let g = arbitrary_graph(src);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).map_err(|e| e.to_string())?;
+        // flip a handful of bytes to printable garbage
+        for _ in 0..src.usize_in(1, 6) {
+            let i = src.usize_in(0, buf.len());
+            buf[i] = *src.choose(b"0123456789 -x%\n\t.");
+        }
+        // neither parser may panic; if the streaming loader accepts the
+        // mutated file, the serial reader must accept it identically
+        let streamed = read_metis_streamed(&buf);
+        let serial = read_metis(Cursor::new(&buf));
+        if let Ok(sg) = streamed {
+            tk_assert!(sg.validate().is_ok(), "streamed graph fails validation");
+            match serial {
+                Ok(bg) => assert_bit_identical(&sg, &bg)?,
+                Err(e) => return Err(format!("streamed ok but serial failed: {e}")),
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn truncated_streamed_never_panics() {
+    check("truncated_streamed_never_panics", 96, |src| {
+        let g = arbitrary_graph(src);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).map_err(|e| e.to_string())?;
+        let cut = src.usize_in(0, buf.len() + 1).min(buf.len());
+        // any typed outcome is fine; a parse must agree with the serial
+        if let Ok(sg) = read_metis_streamed(&buf[..cut]) {
+            let bg = read_metis(Cursor::new(&buf[..cut]))
+                .map_err(|e| format!("streamed ok but serial failed: {e}"))?;
+            assert_bit_identical(&sg, &bg)?;
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn packed_roundtrips_arbitrary_graphs() {
+    check("packed_roundtrips_arbitrary_graphs", 128, |src| {
+        let g = arbitrary_graph(src);
+        let p = PackedCsr::pack(&g);
+        tk_assert_eq!(p.n(), g.n());
+        tk_assert_eq!(p.m(), g.m());
+        tk_assert_eq!(p.to_csr(), g);
+        // row decode through one recycled scratch pair
+        let (mut adj, mut wgt) = (Vec::new(), Vec::new());
+        for u in 0..g.n() as Vid {
+            p.decode_row(u, &mut adj, &mut wgt);
+            tk_assert_eq!(adj.as_slice(), g.neighbors(u));
+        }
+        Ok(())
+    });
+}

@@ -65,7 +65,7 @@ pub fn contract_ws(
     let (cmap, nc) = build_cmap(mat);
     work.vertices += 2 * n as u64;
 
-    let mut xadj = vec![0u32; nc + 1];
+    let mut xadj = vec![0 as Vid; nc + 1];
     let mut vwgt = vec![0u32; nc];
     let slots = ws.serial_slots();
     slots.reset(nc);
@@ -79,7 +79,7 @@ pub fn contract_ws(
             }
             let v = mat[u as usize];
             slots.next_row();
-            let mut deg = 0u32;
+            let mut deg = 0 as Vid;
             let mut count = |nb: Vid, slots: &mut gpm_graph::EpochSlots| {
                 let cn = cmap[nb as usize];
                 if cn != c && slots.get(cn).is_none() {
@@ -120,7 +120,7 @@ pub fn contract_ws(
         let mut cursor = xadj[c as usize];
         let emit = |nb: Vid,
                     w: u32,
-                    cursor: &mut u32,
+                    cursor: &mut Vid,
                     merged: &mut bool,
                     adjncy: &mut [Vid],
                     adjwgt: &mut [u32],

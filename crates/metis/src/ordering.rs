@@ -42,9 +42,9 @@ impl Default for NdConfig {
 pub struct Ordering {
     /// `perm[old] = new`: position of each vertex in the elimination
     /// order.
-    pub perm: Vec<u32>,
+    pub perm: Vec<Vid>,
     /// `iperm[new] = old`: the inverse permutation.
-    pub iperm: Vec<u32>,
+    pub iperm: Vec<Vid>,
     /// Total vertices placed in separators.
     pub separator_vertices: usize,
     /// Levels of dissection performed.
@@ -54,7 +54,7 @@ pub struct Ordering {
 /// Compute a nested-dissection ordering of `g`.
 pub fn nested_dissection(g: &CsrGraph, cfg: &NdConfig) -> Ordering {
     let n = g.n();
-    let mut iperm: Vec<u32> = Vec::with_capacity(n);
+    let mut iperm: Vec<Vid> = Vec::with_capacity(n);
     let mut rng = SplitMix64::new(cfg.seed);
     let mut work = Work::default();
     let mut sep_total = 0usize;
@@ -62,9 +62,9 @@ pub fn nested_dissection(g: &CsrGraph, cfg: &NdConfig) -> Ordering {
     let ids: Vec<Vid> = (0..n as Vid).collect();
     recurse(g, &ids, cfg, &mut rng, &mut work, &mut iperm, &mut sep_total, 0, &mut levels);
     debug_assert_eq!(iperm.len(), n);
-    let mut perm = vec![0u32; n];
+    let mut perm = vec![0 as Vid; n];
     for (new, &old) in iperm.iter().enumerate() {
-        perm[old as usize] = new as u32;
+        perm[old as usize] = new as Vid;
     }
     Ordering { perm, iperm, separator_vertices: sep_total, levels }
 }
@@ -78,7 +78,7 @@ fn recurse(
     cfg: &NdConfig,
     rng: &mut SplitMix64,
     work: &mut Work,
-    iperm: &mut Vec<u32>,
+    iperm: &mut Vec<Vid>,
     sep_total: &mut usize,
     depth: usize,
     levels: &mut usize,
@@ -122,7 +122,7 @@ fn recurse(
 }
 
 /// Order a leaf block by minimum degree (a cheap local fill heuristic).
-fn order_leaf(sub: &CsrGraph, ids: &[Vid], iperm: &mut Vec<u32>) {
+fn order_leaf(sub: &CsrGraph, ids: &[Vid], iperm: &mut Vec<Vid>) {
     let mut order: Vec<usize> = (0..sub.n()).collect();
     order.sort_by_key(|&u| (sub.degree(u as Vid), u));
     for u in order {
@@ -164,7 +164,7 @@ pub fn vertex_separator(g: &CsrGraph, part: &[u32]) -> Vec<bool> {
 /// Sanity metric for orderings: the envelope (profile) of the permuted
 /// matrix — the sum over rows of the distance to the leftmost nonzero.
 /// Smaller is better for fill.
-pub fn profile(g: &CsrGraph, perm: &[u32]) -> u64 {
+pub fn profile(g: &CsrGraph, perm: &[Vid]) -> u64 {
     let mut total = 0u64;
     for u in 0..g.n() as Vid {
         let pu = perm[u as usize] as i64;
@@ -183,7 +183,7 @@ mod tests {
     use gpm_graph::gen::{delaunay_like, grid2d, path};
     use gpm_graph::rng::random_permutation;
 
-    fn is_permutation(p: &[u32]) -> bool {
+    fn is_permutation(p: &[Vid]) -> bool {
         let mut seen = vec![false; p.len()];
         for &x in p {
             if seen[x as usize] {

@@ -46,10 +46,10 @@ pub fn parallel_contract_ws(
     // Representatives (u <= mat[u]) get coarse labels in fine order; each
     // worker's chunk therefore owns a contiguous coarse-label range, which
     // keeps its scatter window of the final arrays contiguous too.
-    let mut rep_counts = vec![0u32; threads + 1];
+    let mut rep_counts = vec![0 as Vid; threads + 1];
     let chunk_reps = gpm_pool::parallel_chunks(threads, |t| {
         let (lo, hi) = chunk_range(n, threads, t);
-        (lo..hi).filter(|&u| u as Vid <= mat[u]).count() as u32
+        (lo..hi).filter(|&u| u as Vid <= mat[u]).count() as Vid
     });
     for (t, c) in chunk_reps.into_iter().enumerate() {
         rep_counts[t + 1] = c;
@@ -104,7 +104,7 @@ pub fn parallel_contract_ws(
                 }
                 let c = cmap[u];
                 sl.next_row();
-                let mut deg = 0u32;
+                let mut deg = 0 as Vid;
                 let mut count = |nb: Vid, sl: &mut EpochSlots| {
                     let cn = cmap[nb as usize];
                     if cn != c && sl.get(cn).is_none() {
@@ -126,24 +126,24 @@ pub fn parallel_contract_ws(
     }
 
     // --- xadj: pooled prefix sum over the exact counts --------------------
-    let mut xadj = vec![0u32; nc + 1];
+    let mut xadj = vec![0 as Vid; nc + 1];
     {
         let sums = gpm_pool::parallel_chunks(threads, |t| {
             let (lo, hi) = chunk_range(nc, threads, t);
-            let mut s = 0u32;
+            let mut s = 0 as Vid;
             for c in lo..hi {
                 s += ld(row_counts, c);
             }
             s
         });
-        let mut base = vec![0u32; threads + 1];
+        let mut base = vec![0 as Vid; threads + 1];
         for t in 0..threads {
             base[t + 1] = base[t] + sums[t];
         }
         // disjoint per-chunk windows of xadj[1..], delivered through
         // uncontended mutexes like the dedup tables above
-        let mut windows: Vec<Mutex<Option<&mut [u32]>>> = Vec::with_capacity(threads);
-        let mut rest: &mut [u32] = &mut xadj[1..];
+        let mut windows: Vec<Mutex<Option<&mut [Vid]>>> = Vec::with_capacity(threads);
+        let mut rest: &mut [Vid] = &mut xadj[1..];
         for t in 0..threads {
             let (lo, hi) = chunk_range(nc, threads, t);
             let (win, r) = rest.split_at_mut(hi - lo);

@@ -24,16 +24,15 @@
 //! cost and the output independent of steal order.
 
 use crate::util::{atomic_vec, chunk_range, chunks_by_edges, ld, snapshot, st};
-use gpm_graph::csr::{CsrGraph, Vid};
+use gpm_graph::csr::{AtomicVid, CsrGraph, Vid};
 use gpm_metis::cost::Work;
-use std::sync::atomic::AtomicU32;
 
 /// Symmetric per-round edge priority: both endpoints compute the same
 /// value, so mutual choices are consistent, and the random order breaks
 /// weight ties (and drives the uniform-weight RM case) Luby-style — a
 /// constant fraction of locally dominant edges is mutual every round.
 #[inline]
-fn edge_priority(u: u32, v: u32, seed: u64, round: usize) -> u64 {
+fn edge_priority(u: Vid, v: Vid, seed: u64, round: usize) -> u64 {
     let (a, b) = (u.min(v) as u64, u.max(v) as u64);
     let mut z = (a << 32 | b) ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((round as u64) << 57);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -51,10 +50,10 @@ pub fn parallel_matching(
     seed: u64,
 ) -> (Vec<Vid>, Vec<Work>) {
     let n = g.n();
-    let mat: Vec<AtomicU32> = atomic_vec(n, 0);
-    let prop: Vec<AtomicU32> = atomic_vec(n, 0);
+    let mat: Vec<AtomicVid> = atomic_vec(n, 0);
+    let prop: Vec<AtomicVid> = atomic_vec(n, 0);
     for u in 0..n {
-        st(&mat, u, u as u32); // self = unmatched
+        st(&mat, u, u as Vid); // self = unmatched
     }
     let mut works: Vec<Work> = vec![Work::default(); threads];
     // HEM has no signal on uniform weights; the random priority alone
@@ -69,8 +68,8 @@ pub fn parallel_matching(
             let (lo, hi) = chunks[c];
             let mut w = Work::default();
             for u in lo..hi {
-                if ld(&mat, u) != u as u32 {
-                    st(&prop, u, u as u32); // committed in an earlier round
+                if ld(&mat, u) != u as Vid {
+                    st(&prop, u, u as Vid); // committed in an earlier round
                     continue;
                 }
                 w.edges += g.degree(u as Vid) as u64;
@@ -82,13 +81,13 @@ pub fn parallel_matching(
                         continue; // matched or too heavy
                     }
                     let hw = if uniform { 1 } else { ew };
-                    let key = (hw, edge_priority(u as u32, v, seed, round));
+                    let key = (hw, edge_priority(u as Vid, v, seed, round));
                     match best {
                         Some((_, bk)) if bk >= key => {}
                         _ => best = Some((v, key)),
                     }
                 }
-                st(&prop, u, best.map_or(u as u32, |(v, _)| v));
+                st(&prop, u, best.map_or(u as Vid, |(v, _)| v));
             }
             w
         });
@@ -104,13 +103,13 @@ pub fn parallel_matching(
             for u in lo..hi {
                 w.vertices += 1;
                 let p = ld(&prop, u);
-                if p == u as u32 {
+                if p == u as Vid {
                     continue;
                 }
-                if ld(&prop, p as usize) == u as u32 {
+                if ld(&prop, p as usize) == u as Vid {
                     // mutual: each side writes only its own entry
                     st(&mat, u, p);
-                    if (u as u32) < p {
+                    if (u as Vid) < p {
                         pairs += 1;
                     }
                 }
@@ -170,7 +169,7 @@ mod tests {
         }
         let (mat, _) = parallel_matching(&g, 4, 15, 5);
         // cap 15 < 20 = two vertices: nothing may match
-        assert!(mat.iter().enumerate().all(|(u, &v)| u as u32 == v));
+        assert!(mat.iter().enumerate().all(|(u, &v)| u as Vid == v));
     }
 
     #[test]

@@ -136,17 +136,17 @@ pub fn parallel_refine(
                         slots.next_row();
                         for (v, ew) in g.edges(u as Vid) {
                             let pv = apart[v as usize].load(Ordering::Relaxed);
-                            match slots.get(pv) {
+                            match slots.get(pv as Vid) {
                                 Some(i) => wgts[i as usize] += ew as i64,
                                 None => {
-                                    slots.insert(pv, parts.len() as u32);
+                                    slots.insert(pv as Vid, parts.len() as Vid);
                                     parts.push(pv);
                                     wgts.push(ew as i64);
                                 }
                             }
                         }
                         w.edges += g.degree(u as Vid) as u64;
-                        let w_own = slots.get(pu).map_or(0, |i| wgts[i as usize]);
+                        let w_own = slots.get(pu as Vid).map_or(0, |i| wgts[i as usize]);
                         let vw = g.vwgt[u] as u64;
                         let mut best: Option<(u32, i64)> = None;
                         for (&p, &wp) in parts.iter().zip(wgts.iter()) {

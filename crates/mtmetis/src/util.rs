@@ -2,7 +2,8 @@
 //! ownership, edge-balanced chunking, and atomic vector views.
 
 use gpm_graph::csr::CsrGraph;
-use std::sync::atomic::{AtomicU32, Ordering};
+use gpm_graph::csr::{AtomicVid, Vid};
+use std::sync::atomic::Ordering;
 
 /// Split `0..n` into `t` contiguous chunks (the persistent data ownership
 /// mt-metis gives its threads). Returns the `(start, end)` of chunk `i`.
@@ -32,25 +33,25 @@ pub fn chunks_by_edges(g: &CsrGraph, threads: usize) -> Vec<(usize, usize)> {
 }
 
 /// Allocate a vector of atomics initialized to `init`.
-pub fn atomic_vec(n: usize, init: u32) -> Vec<AtomicU32> {
-    (0..n).map(|_| AtomicU32::new(init)).collect()
+pub fn atomic_vec(n: usize, init: Vid) -> Vec<AtomicVid> {
+    (0..n).map(|_| AtomicVid::new(init)).collect()
 }
 
 /// Snapshot an atomic vector into a plain one.
-pub fn snapshot(v: &[AtomicU32]) -> Vec<u32> {
+pub fn snapshot(v: &[AtomicVid]) -> Vec<Vid> {
     v.iter().map(|a| a.load(Ordering::Relaxed)).collect()
 }
 
 /// Load with relaxed ordering (the lock-free algorithms tolerate stale
 /// reads by design).
 #[inline]
-pub fn ld(v: &[AtomicU32], i: usize) -> u32 {
+pub fn ld(v: &[AtomicVid], i: usize) -> Vid {
     v[i].load(Ordering::Relaxed)
 }
 
 /// Store with relaxed ordering.
 #[inline]
-pub fn st(v: &[AtomicU32], i: usize, x: u32) {
+pub fn st(v: &[AtomicVid], i: usize, x: Vid) {
     v[i].store(x, Ordering::Relaxed);
 }
 

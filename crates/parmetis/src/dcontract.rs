@@ -5,10 +5,11 @@
 //! the representative's owner in one message per rank pair.
 
 use crate::dmatch::DistMatching;
-use crate::exchange::{allgather_u32, fetch_remote};
+use crate::exchange::{allgather_word, fetch_remote};
 use crate::local::LocalGraph;
 use gpm_graph::coarsen_ws::CoarsenWorkspace;
-use gpm_msg::RankCtx;
+use gpm_graph::csr::Vid;
+use gpm_msg::{word_u32, RankCtx, Word};
 
 /// Contract the distributed fine graph. Collective. Returns the coarse
 /// local graph and `cmap_local` (coarse gid of every local fine vertex).
@@ -20,7 +21,7 @@ pub fn dist_contract(
     lg: &LocalGraph,
     m: &DistMatching,
     tag: u32,
-) -> (LocalGraph, Vec<u32>) {
+) -> (LocalGraph, Vec<Vid>) {
     dist_contract_ws(ctx, lg, m, tag, &mut CoarsenWorkspace::new())
 }
 
@@ -39,7 +40,7 @@ pub fn dist_contract_ws(
     m: &DistMatching,
     tag: u32,
     ws: &mut CoarsenWorkspace,
-) -> (LocalGraph, Vec<u32>) {
+) -> (LocalGraph, Vec<Vid>) {
     let n = lg.n_local();
     let p = ctx.ranks;
     ctx.ws(lg.bytes() * lg.ranks() as u64);
@@ -47,15 +48,15 @@ pub fn dist_contract_ws(
     // --- coarse labels -----------------------------------------------------
     // u is representative iff its partner gid is >= its own gid.
     let is_rep = |u: usize| m.mat[u] >= lg.gid(u);
-    let rep_count = (0..n).filter(|&u| is_rep(u)).count() as u32;
-    let counts = allgather_u32(ctx, tag, rep_count);
-    let mut vtxdist_c = vec![0u32; p + 1];
+    let rep_count = (0..n).filter(|&u| is_rep(u)).count() as Vid;
+    let counts = allgather_word(ctx, tag, rep_count);
+    let mut vtxdist_c = vec![0 as Vid; p + 1];
     for r in 0..p {
         vtxdist_c[r + 1] = vtxdist_c[r] + counts[r];
     }
     let my_c0 = vtxdist_c[ctx.rank];
 
-    let mut cmap_local = vec![u32::MAX; n];
+    let mut cmap_local = vec![Vid::MAX; n];
     let mut next = my_c0;
     for u in 0..n {
         if is_rep(u) {
@@ -64,7 +65,7 @@ pub fn dist_contract_ws(
         }
     }
     // local-pair non-reps copy their rep's label; cross-pair labels travel
-    let mut label_msgs: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut label_msgs: Vec<Vec<Word>> = vec![Vec::new(); p];
     for u in 0..n {
         if !is_rep(u) {
             let partner = m.mat[u];
@@ -84,13 +85,13 @@ pub fn dist_contract_ws(
             cmap_local[lg.lid(pair[0])] = pair[1];
         }
     }
-    debug_assert!(cmap_local.iter().all(|&c| c != u32::MAX));
+    debug_assert!(cmap_local.iter().all(|&c| c != Vid::MAX));
     ctx.work(0, 2 * n as u64);
 
     // --- ghost fine cmap -----------------------------------------------------
     let ghosts = lg.ghost_gids();
     let ghost_cmap = fetch_remote(ctx, lg, &ghosts, tag + 4, |gid| cmap_local[lg.lid(gid)]);
-    let cmap_of = |gid: u32| -> u32 {
+    let cmap_of = |gid: Vid| -> Vid {
         if lg.is_local(gid) {
             cmap_local[lg.lid(gid)]
         } else {
@@ -99,7 +100,7 @@ pub fn dist_contract_ws(
     };
 
     // --- ship non-rep rows of cross pairs to the rep's owner ----------------
-    let mut row_msgs: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut row_msgs: Vec<Vec<Word>> = vec![Vec::new(); p];
     for u in 0..n {
         if is_rep(u) {
             continue;
@@ -111,10 +112,10 @@ pub fn dist_contract_ws(
         let owner = lg.owner(rep);
         let msg = &mut row_msgs[owner];
         msg.push(cmap_local[u]);
-        msg.push(lg.degree(u) as u32);
+        msg.push(lg.degree(u) as Word);
         for (v, w) in lg.edges(u) {
             msg.push(cmap_of(v));
-            msg.push(w);
+            msg.push(w as Word);
         }
         ctx.work(lg.degree(u) as u64, 1);
     }
@@ -122,7 +123,7 @@ pub fn dist_contract_ws(
     // Shipped rows land on the rank that owns their coarse gid, so they
     // index densely by position (cgid - my_c0) — no hashing in the
     // assembly hot loop.
-    let mut shipped: Vec<Vec<(u32, u32)>> = vec![Vec::new(); rep_count as usize];
+    let mut shipped: Vec<Vec<(Vid, u32)>> = vec![Vec::new(); rep_count as usize];
     for msgs in incoming_rows {
         let mut i = 0usize;
         while i < msgs.len() {
@@ -130,7 +131,7 @@ pub fn dist_contract_ws(
             let deg = msgs[i + 1] as usize;
             let row = &mut shipped[(cgid - my_c0) as usize];
             for j in 0..deg {
-                row.push((msgs[i + 2 + 2 * j], msgs[i + 3 + 2 * j]));
+                row.push((msgs[i + 2 + 2 * j], word_u32(msgs[i + 3 + 2 * j])));
             }
             i += 2 + 2 * deg;
         }
@@ -138,7 +139,7 @@ pub fn dist_contract_ws(
 
     // --- build coarse rows ---------------------------------------------------
     let nc_local = rep_count as usize;
-    let mut xadj = vec![0u32; nc_local + 1];
+    let mut xadj = vec![0 as Vid; nc_local + 1];
     let mut vwgt = vec![0u32; nc_local];
     // Dense epoch-stamped dedup table from the recycled workspace, keyed
     // by *global* coarse id (rows reference remote coarse vertices).
@@ -157,8 +158,8 @@ pub fn dist_contract_ws(
             let c = cmap_local[u];
             let partner = m.mat[u];
             slot.next_row();
-            let mut deg = 0u32;
-            let mut count = |cn: u32, slot: &mut gpm_graph::EpochSlots| {
+            let mut deg = 0 as Vid;
+            let mut count = |cn: Vid, slot: &mut gpm_graph::EpochSlots| {
                 if cn != c && slot.get(cn).is_none() {
                     slot.insert(cn, 0);
                     deg += 1;
@@ -186,7 +187,7 @@ pub fn dist_contract_ws(
     let total = xadj[nc_local] as usize;
 
     // pass 2: scatter into the exactly-sized final arrays
-    let mut adjncy = vec![0u32; total];
+    let mut adjncy = vec![0 as Vid; total];
     let mut adjwgt = vec![0u32; total];
     let mut ci = 0usize;
     for u in 0..n {
@@ -205,9 +206,9 @@ pub fn dist_contract_ws(
             };
         slot.next_row();
         let mut cursor = xadj[ci];
-        let mut emit = |cn: u32,
+        let mut emit = |cn: Vid,
                         w: u32,
-                        adjncy: &mut [u32],
+                        adjncy: &mut [Vid],
                         adjwgt: &mut [u32],
                         slot: &mut gpm_graph::EpochSlots| {
             if cn == c {
@@ -261,7 +262,7 @@ mod tests {
 
     /// Run distributed match + contract and reassemble the global coarse
     /// graph for validation.
-    fn coarsen_once(g: &CsrGraph, p: usize) -> (CsrGraph, Vec<u32>) {
+    fn coarsen_once(g: &CsrGraph, p: usize) -> (CsrGraph, Vec<Vid>) {
         let res = run_cluster(&ClusterConfig::intra_node(p), |ctx| {
             let lg = LocalGraph::from_global(g, p, ctx.rank);
             let m = dist_matching(ctx, &lg, u32::MAX, 4, 100);
@@ -271,8 +272,8 @@ mod tests {
         // reassemble
         let nc_global = res[0].0 .0.n_global();
         let mut vwgt = vec![0u32; nc_global];
-        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nc_global];
-        let mut cmap_global = vec![0u32; g.n()];
+        let mut rows: Vec<Vec<(Vid, u32)>> = vec![Vec::new(); nc_global];
+        let mut cmap_global = vec![0 as Vid; g.n()];
         for ((coarse, _cmap), _) in &res {
             for l in 0..coarse.n_local() {
                 let gid = coarse.gid(l) as usize;
@@ -292,7 +293,7 @@ mod tests {
         for (u, row) in rows.iter().enumerate() {
             for &(v, w) in row {
                 assert!(
-                    rows[v as usize].contains(&(u as u32, w)),
+                    rows[v as usize].contains(&(u as Vid, w)),
                     "coarse edge ({u},{v},{w}) not mirrored"
                 );
             }
@@ -300,8 +301,8 @@ mod tests {
         let mut b = GraphBuilder::new(nc_global).vertex_weights(vwgt);
         for (u, row) in rows.iter().enumerate() {
             for &(v, w) in row {
-                if (u as u32) < v {
-                    b.add_edge(u as u32, v, w);
+                if (u as Vid) < v {
+                    b.add_edge(u as Vid, v, w);
                 }
             }
         }

@@ -7,14 +7,15 @@
 //! compute coarse weights without further traffic.
 
 use crate::local::LocalGraph;
-use gpm_msg::RankCtx;
+use gpm_graph::csr::Vid;
+use gpm_msg::{word_u32, RankCtx, Word};
 
 /// Matching state of the local vertices: `mat[lid]` is the partner's
 /// *global* id (own gid = unmatched/self), `pvw[lid]` the partner's vertex
 /// weight for cross-rank pairs (0 otherwise).
 #[derive(Debug, Clone)]
 pub struct DistMatching {
-    pub mat: Vec<u32>,
+    pub mat: Vec<Vid>,
     pub pvw: Vec<u32>,
 }
 
@@ -36,7 +37,7 @@ pub fn dist_matching(
     let n = lg.n_local();
     let p = ctx.ranks;
     let me = ctx.rank;
-    let mut mat: Vec<u32> = (0..n).map(|l| lg.gid(l)).collect();
+    let mut mat: Vec<Vid> = (0..n).map(|l| lg.gid(l)).collect();
     let mut pvw = vec![0u32; n];
     let mut requesting = vec![false; n];
     ctx.ws(lg.bytes() * lg.ranks() as u64);
@@ -45,7 +46,7 @@ pub fn dist_matching(
         requesting.iter_mut().for_each(|r| *r = false);
         let up = pass % 2 == 0;
         // --- propose ------------------------------------------------------
-        let mut reqs: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let mut reqs: Vec<Vec<Word>> = vec![Vec::new(); p];
         for u in 0..n {
             if mat[u] != lg.gid(u) {
                 continue;
@@ -57,7 +58,7 @@ pub fn dist_matching(
             // HEM among candidates: unmatched local neighbors, or remote
             // neighbors on the direction-allowed side (their state is
             // unknown; the owner checks at grant time).
-            let mut best: Option<(u32, u32, bool)> = None; // (gid, w, is_local)
+            let mut best: Option<(Vid, u32, bool)> = None; // (gid, w, is_local)
             for (v, w) in lg.edges(u) {
                 let (ok, local) = if lg.is_local(v) {
                     let vl = lg.lid(v);
@@ -88,17 +89,17 @@ pub fn dist_matching(
                 }
                 Some((v, _, false)) => {
                     requesting[u] = true;
-                    reqs[lg.owner(v)].extend([lg.gid(u), v, uw]);
+                    reqs[lg.owner(v)].extend([lg.gid(u), v, uw as Word]);
                 }
                 None => {}
             }
         }
         // --- grant --------------------------------------------------------
         let incoming = ctx.all_to_all(tag + pass as u32 * 2, reqs);
-        let mut grants: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let mut grants: Vec<Vec<Word>> = vec![Vec::new(); p];
         for (from, triples) in incoming.iter().enumerate() {
             for t in triples.chunks_exact(3) {
-                let (u_gid, v_gid, u_vwgt) = (t[0], t[1], t[2]);
+                let (u_gid, v_gid, u_vwgt) = (t[0], t[1], word_u32(t[2]));
                 let vl = lg.lid(v_gid);
                 ctx.work(0, 1);
                 if mat[vl] == v_gid
@@ -107,14 +108,14 @@ pub fn dist_matching(
                 {
                     mat[vl] = u_gid;
                     pvw[vl] = u_vwgt;
-                    grants[from].extend([v_gid, u_gid, lg.vwgt[vl]]);
+                    grants[from].extend([v_gid, u_gid, lg.vwgt[vl] as Word]);
                 }
             }
         }
         let granted = ctx.all_to_all(tag + pass as u32 * 2 + 1, grants);
         for triples in granted {
             for t in triples.chunks_exact(3) {
-                let (v_gid, u_gid, v_vwgt) = (t[0], t[1], t[2]);
+                let (v_gid, u_gid, v_vwgt) = (t[0], t[1], word_u32(t[2]));
                 let ul = lg.lid(u_gid);
                 mat[ul] = v_gid;
                 pvw[ul] = v_vwgt;
@@ -139,7 +140,7 @@ mod tests {
             let m = dist_matching(ctx, &lg, u32::MAX, passes, 100);
             (lg.first(), m.mat)
         });
-        let mut global = vec![0u32; g.n()];
+        let mut global = vec![0 as Vid; g.n()];
         for ((first, mat), _) in res {
             for (l, &v) in mat.iter().enumerate() {
                 global[first as usize + l] = v;
@@ -148,12 +149,12 @@ mod tests {
         // involution + adjacency
         for u in 0..g.n() {
             let v = global[u];
-            assert_eq!(global[v as usize], u as u32, "not mutual at {u}");
-            if v != u as u32 {
-                assert!(g.neighbors(u as u32).contains(&v), "pair ({u},{v}) not an edge");
+            assert_eq!(global[v as usize], u as Vid, "not mutual at {u}");
+            if v != u as Vid {
+                assert!(g.neighbors(u as Vid).contains(&v), "pair ({u},{v}) not an edge");
             }
         }
-        let matched = global.iter().enumerate().filter(|&(u, &v)| u as u32 != v).count();
+        let matched = global.iter().enumerate().filter(|&(u, &v)| u as Vid != v).count();
         matched as f64 / g.n() as f64
     }
 

@@ -9,8 +9,9 @@
 
 use crate::exchange::{allreduce_sum_vec, fetch_remote};
 use crate::local::LocalGraph;
+use gpm_graph::csr::Vid;
 use gpm_graph::metrics::max_part_weight;
-use gpm_msg::RankCtx;
+use gpm_msg::{word_u32, RankCtx, Word};
 
 /// Project a coarse partition to the fine level: `part_f[u] =
 /// part_c[cmap[u]]`, fetching remote coarse labels from their owners.
@@ -19,23 +20,30 @@ pub fn dist_project(
     ctx: &mut RankCtx,
     lg_fine: &LocalGraph,
     lg_coarse: &LocalGraph,
-    cmap_local: &[u32],
+    cmap_local: &[Vid],
     part_coarse: &[u32],
     tag: u32,
 ) -> Vec<u32> {
-    let remote: Vec<u32> = {
-        let mut v: Vec<u32> =
+    let remote: Vec<Vid> = {
+        let mut v: Vec<Vid> =
             cmap_local.iter().copied().filter(|&c| !lg_coarse.is_local(c)).collect();
         v.sort_unstable();
         v.dedup();
         v
     };
-    let ghost = fetch_remote(ctx, lg_coarse, &remote, tag, |cgid| part_coarse[lg_coarse.lid(cgid)]);
+    let ghost =
+        fetch_remote(ctx, lg_coarse, &remote, tag, |cgid| part_coarse[lg_coarse.lid(cgid)] as Word);
     ctx.work(0, lg_fine.n_local() as u64);
     ctx.ws(lg_fine.bytes() * lg_fine.ranks() as u64);
     cmap_local
         .iter()
-        .map(|&c| if lg_coarse.is_local(c) { part_coarse[lg_coarse.lid(c)] } else { ghost[&c] })
+        .map(|&c| {
+            if lg_coarse.is_local(c) {
+                part_coarse[lg_coarse.lid(c)]
+            } else {
+                word_u32(ghost[&c])
+            }
+        })
         .collect()
 }
 
@@ -91,14 +99,14 @@ pub fn dist_refine(
     for i in 0..ng {
         rev_xadj[i + 1] += rev_xadj[i];
     }
-    let mut rev_adj = vec![0u32; rev_xadj[ng] as usize];
+    let mut rev_adj = vec![0 as Vid; rev_xadj[ng] as usize];
     {
         let mut cursor = rev_xadj.clone();
         for u in 0..n {
             for (v, _) in lg.edges(u) {
                 if !lg.is_local(v) {
                     let gi = ghost_gids.binary_search(&v).unwrap();
-                    rev_adj[cursor[gi] as usize] = u as u32;
+                    rev_adj[cursor[gi] as usize] = u as Vid;
                     cursor[gi] += 1;
                 }
             }
@@ -115,13 +123,13 @@ pub fn dist_refine(
         let up = pass % 2 == 0;
         let ptag = tag + 10 + pass as u32 * 10;
         // refresh ghost partition labels
-        let ghost_part = fetch_remote(ctx, lg, &ghost_gids, ptag, |gid| part[lg.lid(gid)]);
-        let gp_now: Vec<u32> = ghost_gids.iter().map(|g| ghost_part[g]).collect();
-        let part_of = |gid: u32, part: &[u32]| -> u32 {
+        let ghost_part = fetch_remote(ctx, lg, &ghost_gids, ptag, |gid| part[lg.lid(gid)] as Word);
+        let gp_now: Vec<u32> = ghost_gids.iter().map(|g| word_u32(ghost_part[g])).collect();
+        let part_of = |gid: Vid, part: &[u32]| -> u32 {
             if lg.is_local(gid) {
                 part[lg.lid(gid)]
             } else {
-                ghost_part[&gid]
+                word_u32(ghost_part[&gid])
             }
         };
 
@@ -134,8 +142,8 @@ pub fn dist_refine(
                 if old == new {
                     continue;
                 }
-                for &u32u in &rev_adj[rev_xadj[gi] as usize..rev_xadj[gi + 1] as usize] {
-                    let u = u32u as usize;
+                for &lv in &rev_adj[rev_xadj[gi] as usize..rev_xadj[gi + 1] as usize] {
+                    let u = lv as usize;
                     let pu = part[u];
                     if old != pu && new == pu {
                         ext[u] -= 1;

@@ -3,7 +3,7 @@
 //! partition of remote vertices from their owners).
 
 use crate::local::LocalGraph;
-use gpm_msg::RankCtx;
+use gpm_msg::{RankCtx, Word};
 use std::collections::HashMap;
 
 /// Fetch `lookup(gid)` for every (remote) gid in `gids` from its owner.
@@ -12,26 +12,26 @@ use std::collections::HashMap;
 pub fn fetch_remote(
     ctx: &mut RankCtx,
     lg: &LocalGraph,
-    gids: &[u32],
+    gids: &[Word],
     tag: u32,
-    lookup: impl Fn(u32) -> u32,
-) -> HashMap<u32, u32> {
+    lookup: impl Fn(Word) -> Word,
+) -> HashMap<Word, Word> {
     let p = ctx.ranks;
     // group requested gids by owner
-    let mut reqs: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut reqs: Vec<Vec<Word>> = vec![Vec::new(); p];
     for &g in gids {
         let o = lg.owner(g);
         debug_assert_ne!(o, ctx.rank, "fetch_remote called with a local gid {g}");
         reqs[o].push(g);
     }
-    let request_copy: Vec<Vec<u32>> = reqs.clone();
+    let request_copy: Vec<Vec<Word>> = reqs.clone();
     // request assembly (owner grouping + packing) costs a pass over gids
     ctx.work(0, gids.len() as u64);
     let incoming = ctx.all_to_all(tag, reqs);
     // answer: values aligned with the request order (lookup + packing)
     let answer_count: u64 = incoming.iter().map(|r| r.len() as u64).sum();
     ctx.work(0, 2 * answer_count);
-    let replies: Vec<Vec<u32>> =
+    let replies: Vec<Vec<Word>> =
         incoming.into_iter().map(|req| req.into_iter().map(&lookup).collect()).collect();
     let answered = ctx.all_to_all(tag + 1, replies);
     let mut out = HashMap::with_capacity(gids.len());
@@ -43,11 +43,11 @@ pub fn fetch_remote(
     out
 }
 
-/// Share one `u32` per rank with everyone (tiny allgather); returns the
-/// per-rank values.
-pub fn allgather_u32(ctx: &mut RankCtx, tag: u32, value: u32) -> Vec<u32> {
+/// Share one wire word per rank with everyone (tiny allgather); returns
+/// the per-rank values.
+pub fn allgather_word(ctx: &mut RankCtx, tag: u32, value: Word) -> Vec<Word> {
     let p = ctx.ranks;
-    let out: Vec<Vec<u32>> = (0..p).map(|_| vec![value]).collect();
+    let out: Vec<Vec<Word>> = (0..p).map(|_| vec![value]).collect();
     ctx.all_to_all(tag, out).into_iter().map(|v| v[0]).collect()
 }
 
@@ -55,17 +55,17 @@ pub fn allgather_u32(ctx: &mut RankCtx, tag: u32, value: u32) -> Vec<u32> {
 /// Wrapping arithmetic, so two's-complement-encoded signed deltas sum
 /// correctly.
 pub fn allreduce_sum_vec(ctx: &mut RankCtx, tag: u32, local: &[u64]) -> Vec<u64> {
-    let packed: Vec<u32> =
-        local.iter().flat_map(|&x| [(x & 0xFFFF_FFFF) as u32, (x >> 32) as u32]).collect();
+    let packed: Vec<Word> =
+        local.iter().flat_map(|&x| [(x & 0xFFFF_FFFF) as Word, (x >> 32) as Word]).collect();
     let gathered = ctx.gather(tag, packed);
-    let summed: Vec<u32> = if ctx.rank == 0 {
+    let summed: Vec<Word> = if ctx.rank == 0 {
         let mut acc = vec![0u64; local.len()];
         for v in &gathered {
             for (i, a) in acc.iter_mut().enumerate() {
                 *a = a.wrapping_add((v[2 * i] as u64) | ((v[2 * i + 1] as u64) << 32));
             }
         }
-        acc.iter().flat_map(|&x| [(x & 0xFFFF_FFFF) as u32, (x >> 32) as u32]).collect()
+        acc.iter().flat_map(|&x| [(x & 0xFFFF_FFFF) as Word, (x >> 32) as Word]).collect()
     } else {
         Vec::new()
     };
@@ -96,7 +96,7 @@ mod tests {
     #[test]
     fn allgather_collects_all_ranks() {
         let res = run_cluster(&ClusterConfig::intra_node(3), |ctx| {
-            allgather_u32(ctx, 1, ctx.rank as u32 * 10)
+            allgather_word(ctx, 1, ctx.rank as Word * 10)
         });
         for (v, _) in &res {
             assert_eq!(v, &vec![0, 10, 20]);

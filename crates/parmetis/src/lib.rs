@@ -21,7 +21,7 @@ use dinit::dist_init_partition;
 use dmatch::dist_matching;
 use drefine::{dist_project, dist_refine};
 use gpm_graph::coarsen_ws::CoarsenWorkspace;
-use gpm_graph::csr::CsrGraph;
+use gpm_graph::csr::{CsrGraph, Vid};
 use gpm_metis::coarsen::CoarsenConfig;
 use gpm_metis::cost::{CostLedger, CpuModel};
 use gpm_metis::PartitionResult;
@@ -99,7 +99,7 @@ pub fn try_partition(g: &CsrGraph, cfg: &ParMetisConfig) -> Result<PartitionResu
 
     let results = try_run_cluster(&cfg.comm, |ctx| {
         let mut cur = LocalGraph::from_global(g, cfg.ranks, ctx.rank);
-        let mut levels: Vec<(LocalGraph, Vec<u32>)> = Vec::new();
+        let mut levels: Vec<(LocalGraph, Vec<Vid>)> = Vec::new();
 
         // --- distributed coarsening -----------------------------------
         // One contraction workspace per rank for the whole V-cycle: the

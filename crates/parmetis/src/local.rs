@@ -5,7 +5,7 @@
 //! vertices, with adjacency entries holding *global* vertex ids. The
 //! `vtxdist` array (ParMetis's name) maps global ids to owners.
 
-use gpm_graph::csr::CsrGraph;
+use gpm_graph::csr::{CsrGraph, Vid};
 
 /// A rank's local part of a distributed graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,11 +14,11 @@ pub struct LocalGraph {
     pub rank: usize,
     /// Block boundaries: rank `r` owns global ids
     /// `vtxdist[r]..vtxdist[r + 1]`; length `ranks + 1`.
-    pub vtxdist: Vec<u32>,
+    pub vtxdist: Vec<Vid>,
     /// Local adjacency pointers (length `n_local + 1`).
-    pub xadj: Vec<u32>,
+    pub xadj: Vec<Vid>,
     /// Adjacency lists in *global* ids.
-    pub adjncy: Vec<u32>,
+    pub adjncy: Vec<Vid>,
     /// Edge weights, parallel to `adjncy`.
     pub adjwgt: Vec<u32>,
     /// Local vertex weights.
@@ -28,7 +28,7 @@ pub struct LocalGraph {
 impl LocalGraph {
     /// First global id owned by this rank.
     #[inline]
-    pub fn first(&self) -> u32 {
+    pub fn first(&self) -> Vid {
         self.vtxdist[self.rank]
     }
 
@@ -54,7 +54,7 @@ impl LocalGraph {
     /// `vtxdist[r] <= gid < vtxdist[r + 1]` (empty blocks share boundary
     /// values, so take the last block starting at or before `gid`).
     #[inline]
-    pub fn owner(&self, gid: u32) -> usize {
+    pub fn owner(&self, gid: Vid) -> usize {
         debug_assert!((gid as usize) < self.n_global());
         let r = self.vtxdist.partition_point(|&x| x <= gid) - 1;
         debug_assert!(self.vtxdist[r] <= gid && gid < self.vtxdist[r + 1]);
@@ -63,21 +63,21 @@ impl LocalGraph {
 
     /// True if this rank owns `gid`.
     #[inline]
-    pub fn is_local(&self, gid: u32) -> bool {
+    pub fn is_local(&self, gid: Vid) -> bool {
         gid >= self.first() && gid < self.vtxdist[self.rank + 1]
     }
 
     /// Local index of a locally owned global id.
     #[inline]
-    pub fn lid(&self, gid: u32) -> usize {
+    pub fn lid(&self, gid: Vid) -> usize {
         debug_assert!(self.is_local(gid));
         (gid - self.first()) as usize
     }
 
     /// Global id of a local index.
     #[inline]
-    pub fn gid(&self, lid: usize) -> u32 {
-        self.first() + lid as u32
+    pub fn gid(&self, lid: usize) -> Vid {
+        self.first() + lid as Vid
     }
 
     /// Degree of a local vertex.
@@ -88,7 +88,7 @@ impl LocalGraph {
 
     /// Iterate `(neighbor_gid, edge_weight)` of a local vertex.
     #[inline]
-    pub fn edges(&self, lid: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+    pub fn edges(&self, lid: usize) -> impl Iterator<Item = (Vid, u32)> + '_ {
         let s = self.xadj[lid] as usize;
         let e = self.xadj[lid + 1] as usize;
         self.adjncy[s..e].iter().copied().zip(self.adjwgt[s..e].iter().copied())
@@ -96,7 +96,8 @@ impl LocalGraph {
 
     /// Approximate bytes of this rank's CSR arrays.
     pub fn bytes(&self) -> u64 {
-        ((self.xadj.len() + self.adjncy.len() + self.adjwgt.len() + self.vwgt.len()) * 4) as u64
+        ((self.xadj.len() + self.adjncy.len()) * std::mem::size_of::<Vid>()) as u64
+            + ((self.adjwgt.len() + self.vwgt.len()) * 4) as u64
     }
 
     /// Sum of local vertex weights.
@@ -113,13 +114,13 @@ impl LocalGraph {
             let base = n / ranks;
             let rem = n % ranks;
             let start = r * base + r.min(rem);
-            vtxdist.push(start as u32);
+            vtxdist.push(start as Vid);
         }
         let (lo, hi) = (vtxdist[rank] as usize, vtxdist[rank + 1] as usize);
         let nl = hi - lo;
-        let mut xadj = vec![0u32; nl + 1];
+        let mut xadj = vec![0 as Vid; nl + 1];
         for u in 0..nl {
-            xadj[u + 1] = xadj[u] + g.degree((lo + u) as u32) as u32;
+            xadj[u + 1] = xadj[u] + g.degree((lo + u) as Vid) as Vid;
         }
         let s = g.xadj[lo] as usize;
         let e = g.xadj[hi] as usize;
@@ -134,8 +135,8 @@ impl LocalGraph {
     }
 
     /// Collect this rank's distinct remote neighbor gids (its ghost set).
-    pub fn ghost_gids(&self) -> Vec<u32> {
-        let mut set: Vec<u32> =
+    pub fn ghost_gids(&self) -> Vec<Vid> {
+        let mut set: Vec<Vid> =
             self.adjncy.iter().copied().filter(|&g| !self.is_local(g)).collect();
         set.sort_unstable();
         set.dedup();
@@ -165,7 +166,7 @@ mod tests {
     fn owner_and_lid_roundtrip() {
         let g = grid2d(10, 10);
         let l = LocalGraph::from_global(&g, 3, 1);
-        for gid in 0..100u32 {
+        for gid in 0..100 as Vid {
             let owner = l.owner(gid);
             assert!(gid >= l.vtxdist[owner] && gid < l.vtxdist[owner + 1]);
         }
@@ -180,8 +181,8 @@ mod tests {
         let l = LocalGraph::from_global(&g, 2, 1);
         for lid in 0..l.n_local() {
             let gid = l.gid(lid);
-            let local: Vec<(u32, u32)> = l.edges(lid).collect();
-            let global: Vec<(u32, u32)> = g.edges(gid).collect();
+            let local: Vec<(Vid, u32)> = l.edges(lid).collect();
+            let global: Vec<(Vid, u32)> = g.edges(gid).collect();
             assert_eq!(local, global);
         }
     }
@@ -217,7 +218,7 @@ mod tests {
         let total: usize = parts.iter().map(|l| l.n_local()).sum();
         assert_eq!(total, 4);
         // owner() still resolves every gid despite empty blocks
-        for gid in 0..4u32 {
+        for gid in 0..4 as Vid {
             let o = parts[0].owner(gid);
             assert!(parts[o].is_local(gid), "gid {gid} owner {o}");
         }

@@ -16,7 +16,7 @@ use gpm_graph::gen::{delaunay_like, grid2d, rmat};
 use gpm_msg::{run_cluster, ClusterConfig, RankCtx};
 use gpm_parmetis::dcontract::dist_contract_ws;
 use gpm_parmetis::dmatch::{dist_matching, DistMatching};
-use gpm_parmetis::exchange::{allgather_u32, fetch_remote};
+use gpm_parmetis::exchange::{allgather_word, fetch_remote};
 use gpm_parmetis::local::LocalGraph;
 use gpm_testkit::{check, tk_assert_eq, Source};
 
@@ -37,7 +37,7 @@ fn ref_dist_contract(
 
     let is_rep = |u: usize| m.mat[u] >= lg.gid(u);
     let rep_count = (0..n).filter(|&u| is_rep(u)).count() as u32;
-    let counts = allgather_u32(ctx, tag, rep_count);
+    let counts = allgather_word(ctx, tag, rep_count);
     let mut vtxdist_c = vec![0u32; p + 1];
     for r in 0..p {
         vtxdist_c[r + 1] = vtxdist_c[r] + counts[r];

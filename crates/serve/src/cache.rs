@@ -17,12 +17,13 @@ use std::collections::HashMap;
 /// 64-bit FNV-1a over a stream of little-endian words. Not
 /// cryptographic — collisions only cost a recomputation miss, and the
 /// full key still includes every scalar knob verbatim.
-fn fnv1a_words(seed: u64, words: &[u32]) -> u64 {
+fn fnv1a_words<W: Copy + Into<u64>>(seed: u64, words: &[W]) -> u64 {
     const PRIME: u64 = 0x100000001b3;
     let mut h = seed ^ 0xcbf29ce484222325;
+    let width = std::mem::size_of::<W>();
     for &w in words {
-        for b in w.to_le_bytes() {
-            h ^= b as u64;
+        for b in &w.into().to_le_bytes()[..width] {
+            h ^= *b as u64;
             h = h.wrapping_mul(PRIME);
         }
     }

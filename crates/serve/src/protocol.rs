@@ -21,7 +21,7 @@
 //! the engines only ever see well-formed CSR.
 
 use gpm_faults::FaultPlan;
-use gpm_graph::csr::CsrGraph;
+use gpm_graph::csr::{CsrGraph, Vid};
 use std::io::{Read, Write};
 
 /// `"GPM1"` as a little-endian u32.
@@ -277,6 +277,23 @@ pub struct JobReply {
     pub part: Vec<u32>,
 }
 
+impl JobReply {
+    /// Validate the returned labels against the request's `k` — the wire
+    /// twin of `gpm_graph::io::read_partition_checked`. Call on the
+    /// decode path before trusting `part` (e.g. before writing it out in
+    /// `gpartition --output` format).
+    pub fn check_labels(&self, k: u32) -> Result<(), ProtoError> {
+        for (v, &p) in self.part.iter().enumerate() {
+            if p >= k {
+                return Err(ProtoError::BadField(format!(
+                    "partition label {p} for vertex {v} out of 0..{k}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Any response frame the daemon can send.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -326,6 +343,12 @@ impl<'a> Rd<'a> {
         Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
     }
 
+    /// A `u32`-counted vector of 32-bit wire ids widened to the host
+    /// index type.
+    fn vec_idx(&mut self) -> Result<Vec<Vid>, ProtoError> {
+        Ok(self.vec_u32()?.into_iter().map(|x| x as Vid).collect())
+    }
+
     /// A `u32`-counted UTF-8 string.
     fn string(&mut self) -> Result<String, ProtoError> {
         let n = self.u32()? as usize;
@@ -354,6 +377,19 @@ fn put_vec_u32(out: &mut Vec<u8>, v: &[u32]) {
     put_u32(out, v.len() as u32);
     for &x in v {
         out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Index vectors travel as 32-bit words on the v1 wire regardless of the
+/// build's host index width: the 64 MiB payload cap already excludes any
+/// graph whose ids could overflow `u32`. Under `idx64` the caller must not
+/// submit a wider graph (enforced by the payload cap before ids can grow).
+#[allow(clippy::unnecessary_cast)] // `Vid as u32` is a real narrowing under idx64
+fn put_vec_idx(out: &mut Vec<u8>, v: &[Vid]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        debug_assert!(x <= u32::MAX as Vid, "v1 wire carries 32-bit ids");
+        out.extend_from_slice(&(x as u32).to_le_bytes());
     }
 }
 
@@ -406,8 +442,8 @@ pub fn encode_job(req: &JobRequest) -> Vec<u8> {
     put_u32(&mut p, req.threads);
     put_u32(&mut p, req.ranks);
     put_string(&mut p, &req.fault_plan_str);
-    put_vec_u32(&mut p, &g.xadj);
-    put_vec_u32(&mut p, &g.adjncy);
+    put_vec_idx(&mut p, &g.xadj);
+    put_vec_idx(&mut p, &g.adjncy);
     put_vec_u32(&mut p, &g.adjwgt);
     put_vec_u32(&mut p, &g.vwgt);
     p
@@ -433,8 +469,8 @@ pub fn decode_job(payload: &[u8]) -> Result<JobRequest, ProtoError> {
     let threads = r.u32()?;
     let ranks = r.u32()?;
     let fault_plan_str = r.string()?;
-    let xadj = r.vec_u32()?;
-    let adjncy = r.vec_u32()?;
+    let xadj = r.vec_idx()?;
+    let adjncy = r.vec_idx()?;
     let adjwgt = r.vec_u32()?;
     let vwgt = r.vec_u32()?;
     r.finish()?;
@@ -697,6 +733,20 @@ mod tests {
         assert_eq!(decode_job_ok(&encode_job_ok(&rep)).unwrap(), rep);
         let p = encode_reject(9, RejectCode::QueueFull, "full");
         assert_eq!(decode_reject(&p).unwrap(), (9, RejectCode::QueueFull, "full".into()));
+    }
+
+    #[test]
+    fn reply_label_check_matches_k() {
+        let mut rep = JobReply {
+            tag: 1,
+            cache_hit: false,
+            telemetry: JobTelemetry::default(),
+            part: vec![0, 1, 2, 3],
+        };
+        assert!(rep.check_labels(4).is_ok());
+        assert!(matches!(rep.check_labels(3), Err(ProtoError::BadField(_))));
+        rep.part.clear();
+        assert!(rep.check_labels(1).is_ok(), "empty partitions carry no labels");
     }
 
     #[test]

@@ -26,11 +26,15 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// System allocator wrapper that counts calls and requested bytes.
+/// System allocator wrapper that counts calls and requested bytes, and
+/// tracks the live-byte high-water mark (the heap component of peak RSS,
+/// which the scale benchmarks record per loader).
 pub struct CountingAlloc {
     allocations: AtomicU64,
     deallocations: AtomicU64,
     bytes_allocated: AtomicU64,
+    live_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
 }
 
 impl CountingAlloc {
@@ -41,7 +45,17 @@ impl CountingAlloc {
             allocations: AtomicU64::new(0),
             deallocations: AtomicU64::new(0),
             bytes_allocated: AtomicU64::new(0),
+            live_bytes: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
         }
+    }
+
+    #[inline]
+    fn on_alloc(&self, bytes: u64) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(bytes, Ordering::Relaxed);
+        let live = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(live, Ordering::Relaxed);
     }
 
     /// Total allocation calls so far (`alloc` + `alloc_zeroed` + growing
@@ -59,6 +73,23 @@ impl CountingAlloc {
     pub fn bytes_allocated(&self) -> u64 {
         self.bytes_allocated.load(Ordering::Relaxed)
     }
+
+    /// Bytes currently live (allocated and not yet freed).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`live_bytes`](Self::live_bytes) since program
+    /// start or the last [`reset_peak`](Self::reset_peak).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Restart the high-water mark from the current live total, so a
+    /// harness can measure the peak of one phase in isolation.
+    pub fn reset_peak(&self) {
+        self.peak_bytes.store(self.live_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 impl Default for CountingAlloc {
@@ -71,25 +102,61 @@ impl Default for CountingAlloc {
 // that never touch the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
-        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        self.on_alloc(layout.size() as u64);
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
-        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        self.on_alloc(layout.size() as u64);
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
-        self.bytes_allocated.fetch_add(new_size as u64, Ordering::Relaxed);
+        // counted as one allocation of the new size plus a free of the
+        // old block, so the live total stays exact
+        self.on_alloc(new_size as u64);
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        self.live_bytes.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         self.deallocations.fetch_add(1, Ordering::Relaxed);
+        self.live_bytes.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_tracks_live_peak() {
+        // exercised on a local instance (not installed as the global
+        // allocator), so the counters are fully deterministic
+        let a = CountingAlloc::new();
+        let l = Layout::from_size_align(1024, 8).unwrap();
+        unsafe {
+            let p1 = a.alloc(l);
+            let p2 = a.alloc(l);
+            assert_eq!(a.live_bytes(), 2048);
+            assert_eq!(a.peak_bytes(), 2048);
+            a.dealloc(p2, l);
+            assert_eq!(a.live_bytes(), 1024);
+            assert_eq!(a.peak_bytes(), 2048, "peak survives frees");
+            a.reset_peak();
+            assert_eq!(a.peak_bytes(), 1024, "reset restarts from live");
+            let p3 = a.alloc(l);
+            assert_eq!(a.peak_bytes(), 2048);
+            let p4 = a.realloc(p3, l, 4096);
+            assert_eq!(a.live_bytes(), 1024 + 4096);
+            let l4 = Layout::from_size_align(4096, 8).unwrap();
+            a.dealloc(p4, l4);
+            a.dealloc(p1, l);
+        }
+        assert_eq!(a.live_bytes(), 0);
+        assert_eq!(a.allocations(), 4);
+        assert_eq!(a.deallocations(), 4);
     }
 }

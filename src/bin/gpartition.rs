@@ -5,11 +5,21 @@
 //! gpartition <graph.metis> <k> [--algo gpmetis|metis|mtmetis|parmetis]
 //!            [--ub 1.03] [--seed 1] [--threads 8] [--ranks 8]
 //!            [--gpu-threshold N] [--fallback] [--output out.part] [--quiet]
+//!            [--mmap] [--compressed] [--eval existing.part]
 //! ```
 //!
 //! The input is a Metis `.graph` file (or a DIMACS9 `.gr` file when the
 //! path ends in `.gr`); the output (with `--output`) is one partition id
 //! per line, in vertex order — the same format Metis writes.
+//!
+//! Large graphs: `--mmap` loads `.graph` files through the streaming
+//! memory-mapped parser (identical CSR, a fraction of the load-time peak
+//! RSS); `--compressed` routes the graph through the varint-compressed
+//! [`PackedCsr`] form and reports the compression; `--eval p.part` skips
+//! partitioning and scores an existing partition file instead (labels
+//! validated against `k`). The run always reports its peak heap use.
+//!
+//! [`PackedCsr`]: gp_metis_repro::graph::packed::PackedCsr
 //!
 //! Fault injection: set `GPM_FAULTS=<seed>:<spec>[,<spec>...]` to run the
 //! hybrid engine under a deterministic fault schedule (see `gpm-faults`),
@@ -20,9 +30,17 @@
 use gp_metis_repro::gpmetis;
 use gp_metis_repro::graph::io;
 use gp_metis_repro::graph::metrics::{comm_volume, edge_cut, imbalance};
+use gp_metis_repro::graph::packed::PackedCsr;
+use gp_metis_repro::graph::stream::read_metis_mmap;
 use gp_metis_repro::{metis, mtmetis, parmetis};
+use gpm_testkit::alloc::CountingAlloc;
 use std::io::Write;
 use std::process::ExitCode;
+
+/// Counting allocator so every run can report its peak heap use — the
+/// number the out-of-core loader work exists to shrink.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 struct Args {
     input: String,
@@ -36,13 +54,17 @@ struct Args {
     quiet: bool,
     gpu_threshold: Option<usize>,
     fallback: bool,
+    mmap: bool,
+    compressed: bool,
+    eval: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gpartition <graph.metis|graph.gr> <k> [--algo gpmetis|metis|mtmetis|parmetis]\n\
          \x20                [--ub 1.03] [--seed 1] [--threads 8] [--ranks 8]\n\
-         \x20                [--gpu-threshold N] [--fallback] [--output out.part] [--quiet]"
+         \x20                [--gpu-threshold N] [--fallback] [--output out.part] [--quiet]\n\
+         \x20                [--mmap] [--compressed] [--eval existing.part]"
     );
     std::process::exit(2);
 }
@@ -63,6 +85,9 @@ fn parse_args() -> Args {
         quiet: false,
         gpu_threshold: None,
         fallback: false,
+        mmap: false,
+        compressed: false,
+        eval: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -84,6 +109,9 @@ fn parse_args() -> Args {
             }
             "--fallback" => args.fallback = true,
             "--quiet" => args.quiet = true,
+            "--mmap" => args.mmap = true,
+            "--compressed" => args.compressed = true,
+            "--eval" => args.eval = Some(argv.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -95,7 +123,7 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let a = parse_args();
-    let g = if a.input.ends_with(".gr") {
+    let mut g = if a.input.ends_with(".gr") {
         let f = match std::fs::File::open(&a.input) {
             Ok(f) => f,
             Err(e) => {
@@ -104,6 +132,14 @@ fn main() -> ExitCode {
             }
         };
         match io::read_dimacs9(std::io::BufReader::new(f)) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if a.mmap {
+        match read_metis_mmap(&a.input) {
             Ok(g) => g,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -120,7 +156,52 @@ fn main() -> ExitCode {
         }
     };
     if !a.quiet {
-        eprintln!("read {:?}", g);
+        eprintln!(
+            "read {:?} via {} loader (load peak heap {:.1} MiB)",
+            g,
+            if a.mmap { "streaming mmap" } else { "buffered" },
+            ALLOC.peak_bytes() as f64 / (1 << 20) as f64
+        );
+    }
+
+    if a.compressed {
+        let csr_bytes = g.bytes();
+        let packed = PackedCsr::pack(&g);
+        if !a.quiet {
+            eprintln!(
+                "compressed     : {:.1} MiB packed vs {:.1} MiB CSR ({:.2}x)",
+                packed.bytes() as f64 / (1 << 20) as f64,
+                csr_bytes as f64 / (1 << 20) as f64,
+                csr_bytes as f64 / packed.bytes().max(1) as f64
+            );
+        }
+        // hold the graph in compressed form; decompress for the engines
+        drop(g);
+        g = packed.to_csr();
+    }
+
+    if let Some(part_path) = &a.eval {
+        // score an existing partition instead of computing one
+        let f = match std::fs::File::open(part_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot open {part_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let part = match io::read_partition_checked(std::io::BufReader::new(f), Some(a.k as u32)) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {part_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if part.len() != g.n() {
+            eprintln!("error: {part_path}: {} labels for {} vertices", part.len(), g.n());
+            return ExitCode::FAILURE;
+        }
+        println!("{} {} {}", a.k, edge_cut(&g, &part), imbalance(&g, &part, a.k));
+        return ExitCode::SUCCESS;
     }
 
     let (part, modeled, name) = match a.algo.as_str() {
@@ -187,6 +268,7 @@ fn main() -> ExitCode {
         eprintln!("imbalance      : {:.4} (tolerance {:.2})", imbalance(&g, &part, a.k), a.ub);
         eprintln!("comm volume    : {}", comm_volume(&g, &part));
         eprintln!("modeled time   : {modeled:.4} s (paper-testbed model)");
+        eprintln!("peak heap      : {:.1} MiB", ALLOC.peak_bytes() as f64 / (1 << 20) as f64);
     }
 
     if let Some(out) = &a.output {

@@ -25,7 +25,7 @@
 
 use gp_metis_repro::graph::csr::CsrGraph;
 use gp_metis_repro::graph::gen;
-use gp_metis_repro::graph::io;
+use gp_metis_repro::graph::stream::read_metis_mmap;
 use gpm_graph::rng::SplitMix64;
 use gpm_serve::client::Client;
 use gpm_serve::protocol::{Algo, JobRequest, Response};
@@ -70,7 +70,10 @@ fn run_submit(args: Vec<String>) -> ExitCode {
     let addr = it.next().unwrap_or_else(|| usage());
     let input = it.next().unwrap_or_else(|| usage());
     let k: u32 = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
-    let g = match io::read_metis_file(&input) {
+    // Large submissions share the out-of-core path: the streaming mmap
+    // loader yields the same CSR as the buffered parser (pinned by the
+    // gpm-graph property suites) at a fraction of the load-time peak.
+    let g = match read_metis_mmap(&input) {
         Ok(g) => g,
         Err(e) => {
             eprintln!("error: {e}");
@@ -120,6 +123,12 @@ fn run_submit(args: Vec<String>) -> ExitCode {
     };
     match client.submit_wait(&req) {
         Ok(Response::Ok(rep)) => {
+            // decode-path twin of `read_partition_checked`: never trust
+            // labels outside 0..k from the wire
+            if let Err(e) = rep.check_labels(req.k) {
+                eprintln!("error: reply failed validation: {e}");
+                return ExitCode::FAILURE;
+            }
             eprintln!(
                 "ok: cache_hit={} degraded={} edge_cut={} wall_us={}",
                 rep.cache_hit as u32,
