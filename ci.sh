@@ -244,6 +244,64 @@ wait "$daemon_pid"
 grep -q "clean shutdown" "$smoke/serve_bench.log"
 echo "loadgen burst completed with zero lost jobs and a valid BENCH_serve.json"
 
+step "chaos smoke (self-healing: panic isolation, quarantine, breaker, hostile clients)"
+# One seeded chaos run per GPM_THREADS setting, each against a fresh
+# daemon. The harness itself asserts the hard invariants (zero lost
+# jobs, healed worker pool, byte-identical partitions vs in-process
+# reference runs); CI additionally diffs the three CHAOS-REPORT blocks
+# to prove the whole fault schedule is deterministic, and greps each
+# daemon log for the respawn evidence and a clean shutdown.
+for t in 1 4 8; do
+    rm -f "$smoke/port_chaos"
+    env GPM_THREADS=$t "$serve" --addr 127.0.0.1:0 --port-file "$smoke/port_chaos" \
+        --workers 2 --queue 64 --idle-ms 30000 --read-deadline-ms 30000 \
+        --max-frames 300 --breaker 3:8:4 > "$smoke/serve_chaos_$t.log" 2>&1 &
+    chaos_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$smoke/port_chaos" ] && break
+        sleep 0.1
+    done
+    env GPM_THREADS=$t "$loadgen" chaos --addr "$(cat "$smoke/port_chaos")" \
+        --seed 42 --breaker 3:8:4 > "$smoke/chaos_$t.txt" 2> "$smoke/chaos_${t}_err.txt"
+    wait "$chaos_pid"
+    grep -q "clean shutdown" "$smoke/serve_chaos_$t.log"
+    grep -q "2 panicked, 2 respawns" "$smoke/serve_chaos_$t.log"
+done
+diff -u "$smoke/chaos_1.txt" "$smoke/chaos_4.txt"
+diff -u "$smoke/chaos_4.txt" "$smoke/chaos_8.txt"
+echo "chaos report is bit-identical under GPM_THREADS in {1,4,8}; pool self-healed"
+
+step "breaker trip-and-recover smoke (CLI: degraded identity, probe recovery)"
+# Trip the daemon's breaker with fatal device faults via the public CLI,
+# then confirm cooldown jobs are served CPU-only byte-identical to the
+# mtmetis reference, and that a post-cooldown probe restores the full
+# hybrid path byte-identical to the clean single-shot run.
+start_daemon "$smoke/port_brk" --workers 2 --queue 64 --cache 0 \
+    --breaker 2:4:1 > "$smoke/serve_brk.log" 2>&1
+# The CPU-only reference: breaker-open GpMetis jobs are served by the
+# exact mtmetis configuration an --algo mtmetis submission maps to.
+"$loadgen" submit "$daemon_addr" "$graph" 8 --seed 3 --algo mtmetis \
+    --output "$smoke/brk_cpu_ref.part" 2>/dev/null
+for i in 1 2; do
+    "$loadgen" submit "$daemon_addr" "$graph" 8 --seed 3 --gpu-threshold 400 \
+        --faults "9:gpu.launch@0=lost" --fallback \
+        --output "$smoke/brk_storm_$i.part" 2> "$smoke/brk_storm_$i.txt"
+    grep -q "degraded=1" "$smoke/brk_storm_$i.txt"
+done
+"$loadgen" submit "$daemon_addr" "$graph" 8 --seed 3 --gpu-threshold 400 \
+    --output "$smoke/brk_cool.part" 2> "$smoke/brk_cool.txt"
+grep -q "degraded=1" "$smoke/brk_cool.txt"
+diff -q "$smoke/brk_cpu_ref.part" "$smoke/brk_cool.part"
+echo "breaker-open job served CPU-only, byte-identical to mtmetis reference"
+"$loadgen" submit "$daemon_addr" "$graph" 8 --seed 3 --gpu-threshold 400 \
+    --output "$smoke/brk_probe.part" 2> "$smoke/brk_probe.txt"
+grep -q "degraded=0" "$smoke/brk_probe.txt"
+diff -q "$smoke/clean.part" "$smoke/brk_probe.part"
+"$loadgen" shutdown "$daemon_addr"
+wait "$daemon_pid"
+grep -q "clean shutdown" "$smoke/serve_brk.log"
+echo "half-open probe restored the hybrid path, byte-identical to clean run"
+
 step "examples coverage (cargo build --examples covers every examples/*.rs)"
 cargo build --release --offline --examples
 for f in examples/*.rs; do

@@ -51,6 +51,11 @@ pub enum FaultKind {
     MsgDelay,
     /// The rank crashes at this point. Fatal.
     RankCrash,
+    /// The code at the site panics (unwind) instead of returning an error.
+    /// Used by gpm-serve to exercise worker panic isolation: the injector
+    /// only *reports* the fault — the call site is expected to `panic!`.
+    /// Fatal: a deterministic panic will recur on retry.
+    Panic,
 }
 
 /// Coarse severity: can a bounded retry at the injection site recover?
@@ -68,9 +73,10 @@ impl FaultKind {
             | FaultKind::KernelAbort
             | FaultKind::MsgDrop
             | FaultKind::MsgDelay => FaultClass::Transient,
-            FaultKind::SpuriousOom | FaultKind::DeviceLost | FaultKind::RankCrash => {
-                FaultClass::Fatal
-            }
+            FaultKind::SpuriousOom
+            | FaultKind::DeviceLost
+            | FaultKind::RankCrash
+            | FaultKind::Panic => FaultClass::Fatal,
         }
     }
 
@@ -84,6 +90,7 @@ impl FaultKind {
             FaultKind::MsgDrop => "drop",
             FaultKind::MsgDelay => "delay",
             FaultKind::RankCrash => "crash",
+            FaultKind::Panic => "panic",
         }
     }
 
@@ -96,6 +103,7 @@ impl FaultKind {
             "drop" => FaultKind::MsgDrop,
             "delay" => FaultKind::MsgDelay,
             "crash" => FaultKind::RankCrash,
+            "panic" => FaultKind::Panic,
             _ => return None,
         })
     }
@@ -235,7 +243,7 @@ impl FaultPlan {
     /// spec is `site@selector=kind` where selector is `*` (always), `N`
     /// (one invocation), `N..M` (half-open range), or `pF` (probability,
     /// e.g. `p0.01`), and kind is one of `transfer`, `oom`, `abort`,
-    /// `lost`, `drop`, `delay`, `crash`.
+    /// `lost`, `drop`, `delay`, `crash`, `panic`.
     pub fn parse(input: &str) -> Result<FaultPlan, PlanParseError> {
         let err = |msg: &str| PlanParseError { input: input.to_string(), msg: msg.to_string() };
         let (seed_str, rest) =
@@ -384,16 +392,26 @@ pub struct RetryPolicy {
     pub base_backoff_secs: f64,
     /// Multiplier per subsequent retry.
     pub factor: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff is multiplied by a factor
+    /// drawn uniformly from `[1 - jitter/2, 1 + jitter/2)` so concurrent
+    /// retriers (e.g. a loadgen fleet hitting `QueueFull`) don't
+    /// re-synchronize on the same schedule. The draw is seeded — see
+    /// [`FaultScope::seeded`] — never wall-clock or thread identity, so the
+    /// jittered sequence is reproducible. `0.0` (the default) disables
+    /// jitter and keeps the historical backoff values bit-exact.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_retries: 3, base_backoff_secs: 100e-6, factor: 4.0 }
+        RetryPolicy { max_retries: 3, base_backoff_secs: 100e-6, factor: 4.0, jitter: 0.0 }
     }
 }
 
 impl RetryPolicy {
     /// Backoff before retry `attempt` (1-based): `base * factor^(attempt-1)`.
+    /// Jitter-free; [`FaultScope`] applies the policy's jitter on top when
+    /// it has a seeded stream.
     pub fn backoff_secs(&self, attempt: u32) -> f64 {
         self.base_backoff_secs * self.factor.powi(attempt.saturating_sub(1) as i32)
     }
@@ -402,8 +420,9 @@ impl RetryPolicy {
     /// whose operators tune retry budgets without a rebuild:
     /// `GPM_RETRY_MAX` (retries after the first attempt),
     /// `GPM_RETRY_BASE_US` (first backoff, microseconds) and
-    /// `GPM_RETRY_FACTOR` (multiplier). Unset or unparsable variables keep
-    /// the defaults.
+    /// `GPM_RETRY_FACTOR` (multiplier), `GPM_RETRY_JITTER` (jitter
+    /// fraction in `[0, 1]`). Unset or unparsable variables keep the
+    /// defaults.
     pub fn from_env() -> RetryPolicy {
         let d = RetryPolicy::default();
         let get = |k: &str| std::env::var(k).ok();
@@ -418,6 +437,10 @@ impl RetryPolicy {
                 .and_then(|v| v.parse().ok())
                 .filter(|f: &f64| f.is_finite() && *f >= 1.0)
                 .unwrap_or(d.factor),
+            jitter: get("GPM_RETRY_JITTER")
+                .and_then(|v| v.parse().ok())
+                .filter(|j: &f64| j.is_finite() && (0.0..=1.0).contains(j))
+                .unwrap_or(d.jitter),
         }
     }
 }
@@ -442,6 +465,9 @@ pub struct FaultScope {
     policy: RetryPolicy,
     retries: u64,
     backoff_secs: f64,
+    /// Seeded jitter stream; `None` (unseeded scope) applies no jitter
+    /// even if the policy asks for it, keeping legacy scopes bit-exact.
+    jitter_rng: Option<SplitMix64>,
 }
 
 impl FaultScope {
@@ -450,7 +476,31 @@ impl FaultScope {
     }
 
     pub fn with_policy(name: &'static str, policy: RetryPolicy) -> FaultScope {
-        FaultScope { name, policy, retries: 0, backoff_secs: 0.0 }
+        FaultScope { name, policy, retries: 0, backoff_secs: 0.0, jitter_rng: None }
+    }
+
+    /// A scope whose backoff jitter draws from the same stream family as
+    /// the fault plan's probabilistic selectors: SplitMix64 keyed by
+    /// `(seed ^ fnv1a(name))`. Same seed + same retry sequence → the same
+    /// jittered backoff values, on any thread count.
+    pub fn seeded(name: &'static str, policy: RetryPolicy, seed: u64) -> FaultScope {
+        FaultScope {
+            name,
+            policy,
+            retries: 0,
+            backoff_secs: 0.0,
+            jitter_rng: Some(SplitMix64::stream(seed ^ fnv1a(name), 0)),
+        }
+    }
+
+    /// Backoff for the next retry `attempt` (1-based), with the policy's
+    /// jitter applied when this scope is seeded.
+    fn next_backoff(&mut self, attempt: u32) -> f64 {
+        let base = self.policy.backoff_secs(attempt);
+        match (&mut self.jitter_rng, self.policy.jitter) {
+            (Some(rng), j) if j > 0.0 => base * (1.0 - j / 2.0 + j * rng.next_f64()),
+            _ => base,
+        }
     }
 
     /// Run `f`, retrying transient errors up to the policy bound. Fatal
@@ -463,7 +513,8 @@ impl FaultScope {
                 Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
                     attempt += 1;
                     self.retries += 1;
-                    self.backoff_secs += self.policy.backoff_secs(attempt);
+                    let b = self.next_backoff(attempt);
+                    self.backoff_secs += b;
                 }
                 Err(e) => return Err(e),
             }
@@ -581,6 +632,15 @@ mod tests {
         assert_eq!(FaultKind::SpuriousOom.class(), FaultClass::Fatal);
         assert_eq!(FaultKind::DeviceLost.class(), FaultClass::Fatal);
         assert_eq!(FaultKind::RankCrash.class(), FaultClass::Fatal);
+        assert_eq!(FaultKind::Panic.class(), FaultClass::Fatal);
+    }
+
+    #[test]
+    fn panic_kind_parses_and_roundtrips() {
+        let p = FaultPlan::parse("1:serve.job@0=panic").unwrap();
+        assert_eq!(p.specs[0].kind, FaultKind::Panic);
+        assert_eq!(FaultKind::Panic.token(), "panic");
+        assert_eq!(FaultKind::parse("panic"), Some(FaultKind::Panic));
     }
 
     #[test]
@@ -611,6 +671,75 @@ mod tests {
         {
             assert_eq!(RetryPolicy::from_env(), RetryPolicy::default());
         }
+    }
+
+    /// Drive a seeded scope through `retries` transient failures and
+    /// return the accumulated (jittered) backoff.
+    fn jittered_total(seed: u64, jitter: f64, retries: u32) -> f64 {
+        let policy = RetryPolicy { max_retries: retries, jitter, ..RetryPolicy::default() };
+        let mut scope = FaultScope::seeded("jitter.test", policy, seed);
+        let mut left = retries;
+        let _: Result<(), FaultError> = scope.run(|| {
+            if left > 0 {
+                left -= 1;
+                Err(FaultError { site: "s".into(), invocation: 0, kind: FaultKind::TransferError })
+            } else {
+                Ok(())
+            }
+        });
+        scope.backoff_seconds()
+    }
+
+    #[test]
+    fn seeded_jitter_is_reproducible() {
+        let a = jittered_total(42, 0.5, 3);
+        let b = jittered_total(42, 0.5, 3);
+        assert_eq!(a.to_bits(), b.to_bits(), "same seed must replay bit-identical jitter");
+        let c = jittered_total(43, 0.5, 3);
+        assert_ne!(a.to_bits(), c.to_bits(), "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn zero_jitter_matches_unseeded_backoff_exactly() {
+        let jittered = jittered_total(7, 0.0, 3);
+        let mut plain = FaultScope::with_policy(
+            "jitter.test",
+            RetryPolicy { max_retries: 3, ..RetryPolicy::default() },
+        );
+        let mut left = 3;
+        let _: Result<(), FaultError> = plain.run(|| {
+            if left > 0 {
+                left -= 1;
+                Err(FaultError { site: "s".into(), invocation: 0, kind: FaultKind::TransferError })
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(jittered.to_bits(), plain.backoff_seconds().to_bits());
+    }
+
+    #[test]
+    fn jitter_stays_within_band_and_off_without_seed() {
+        // Jittered backoff must stay within [1-j/2, 1+j/2) of the base.
+        let j = 0.8;
+        let total = jittered_total(9, j, 1);
+        let base = RetryPolicy::default().backoff_secs(1);
+        assert!(total >= base * (1.0 - j / 2.0) && total < base * (1.0 + j / 2.0));
+        // An unseeded scope ignores the policy's jitter entirely.
+        let mut scope = FaultScope::with_policy(
+            "jitter.test",
+            RetryPolicy { max_retries: 1, jitter: j, ..RetryPolicy::default() },
+        );
+        let mut left = 1;
+        let _: Result<(), FaultError> = scope.run(|| {
+            if left > 0 {
+                left -= 1;
+                Err(FaultError { site: "s".into(), invocation: 0, kind: FaultKind::TransferError })
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(scope.backoff_seconds().to_bits(), base.to_bits());
     }
 
     #[test]

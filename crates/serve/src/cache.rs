@@ -40,6 +40,21 @@ pub fn graph_fingerprint(g: &gpm_graph::csr::CsrGraph) -> u64 {
     fnv1a_words(h, &g.vwgt)
 }
 
+/// Identity of a job for the supervisor's poison list, compressed to one
+/// word: the graph fingerprint folded with every knob that changes what
+/// the job body executes (same domain as [`CacheKey`]). Two submissions
+/// of the same pathological job hash to the same fingerprint, so the
+/// second worker kill quarantines every future copy of it.
+pub fn job_fingerprint(req: &JobRequest) -> u64 {
+    let mut h = graph_fingerprint(&req.graph);
+    h = fnv1a_words(h, &[req.k as u64, req.ub_bits, req.seed, req.algo.to_wire() as u64]);
+    h = fnv1a_words(
+        h,
+        &[req.gpu_threshold as u64, req.threads as u64, req.ranks as u64, u64::from(req.fallback)],
+    );
+    fnv1a_words(h, req.fault_plan_str.as_bytes())
+}
+
 /// Full cache key: graph fingerprint plus every output-affecting knob.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -175,6 +190,20 @@ mod tests {
         g3.adjwgt[0] += 1;
         assert_ne!(base, graph_fingerprint(&g3));
         assert_eq!(base, graph_fingerprint(&g.clone()));
+    }
+
+    #[test]
+    fn job_fingerprint_separates_jobs_like_the_cache_key() {
+        let g = grid2d(4, 4);
+        let base = job_fingerprint(&JobRequest::new(g.clone(), 2));
+        assert_eq!(base, job_fingerprint(&JobRequest::new(g.clone(), 2)), "stable");
+        assert_ne!(base, job_fingerprint(&JobRequest::new(g.clone(), 4)));
+        let mut req = JobRequest::new(g.clone(), 2);
+        req.fault_plan_str = "1:serve.job@0=panic".into();
+        assert_ne!(base, job_fingerprint(&req));
+        let mut req = JobRequest::new(g, 2);
+        req.seed = 99;
+        assert_ne!(base, job_fingerprint(&req));
     }
 
     #[test]

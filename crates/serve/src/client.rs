@@ -44,6 +44,34 @@ impl Client {
         self.read_response()
     }
 
+    /// Submit one job, honoring `QueueFull` back-pressure: on a
+    /// queue-full reject the daemon's `retry_after` hint (its current
+    /// backlog depth) scales a capped linear backoff, and the job is
+    /// retried up to `max_retries` times. Any other response — including
+    /// other reject codes — is returned to the caller as-is.
+    pub fn submit_wait_retry(
+        &mut self,
+        req: &JobRequest,
+        max_retries: u32,
+    ) -> std::io::Result<Response> {
+        use crate::protocol::RejectCode;
+        let mut attempt = 0u32;
+        loop {
+            match self.submit_wait(req)? {
+                Response::Reject { code: RejectCode::QueueFull, retry_after, .. }
+                    if attempt < max_retries =>
+                {
+                    attempt += 1;
+                    // ~1ms per queued job ahead of us, capped at 200ms so
+                    // a deep backlog can't stall the client for seconds.
+                    let ms = (retry_after as u64).clamp(1, 200);
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
     /// Fetch the daemon's counters.
     pub fn stats(&mut self) -> std::io::Result<Vec<(String, u64)>> {
         protocol::write_frame(&mut self.stream, FT_STATS, &[])?;

@@ -3,7 +3,7 @@
 //! A long-lived process accepting concurrent partition jobs over the
 //! length-prefixed wire protocol in [`protocol`], scheduling them onto
 //! the process-wide `gpm-pool` executor, and returning partitions plus
-//! per-job telemetry. The serving layer adds four things the one-shot
+//! per-job telemetry. The serving layer adds what the one-shot
 //! `gpartition` binary does not have:
 //!
 //! - **Result cache** ([`cache`]): keyed by graph fingerprint plus the
@@ -11,8 +11,9 @@
 //!   from memory, byte-for-byte, with `cache_hit` set.
 //! - **Admission control**: a bounded job queue. When it is full the
 //!   daemon *rejects explicitly* ([`protocol::RejectCode::QueueFull`])
-//!   instead of queueing unboundedly — the client knows immediately and
-//!   can back off.
+//!   instead of queueing unboundedly; the reject carries the current
+//!   backlog depth as a `retry_after` hint so clients can back off
+//!   proportionally.
 //! - **Per-job deadlines**: a job may carry a wall-clock budget. It is
 //!   checked at dequeue (a job that waited too long is never started)
 //!   and again after compute (a result that arrived too late is not
@@ -27,18 +28,35 @@
 //!   engine and marks the result degraded. Jobs can carry a
 //!   `GPM_FAULTS`-syntax fault plan to exercise the ladder
 //!   deterministically.
+//! - **Self-healing** (DESIGN.md §14): each job body runs under
+//!   `catch_unwind`, so a panicking job produces a typed
+//!   [`protocol::RejectCode::JobPanicked`] reject instead of a dead
+//!   worker and a hung client; the killed worker spawns its own
+//!   replacement ([`supervisor::WorkerPool`]); a job fingerprint that
+//!   kills [`supervisor::QUARANTINE_STRIKES`] workers is quarantined at
+//!   admission ([`supervisor::PoisonList`]); and GPU health is guarded
+//!   by a job-counted circuit breaker (`gp_metis::breaker`) that routes
+//!   jobs CPU-only while the device looks sick.
+//! - **Connection hardening**: per-connection idle timeout, mid-frame
+//!   read deadline (slowloris defense), and optional frame/byte budgets;
+//!   a peer that half-closes after submitting still receives every
+//!   in-flight reply before the connection thread exits.
 //!
 //! Determinism: given the same request bytes, the daemon returns the
 //! same partition bytes as a single-shot `gpartition` run with the same
 //! configuration — regardless of `GPM_THREADS`, steal fuzz, worker
-//! count, or arrival order. The CI serve-smoke stage asserts this
-//! byte-for-byte.
+//! count, or arrival order. Breaker-open jobs are served by the same
+//! mt-metis configuration the fallback rung uses, so even degraded
+//! replies are byte-reproducible. The CI serve-smoke and chaos-smoke
+//! stages assert this byte-for-byte.
 
 pub mod cache;
 pub mod client;
 pub mod protocol;
+pub mod supervisor;
 
 use cache::{CacheEntry, CacheKey, ResultCache};
+use gp_metis::breaker::{BreakerConfig, CircuitBreaker};
 use protocol::{
     Algo, JobReply, JobRequest, JobTelemetry, ProtoError, RejectCode, FT_JOB, FT_JOB_OK, FT_REJECT,
     FT_SHUTDOWN, FT_SHUTDOWN_ACK, FT_STATS, FT_STATS_REPLY,
@@ -49,8 +67,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use supervisor::{lock, wait, PoisonList, WorkerPool, QUARANTINE_STRIKES};
 
-use gpm_faults::{FaultScope, RetryPolicy};
+use gpm_faults::{FaultInjector, FaultKind, RetryPolicy};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -66,6 +85,20 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Suppress per-job log lines on stderr.
     pub quiet: bool,
+    /// Close a connection with no bytes in flight after this long
+    /// (0 disables). Defends the conn-thread pool against dead-air
+    /// connections that never send a frame.
+    pub idle_timeout_ms: u64,
+    /// Close a connection that started a frame but made no read progress
+    /// for this long (0 disables). Defends against slowloris-style
+    /// byte-at-a-time writers pinning a thread mid-frame.
+    pub read_deadline_ms: u64,
+    /// Close a connection after this many request frames (0 = unlimited).
+    pub max_frames: u64,
+    /// Close a connection after this many received bytes (0 = unlimited).
+    pub max_bytes: u64,
+    /// GPU circuit breaker tuning (threshold:window:cooldown).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +109,11 @@ impl Default for ServeConfig {
             queue_cap: 64,
             cache_cap: 128,
             quiet: true,
+            idle_timeout_ms: 300_000,
+            read_deadline_ms: 30_000,
+            max_frames: 0,
+            max_bytes: 0,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -94,14 +132,24 @@ struct Counters {
     degraded: AtomicU64,
     engine_failed: AtomicU64,
     protocol_errors: AtomicU64,
+    panicked: AtomicU64,
+    quarantined: AtomicU64,
+    conns_opened: AtomicU64,
+    conns_closed_idle: AtomicU64,
+    conns_closed_slow: AtomicU64,
+    conns_closed_budget: AtomicU64,
 }
 
 /// A job admitted to the queue: the decoded request, its admission
-/// instant (deadlines count from here), and the connection to answer on.
+/// instant (deadlines count from here), the connection to answer on,
+/// its poison-list fingerprint, and the owning connection's in-flight
+/// job count (for half-close draining).
 struct QueuedJob {
     req: JobRequest,
     admitted: Instant,
     out: Arc<Mutex<TcpStream>>,
+    fp: u64,
+    conn_jobs: Arc<AtomicU64>,
 }
 
 struct QueueState {
@@ -118,6 +166,9 @@ struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
     cache: Mutex<ResultCache>,
+    breaker: Mutex<CircuitBreaker>,
+    pool: WorkerPool,
+    poison: PoisonList,
 }
 
 /// Handle to a running daemon.
@@ -125,7 +176,6 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// Final accounting returned by [`ServerHandle::join`].
@@ -137,6 +187,10 @@ pub struct ServeSummary {
     pub rejected: u64,
     pub deadline_expired: u64,
     pub degraded: u64,
+    /// Jobs whose body panicked (each answered with a typed reject).
+    pub panicked: u64,
+    /// Workers replaced after a panic kill.
+    pub worker_respawns: u64,
     /// Threads joined at shutdown (acceptor + workers + connections).
     pub threads_joined: usize,
 }
@@ -155,18 +209,16 @@ impl ServerHandle {
         wake_acceptor(self.addr);
     }
 
-    /// Block until the daemon has shut down: queue drained, workers and
-    /// connection threads joined. Returns the final accounting.
+    /// Block until the daemon has shut down: queue drained, workers
+    /// (including any panic-kill replacements) and connection threads
+    /// joined. Returns the final accounting.
     pub fn join(mut self) -> ServeSummary {
         let mut joined = 0usize;
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
             joined += 1;
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-            joined += 1;
-        }
+        joined += self.shared.pool.join_all();
         let c = &self.shared.counters;
         ServeSummary {
             completed: c.completed.load(Ordering::SeqCst),
@@ -174,9 +226,12 @@ impl ServerHandle {
             cache_misses: c.cache_misses.load(Ordering::SeqCst),
             rejected: c.rejected_queue_full.load(Ordering::SeqCst)
                 + c.rejected_shutdown.load(Ordering::SeqCst)
-                + c.engine_failed.load(Ordering::SeqCst),
+                + c.engine_failed.load(Ordering::SeqCst)
+                + c.quarantined.load(Ordering::SeqCst),
             deadline_expired: c.deadline_expired.load(Ordering::SeqCst),
             degraded: c.degraded.load(Ordering::SeqCst),
+            panicked: c.panicked.load(Ordering::SeqCst),
+            worker_respawns: self.shared.pool.respawns(),
             threads_joined: joined,
         }
     }
@@ -195,6 +250,7 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
+    let breaker = cfg.breaker;
     let shared = Arc::new(Shared {
         cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
         cfg,
@@ -202,17 +258,13 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         cv: Condvar::new(),
         shutdown: AtomicBool::new(false),
         counters: Counters::default(),
+        breaker: Mutex::new(CircuitBreaker::new(breaker)),
+        pool: WorkerPool::default(),
+        poison: PoisonList::default(),
     });
 
-    let mut worker_handles = Vec::with_capacity(workers);
     for i in 0..workers {
-        let sh = Arc::clone(&shared);
-        worker_handles.push(
-            std::thread::Builder::new()
-                .name(format!("gpm-serve-worker-{i}"))
-                .spawn(move || worker_loop(&sh))
-                .expect("spawn worker"),
-        );
+        spawn_worker(&shared, i);
     }
 
     let sh = Arc::clone(&shared);
@@ -221,7 +273,28 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         .spawn(move || accept_loop(listener, addr, &sh))
         .expect("spawn acceptor");
 
-    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), workers: worker_handles })
+    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor) })
+}
+
+/// Spawn one worker thread for `slot` and register it with the pool. A
+/// worker that dies to a panicking job calls this again on its way out,
+/// so the pool heals itself back to the configured size; the replacement
+/// is spawned *before* the dying worker's exit is noted, so the live
+/// count never dips below the pool size.
+fn spawn_worker(sh: &Arc<Shared>, slot: usize) {
+    sh.pool.note_spawn();
+    let sh2 = Arc::clone(sh);
+    let h = std::thread::Builder::new()
+        .name(format!("gpm-serve-worker-{slot}"))
+        .spawn(move || {
+            if worker_loop(&sh2) == WorkerExit::Died {
+                sh2.pool.note_respawn();
+                spawn_worker(&sh2, slot);
+            }
+            sh2.pool.note_exit();
+        })
+        .expect("spawn worker");
+    sh.pool.register(h);
 }
 
 fn accept_loop(listener: TcpListener, addr: SocketAddr, sh: &Arc<Shared>) {
@@ -240,7 +313,7 @@ fn accept_loop(listener: TcpListener, addr: SocketAddr, sh: &Arc<Shared>) {
                     .name("gpm-serve-conn".into())
                     .spawn(move || conn_loop(stream, self_addr, &sh2))
                     .expect("spawn connection thread");
-                conns.lock().unwrap().push(handle);
+                lock(&conns).push(handle);
             }
             Err(_) if sh.shutdown.load(Ordering::SeqCst) => break,
             Err(_) => continue,
@@ -248,32 +321,111 @@ fn accept_loop(listener: TcpListener, addr: SocketAddr, sh: &Arc<Shared>) {
     }
     // Wait for every connection thread before the acceptor exits, so
     // `ServerHandle::join` proves no leaked threads.
-    let handles: Vec<_> = std::mem::take(&mut *conns.lock().unwrap());
+    let handles: Vec<_> = std::mem::take(&mut *lock(&conns));
     for h in handles {
         let _ = h.join();
     }
 }
 
+/// Why a connection was closed by the hardening layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    /// Transport error from the OS.
+    Transport,
+    /// No bytes at all for `idle_timeout_ms`.
+    Idle,
+    /// Mid-frame with no read progress for `read_deadline_ms`.
+    SlowRead,
+    /// Received-byte budget exhausted.
+    Bytes,
+    /// Daemon shutdown while the peer was idle.
+    Shutdown,
+}
+
+enum FrameEvent {
+    Frame(u32, Vec<u8>),
+    /// Clean EOF at a frame boundary (peer half-closed or disconnected).
+    Eof,
+    Closed(CloseReason),
+    Proto(ProtoError),
+}
+
+/// Per-connection read accounting for the hardening budgets.
+struct ConnState {
+    last_progress: Instant,
+    bytes_total: u64,
+    frames: u64,
+    conn_jobs: Arc<AtomicU64>,
+}
+
 /// Serve one client connection. Frames are read with a poll timeout so
-/// the thread observes shutdown even while the peer is idle.
+/// the thread observes shutdown, idle timeouts, and read deadlines even
+/// while the peer is silent.
 fn conn_loop(stream: TcpStream, self_addr: SocketAddr, sh: &Arc<Shared>) {
+    sh.counters.conns_opened.fetch_add(1, Ordering::SeqCst);
     stream.set_read_timeout(Some(Duration::from_millis(250))).ok();
     stream.set_nodelay(true).ok();
     let out = Arc::new(Mutex::new(stream.try_clone().expect("clone stream")));
     let mut reader = stream;
     let mut buf: Vec<u8> = Vec::new();
+    let mut cs = ConnState {
+        last_progress: Instant::now(),
+        bytes_total: 0,
+        frames: 0,
+        conn_jobs: Arc::new(AtomicU64::new(0)),
+    };
 
     loop {
-        match read_frame_polling(&mut reader, &mut buf, sh) {
+        match read_frame_polling(&mut reader, &mut buf, sh, &mut cs) {
             FrameEvent::Frame(ft, payload) => {
-                if !handle_frame(ft, &payload, &out, self_addr, sh) {
+                cs.frames += 1;
+                if sh.cfg.max_frames > 0 && cs.frames > sh.cfg.max_frames {
+                    sh.counters.conns_closed_budget.fetch_add(1, Ordering::SeqCst);
+                    let payload = protocol::encode_reject(
+                        0,
+                        RejectCode::Protocol,
+                        0,
+                        &format!("connection frame budget exhausted ({})", sh.cfg.max_frames),
+                    );
+                    send(&out, FT_REJECT, &payload);
+                    break;
+                }
+                if !handle_frame(ft, &payload, &out, &cs.conn_jobs, self_addr, sh) {
                     break;
                 }
             }
-            FrameEvent::Eof | FrameEvent::Closed => break,
+            FrameEvent::Eof => {
+                // Half-close: the peer finished submitting (shut down its
+                // write side) but may still be reading. Wait for this
+                // connection's in-flight jobs so every reply is written
+                // before the thread exits; bounded so a wedged job cannot
+                // pin the thread forever.
+                let t0 = Instant::now();
+                while cs.conn_jobs.load(Ordering::SeqCst) > 0
+                    && t0.elapsed() < Duration::from_secs(600)
+                {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                break;
+            }
+            FrameEvent::Closed(reason) => {
+                match reason {
+                    CloseReason::Idle => {
+                        sh.counters.conns_closed_idle.fetch_add(1, Ordering::SeqCst);
+                    }
+                    CloseReason::SlowRead => {
+                        sh.counters.conns_closed_slow.fetch_add(1, Ordering::SeqCst);
+                    }
+                    CloseReason::Bytes => {
+                        sh.counters.conns_closed_budget.fetch_add(1, Ordering::SeqCst);
+                    }
+                    CloseReason::Transport | CloseReason::Shutdown => {}
+                }
+                break;
+            }
             FrameEvent::Proto(e) => {
                 sh.counters.protocol_errors.fetch_add(1, Ordering::SeqCst);
-                let payload = protocol::encode_reject(0, RejectCode::Protocol, &e.to_string());
+                let payload = protocol::encode_reject(0, RejectCode::Protocol, 0, &e.to_string());
                 send(&out, FT_REJECT, &payload);
                 // Framing is unrecoverable: the stream position cannot be
                 // trusted past a bad header or short payload.
@@ -283,19 +435,17 @@ fn conn_loop(stream: TcpStream, self_addr: SocketAddr, sh: &Arc<Shared>) {
     }
 }
 
-enum FrameEvent {
-    Frame(u32, Vec<u8>),
-    /// Clean EOF at a frame boundary.
-    Eof,
-    /// Transport error or shutdown while idle.
-    Closed,
-    Proto(ProtoError),
-}
-
 /// Accumulate one frame from a stream with a read timeout, checking the
-/// shutdown flag between polls. Partial reads across polls are kept in
-/// `buf`, so a slow writer is not misread as a protocol error.
-fn read_frame_polling(stream: &mut TcpStream, buf: &mut Vec<u8>, sh: &Arc<Shared>) -> FrameEvent {
+/// shutdown flag and the connection budgets between polls. Partial reads
+/// across polls are kept in `buf`, so a slow-but-live writer is not
+/// misread as a protocol error — but one that stalls past the read
+/// deadline is closed, not waited on forever.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    sh: &Arc<Shared>,
+    cs: &mut ConnState,
+) -> FrameEvent {
     use std::io::Read;
     let mut chunk = [0u8; 64 * 1024];
     loop {
@@ -325,17 +475,32 @@ fn read_frame_polling(stream: &mut TcpStream, buf: &mut Vec<u8>, sh: &Arc<Shared
                     have: buf.len(),
                 });
             }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                cs.last_progress = Instant::now();
+                cs.bytes_total += n as u64;
+                if sh.cfg.max_bytes > 0 && cs.bytes_total > sh.cfg.max_bytes {
+                    return FrameEvent::Closed(CloseReason::Bytes);
+                }
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if sh.shutdown.load(Ordering::SeqCst) && buf.is_empty() {
-                    return FrameEvent::Closed;
+                    return FrameEvent::Closed(CloseReason::Shutdown);
+                }
+                let stalled = cs.last_progress.elapsed().as_millis() as u64;
+                if buf.is_empty() {
+                    if sh.cfg.idle_timeout_ms > 0 && stalled >= sh.cfg.idle_timeout_ms {
+                        return FrameEvent::Closed(CloseReason::Idle);
+                    }
+                } else if sh.cfg.read_deadline_ms > 0 && stalled >= sh.cfg.read_deadline_ms {
+                    return FrameEvent::Closed(CloseReason::SlowRead);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return FrameEvent::Closed,
+            Err(_) => return FrameEvent::Closed(CloseReason::Transport),
         }
     }
 }
@@ -346,6 +511,7 @@ fn handle_frame(
     ft: u32,
     payload: &[u8],
     out: &Arc<Mutex<TcpStream>>,
+    conn_jobs: &Arc<AtomicU64>,
     self_addr: SocketAddr,
     sh: &Arc<Shared>,
 ) -> bool {
@@ -364,12 +530,12 @@ fn handle_frame(
                     send(
                         out,
                         FT_REJECT,
-                        &protocol::encode_reject(tag, RejectCode::Protocol, &e.to_string()),
+                        &protocol::encode_reject(tag, RejectCode::Protocol, 0, &e.to_string()),
                     );
                     return true; // payload decoded per framing; stream still in sync
                 }
             };
-            admit(req, out, sh);
+            admit(req, out, conn_jobs, sh);
             true
         }
         FT_STATS => {
@@ -382,9 +548,9 @@ fn handle_frame(
             // Wait for the queue to drain and all in-flight jobs to
             // finish before acking — the ack promises quiescence.
             {
-                let mut q = sh.queue.lock().unwrap();
+                let mut q = lock(&sh.queue);
                 while !q.jobs.is_empty() || q.in_flight > 0 {
-                    q = sh.cv.wait(q).unwrap();
+                    q = wait(&sh.cv, q);
                 }
             }
             send(out, FT_SHUTDOWN_ACK, &[]);
@@ -399,6 +565,7 @@ fn handle_frame(
                 &protocol::encode_reject(
                     0,
                     RejectCode::Protocol,
+                    0,
                     &ProtoError::BadFrameType(other).to_string(),
                 ),
             );
@@ -407,19 +574,49 @@ fn handle_frame(
     }
 }
 
-/// Admission control: enqueue or reject explicitly.
-fn admit(req: JobRequest, out: &Arc<Mutex<TcpStream>>, sh: &Arc<Shared>) {
+/// Admission control: enqueue or reject explicitly. Quarantined job
+/// fingerprints are refused here, before they can touch the queue or a
+/// worker.
+fn admit(
+    req: JobRequest,
+    out: &Arc<Mutex<TcpStream>>,
+    conn_jobs: &Arc<AtomicU64>,
+    sh: &Arc<Shared>,
+) {
     if sh.shutdown.load(Ordering::SeqCst) {
         sh.counters.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
         send(
             out,
             FT_REJECT,
-            &protocol::encode_reject(req.tag, RejectCode::ShuttingDown, "daemon is shutting down"),
+            &protocol::encode_reject(
+                req.tag,
+                RejectCode::ShuttingDown,
+                0,
+                "daemon is shutting down",
+            ),
         );
         return;
     }
-    let mut q = sh.queue.lock().unwrap();
+    let fp = cache::job_fingerprint(&req);
+    if sh.poison.is_quarantined(fp) {
+        sh.counters.quarantined.fetch_add(1, Ordering::SeqCst);
+        send(
+            out,
+            FT_REJECT,
+            &protocol::encode_reject(
+                req.tag,
+                RejectCode::Quarantined,
+                0,
+                &format!(
+                    "job fingerprint {fp:#018x} quarantined after {QUARANTINE_STRIKES} worker kills"
+                ),
+            ),
+        );
+        return;
+    }
+    let mut q = lock(&sh.queue);
     if q.jobs.len() + q.in_flight >= sh.cfg.queue_cap {
+        let backlog = (q.jobs.len() + q.in_flight) as u32;
         drop(q);
         sh.counters.rejected_queue_full.fetch_add(1, Ordering::SeqCst);
         send(
@@ -428,38 +625,100 @@ fn admit(req: JobRequest, out: &Arc<Mutex<TcpStream>>, sh: &Arc<Shared>) {
             &protocol::encode_reject(
                 req.tag,
                 RejectCode::QueueFull,
+                backlog,
                 &format!("admission queue full (cap {})", sh.cfg.queue_cap),
             ),
         );
         return;
     }
     sh.counters.accepted.fetch_add(1, Ordering::SeqCst);
-    q.jobs.push_back(QueuedJob { req, admitted: Instant::now(), out: Arc::clone(out) });
+    conn_jobs.fetch_add(1, Ordering::SeqCst);
+    q.jobs.push_back(QueuedJob {
+        req,
+        admitted: Instant::now(),
+        out: Arc::clone(out),
+        fp,
+        conn_jobs: Arc::clone(conn_jobs),
+    });
     drop(q);
     sh.cv.notify_all();
 }
 
-fn worker_loop(sh: &Arc<Shared>) {
+/// How a worker thread's loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerExit {
+    /// Clean shutdown: queue drained, daemon stopping.
+    Shutdown,
+    /// A job body panicked; the worker answered with a typed reject and
+    /// must be replaced.
+    Died,
+}
+
+fn worker_loop(sh: &Arc<Shared>) -> WorkerExit {
     loop {
         let job = {
-            let mut q = sh.queue.lock().unwrap();
+            let mut q = lock(&sh.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     q.in_flight += 1;
                     break job;
                 }
                 if sh.shutdown.load(Ordering::SeqCst) {
-                    return;
+                    return WorkerExit::Shutdown;
                 }
-                q = sh.cv.wait(q).unwrap();
+                q = wait(&sh.cv, q);
             }
         };
-        process_job(job, sh);
-        let mut q = sh.queue.lock().unwrap();
+        // Panic isolation: the job body runs under `catch_unwind` so a
+        // panicking job (a bug, or an injected `serve.job=panic` fault)
+        // cannot take the daemon down or leave the client hanging. The
+        // in-flight/connection accounting is settled on both paths; the
+        // mutexes the job may have poisoned are recovered by
+        // `supervisor::lock` everywhere.
+        let tag = job.req.tag;
+        let fp = job.fp;
+        let out = Arc::clone(&job.out);
+        let conn_jobs = Arc::clone(&job.conn_jobs);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process_job(job, sh)));
+        conn_jobs.fetch_sub(1, Ordering::SeqCst);
+        let died = match outcome {
+            Ok(()) => false,
+            Err(payload) => {
+                sh.counters.panicked.fetch_add(1, Ordering::SeqCst);
+                let strikes = sh.poison.strike(fp);
+                let mut msg = format!("job panicked: {}", panic_message(payload.as_ref()));
+                if strikes >= QUARANTINE_STRIKES {
+                    msg.push_str("; fingerprint quarantined");
+                }
+                send(
+                    &out,
+                    FT_REJECT,
+                    &protocol::encode_reject(tag, RejectCode::JobPanicked, 0, &msg),
+                );
+                true
+            }
+        };
+        let mut q = lock(&sh.queue);
         q.in_flight -= 1;
         drop(q);
         // Wake both idle workers and a shutdown waiter.
         sh.cv.notify_all();
+        if died {
+            return WorkerExit::Died;
+        }
+    }
+}
+
+/// Best-effort human-readable panic payload (`panic!` with a string or
+/// format message covers everything the daemon can raise).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 
@@ -478,7 +737,7 @@ fn remaining_budget(req: &JobRequest, admitted: Instant) -> Result<Option<Durati
 }
 
 fn process_job(job: QueuedJob, sh: &Arc<Shared>) {
-    let QueuedJob { req, admitted, out } = job;
+    let QueuedJob { req, admitted, out, .. } = job;
 
     // Deadline check 1: a job that expired while queued never starts.
     let budget = match remaining_budget(&req, admitted) {
@@ -491,7 +750,7 @@ fn process_job(job: QueuedJob, sh: &Arc<Shared>) {
 
     // Cache lookup.
     let key = CacheKey::for_job(&req);
-    if let Some(entry) = sh.cache.lock().unwrap().get(&key) {
+    if let Some(entry) = lock(&sh.cache).get(&key) {
         sh.counters.cache_hits.fetch_add(1, Ordering::SeqCst);
         sh.counters.completed.fetch_add(1, Ordering::SeqCst);
         let mut telemetry = entry.telemetry.clone();
@@ -504,7 +763,7 @@ fn process_job(job: QueuedJob, sh: &Arc<Shared>) {
 
     // Compute.
     let t0 = Instant::now();
-    let outcome = execute(&req, budget);
+    let outcome = execute(&req, budget, sh);
     let wall_us = t0.elapsed().as_micros() as u64;
 
     match outcome {
@@ -515,9 +774,7 @@ fn process_job(job: QueuedJob, sh: &Arc<Shared>) {
             }
             // The result is correct regardless of timing: cache it even
             // if the deadline expired, so a retry of the same job hits.
-            sh.cache
-                .lock()
-                .unwrap()
+            lock(&sh.cache)
                 .insert(key, CacheEntry { part: part.clone(), telemetry: telemetry.clone() });
 
             // Deadline check 2: a correct-but-late result is still a
@@ -535,7 +792,7 @@ fn process_job(job: QueuedJob, sh: &Arc<Shared>) {
             send(
                 &out,
                 FT_REJECT,
-                &protocol::encode_reject(req.tag, RejectCode::EngineFailed, &msg),
+                &protocol::encode_reject(req.tag, RejectCode::EngineFailed, 0, &msg),
             );
         }
     }
@@ -555,6 +812,7 @@ fn reject_deadline(
         &protocol::encode_reject(
             req.tag,
             RejectCode::DeadlineExpired,
+            0,
             &format!("deadline {} ms {what} (overran by {} ms)", req.deadline_ms, over.as_millis()),
         ),
     );
@@ -565,7 +823,23 @@ fn reject_deadline(
 ///
 /// The configuration mapping mirrors `gpartition` exactly — that is what
 /// makes daemon responses byte-identical to single-shot runs.
-fn execute(req: &JobRequest, budget: Option<Duration>) -> Result<(Vec<u32>, JobTelemetry), String> {
+///
+/// Panics when the job carries a `serve.job=panic` fault: this is the
+/// chaos harness's way of exercising the worker's panic isolation, and
+/// it unwinds from here through `catch_unwind` in [`worker_loop`].
+fn execute(
+    req: &JobRequest,
+    budget: Option<Duration>,
+    sh: &Arc<Shared>,
+) -> Result<(Vec<u32>, JobTelemetry), String> {
+    if let Some(plan) = &req.fault_plan {
+        let inj = FaultInjector::new(plan.clone());
+        if let Some(f) = inj.check("serve.job") {
+            if f.kind == FaultKind::Panic {
+                panic!("{f}");
+            }
+        }
+    }
     let g = &req.graph;
     let k = req.k as usize;
     let ub = req.ub();
@@ -601,13 +875,17 @@ fn execute(req: &JobRequest, budget: Option<Duration>) -> Result<(Vec<u32>, JobT
             if req.gpu_threshold > 0 {
                 c.gpu_threshold = req.gpu_threshold as usize;
             }
-            let mut attempts = 0u32;
-            let mut scope = FaultScope::with_policy("serve.job", RetryPolicy::from_env());
-            let out = scope.run(|| {
-                attempts += 1;
-                gp_metis::partition_with_plan(g, &c, req.fault_plan.clone())
-            });
-            let serve_retries = attempts.saturating_sub(1);
+            // The breaker-supervised engine: admission may short-circuit
+            // the job to the CPU while the device is in cooldown, and the
+            // job's fatal/clean outcome feeds the breaker window.
+            let (out, serve_retries) = gp_metis::partition_supervised(
+                g,
+                &c,
+                req.fault_plan.clone(),
+                &sh.breaker,
+                RetryPolicy::from_env(),
+                req.seed,
+            );
             match out {
                 Ok(r) => {
                     let mut t = base_telemetry(&r.result);
@@ -616,11 +894,21 @@ fn execute(req: &JobRequest, budget: Option<Duration>) -> Result<(Vec<u32>, JobT
                     t.device_retries = r.report.device_retries;
                     t.checkpoint_gpu_levels = r.report.checkpoint_gpu_levels as u32;
                     t.serve_retries = serve_retries;
+                    if let Some(s) = r.report.breaker {
+                        t.breaker_state = s.state.wire();
+                        t.breaker_trips = s.trips;
+                    }
                     Ok((r.result.part, t))
                 }
                 // Fatal device error with no (or failed) engine fallback:
                 // last rung is the pure-CPU shared-memory engine.
-                Err(_e) => Ok(run_mtmetis(req, true, serve_retries)),
+                Err(_e) => {
+                    let (part, mut t) = run_mtmetis(req, true, serve_retries);
+                    let s = lock(&sh.breaker).snapshot();
+                    t.breaker_state = s.state.wire();
+                    t.breaker_trips = s.trips;
+                    Ok((part, t))
+                }
             }
         }
     }
@@ -650,18 +938,20 @@ fn base_telemetry(r: &gpm_metis::PartitionResult) -> JobTelemetry {
     }
 }
 
-/// Stats snapshot in a deterministic order (scripts `awk` these).
+/// Stats snapshot in a deterministic order (scripts `awk` these). New
+/// keys are appended, never inserted, so script field offsets survive.
 fn snapshot_stats(sh: &Arc<Shared>) -> Vec<(String, u64)> {
     let c = &sh.counters;
     let (q_len, in_flight) = {
-        let q = sh.queue.lock().unwrap();
+        let q = lock(&sh.queue);
         (q.jobs.len() as u64, q.in_flight as u64)
     };
     let (cache_len, cache_evictions) = {
-        let cache = sh.cache.lock().unwrap();
+        let cache = lock(&sh.cache);
         let (_, _, ev) = cache.counters();
         (cache.len() as u64, ev)
     };
+    let brk = lock(&sh.breaker).snapshot();
     let pool = gpm_pool::stats();
     vec![
         ("accepted".into(), c.accepted.load(Ordering::SeqCst)),
@@ -681,13 +971,26 @@ fn snapshot_stats(sh: &Arc<Shared>) -> Vec<(String, u64)> {
         ("pool_batches".into(), pool.batches),
         ("pool_chunks".into(), pool.chunks),
         ("pool_blocking_tasks".into(), pool.blocking_tasks),
+        ("panicked".into(), c.panicked.load(Ordering::SeqCst)),
+        ("quarantined".into(), c.quarantined.load(Ordering::SeqCst)),
+        ("worker_respawns".into(), sh.pool.respawns()),
+        ("workers_alive".into(), sh.pool.alive()),
+        ("workers".into(), sh.cfg.workers as u64),
+        ("quarantined_fingerprints".into(), sh.poison.quarantined_count()),
+        ("conns_opened".into(), c.conns_opened.load(Ordering::SeqCst)),
+        ("conns_closed_idle".into(), c.conns_closed_idle.load(Ordering::SeqCst)),
+        ("conns_closed_slow".into(), c.conns_closed_slow.load(Ordering::SeqCst)),
+        ("conns_closed_budget".into(), c.conns_closed_budget.load(Ordering::SeqCst)),
+        ("breaker_state".into(), brk.state.wire() as u64),
+        ("breaker_trips".into(), brk.trips),
+        ("breaker_cpu_only".into(), brk.cpu_only_jobs),
     ]
 }
 
 /// Write one response frame under the per-connection writer lock so
 /// concurrent workers never interleave frames on a shared connection.
 fn send(out: &Arc<Mutex<TcpStream>>, ft: u32, payload: &[u8]) {
-    let mut w = out.lock().unwrap();
+    let mut w = lock(out);
     let _ = w.write_all(&protocol::frame(ft, payload));
     let _ = w.flush();
 }

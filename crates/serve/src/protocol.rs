@@ -5,12 +5,21 @@
 //! Every frame is a 12-byte header — magic `"GPM1"`, a frame type, a
 //! payload length — followed by `len` payload bytes. All integers are
 //! little-endian. The payload grammar is fixed per frame type and decoded
-//! by a bounds-checked cursor: *no* input, however truncated, oversized,
-//! or bit-flipped, may panic the decoder — malformed frames surface as
-//! typed [`ProtoError`]s, which the daemon answers with a
+//! by the bounds-checked [`Rd`] cursor, so a malformed frame — truncated,
+//! oversized, bit-flipped, or adversarial — *cannot* panic the decoder:
+//! it surfaces as a typed [`ProtoError`], which the daemon answers with a
 //! [`Reject`](RejectCode::Protocol) response before closing the
 //! connection (a framing error means the stream position can no longer
 //! be trusted).
+//!
+//! **No-panic guarantee.** Every length and count is checked against the
+//! remaining payload *before* indexing or allocating, and the decode path
+//! contains no `debug_assert!` on wire-derived values — the guarantee is
+//! identical in debug and release builds. (The lone `debug_assert!` in
+//! this module sits on the *encode* side, checking locally-constructed
+//! ids, never peer input.) The property suite in
+//! `crates/serve/tests/prop_protocol.rs` pins this by fuzzing truncations,
+//! bit flips, and garbage through every decoder in a debug build.
 //!
 //! A partition job carries the full CSR graph inline plus the engine
 //! configuration (k, balance, seed, algorithm, threads/ranks, GPU
@@ -209,6 +218,12 @@ pub enum RejectCode {
     EngineFailed,
     /// The daemon is shutting down and no longer admits jobs.
     ShuttingDown,
+    /// The job body panicked in a worker; the panic payload rides in the
+    /// reject message and the worker was respawned.
+    JobPanicked,
+    /// The job's fingerprint is on the poison list (it killed a worker
+    /// twice) and is refused without touching the pool.
+    Quarantined,
 }
 
 impl RejectCode {
@@ -219,6 +234,8 @@ impl RejectCode {
             RejectCode::Protocol => 3,
             RejectCode::EngineFailed => 4,
             RejectCode::ShuttingDown => 5,
+            RejectCode::JobPanicked => 6,
+            RejectCode::Quarantined => 7,
         }
     }
 
@@ -229,6 +246,8 @@ impl RejectCode {
             3 => RejectCode::Protocol,
             4 => RejectCode::EngineFailed,
             5 => RejectCode::ShuttingDown,
+            6 => RejectCode::JobPanicked,
+            7 => RejectCode::Quarantined,
             other => return Err(ProtoError::BadField(format!("reject code {other}"))),
         })
     }
@@ -241,6 +260,8 @@ impl RejectCode {
             RejectCode::Protocol => "protocol-error",
             RejectCode::EngineFailed => "engine-failed",
             RejectCode::ShuttingDown => "shutting-down",
+            RejectCode::JobPanicked => "job-panicked",
+            RejectCode::Quarantined => "quarantined",
         }
     }
 }
@@ -264,6 +285,12 @@ pub struct JobTelemetry {
     pub modeled_secs_bits: u64,
     /// Wall microseconds the engine ran (0 on a cache hit).
     pub wall_us: u64,
+    /// GPU circuit-breaker state after this job (wire encoding of
+    /// `gp_metis::breaker::BreakerState`: 0 closed, 1 open, 2 half-open).
+    /// 0 for jobs that never consult the breaker (non-GpMetis engines).
+    pub breaker_state: u32,
+    /// Breaker trips observed by the daemon so far.
+    pub breaker_trips: u64,
 }
 
 /// A successful job response.
@@ -298,7 +325,15 @@ impl JobReply {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     Ok(JobReply),
-    Reject { tag: u64, code: RejectCode, msg: String },
+    Reject {
+        tag: u64,
+        code: RejectCode,
+        /// Backoff hint: for `QueueFull` the current queue depth (jobs
+        /// queued + in flight), so clients scale their retry delay to the
+        /// actual backlog instead of retrying immediately. 0 = no hint.
+        retry_after: u32,
+        msg: String,
+    },
     Stats(Vec<(String, u64)>),
     ShutdownAck,
 }
@@ -530,6 +565,8 @@ pub fn encode_job_ok(rep: &JobReply) -> Vec<u8> {
     put_u64(&mut p, t.imbalance_bits);
     put_u64(&mut p, t.modeled_secs_bits);
     put_u64(&mut p, t.wall_us);
+    put_u32(&mut p, t.breaker_state);
+    put_u64(&mut p, t.breaker_trips);
     put_vec_u32(&mut p, &rep.part);
     p
 }
@@ -548,6 +585,8 @@ pub fn decode_job_ok(payload: &[u8]) -> Result<JobReply, ProtoError> {
     let imbalance_bits = r.u64()?;
     let modeled_secs_bits = r.u64()?;
     let wall_us = r.u64()?;
+    let breaker_state = r.u32()?;
+    let breaker_trips = r.u64()?;
     let part = r.vec_u32()?;
     r.finish()?;
     Ok(JobReply {
@@ -563,28 +602,33 @@ pub fn decode_job_ok(payload: &[u8]) -> Result<JobReply, ProtoError> {
             imbalance_bits,
             modeled_secs_bits,
             wall_us,
+            breaker_state,
+            breaker_trips,
         },
         part,
     })
 }
 
-/// Encode a rejection payload.
-pub fn encode_reject(tag: u64, code: RejectCode, msg: &str) -> Vec<u8> {
-    let mut p = Vec::with_capacity(16 + msg.len());
+/// Encode a rejection payload. `retry_after` is the backoff hint (see
+/// [`Response::Reject`]); pass 0 when there is nothing to hint.
+pub fn encode_reject(tag: u64, code: RejectCode, retry_after: u32, msg: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(20 + msg.len());
     put_u64(&mut p, tag);
     put_u32(&mut p, code.to_wire());
+    put_u32(&mut p, retry_after);
     put_string(&mut p, msg);
     p
 }
 
-/// Decode a rejection payload into `(tag, code, message)`.
-pub fn decode_reject(payload: &[u8]) -> Result<(u64, RejectCode, String), ProtoError> {
+/// Decode a rejection payload into `(tag, code, retry_after, message)`.
+pub fn decode_reject(payload: &[u8]) -> Result<(u64, RejectCode, u32, String), ProtoError> {
     let mut r = Rd { b: payload, pos: 0 };
     let tag = r.u64()?;
     let code = RejectCode::from_wire(r.u32()?)?;
+    let retry_after = r.u32()?;
     let msg = r.string()?;
     r.finish()?;
-    Ok((tag, code, msg))
+    Ok((tag, code, retry_after, msg))
 }
 
 /// Encode a stats payload: ordered `(name, value)` counters.
@@ -620,8 +664,8 @@ pub fn decode_response(frame_type: u32, payload: &[u8]) -> Result<Response, Prot
     match frame_type {
         FT_JOB_OK => Ok(Response::Ok(decode_job_ok(payload)?)),
         FT_REJECT => {
-            let (tag, code, msg) = decode_reject(payload)?;
-            Ok(Response::Reject { tag, code, msg })
+            let (tag, code, retry_after, msg) = decode_reject(payload)?;
+            Ok(Response::Reject { tag, code, retry_after, msg })
         }
         FT_STATS_REPLY => Ok(Response::Stats(decode_stats(payload)?)),
         FT_SHUTDOWN_ACK => {
@@ -727,12 +771,28 @@ mod tests {
                 imbalance_bits: 1.01f64.to_bits(),
                 modeled_secs_bits: 0.5f64.to_bits(),
                 wall_us: 1000,
+                breaker_state: 2,
+                breaker_trips: 4,
             },
             part: vec![0, 1, 2, 3],
         };
         assert_eq!(decode_job_ok(&encode_job_ok(&rep)).unwrap(), rep);
-        let p = encode_reject(9, RejectCode::QueueFull, "full");
-        assert_eq!(decode_reject(&p).unwrap(), (9, RejectCode::QueueFull, "full".into()));
+        let p = encode_reject(9, RejectCode::QueueFull, 17, "full");
+        assert_eq!(decode_reject(&p).unwrap(), (9, RejectCode::QueueFull, 17, "full".into()));
+    }
+
+    #[test]
+    fn new_reject_codes_roundtrip() {
+        for (code, wire) in [(RejectCode::JobPanicked, 6u32), (RejectCode::Quarantined, 7u32)] {
+            let p = encode_reject(3, code, 0, "boom");
+            let (tag, out, hint, msg) = decode_reject(&p).unwrap();
+            assert_eq!((tag, out, hint, msg.as_str()), (3, code, 0, "boom"));
+            assert_eq!(code.to_wire(), wire);
+        }
+        // An unknown code is a typed error, not a panic.
+        let mut p = encode_reject(3, RejectCode::Quarantined, 0, "x");
+        p[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(decode_reject(&p), Err(ProtoError::BadField(_))));
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Worker supervision for the daemon: bookkeeping that makes the pool
+//! self-healing.
+//!
+//! The design has no dedicated supervisor thread. A worker that dies to
+//! a panicking job spawns its own replacement on the way out (its panic
+//! was already caught at the job boundary, so the unwind stops there and
+//! the respawn is ordinary code, not an unwind hook). [`WorkerPool`]
+//! holds the accounting: live-worker count, cumulative respawns, and
+//! every join handle ever produced — including replacements registered
+//! *while* `join_all` is draining, which is why the drain loops instead
+//! of iterating a snapshot.
+//!
+//! [`PoisonList`] implements quarantine: jobs are fingerprinted
+//! ([`crate::cache::job_fingerprint`]) and a fingerprint that kills
+//! [`QUARANTINE_STRIKES`] workers is refused at admission with a typed
+//! [`crate::protocol::RejectCode::Quarantined`] reject — a repeat
+//! offender gets two kills and then never touches the pool again.
+//!
+//! Everything here must keep working *after* a panic, so no lock in this
+//! module (or the daemon) may give up on poison: [`lock`] recovers the
+//! guard from a poisoned mutex. The protected state is counters and
+//! collections that are consistent at every await-free step, so the
+//! "another thread panicked mid-critical-section" signal carries no
+//! information we act on.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Worker kills by the same job fingerprint before it is quarantined.
+pub const QUARANTINE_STRIKES: u32 = 2;
+
+/// Lock a mutex, recovering from poison. A worker panic must never wedge
+/// the daemon by leaving a queue/cache/pool mutex poisoned.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// `Condvar::wait` with the same poison recovery as [`lock`].
+pub fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|p| p.into_inner())
+}
+
+/// Live/respawn accounting plus the join handles of every worker thread
+/// ever spawned (originals and replacements).
+#[derive(Default)]
+pub struct WorkerPool {
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    alive: AtomicU64,
+    respawns: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Count a worker as live. Called by the spawner *before* the thread
+    /// starts so `alive` never transiently undercounts during a respawn.
+    pub fn note_spawn(&self) {
+        self.alive.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Count a worker as gone (clean shutdown exit or death).
+    pub fn note_exit(&self) {
+        self.alive.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Count one panic-kill replacement.
+    pub fn note_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Track a handle so shutdown can join it.
+    pub fn register(&self, h: std::thread::JoinHandle<()>) {
+        lock(&self.handles).push(h);
+    }
+
+    pub fn alive(&self) -> u64 {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::SeqCst)
+    }
+
+    /// Join every tracked worker thread; returns how many were joined.
+    /// Loops because a dying worker may register its replacement while
+    /// earlier handles are being joined — a snapshot would miss it.
+    pub fn join_all(&self) -> usize {
+        let mut joined = 0usize;
+        loop {
+            let batch: Vec<_> = std::mem::take(&mut *lock(&self.handles));
+            if batch.is_empty() {
+                return joined;
+            }
+            for h in batch {
+                let _ = h.join();
+                joined += 1;
+            }
+        }
+    }
+}
+
+/// Strike ledger keyed by job fingerprint. A fingerprint reaching
+/// [`QUARANTINE_STRIKES`] strikes is quarantined permanently (for the
+/// daemon's lifetime — the ledger is in-memory by design; a restart is
+/// an operator decision to retry).
+#[derive(Default)]
+pub struct PoisonList {
+    strikes: Mutex<HashMap<u64, u32>>,
+}
+
+impl PoisonList {
+    /// Record one worker kill by `fingerprint`; returns the new strike
+    /// count.
+    pub fn strike(&self, fingerprint: u64) -> u32 {
+        let mut s = lock(&self.strikes);
+        let n = s.entry(fingerprint).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Whether `fingerprint` has struck out and must be refused at
+    /// admission.
+    pub fn is_quarantined(&self, fingerprint: u64) -> bool {
+        lock(&self.strikes).get(&fingerprint).is_some_and(|&n| n >= QUARANTINE_STRIKES)
+    }
+
+    /// Fingerprints currently quarantined.
+    pub fn quarantined_count(&self) -> u64 {
+        lock(&self.strikes).values().filter(|&&n| n >= QUARANTINE_STRIKES).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn strikes_accumulate_to_quarantine() {
+        let p = PoisonList::default();
+        assert!(!p.is_quarantined(7));
+        assert_eq!(p.strike(7), 1);
+        assert!(!p.is_quarantined(7), "one strike is not enough");
+        assert_eq!(p.strike(7), 2);
+        assert!(p.is_quarantined(7));
+        assert!(!p.is_quarantined(8), "strikes are per-fingerprint");
+        assert_eq!(p.quarantined_count(), 1);
+    }
+
+    #[test]
+    fn pool_counts_survive_respawn_cycle() {
+        let pool = WorkerPool::default();
+        pool.note_spawn();
+        pool.note_spawn();
+        assert_eq!(pool.alive(), 2);
+        // A worker dies and replaces itself: spawn-before-exit keeps the
+        // live count from dipping below the configured pool size.
+        pool.note_respawn();
+        pool.note_spawn();
+        pool.note_exit();
+        assert_eq!(pool.alive(), 2);
+        assert_eq!(pool.respawns(), 1);
+    }
+
+    #[test]
+    fn join_all_picks_up_handles_registered_mid_drain() {
+        let pool = Arc::new(WorkerPool::default());
+        let p2 = Arc::clone(&pool);
+        // A thread that registers another thread's handle while running —
+        // the shape of a worker spawning its replacement.
+        pool.register(std::thread::spawn(move || {
+            p2.register(std::thread::spawn(|| {}));
+        }));
+        assert_eq!(pool.join_all(), 2, "replacement handle must be joined too");
+    }
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(41));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 42);
+    }
+}

@@ -1,0 +1,168 @@
+//! Concurrency stress tests for the result cache, exercised the way the
+//! daemon uses it: many worker threads hammering one `Mutex<ResultCache>`
+//! with interleaved lookups and inserts. The cache's own invariants —
+//! bounded size, counter consistency, LRU eviction — must hold under any
+//! interleaving, including the pathological capacity-1 and capacity-0
+//! configurations.
+
+use gpm_graph::gen::grid2d;
+use gpm_serve::cache::{CacheEntry, CacheKey, ResultCache};
+use gpm_serve::protocol::{JobRequest, JobTelemetry};
+use std::sync::{Arc, Barrier, Mutex};
+
+fn key(seed: u64) -> CacheKey {
+    let mut req = JobRequest::new(grid2d(4, 4), 2);
+    req.seed = seed;
+    CacheKey::for_job(&req)
+}
+
+fn entry(cut: u64) -> CacheEntry {
+    CacheEntry {
+        part: vec![0, 1, 0, 1],
+        telemetry: JobTelemetry { edge_cut: cut, ..JobTelemetry::default() },
+    }
+}
+
+/// Run `threads` closures against a shared cache after a barrier, so the
+/// critical sections genuinely contend.
+fn hammer(
+    cache: ResultCache,
+    threads: usize,
+    body: impl Fn(usize, &Mutex<ResultCache>) + Send + Sync + 'static,
+) -> Arc<Mutex<ResultCache>> {
+    let cache = Arc::new(Mutex::new(cache));
+    let barrier = Arc::new(Barrier::new(threads));
+    let body = Arc::new(body);
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            let body = Arc::clone(&body);
+            std::thread::spawn(move || {
+                barrier.wait();
+                body(t, &cache);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+    cache
+}
+
+#[test]
+fn concurrent_mixed_load_keeps_counters_and_capacity_consistent() {
+    const THREADS: usize = 8;
+    const OPS: u64 = 400;
+    const CAP: usize = 16;
+    let cache = hammer(ResultCache::new(CAP), THREADS, |t, cache| {
+        for i in 0..OPS {
+            // 32 hot keys over capacity 16: a steady mix of hits,
+            // misses, inserts, and evictions from every thread.
+            let k = key((t as u64 * OPS + i) % 32);
+            let mut c = cache.lock().unwrap();
+            if c.get(&k).is_none() {
+                c.insert(k, entry(i));
+            }
+        }
+    });
+    let c = cache.lock().unwrap();
+    let (hits, misses, evictions) = c.counters();
+    assert_eq!(hits + misses, THREADS as u64 * OPS, "every get counted exactly once");
+    assert!(c.len() <= CAP, "capacity bound violated: {} > {CAP}", c.len());
+    assert!(evictions > 0, "32 keys over capacity 16 must evict");
+    assert!(misses >= evictions, "an eviction can only follow a miss-insert");
+}
+
+#[test]
+fn capacity_one_thrash_from_many_threads_stays_bounded() {
+    let cache = hammer(ResultCache::new(1), 8, |t, cache| {
+        for i in 0..300u64 {
+            let k = key(t as u64); // 8 distinct keys fighting one slot
+            let mut c = cache.lock().unwrap();
+            if i % 3 == 0 {
+                c.insert(k.clone(), entry(i));
+            } else {
+                // A hit must always return the full entry that was
+                // inserted, never a torn or partial value.
+                if let Some(e) = c.get(&k) {
+                    assert_eq!(e.part, vec![0, 1, 0, 1]);
+                }
+            }
+        }
+    });
+    let c = cache.lock().unwrap();
+    assert_eq!(c.len(), 1, "capacity-1 cache holds exactly one entry");
+    let (_, _, evictions) = c.counters();
+    assert!(evictions > 0, "8 keys thrashing one slot must evict");
+}
+
+#[test]
+fn zero_capacity_under_concurrency_never_stores() {
+    let cache = hammer(ResultCache::new(0), 8, |t, cache| {
+        for i in 0..200u64 {
+            let k = key(t as u64 ^ i);
+            let mut c = cache.lock().unwrap();
+            c.insert(k.clone(), entry(i));
+            assert!(c.get(&k).is_none(), "zero-cap cache must drop inserts");
+        }
+    });
+    let c = cache.lock().unwrap();
+    assert!(c.is_empty());
+    let (hits, misses, evictions) = c.counters();
+    assert_eq!(hits, 0);
+    assert_eq!(misses, 8 * 200);
+    assert_eq!(evictions, 0, "nothing stored, nothing evicted");
+}
+
+#[test]
+fn eviction_racing_hits_never_tears_the_hot_entry() {
+    // One thread hammers a single key (reinserting when churn evicts
+    // it); others insert a churn of cold keys. Whenever the hot key is
+    // resident its entry must be intact — eviction concurrent with hits
+    // may remove it, but must never corrupt it or the counters.
+    const CAP: usize = 4;
+    let hot = key(u64::MAX);
+    let cache = Arc::new(Mutex::new(ResultCache::new(CAP)));
+    cache.lock().unwrap().insert(hot.clone(), entry(777));
+    let barrier = Arc::new(Barrier::new(4));
+    let mut handles = Vec::new();
+    let hot_gets = 600u64;
+    {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        let hot = hot.clone();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..hot_gets {
+                let mut c = cache.lock().unwrap();
+                match c.get(&hot) {
+                    Some(e) => assert_eq!(e.telemetry.edge_cut, 777, "torn hot entry"),
+                    None => c.insert(hot.clone(), entry(777)), // churn won the race
+                }
+            }
+        }));
+    }
+    for t in 0..3u64 {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..200u64 {
+                let mut c = cache.lock().unwrap();
+                c.insert(key(t * 1000 + i), entry(i));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+    let mut c = cache.lock().unwrap();
+    assert!(c.len() <= CAP);
+    let (hits, misses, _) = c.counters();
+    assert_eq!(hits + misses, hot_gets, "only the hot thread calls get");
+    // The hot key is either resident and intact, or was just evicted.
+    if let Some(e) = c.get(&hot) {
+        assert_eq!(e.telemetry.edge_cut, 777);
+    }
+}

@@ -9,8 +9,13 @@ use gpm_serve::protocol::{Algo, JobRequest, RejectCode, Response};
 use gpm_serve::{start, ServeConfig};
 
 fn serve(workers: usize, queue_cap: usize, cache_cap: usize) -> (gpm_serve::ServerHandle, String) {
-    let cfg =
-        ServeConfig { addr: "127.0.0.1:0".into(), workers, queue_cap, cache_cap, quiet: true };
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap,
+        cache_cap,
+        ..ServeConfig::default()
+    };
     let h = start(cfg).expect("daemon starts");
     let addr = h.addr().to_string();
     (h, addr)
@@ -293,7 +298,7 @@ fn malformed_frame_yields_protocol_reject_not_crash() {
             .expect("daemon must answer with a frame")
             .expect("not EOF");
         assert_eq!(ft, gpm_serve::protocol::FT_REJECT);
-        let (_, code, _) = gpm_serve::protocol::decode_reject(&payload).unwrap();
+        let (_, code, _, _) = gpm_serve::protocol::decode_reject(&payload).unwrap();
         assert_eq!(code, RejectCode::Protocol);
     }
     // The daemon survived and still serves.

@@ -3,6 +3,8 @@
 //! ```text
 //! gpm-serve [--addr 127.0.0.1:0] [--port-file PATH] [--workers 2]
 //!           [--queue 64] [--cache 128] [--quiet]
+//!           [--idle-ms 300000] [--read-deadline-ms 30000]
+//!           [--max-frames 0] [--max-bytes 0] [--breaker T:W:C]
 //! ```
 //!
 //! Binds the socket, prints `gpm-serve listening on ADDR` (and writes
@@ -18,7 +20,9 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: gpm-serve [--addr 127.0.0.1:0] [--port-file PATH] [--workers 2]\n\
-         \x20               [--queue 64] [--cache 128] [--quiet]"
+         \x20               [--queue 64] [--cache 128] [--quiet]\n\
+         \x20               [--idle-ms 300000] [--read-deadline-ms 30000]\n\
+         \x20               [--max-frames 0] [--max-bytes 0] [--breaker T:W:C]"
     );
     std::process::exit(2);
 }
@@ -41,6 +45,26 @@ fn main() -> ExitCode {
                 cfg.cache_cap = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
             "--quiet" => cfg.quiet = true,
+            "--idle-ms" => {
+                cfg.idle_timeout_ms =
+                    argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--read-deadline-ms" => {
+                cfg.read_deadline_ms =
+                    argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max-frames" => {
+                cfg.max_frames = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max-bytes" => {
+                cfg.max_bytes = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--breaker" => {
+                cfg.breaker = argv
+                    .next()
+                    .and_then(|s| gp_metis::breaker::BreakerConfig::parse(&s))
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -70,7 +94,8 @@ fn main() -> ExitCode {
     let summary = handle.join();
     println!(
         "clean shutdown: {} jobs completed, 0 in flight, {} threads joined \
-         (cache {} hits / {} misses, {} rejected, {} deadline-expired, {} degraded)",
+         (cache {} hits / {} misses, {} rejected, {} deadline-expired, {} degraded, \
+         {} panicked, {} respawns)",
         summary.completed,
         summary.threads_joined,
         summary.cache_hits,
@@ -78,6 +103,8 @@ fn main() -> ExitCode {
         summary.rejected,
         summary.deadline_expired,
         summary.degraded,
+        summary.panicked,
+        summary.worker_respawns,
     );
     ExitCode::SUCCESS
 }
