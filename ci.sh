@@ -144,6 +144,45 @@ diff -q "$smoke/clean.part" "$smoke/mmap.part"
 "$gp" "$graph" 8 --eval "$smoke/clean.part" | grep -q "^8 "
 echo "mmap load is byte-identical; --eval scores the committed partition"
 
+step "multigpu-smoke (sharded pipeline: D=1 identity, device sweep, bench JSON)"
+# --devices 1 must be byte-identical to the single-GPU run (partition AND
+# the stdout summary, which carries the modeled-time total); the device
+# sweep must be deterministic across GPM_THREADS and steal fuzz (the
+# per-device loops really run concurrently on the pool); the bench tier's
+# in-bench asserts (per-device peak ~ 1/D, p2p beats staged, modeled
+# speedup at D >= 2) re-run at a fraction of the committed baseline.
+run_gp --devices 1 --output "$smoke/mg1.part"
+diff -q "$smoke/clean.part" "$smoke/mg1.part"
+run_gp --devices 1 > "$smoke/mg1.txt"
+diff -u "$smoke/noplan.txt" "$smoke/mg1.txt"
+echo "--devices 1 is byte-identical to the single-GPU run (partition + modeled time)"
+for dd in 2 4; do
+    run_gp --devices "$dd" --output "$smoke/mg_d${dd}_ref.part"
+done
+for t in 1 4 8; do
+    GPM_THREADS=$t run_gp --devices 2 --output "$smoke/mg_t$t.part"
+    diff -q "$smoke/mg_d2_ref.part" "$smoke/mg_t$t.part"
+done
+GPM_THREADS=8 GPM_POOL_STEAL_FUZZ=1 run_gp --devices 2 --output "$smoke/mg_fuzz2.part"
+diff -q "$smoke/mg_d2_ref.part" "$smoke/mg_fuzz2.part"
+GPM_THREADS=8 GPM_POOL_STEAL_FUZZ=1 run_gp --devices 4 --output "$smoke/mg_fuzz4.part"
+diff -q "$smoke/mg_d4_ref.part" "$smoke/mg_fuzz4.part"
+echo "device sweep deterministic under GPM_THREADS in {1,4,8} and steal fuzz"
+# the nvlink fabric prices the exchange but must not change the answer
+run_gp --devices 2 --interconnect nvlink --output "$smoke/mg_nv.part"
+diff -q "$smoke/mg_d2_ref.part" "$smoke/mg_nv.part"
+echo "interconnect model does not change the partition"
+# zero devices is a typed configuration error, not a crash
+if run_gp --devices 0 2> "$smoke/mg_err.txt"; then
+    echo "--devices 0 should have been rejected" >&2
+    exit 1
+fi
+grep -q "invalid configuration: device count must be at least 1" "$smoke/mg_err.txt"
+echo "--devices 0 rejected with a typed error"
+GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke" \
+    cargo bench --offline -p gpm-bench --bench multigpu
+./target/release/validate_bench "$smoke/BENCH_multigpu.json"
+
 step "serve smoke (daemon: cache hit, forced degradation, deadline, identity)"
 serve=./target/release/gpm-serve
 loadgen=./target/release/gpm-loadgen

@@ -1,0 +1,548 @@
+//! Multi-GPU halo kernels: the device-side pieces of the sharded
+//! pipeline (see `crate::multi_gpu` and DESIGN.md §15).
+//!
+//! A shard's level graph is *augmented* with one ghost vertex per fine
+//! cross-edge endpoint: local rows gain halo edges pointing at ghost
+//! slots `>= n_local`, and each ghost row carries the reverse edges back
+//! to its local neighbors (so a changed ghost label can re-mark exactly
+//! the local vertices that see it). Ghosts have vertex weight 0 and are
+//! never launched as request threads, so they never move — their labels
+//! are written by the interconnect exchange between passes.
+//!
+//! The refinement pass is the same two-kernel buffered lock-free scheme
+//! as [`super::refine::gpu_refine`] (request + gain-sorted explore,
+//! odd/even direction alternation, frozen `pw0` snapshot, incremental
+//! boundary re-mark with stream compaction), with two changes for the
+//! distributed setting, both borrowed from the proven `gpm-parmetis`
+//! refiner: per-partition *headroom caps* replace the scalar `maxw` (each
+//! device may only claim `1/D` of a partition's remaining headroom per
+//! pass, so D concurrently-committing devices cannot jointly overshoot
+//! the balance constraint), and the re-mark seeds include the ghosts
+//! whose labels changed in the previous superstep, not just the device's
+//! own moved-list.
+
+use crate::gpu_graph::{assigned_vertices, launch_threads, Distribution, GpuCsr};
+use gpm_gpu_sim::{inclusive_scan_u32, DBuf, Device, DeviceError};
+
+/// Host-prepared layout of one level's augmented halo graph. All arrays
+/// are deterministic functions of the shard structure and the level's
+/// border cmap (sorted host-side), never of kernel execution order.
+pub(crate) struct HaloLayout {
+    /// Augmented adjacency pointers, length `n_local + n_ghost + 1`.
+    pub aug_xadj: Vec<u32>,
+    /// Offsets into `extra_adj` of each augmented vertex's appended
+    /// entries (halo edges for local rows, reverse edges for ghost rows),
+    /// length `n_local + n_ghost + 1`.
+    pub extra_off: Vec<u32>,
+    /// Appended adjacency entries (augmented ids).
+    pub extra_adj: Vec<u32>,
+    /// Appended edge weights.
+    pub extra_w: Vec<u32>,
+}
+
+/// Build the augmented device graph for one level: local rows are copied
+/// from `local` and extended with their halo edges; ghost rows hold the
+/// reverse edges. The layout arrays arrive via the zero-cost host mirror
+/// (their information content was already paid for by the interconnect
+/// exchange); the kernel's loads and stores charge the realistic on-device
+/// traffic of assembling the augmented CSR.
+pub(crate) fn gpu_build_halo_graph(
+    dev: &Device,
+    local: &GpuCsr,
+    layout: &HaloLayout,
+    dist: Distribution,
+    max_threads: usize,
+) -> Result<GpuCsr, DeviceError> {
+    let n_local = local.n;
+    let n_aug = layout.aug_xadj.len() - 1;
+    let m_aug = *layout.aug_xadj.last().unwrap() as usize;
+    let xadj = dev.alloc::<u32>(n_aug + 1)?;
+    xadj.copy_from_slice(&layout.aug_xadj);
+    let adjncy = dev.alloc::<u32>(m_aug)?;
+    let adjwgt = dev.alloc::<u32>(m_aug)?;
+    let vwgt = dev.alloc::<u32>(n_aug)?; // ghosts stay at weight 0
+    {
+        let extra_off = dev.alloc::<u32>(layout.extra_off.len())?;
+        extra_off.copy_from_slice(&layout.extra_off);
+        let extra_adj = dev.alloc::<u32>(layout.extra_adj.len().max(1))?;
+        let extra_w = dev.alloc::<u32>(layout.extra_w.len().max(1))?;
+        if !layout.extra_adj.is_empty() {
+            extra_adj.copy_from_slice(&layout.extra_adj);
+            extra_w.copy_from_slice(&layout.extra_w);
+        }
+        dev.launch("gp:mg:halo", launch_threads(n_aug, max_threads), |lane| {
+            for u in assigned_vertices(dist, lane.tid, lane.n_threads, n_aug) {
+                let dst = lane.ld(&xadj, u) as usize;
+                let mut c = dst;
+                if u < n_local {
+                    let s = lane.ld(&local.xadj, u) as usize;
+                    let e = lane.ld(&local.xadj, u + 1) as usize;
+                    for i in s..e {
+                        let a = lane.ld(&local.adjncy, i);
+                        lane.st(&adjncy, c, a);
+                        let w = lane.ld(&local.adjwgt, i);
+                        lane.st(&adjwgt, c, w);
+                        c += 1;
+                    }
+                    let vw = lane.ld(&local.vwgt, u);
+                    lane.st(&vwgt, u, vw);
+                }
+                let xs = lane.ld(&extra_off, u) as usize;
+                let xe = lane.ld(&extra_off, u + 1) as usize;
+                for i in xs..xe {
+                    let a = lane.ld(&extra_adj, i);
+                    lane.st(&adjncy, c, a);
+                    let w = lane.ld(&extra_w, i);
+                    lane.st(&adjwgt, c, w);
+                    c += 1;
+                }
+            }
+        })?;
+    }
+    Ok(GpuCsr { n: n_aug, m2: m_aug, xadj, adjncy, adjwgt, vwgt })
+}
+
+/// Advance a border-cmap vector one coarsening level: `bmap[b]` (the
+/// current coarse id of fine border vertex `b`) becomes
+/// `cmap[bmap[b]]`. This is the device-side half of the per-level
+/// boundary-cmap halo exchange.
+pub(crate) fn gpu_compose_bmap(
+    dev: &Device,
+    cmap: &DBuf<u32>,
+    bmap: &DBuf<u32>,
+    dist: Distribution,
+    max_threads: usize,
+) -> Result<(), DeviceError> {
+    let nb = bmap.len();
+    dev.launch("gp:mg:bmap", launch_threads(nb, max_threads), |lane| {
+        for b in assigned_vertices(dist, lane.tid, lane.n_threads, nb) {
+            let cur = lane.ld(bmap, b) as usize;
+            let next = lane.ld(cmap, cur);
+            lane.st(bmap, b, next);
+        }
+    })?;
+    Ok(())
+}
+
+/// Project a coarse partition through the level cmap into a fresh
+/// augmented partition vector of length `cmap.len() + n_ghost`. Local
+/// entries are gathered; ghost entries are left 0 for the superstep
+/// exchange to fill (their labels live with their owner devices).
+pub(crate) fn gpu_project_halo(
+    dev: &Device,
+    cmap: &DBuf<u32>,
+    part_coarse: &DBuf<u32>,
+    n_ghost: usize,
+    dist: Distribution,
+    max_threads: usize,
+) -> Result<DBuf<u32>, DeviceError> {
+    let n = cmap.len();
+    let part = dev.alloc::<u32>(n + n_ghost)?;
+    dev.launch("gp:mg:project", launch_threads(n, max_threads), |lane| {
+        for u in assigned_vertices(dist, lane.tid, lane.n_threads, n) {
+            let c = lane.ld(cmap, u) as usize;
+            let lbl = lane.ld(part_coarse, c);
+            lane.st(&part, u, lbl);
+        }
+    })?;
+    Ok(part)
+}
+
+/// Per-level device state of the halo refinement: request buffers,
+/// boundary work-list machinery and the changed-ghost seed list, plus the
+/// host-side mode/previous-pass bookkeeping — the same shape as the
+/// buffers `gpu_refine` allocates per invocation, held across the level's
+/// passes so supersteps can interleave exchanges between them.
+pub(crate) struct HaloRefine {
+    cap: usize,
+    req_vertex: DBuf<u32>,
+    req_gain: DBuf<u32>,
+    bufsize: DBuf<u32>,
+    moved: DBuf<u32>,
+    pw0: DBuf<u32>,
+    bflag: DBuf<u32>,
+    bpos: DBuf<u32>,
+    worklist: DBuf<u32>,
+    moved_list: DBuf<u32>,
+    bndctr: DBuf<u32>,
+    gchg: DBuf<u32>,
+    deg_est: usize,
+    use_compact: bool,
+    prev_moves: usize,
+    pass_no: u32,
+}
+
+impl HaloRefine {
+    /// Allocate the pass state for one level's augmented graph.
+    pub(crate) fn new(
+        dev: &Device,
+        g: &GpuCsr,
+        n_local: usize,
+        k: usize,
+    ) -> Result<Self, DeviceError> {
+        let n_ghost = g.n - n_local;
+        let cap = (n_local / k + 64).min(n_local.max(1));
+        Ok(HaloRefine {
+            cap,
+            req_vertex: dev.alloc::<u32>(k * cap)?,
+            req_gain: dev.alloc::<u32>(k * cap)?,
+            bufsize: dev.alloc::<u32>(k)?,
+            moved: dev.alloc::<u32>(1)?,
+            pw0: dev.alloc::<u32>(k)?,
+            bflag: dev.alloc::<u32>(n_local)?,
+            bpos: dev.alloc::<u32>(n_local)?,
+            worklist: dev.alloc::<u32>(n_local)?,
+            moved_list: dev.alloc::<u32>(n_local)?,
+            bndctr: dev.alloc::<u32>(1)?,
+            gchg: dev.alloc::<u32>(n_ghost.max(1))?,
+            deg_est: g.m2 / g.n.max(1),
+            use_compact: false,
+            prev_moves: 0,
+            pass_no: 0,
+        })
+    }
+
+    /// Run one refinement pass. `part` is the augmented partition vector
+    /// (ghost entries maintained by the caller's superstep exchange),
+    /// `pw` the *global* partition weights as of the pass start, `caps`
+    /// the per-partition headroom caps for this device. `changed_ghosts`
+    /// seeds the incremental re-mark with the ghost slots whose labels
+    /// the previous exchange rewrote. Returns the committed move count
+    /// and the moved local vertex ids (an unordered set — consumed only
+    /// through order-insensitive reductions).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn pass(
+        &mut self,
+        dev: &Device,
+        g: &GpuCsr,
+        n_local: usize,
+        part: &DBuf<u32>,
+        pw: &DBuf<u32>,
+        caps: &DBuf<u32>,
+        k: usize,
+        dir_up: u32,
+        changed_ghosts: &[u32],
+        dist: Distribution,
+        max_threads: usize,
+    ) -> Result<(u64, Vec<u32>), DeviceError> {
+        let cap = self.cap;
+        let pass0 = self.pass_no == 0;
+        self.pass_no += 1;
+        self.bufsize.fill(0);
+        self.moved.store(0, 0);
+        let (req_vertex, req_gain, bufsize) = (&self.req_vertex, &self.req_gain, &self.bufsize);
+        // Identical request body to `gpu_refine` — the augmented graph
+        // makes ghost neighbors ordinary `part` lookups — except that a
+        // lane never runs for a ghost (the grid covers local vertices
+        // only), so ghosts cannot request moves.
+        let request = |lane: &mut gpm_gpu_sim::Lane, u: usize| -> u32 {
+            let pu = lane.ld(part, u);
+            let s = lane.ld(&g.xadj, u) as usize;
+            let e = lane.ld(&g.xadj, u + 1) as usize;
+            let mut parts: [u32; 24] = [0; 24];
+            let mut wgts: [i64; 24] = [0; 24];
+            let mut np = 0usize;
+            let mut boundary = 0u32;
+            for i in s..e {
+                let v = lane.ld(&g.adjncy, i);
+                let w = lane.ld(&g.adjwgt, i) as i64;
+                let pv = lane.ld(part, v as usize);
+                if pv != pu {
+                    boundary = 1;
+                }
+                lane.local_mem((np as u64 / 2).max(1));
+                match parts[..np].iter().position(|&x| x == pv) {
+                    Some(j) => wgts[j] += w,
+                    None if np < 24 => {
+                        parts[np] = pv;
+                        wgts[np] = w;
+                        np += 1;
+                    }
+                    None => {}
+                }
+            }
+            if boundary == 0 {
+                return 0;
+            }
+            let w_own = parts[..np].iter().position(|&x| x == pu).map_or(0, |j| wgts[j]);
+            let vw = lane.ld(&g.vwgt, u);
+            let mut best: Option<(u32, i64)> = None;
+            for j in 0..np {
+                let q = parts[j];
+                if q == pu || (dir_up == 1) != (q > pu) {
+                    continue;
+                }
+                let gain = wgts[j] - w_own;
+                let improves_balance = lane.ld(pw, q as usize) + vw < lane.ld(pw, pu as usize);
+                if gain > 0 || (gain == 0 && improves_balance) {
+                    match best {
+                        Some((_, bg)) if bg >= gain => {}
+                        _ => best = Some((q, gain)),
+                    }
+                }
+            }
+            if let Some((q, gain)) = best {
+                let slot = lane.atomic_add(bufsize, q as usize, 1) as usize;
+                let kept = (slot < cap).then_some(q as usize * cap + slot);
+                let model = q as usize * cap + (lane.tid % 32) % cap;
+                lane.st_claimed(req_vertex, kept, model, u as u32);
+                lane.st_claimed(req_gain, kept, model, gain as u32);
+            }
+            1
+        };
+        let nbnd_known: usize;
+        if self.use_compact && !pass0 {
+            // Incremental re-mark from two seed sets: the device's own
+            // previous-pass moves (and their neighborhoods), and the
+            // local neighbors of every ghost whose label the superstep
+            // exchange changed — reached through the ghost's reverse
+            // edges. Both recomputes read the final current partition,
+            // so overlaps are idempotent and the flags match a full
+            // re-mark.
+            let bflag = &self.bflag;
+            let remark = |lane: &mut gpm_gpu_sim::Lane, x: usize| {
+                let px = lane.ld(part, x);
+                let s = lane.ld(&g.xadj, x) as usize;
+                let e = lane.ld(&g.xadj, x + 1) as usize;
+                let mut b = 0u32;
+                for i in s..e {
+                    let v = lane.ld(&g.adjncy, i);
+                    if lane.ld(part, v as usize) != px {
+                        b = 1;
+                        break;
+                    }
+                }
+                lane.st(bflag, x, b);
+            };
+            let m = self.prev_moves;
+            if m > 0 {
+                let moved_list = &self.moved_list;
+                dev.launch("gp:mg:remark", launch_threads(m, max_threads), |lane| {
+                    for i in assigned_vertices(dist, lane.tid, lane.n_threads, m) {
+                        let u = lane.ld(moved_list, i) as usize;
+                        remark(lane, u);
+                        let s = lane.ld(&g.xadj, u) as usize;
+                        let e = lane.ld(&g.xadj, u + 1) as usize;
+                        for j in s..e {
+                            let v = lane.ld(&g.adjncy, j) as usize;
+                            if v < n_local {
+                                remark(lane, v);
+                            }
+                        }
+                    }
+                })?;
+            }
+            let cg = changed_ghosts.len();
+            if cg > 0 {
+                for (i, &s) in changed_ghosts.iter().enumerate() {
+                    self.gchg.store(i, s);
+                }
+                let gchg = &self.gchg;
+                dev.launch("gp:mg:gremark", launch_threads(cg, max_threads), |lane| {
+                    for i in assigned_vertices(dist, lane.tid, lane.n_threads, cg) {
+                        let ghost = n_local + lane.ld(gchg, i) as usize;
+                        let s = lane.ld(&g.xadj, ghost) as usize;
+                        let e = lane.ld(&g.xadj, ghost + 1) as usize;
+                        for j in s..e {
+                            let v = lane.ld(&g.adjncy, j) as usize;
+                            remark(lane, v);
+                        }
+                    }
+                })?;
+            }
+            let (bflag, bpos, worklist) = (&self.bflag, &self.bpos, &self.worklist);
+            dev.launch("gp:mg:poscopy", launch_threads(n_local, max_threads), |lane| {
+                for u in assigned_vertices(dist, lane.tid, lane.n_threads, n_local) {
+                    let b = lane.ld(bflag, u);
+                    lane.st(bpos, u, b);
+                }
+            })?;
+            let nbnd = inclusive_scan_u32(dev, &self.bpos)? as usize;
+            if nbnd == 0 {
+                self.prev_moves = 0;
+                return Ok((0, Vec::new()));
+            }
+            dev.launch("gp:mg:compact", launch_threads(n_local, max_threads), |lane| {
+                for u in assigned_vertices(dist, lane.tid, lane.n_threads, n_local) {
+                    if lane.ld(bflag, u) == 1 {
+                        let pos = (lane.ld(bpos, u) - 1) as usize;
+                        lane.st(worklist, pos, u as u32);
+                    }
+                }
+            })?;
+            dev.launch("gp:mg:request", launch_threads(nbnd, max_threads), |lane| {
+                for wi in assigned_vertices(dist, lane.tid, lane.n_threads, nbnd) {
+                    let u = lane.ld(worklist, wi) as usize;
+                    request(lane, u);
+                }
+            })?;
+            nbnd_known = nbnd;
+        } else {
+            let (bflag, bndctr) = (&self.bflag, &self.bndctr);
+            bndctr.store(0, 0);
+            dev.launch("gp:mg:request", launch_threads(n_local, max_threads), |lane| {
+                for u in assigned_vertices(dist, lane.tid, lane.n_threads, n_local) {
+                    let b = request(lane, u);
+                    lane.st(bflag, u, b);
+                    if b == 1 {
+                        lane.atomic_add(bndctr, 0, 1);
+                    }
+                }
+            })?;
+            nbnd_known = self.bndctr.load(0) as usize;
+        }
+        self.use_compact = nbnd_known * (self.deg_est + 4) < n_local;
+        let pw0 = &self.pw0;
+        dev.launch("gp:mg:snapshot", k, |lane| {
+            let v = lane.ld(pw, lane.tid);
+            lane.st(pw0, lane.tid, v);
+        })?;
+        let (moved, moved_list) = (&self.moved, &self.moved_list);
+        dev.launch("gp:mg:explore", k, |lane| {
+            let q = lane.tid;
+            let submitted = lane.ld(bufsize, q) as usize;
+            let cnt = submitted.min(cap);
+            let mut reqs: Vec<(u32, u32)> = Vec::with_capacity(cnt);
+            for i in 0..cnt {
+                let gain = lane.ld(req_gain, q * cap + i);
+                let v = lane.ld(req_vertex, q * cap + i);
+                reqs.push((gain, v));
+            }
+            reqs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            lane.local_mem((cnt as u64) * (usize::BITS - cnt.leading_zeros()) as u64);
+            // conservative local weight view, capped by this device's
+            // share of the partition's headroom (not the global maxw):
+            // sibling devices commit concurrently in the same superstep,
+            // and the per-device caps make their combined additions safe
+            let capq = lane.ld(caps, q);
+            let mut myw = lane.ld(pw0, q);
+            for &(_gain, u) in &reqs {
+                let vw = lane.ld(&g.vwgt, u as usize);
+                if myw + vw > capq {
+                    continue;
+                }
+                let from = lane.ld(part, u as usize);
+                lane.st(part, u as usize, q as u32);
+                myw += vw;
+                lane.atomic_add(pw, q, vw);
+                lane.atomic_add(pw, from as usize, vw.wrapping_neg());
+                let slot = lane.atomic_add(moved, 0, 1) as usize;
+                lane.st(moved_list, slot, u);
+            }
+        })?;
+        let m = self.moved.load(0) as usize;
+        self.prev_moves = m;
+        let mut moved_vec = Vec::with_capacity(m);
+        for i in 0..m {
+            moved_vec.push(self.moved_list.load(i));
+        }
+        Ok((m as u64, moved_vec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_gpu_sim::GpuConfig;
+    use gpm_graph::gen::grid2d;
+
+    fn dev() -> Device {
+        Device::new(GpuConfig::gtx_titan())
+    }
+
+    #[test]
+    fn bmap_compose_gathers() {
+        let d = dev();
+        let cmap = d.h2d(&[5u32, 6, 7, 8]).unwrap();
+        let bmap = d.h2d(&[0u32, 2, 3]).unwrap();
+        gpu_compose_bmap(&d, &cmap, &bmap, Distribution::Cyclic, 8).unwrap();
+        assert_eq!(bmap.to_vec(), vec![5, 7, 8]);
+    }
+
+    #[test]
+    fn project_halo_leaves_ghost_slots() {
+        let d = dev();
+        let cmap = d.h2d(&[0u32, 0, 1]).unwrap();
+        let cpart = d.h2d(&[4u32, 9]).unwrap();
+        let part = gpu_project_halo(&d, &cmap, &cpart, 2, Distribution::Cyclic, 8).unwrap();
+        assert_eq!(part.to_vec(), vec![4, 4, 9, 0, 0]);
+    }
+
+    #[test]
+    fn halo_graph_appends_ghost_rows() {
+        // local path 0-1 plus one ghost g adjacent to vertex 1
+        let d = dev();
+        let local = grid2d(2, 1); // 0-1
+        let lg = GpuCsr::upload(&d, &local).unwrap();
+        let layout = HaloLayout {
+            aug_xadj: vec![0, 1, 3, 4],
+            extra_off: vec![0, 0, 1, 2],
+            extra_adj: vec![2, 1],
+            extra_w: vec![7, 7],
+        };
+        let aug = gpu_build_halo_graph(&d, &lg, &layout, Distribution::Cyclic, 8).unwrap();
+        assert_eq!(aug.n, 3);
+        assert_eq!(aug.xadj.to_vec(), vec![0, 1, 3, 4]);
+        assert_eq!(aug.adjncy.to_vec(), vec![1, 0, 2, 1]);
+        assert_eq!(aug.adjwgt.to_vec(), vec![1, 1, 7, 7]);
+        assert_eq!(aug.vwgt.to_vec(), vec![1, 1, 0], "ghost weight must be 0");
+    }
+
+    #[test]
+    fn halo_refine_moves_toward_ghost_labels() {
+        // 4-path 0-1-2-3 all labeled 0, with a ghost (labeled 1) strongly
+        // attached to vertex 3: refinement should move 3 to partition 1.
+        let d = dev();
+        let local = gpm_graph::builder::GraphBuilder::from_weighted_edges(
+            4,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1)],
+        )
+        .build();
+        let lg = GpuCsr::upload(&d, &local).unwrap();
+        let layout = HaloLayout {
+            aug_xadj: vec![0, 1, 3, 5, 7, 8],
+            extra_off: vec![0, 0, 0, 0, 1, 2],
+            extra_adj: vec![4, 3],
+            extra_w: vec![5, 5],
+        };
+        let aug = gpu_build_halo_graph(&d, &lg, &layout, Distribution::Cyclic, 8).unwrap();
+        let part = d.h2d(&[0u32, 0, 0, 0, 1]).unwrap();
+        let pw = d.h2d(&[4u32, 0]).unwrap();
+        let caps = d.h2d(&[6u32, 6]).unwrap();
+        let mut hr = HaloRefine::new(&d, &aug, 4, 2).unwrap();
+        let (m, moved) =
+            hr.pass(&d, &aug, 4, &part, &pw, &caps, 2, 1, &[], Distribution::Cyclic, 8).unwrap();
+        assert_eq!(m, 1);
+        assert_eq!(moved, vec![3]);
+        assert_eq!(part.to_vec(), vec![0, 0, 0, 1, 1]);
+        assert_eq!(pw.to_vec(), vec![3, 1]);
+    }
+
+    #[test]
+    fn halo_refine_caps_bind() {
+        // Same setup but the cap for partition 1 leaves no headroom: the
+        // gainful move must be rejected.
+        let d = dev();
+        let local = gpm_graph::builder::GraphBuilder::from_weighted_edges(
+            4,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1)],
+        )
+        .build();
+        let lg = GpuCsr::upload(&d, &local).unwrap();
+        let layout = HaloLayout {
+            aug_xadj: vec![0, 1, 3, 5, 7, 8],
+            extra_off: vec![0, 0, 0, 0, 1, 2],
+            extra_adj: vec![4, 3],
+            extra_w: vec![5, 5],
+        };
+        let aug = gpu_build_halo_graph(&d, &lg, &layout, Distribution::Cyclic, 8).unwrap();
+        let part = d.h2d(&[0u32, 0, 0, 0, 1]).unwrap();
+        let pw = d.h2d(&[4u32, 0]).unwrap();
+        let caps = d.h2d(&[6u32, 0]).unwrap();
+        let mut hr = HaloRefine::new(&d, &aug, 4, 2).unwrap();
+        let (m, _) =
+            hr.pass(&d, &aug, 4, &part, &pw, &caps, 2, 1, &[], Distribution::Cyclic, 8).unwrap();
+        assert_eq!(m, 0);
+        assert_eq!(part.to_vec(), vec![0, 0, 0, 0, 1]);
+    }
+}

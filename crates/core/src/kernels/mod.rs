@@ -5,5 +5,6 @@
 
 pub mod cmap;
 pub mod contract;
+pub mod halo;
 pub mod matching;
 pub mod refine;

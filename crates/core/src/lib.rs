@@ -131,6 +131,8 @@ pub enum PartitionError {
     Plan(PlanParseError),
     /// The balance cap exceeds the device's 32-bit weight words.
     WeightOverflow,
+    /// The run configuration was invalid (e.g. a zero device count).
+    Config(String),
 }
 
 impl std::fmt::Display for PartitionError {
@@ -141,6 +143,7 @@ impl std::fmt::Display for PartitionError {
             PartitionError::WeightOverflow => {
                 write!(f, "total vertex weight exceeds the device's 32-bit weight word")
             }
+            PartitionError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -167,7 +170,9 @@ impl gpm_faults::Transience for PartitionError {
     fn is_transient(&self) -> bool {
         match self {
             PartitionError::Device(e) => e.is_transient(),
-            PartitionError::Plan(_) | PartitionError::WeightOverflow => false,
+            PartitionError::Plan(_)
+            | PartitionError::WeightOverflow
+            | PartitionError::Config(_) => false,
         }
     }
 }

@@ -19,6 +19,7 @@
 pub mod buffer;
 pub mod config;
 pub mod device;
+pub mod interconnect;
 pub mod lane;
 pub mod reduce;
 pub mod scan;
@@ -26,6 +27,7 @@ pub mod scan;
 pub use buffer::{DBuf, DeviceInt, DeviceWord};
 pub use config::GpuConfig;
 pub use device::{Device, DeviceError, GpuOom, KernelStats, KernelSummary};
+pub use interconnect::{DeviceGroup, Interconnect, LinkConfig, LinkStats};
 pub use lane::Lane;
 pub use reduce::{reduce_max_u32, reduce_sum_u32};
 pub use scan::{

@@ -7,7 +7,7 @@
 
 use gp_metis_repro::gpmetis::multi_gpu::{partition_multi, MultiGpuConfig};
 use gp_metis_repro::gpmetis::{self, GpMetisConfig};
-use gp_metis_repro::gpu::GpuConfig;
+use gp_metis_repro::gpu::{GpuConfig, LinkConfig};
 use gp_metis_repro::graph::gen::hugebubbles_like;
 use gp_metis_repro::graph::metrics::{edge_cut, imbalance};
 
@@ -26,8 +26,9 @@ fn main() {
         Ok(_) => println!("single GPU: unexpectedly fit"),
     }
 
-    for devices in [2usize, 4] {
-        let r = match partition_multi(&g, &MultiGpuConfig::new(base.clone(), devices)) {
+    for (devices, link) in [(2usize, LinkConfig::pcie_gen2()), (4, LinkConfig::pcie_gen2())] {
+        let cfg = MultiGpuConfig::new(base.clone(), devices).with_link(link);
+        let r = match partition_multi(&g, &cfg) {
             Ok(r) => r,
             Err(e) => {
                 println!("\n{devices} GPUs: {e}");
@@ -46,5 +47,30 @@ fn main() {
             r.peak_device_bytes.iter().map(|b| b / 1024).collect::<Vec<_>>()
         );
         println!("  per-device GPU levels : {:?}", r.gpu_levels);
+        println!("  cross-shard boundary  : {} vertices", r.boundary_vertices);
+        println!(
+            "  interconnect ledger   : {} B over {} transfer(s), {:.6} s modeled",
+            r.interconnect_bytes,
+            r.link_stats.iter().map(|(_, _, ls)| ls.transfers).sum::<u64>(),
+            r.interconnect_seconds
+        );
+        for (src, dst, ls) in &r.link_stats {
+            println!(
+                "    link {src}->{dst}: {} B / {} xfers / {:.6} s",
+                ls.bytes, ls.transfers, ls.seconds
+            );
+        }
     }
+
+    // the fabric prices the exchange without changing the answer: NVLink
+    // peer-to-peer links make the same partition cheaper to assemble
+    let pcie = partition_multi(&g, &MultiGpuConfig::new(base.clone(), 4)).unwrap();
+    let nv =
+        partition_multi(&g, &MultiGpuConfig::new(base.clone(), 4).with_link(LinkConfig::nvlink()))
+            .unwrap();
+    assert_eq!(pcie.result.part, nv.result.part);
+    println!(
+        "\nsame partition, two fabrics: pcie comm {:.6}s vs nvlink comm {:.6}s",
+        pcie.interconnect_seconds, nv.interconnect_seconds
+    );
 }

@@ -6,6 +6,7 @@
 //!            [--ub 1.03] [--seed 1] [--threads 8] [--ranks 8]
 //!            [--gpu-threshold N] [--fallback] [--output out.part] [--quiet]
 //!            [--mmap] [--compressed] [--eval existing.part]
+//!            [--devices D] [--interconnect pcie|nvlink]
 //! ```
 //!
 //! The input is a Metis `.graph` file (or a DIMACS9 `.gr` file when the
@@ -21,6 +22,12 @@
 //!
 //! [`PackedCsr`]: gp_metis_repro::graph::packed::PackedCsr
 //!
+//! Multi-GPU: `--devices D` (gpmetis only) shards the graph across `D`
+//! simulated GPUs joined by the `--interconnect` fabric (`pcie` default,
+//! `nvlink` for peer-to-peer links) and reports a per-device summary and
+//! the per-link transfer ledger on stderr. `--devices 0` is rejected with
+//! a typed configuration error.
+//!
 //! Fault injection: set `GPM_FAULTS=<seed>:<spec>[,<spec>...]` to run the
 //! hybrid engine under a deterministic fault schedule (see `gpm-faults`),
 //! e.g. `GPM_FAULTS="7:gpu.launch@8=lost"`. With `--fallback`, an
@@ -28,6 +35,8 @@
 //! checkpointed level instead of failing the run.
 
 use gp_metis_repro::gpmetis;
+use gp_metis_repro::gpmetis::multi_gpu::{partition_multi, MultiGpuConfig};
+use gp_metis_repro::gpu::LinkConfig;
 use gp_metis_repro::graph::io;
 use gp_metis_repro::graph::metrics::{comm_volume, edge_cut, imbalance};
 use gp_metis_repro::graph::packed::PackedCsr;
@@ -57,6 +66,8 @@ struct Args {
     mmap: bool,
     compressed: bool,
     eval: Option<String>,
+    devices: Option<usize>,
+    interconnect: String,
 }
 
 fn usage() -> ! {
@@ -64,7 +75,8 @@ fn usage() -> ! {
         "usage: gpartition <graph.metis|graph.gr> <k> [--algo gpmetis|metis|mtmetis|parmetis]\n\
          \x20                [--ub 1.03] [--seed 1] [--threads 8] [--ranks 8]\n\
          \x20                [--gpu-threshold N] [--fallback] [--output out.part] [--quiet]\n\
-         \x20                [--mmap] [--compressed] [--eval existing.part]"
+         \x20                [--mmap] [--compressed] [--eval existing.part]\n\
+         \x20                [--devices D] [--interconnect pcie|nvlink]"
     );
     std::process::exit(2);
 }
@@ -88,6 +100,8 @@ fn parse_args() -> Args {
         mmap: false,
         compressed: false,
         eval: None,
+        devices: None,
+        interconnect: "pcie".into(),
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -112,6 +126,11 @@ fn parse_args() -> Args {
             "--mmap" => args.mmap = true,
             "--compressed" => args.compressed = true,
             "--eval" => args.eval = Some(argv.next().unwrap_or_else(|| usage())),
+            "--devices" => {
+                args.devices =
+                    Some(argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--interconnect" => args.interconnect = argv.next().unwrap_or_else(|| usage()),
             _ => usage(),
         }
     }
@@ -231,28 +250,71 @@ fn main() -> ExitCode {
             if let Some(t) = a.gpu_threshold {
                 c.gpu_threshold = t;
             }
-            match gpmetis::partition(&g, &c) {
-                Ok(r) => {
-                    if !a.quiet && r.report.faults_injected > 0 {
-                        eprintln!(
-                            "faults         : {} injected, {} retried",
-                            r.report.faults_injected, r.report.device_retries
-                        );
-                    }
-                    if r.report.degraded {
-                        eprintln!(
-                            "degraded       : GPU lost at {} ({}); resumed on CPU from \
-                             checkpoint of {} GPU level(s)",
-                            r.report.degrade_point.as_deref().unwrap_or("?"),
-                            r.report.device_error.as_deref().unwrap_or("?"),
-                            r.report.checkpoint_gpu_levels
-                        );
-                    }
-                    (r.result.part, r.result.ledger.total(), "GP-metis (hybrid CPU-GPU)")
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
+            if let Some(devices) = a.devices {
+                let Some(link) = LinkConfig::by_name(&a.interconnect) else {
+                    eprintln!("error: unknown interconnect {:?}", a.interconnect);
                     return ExitCode::FAILURE;
+                };
+                let cfg = MultiGpuConfig::new(c, devices).with_link(link);
+                match partition_multi(&g, &cfg) {
+                    Ok(r) => {
+                        if !a.quiet {
+                            eprintln!(
+                                "devices        : {} over {} ({})",
+                                r.devices,
+                                a.interconnect,
+                                if cfg.link.p2p { "peer-to-peer" } else { "staged via host" }
+                            );
+                            for i in 0..r.devices {
+                                eprintln!(
+                                    "  gpu{i}: {} GPU level(s), peak {:.1} MiB",
+                                    r.gpu_levels[i],
+                                    r.peak_device_bytes[i] as f64 / (1 << 20) as f64
+                                );
+                            }
+                            for (src, dst, ls) in &r.link_stats {
+                                eprintln!(
+                                    "  link {src}->{dst}: {} B in {} transfer(s), {:.6} s",
+                                    ls.bytes, ls.transfers, ls.seconds
+                                );
+                            }
+                            eprintln!(
+                                "interconnect   : {} B total, {:.6} s modeled; {} boundary \
+                                 vertices",
+                                r.interconnect_bytes, r.interconnect_seconds, r.boundary_vertices
+                            );
+                        }
+                        (r.result.part, r.result.ledger.total(), "GP-metis (multi-GPU)")
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match gpmetis::partition(&g, &c) {
+                    Ok(r) => {
+                        if !a.quiet && r.report.faults_injected > 0 {
+                            eprintln!(
+                                "faults         : {} injected, {} retried",
+                                r.report.faults_injected, r.report.device_retries
+                            );
+                        }
+                        if r.report.degraded {
+                            eprintln!(
+                                "degraded       : GPU lost at {} ({}); resumed on CPU from \
+                             checkpoint of {} GPU level(s)",
+                                r.report.degrade_point.as_deref().unwrap_or("?"),
+                                r.report.device_error.as_deref().unwrap_or("?"),
+                                r.report.checkpoint_gpu_levels
+                            );
+                        }
+                        (r.result.part, r.result.ledger.total(), "GP-metis (hybrid CPU-GPU)")
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }
