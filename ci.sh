@@ -183,6 +183,34 @@ GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke"
     cargo bench --offline -p gpm-bench --bench multigpu
 ./target/release/validate_bench "$smoke/BENCH_multigpu.json"
 
+step "overlap-smoke (overlap timeline: off-identity, schedule determinism, bench JSON)"
+# The timeline is pure accounting: --overlap off must reproduce the
+# default run byte-for-byte (partition AND the stdout summary, which
+# carries the modeled-time total) on both the single- and multi-GPU
+# paths, and the rendered schedule itself must be bit-identical across
+# GPM_THREADS and steal fuzz.
+run_gp --overlap off --output "$smoke/ov_off.part"
+diff -q "$smoke/clean.part" "$smoke/ov_off.part"
+run_gp --overlap off > "$smoke/ov_off.txt"
+diff -u "$smoke/noplan.txt" "$smoke/ov_off.txt"
+run_gp --devices 2 --overlap off --output "$smoke/ov_mg_off.part"
+diff -q "$smoke/mg_d2_ref.part" "$smoke/ov_mg_off.part"
+echo "--overlap off is byte-identical to the default run (partition + modeled time)"
+for t in 1 4 8; do
+    GPM_THREADS=$t run_gp --devices 2 --timeline > /dev/null 2> "$smoke/ov_tl_t$t.txt"
+done
+GPM_THREADS=8 GPM_POOL_STEAL_FUZZ=1 run_gp --devices 2 --timeline \
+    > /dev/null 2> "$smoke/ov_tl_fuzz.txt"
+diff -u "$smoke/ov_tl_t1.txt" "$smoke/ov_tl_t4.txt"
+diff -u "$smoke/ov_tl_t1.txt" "$smoke/ov_tl_t8.txt"
+diff -u "$smoke/ov_tl_t1.txt" "$smoke/ov_tl_fuzz.txt"
+grep -q "^engine" "$smoke/ov_tl_t1.txt"
+grep -q "overlapped" "$smoke/ov_tl_t1.txt"
+echo "--timeline schedule is bit-identical under GPM_THREADS in {1,4,8} and steal fuzz"
+GPM_BENCH_WARMUP=0 GPM_BENCH_ITERS=1 GPM_BENCH_SCALE=0.05 GPM_BENCH_DIR="$smoke" \
+    cargo bench --offline -p gpm-bench --bench overlap
+./target/release/validate_bench "$smoke/BENCH_overlap.json"
+
 step "serve smoke (daemon: cache hit, forced degradation, deadline, identity)"
 serve=./target/release/gpm-serve
 loadgen=./target/release/gpm-loadgen

@@ -81,6 +81,12 @@ pub struct GpMetisConfig {
     /// checkpoint instead of failing. Off by default — checkpointing
     /// downloads each coarse level over (modeled) PCIe.
     pub fallback: bool,
+    /// Overlap-aware execution: evaluate the run as an op DAG over
+    /// per-device compute/copy engines and report the critical-path
+    /// makespan alongside the serialized ledger (DESIGN.md §16). Pure
+    /// accounting — partitions and the serialized ledger are byte-for-byte
+    /// identical either way; off simply skips the timeline.
+    pub overlap: bool,
 }
 
 impl GpMetisConfig {
@@ -99,6 +105,7 @@ impl GpMetisConfig {
             seed: 1,
             gpu: GpuConfig::gtx_titan(),
             fallback: false,
+            overlap: true,
         }
     }
 
@@ -117,6 +124,12 @@ impl GpMetisConfig {
     /// Builder-style fallback (graceful degradation) override.
     pub fn with_fallback(mut self, on: bool) -> Self {
         self.fallback = on;
+        self
+    }
+
+    /// Builder-style overlap-timeline override.
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
         self
     }
 }
@@ -243,6 +256,11 @@ pub struct GpMetisResult {
     pub gpu: GpuReport,
     /// Fault-injection and degradation record.
     pub report: RunReport,
+    /// Overlap-aware schedule of the run (critical-path makespan and
+    /// per-engine occupancy), when `cfg.overlap` was on and the run
+    /// finished on the clean GPU path. `None` with overlap off and on the
+    /// degraded / CPU-only paths, whose timeline the DAG does not model.
+    pub overlap: Option<gpm_gpu_sim::OverlapReport>,
 }
 
 /// A device-resident multilevel level.
@@ -269,6 +287,7 @@ pub(crate) fn gpu_coarsen_loop(
     max_vwgt: u32,
     cfg: &GpMetisConfig,
     mut ckpt: Option<&mut Checkpoint>,
+    mut marks: Option<&mut Vec<(f64, f64)>>,
 ) -> Result<CoarsenOutcome, DeviceError> {
     let ccfg = CoarsenConfig::for_k(cfg.k);
     let mut levels: Vec<GpuLevel> = Vec::new();
@@ -300,6 +319,7 @@ pub(crate) fn gpu_coarsen_loop(
         let coarse =
             gpu_contract_ws(dev, &cur, &mat, &cmap, nc, cfg.merge, cfg.max_threads, &mut scratch)?;
         peak_mem = peak_mem.max(dev.mem_used());
+        let kernels_done = dev.elapsed();
         if let Some(ck) = ckpt.as_deref_mut() {
             // Checkpoint the finished level on the host. If the download
             // itself dies the checkpoint keeps its pre-level state.
@@ -307,6 +327,13 @@ pub(crate) fn gpu_coarsen_loop(
             let coarse_host = coarse.download(dev)?;
             let fine = std::mem::replace(&mut ck.coarse, coarse_host);
             ck.host_levels.push(Level { graph: fine, cmap: cmap_host });
+        }
+        if let Some(m) = marks.as_deref_mut() {
+            // Absolute device clocks at the level's kernels-done and
+            // checkpoint-done boundaries, for the overlap timeline: the
+            // gap between the two is the level's checkpoint D2H, which
+            // streams on the copy engine behind the next level's compute.
+            m.push((kernels_done, dev.elapsed()));
         }
         uniform = false; // contraction sums weights; HEM has signal now
         levels.push(GpuLevel { graph: std::mem::replace(&mut cur, coarse), cmap });
@@ -323,6 +350,7 @@ pub(crate) fn gpu_uncoarsen_loop(
     mut dpart: gpm_gpu_sim::DBuf<u32>,
     maxw: u32,
     cfg: &GpMetisConfig,
+    mut marks: Option<&mut Vec<f64>>,
 ) -> Result<(gpm_gpu_sim::DBuf<u32>, u64), DeviceError> {
     let mut refine_moves = 0u64;
     for lvl in (0..levels.len()).rev() {
@@ -341,6 +369,9 @@ pub(crate) fn gpu_uncoarsen_loop(
             cfg.max_threads,
         )?;
         refine_moves += stats.moves;
+        if let Some(m) = marks.as_deref_mut() {
+            m.push(dev.elapsed());
+        }
     }
     Ok((dpart, refine_moves))
 }
@@ -396,6 +427,7 @@ fn assemble_result(
     refine_moves: u64,
     peak_mem: u64,
     report: RunReport,
+    overlap: Option<gpm_gpu_sim::OverlapReport>,
 ) -> GpMetisResult {
     let edge_cut = gpm_graph::metrics::edge_cut(g, &part);
     let imbalance = gpm_graph::metrics::imbalance(g, &part, cfg.k);
@@ -421,7 +453,97 @@ fn assemble_result(
             kernel_log: dev.kernel_log(),
         },
         report,
+        overlap,
     }
+}
+
+/// The value of ledger phase `name` (0 when absent).
+fn ledger_phase(ledger: &CostLedger, name: &str) -> f64 {
+    ledger.phases.iter().find(|(n, _)| n == name).map_or(0.0, |(_, s)| *s)
+}
+
+/// Build the single-GPU overlap timeline from the run's phase boundaries
+/// (DESIGN.md §16). The pipeline is one dependency chain over the H2D,
+/// compute, D2H and CPU engines; the one overlap opportunity is the
+/// per-level checkpoint download, which streams on the D2H copy engine
+/// while the next coarsening level's kernels run. Op durations tile each
+/// serialized ledger phase (up to floating summation order), so the
+/// critical path can never exceed the serialized total.
+fn single_gpu_timeline(
+    ledger: &CostLedger,
+    cpu_phases: &[(String, f64)],
+    coarsen_t0: f64,
+    coarsen_t1: f64,
+    coarsen_marks: &[(f64, f64)],
+    unc_marks: &[f64],
+) -> gpm_gpu_sim::Timeline {
+    use gpm_gpu_sim::{EngineId, Timeline};
+    let mut tl = Timeline::new();
+    let up =
+        tl.record(EngineId::H2D(0), "xfer:h2d:graph", ledger_phase(ledger, "xfer:h2d:graph"), &[]);
+    let mut last = up;
+    let mut prev = coarsen_t0;
+    for (lvl, &(kernels_done, level_done)) in coarsen_marks.iter().enumerate() {
+        let c = tl.record(
+            EngineId::Compute(0),
+            &format!("gpu:coarsen:l{lvl}"),
+            kernels_done - prev,
+            &[last],
+        );
+        if level_done > kernels_done {
+            // the checkpoint download: next level's kernels don't wait
+            tl.record(
+                EngineId::D2H(0),
+                &format!("ckpt:d2h:l{lvl}"),
+                level_done - kernels_done,
+                &[c],
+            );
+        }
+        last = c;
+        prev = level_done;
+    }
+    if coarsen_t1 > prev || coarsen_marks.is_empty() {
+        // the stalled matching+cmap that ended the loop (and the whole
+        // phase when no level completed)
+        last = tl.record(EngineId::Compute(0), "gpu:coarsen:tail", coarsen_t1 - prev, &[last]);
+    }
+    let down = tl.record(
+        EngineId::D2H(0),
+        "xfer:d2h:coarse",
+        ledger_phase(ledger, "xfer:d2h:coarse"),
+        &[last],
+    );
+    let mut cpu_last = down;
+    for (name, secs) in cpu_phases {
+        cpu_last = tl.record(EngineId::Cpu, &format!("cpu:{name}"), *secs, &[cpu_last]);
+    }
+    let mut last = tl.record(
+        EngineId::H2D(0),
+        "xfer:h2d:part",
+        ledger_phase(ledger, "xfer:h2d:part"),
+        &[cpu_last],
+    );
+    if unc_marks.len() > 1 {
+        let mut prev = unc_marks[0];
+        for (step, &m) in unc_marks[1..].iter().enumerate() {
+            last = tl.record(
+                EngineId::Compute(0),
+                &format!("gpu:uncoarsen:s{step}"),
+                m - prev,
+                &[last],
+            );
+            prev = m;
+        }
+    } else {
+        last = tl.record(
+            EngineId::Compute(0),
+            "gpu:uncoarsen",
+            ledger_phase(ledger, "gpu:uncoarsen"),
+            &[last],
+        );
+    }
+    tl.record(EngineId::D2H(0), "xfer:d2h:part", ledger_phase(ledger, "xfer:d2h:part"), &[last]);
+    tl
 }
 
 /// The degradation record for a device failure at `point`.
@@ -504,18 +626,28 @@ pub fn partition_with_plan(
     };
 
     // 1-3. GPU front half: upload, coarsening levels, coarse D2H.
+    let mut coarsen_marks: Vec<(f64, f64)> = Vec::new();
     let front = (|| {
         let g0 = GpuCsr::upload(&dev, g).map_err(|e| ("xfer:h2d:graph", e))?;
         charge(&mut ledger, &dev, "xfer:h2d:graph", &mut mark);
-        let outcome =
-            gpu_coarsen_loop(&dev, g0, g.uniform_edge_weights(), max_vwgt, cfg, ckpt.as_mut())
-                .map_err(|e| ("gpu:coarsen", e))?;
+        let coarsen_t0 = mark;
+        let outcome = gpu_coarsen_loop(
+            &dev,
+            g0,
+            g.uniform_edge_weights(),
+            max_vwgt,
+            cfg,
+            ckpt.as_mut(),
+            cfg.overlap.then_some(&mut coarsen_marks),
+        )
+        .map_err(|e| ("gpu:coarsen", e))?;
         charge(&mut ledger, &dev, "gpu:coarsen", &mut mark);
+        let coarsen_t1 = mark;
         let coarse_host = outcome.coarsest.download(&dev).map_err(|e| ("xfer:d2h:coarse", e))?;
         charge(&mut ledger, &dev, "xfer:d2h:coarse", &mut mark);
-        Ok((outcome, coarse_host))
+        Ok((outcome, coarse_host, coarsen_t0, coarsen_t1))
     })();
-    let (outcome, coarse_host) = match front {
+    let (outcome, coarse_host, coarsen_t0, coarsen_t1) = match front {
         Ok(v) => v,
         Err((point, e)) => {
             let Some(ck) = ckpt.take() else { return Err(e.into()) };
@@ -548,6 +680,7 @@ pub fn partition_with_plan(
                 0,
                 dev.mem_used(),
                 report,
+                None,
             ));
         }
     };
@@ -569,11 +702,20 @@ pub fn partition_with_plan(
     let maxw = gpm_graph::metrics::max_part_weight(g.total_vwgt(), cfg.k, cfg.ubfactor);
     let maxw = u32::try_from(maxw).map_err(|_| PartitionError::WeightOverflow)?;
     mark = dev.elapsed();
+    let mut unc_marks: Vec<f64> = Vec::new();
     let back = (|| {
         let dpart = dev.h2d(&part_at_entry).map_err(|e| ("xfer:h2d:part", e))?;
         charge(&mut ledger, &dev, "xfer:h2d:part", &mut mark);
-        let (dpart, refine_moves) = gpu_uncoarsen_loop(&dev, &levels, dpart, maxw, cfg)
-            .map_err(|e| ("gpu:uncoarsen", e))?;
+        unc_marks.push(mark); // uncoarsening start clock
+        let (dpart, refine_moves) = gpu_uncoarsen_loop(
+            &dev,
+            &levels,
+            dpart,
+            maxw,
+            cfg,
+            cfg.overlap.then_some(&mut unc_marks),
+        )
+        .map_err(|e| ("gpu:uncoarsen", e))?;
         peak_mem = peak_mem.max(dev.mem_used());
         charge(&mut ledger, &dev, "gpu:uncoarsen", &mut mark);
         let part = dev.d2h(&dpart).map_err(|e| ("xfer:d2h:part", e))?;
@@ -588,6 +730,17 @@ pub fn partition_with_plan(
                 checkpoint_gpu_levels: ckpt.as_ref().map_or(0, |c| c.host_levels.len()),
                 ..RunReport::default()
             };
+            let overlap = cfg.overlap.then(|| {
+                single_gpu_timeline(
+                    &ledger,
+                    &cpu_ledger.phases,
+                    coarsen_t0,
+                    coarsen_t1,
+                    &coarsen_marks,
+                    &unc_marks,
+                )
+                .report(ledger.total())
+            });
             Ok(assemble_result(
                 g,
                 cfg,
@@ -601,6 +754,7 @@ pub fn partition_with_plan(
                 refine_moves,
                 peak_mem,
                 report,
+                overlap,
             ))
         }
         Err((point, e)) => {
@@ -638,6 +792,7 @@ pub fn partition_with_plan(
                 0,
                 peak_mem.max(dev.mem_used()),
                 report,
+                None,
             ))
         }
     }
@@ -669,6 +824,7 @@ pub fn cpu_only_partition(g: &CsrGraph, cfg: &GpMetisConfig) -> GpMetisResult {
             degrade_point: Some("breaker:open".to_string()),
             ..RunReport::default()
         },
+        overlap: None,
     }
 }
 

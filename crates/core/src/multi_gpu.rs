@@ -55,7 +55,10 @@ use crate::{
     gpu_coarsen_loop, gpu_uncoarsen_loop, CoarsenOutcome, GpMetisConfig, GpuLevel, PartitionError,
     RunReport,
 };
-use gpm_gpu_sim::{DBuf, Device, DeviceError, DeviceGroup, LinkConfig, LinkStats};
+use gpm_gpu_sim::{
+    DBuf, Device, DeviceError, DeviceGroup, EngineId, EventId, LinkConfig, LinkStats,
+    OverlapReport, Timeline,
+};
 use gpm_graph::boundary::BoundaryTracker;
 use gpm_graph::builder::GraphBuilder;
 use gpm_graph::csr::{CsrGraph, Vid};
@@ -65,6 +68,12 @@ use gpm_metis::cost::{CostLedger, CpuModel, Work};
 use gpm_metis::PartitionResult;
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard};
+
+/// Chunks per shard slice on the overlap timeline: device `i`'s copy
+/// engine uploads chunk `c` while the host cuts chunk `c+1`
+/// (double-buffered H2D transfers, DESIGN.md §16). Accounting only —
+/// the real upload is one call either way.
+const UPLOAD_CHUNKS: usize = 8;
 
 /// Configuration: a per-device [`GpMetisConfig`], the device count, and
 /// the fabric joining the devices.
@@ -118,6 +127,11 @@ pub struct MultiGpuResult {
     /// Fault/degradation record (the multi-GPU path runs clean: fault
     /// plans target the single-device pipeline).
     pub report: RunReport,
+    /// Overlap-aware schedule (critical-path makespan over per-device
+    /// compute/copy engines, per-link comm engines and the host CPU lane)
+    /// when `base.overlap` is on. Pure accounting — partitions and the
+    /// serialized ledger are identical either way.
+    pub overlap: Option<OverlapReport>,
 }
 
 /// Per-superstep communication: modeled seconds per ordered link, folded
@@ -179,10 +193,16 @@ fn clocks(group: &DeviceGroup) -> Vec<f64> {
     group.devices().iter().map(Device::elapsed).collect()
 }
 
+/// Per-device modeled seconds since `before` — each device's own share of
+/// a superstep (the overlap timeline charges these individually).
+fn deltas(group: &DeviceGroup, before: &[f64]) -> Vec<f64> {
+    group.devices().iter().zip(before).map(|(dv, &b)| dv.elapsed() - b).collect()
+}
+
 /// Modeled superstep seconds: devices ran concurrently, so the superstep
 /// costs as much as its slowest device.
 fn max_delta(group: &DeviceGroup, before: &[f64]) -> f64 {
-    group.devices().iter().zip(before).map(|(dv, &b)| dv.elapsed() - b).fold(0.0, f64::max)
+    deltas(group, before).into_iter().fold(0.0, f64::max)
 }
 
 fn join<T>(results: Vec<Result<T, DeviceError>>) -> Result<Vec<T>, DeviceError> {
@@ -227,6 +247,7 @@ pub fn partition_multi(
             interconnect_seconds: 0.0,
             boundary_vertices,
             report: r.report,
+            overlap: r.overlap,
             result: r.result,
         });
     }
@@ -245,6 +266,16 @@ pub fn partition_multi(
     let group = DeviceGroup::new(d, &base.gpu, cfg.link.clone());
     let ic = group.interconnect();
 
+    // Overlap timeline (DESIGN.md §16): ops are recorded at the same
+    // phase boundaries the serialized ledger charges, with explicit event
+    // dependencies, and evaluated into a critical-path schedule at the
+    // end. Pure accounting — the pipeline never consults it, so the
+    // partition and the ledger are byte-identical with overlap off.
+    let mut tl = base.overlap.then(Timeline::new);
+    // last device-side op per device (the dep target for cross-engine
+    // edges: halo exchanges, downloads, allreduce legs)
+    let mut last_comp: Vec<EventId> = Vec::new();
+
     // --- shard with halo bookkeeping -----------------------------------
     let shards = halo_shards(g, d);
     // Shard extraction runs as d concurrent pool tasks (see halo_shards);
@@ -258,6 +289,21 @@ pub fn partition_multi(
         })
         .collect();
     ledger.parallel("cpu:mg:shard", &model, &shard_works, 1);
+    // The CPU lane cuts the shards one block after another, in chunks:
+    // device i's copy engine uploads chunk c while the lane cuts chunk
+    // c+1 (double-buffered transfers). Equal slices of the phase charge
+    // keep the lane's busy time exactly the ledger value; chunk
+    // granularity treats bandwidth as dominant (PCIe latency is µs
+    // against ms-scale shard uploads).
+    let mut shard_chunk_ids: Vec<Vec<EventId>> = vec![Vec::new(); d];
+    if let Some(tl) = tl.as_mut() {
+        let chunk = ledger.phases.last().map_or(0.0, |(_, s)| *s) / (d * UPLOAD_CHUNKS) as f64;
+        for ids in shard_chunk_ids.iter_mut() {
+            for _ in 0..UPLOAD_CHUNKS {
+                ids.push(tl.record(EngineId::Cpu, "cpu:mg:shard", chunk, &[]));
+            }
+        }
+    }
     // Distinct border slots receiver j references on owner i — the
     // per-level payload of the boundary-cmap exchange.
     let mut needed: BTreeMap<(usize, usize), u64> = BTreeMap::new();
@@ -310,10 +356,33 @@ pub fn partition_multi(
         Ok(())
     }))?;
     ledger.seconds("xfer:h2d:graph(multi,max)", max_delta(&group, &before));
+    if let Some(tl) = tl.as_mut() {
+        let dl = deltas(&group, &before);
+        for (i, &dur) in dl.iter().enumerate() {
+            // One chunk per shard chunk; copy-engine chaining serializes the
+            // chunks while each waits only for its slice of the shard cut.
+            let mut last = None;
+            for &sid in &shard_chunk_ids[i] {
+                last = Some(tl.record(
+                    EngineId::H2D(i as u32),
+                    "xfer:h2d:graph",
+                    dur / UPLOAD_CHUNKS as f64,
+                    &[sid],
+                ));
+            }
+            last_comp.push(last.expect("UPLOAD_CHUNKS > 0"));
+        }
+    }
 
     // --- coarsening supersteps (concurrent, one level each) ------------
     let mut gpu_coarsen_secs = 0.0;
     let mut ic_coarsen_secs = 0.0;
+    // Exchange payloads (bmap snapshots) are consumed host-side at merge
+    // time, not by the next superstep's kernels — so on the timeline the
+    // exchanges feed the merge, and each device's levels form one
+    // uninterrupted compute chain (comm/compute overlap replacing the
+    // serialized superstep fold).
+    let mut coarsen_exchange_ids: Vec<EventId> = Vec::new();
     loop {
         let can: Vec<bool> = {
             let sts = lock_all(&states);
@@ -370,6 +439,14 @@ pub fn partition_multi(
             Ok(true)
         }))?;
         gpu_coarsen_secs += max_delta(&group, &before);
+        if let Some(tl) = tl.as_mut() {
+            for (i, &dur) in deltas(&group, &before).iter().enumerate() {
+                if dur > 0.0 {
+                    last_comp[i] =
+                        tl.record(EngineId::Compute(i as u32), "gpu:coarsen", dur, &[last_comp[i]]);
+                }
+            }
+        }
         // Boundary-cmap halo exchange: every device that finished a level
         // ships its changed border slots to each neighbor that ghosts
         // them (coarse ids renumber every level, so all needed slots are
@@ -380,7 +457,16 @@ pub fn partition_multi(
                 continue;
             }
             for (&(_, j), &slots) in needed.range((i, 0)..(i + 1, 0)) {
-                comm.add(ic.record(i as u32, j as u32, 4 * slots), i as u32, j as u32);
+                let secs = ic.record(i as u32, j as u32, 4 * slots);
+                comm.add(secs, i as u32, j as u32);
+                if let Some(tl) = tl.as_mut() {
+                    coarsen_exchange_ids.push(tl.record(
+                        EngineId::Link(i as u32, j as u32),
+                        "ic:coarsen:halo",
+                        secs,
+                        &[last_comp[i]],
+                    ));
+                }
             }
         }
         ic_coarsen_secs += comm.max();
@@ -401,6 +487,17 @@ pub fn partition_multi(
         Ok(())
     }))?;
     ledger.seconds("xfer:d2h:coarse(multi,max)", max_delta(&group, &before));
+    let mut d2h_coarse_ids: Vec<EventId> = Vec::new();
+    if let Some(tl) = tl.as_mut() {
+        for (i, &dur) in deltas(&group, &before).iter().enumerate() {
+            d2h_coarse_ids.push(tl.record(
+                EngineId::D2H(i as u32),
+                "xfer:d2h:coarse",
+                dur,
+                &[last_comp[i]],
+            ));
+        }
+    }
 
     // --- merge coarsest shards + cross edges on the host ---------------
     let (merged, offsets) = {
@@ -446,11 +543,22 @@ pub fn partition_multi(
         &model,
         Work::new(merged.adjncy.len() as u64, merged.n() as u64).with_ws(merged.bytes()),
     );
+    if let Some(tl) = tl.as_mut() {
+        // the merge needs every coarse shard and every exchanged bmap
+        let deps: Vec<EventId> =
+            d2h_coarse_ids.iter().chain(&coarsen_exchange_ids).copied().collect();
+        let secs = ledger.phases.last().map_or(0.0, |(_, s)| *s);
+        tl.record(EngineId::Cpu, "cpu:mg:merge", secs, &deps);
+    }
 
     // --- CPU partitions the merged coarse graph ------------------------
     let mid = gpm_mtmetis::partition(&merged, &crate::mt_config(base));
+    let mut mt_done: Option<EventId> = None;
     for (name, secs) in &mid.ledger.phases {
         ledger.seconds(&format!("cpu:{name}"), *secs);
+        if let Some(tl) = tl.as_mut() {
+            mt_done = Some(tl.record(EngineId::Cpu, &format!("cpu:{name}"), *secs, &[]));
+        }
     }
     let mut global_pw = vec![0u32; k];
     for (c, &p) in mid.part.iter().enumerate() {
@@ -467,6 +575,13 @@ pub fn partition_multi(
         Ok(())
     }))?;
     ledger.seconds("xfer:h2d:part(multi,max)", max_delta(&group, &before));
+    let mut scatter_ids: Vec<EventId> = Vec::new();
+    if let Some(tl) = tl.as_mut() {
+        let deps: Vec<EventId> = mt_done.into_iter().collect();
+        for (i, &dur) in deltas(&group, &before).iter().enumerate() {
+            scatter_ids.push(tl.record(EngineId::H2D(i as u32), "xfer:h2d:part", dur, &deps));
+        }
+    }
 
     // --- uncoarsening supersteps ---------------------------------------
     // Level-locked from the coarse end: device i idles at its coarsest
@@ -483,6 +598,15 @@ pub fn partition_multi(
     // prefix-sum/fill passes (sequential writes)
     let mut halo_edge_works = vec![0u64; d];
     let mut halo_vert_works = vec![0u64; d];
+    // Timeline bookkeeping: layout ops get provisional durations
+    // (rescaled to the cpu:mg:halo charge once it is known), and events
+    // that gate a device's next refinement pass accumulate here between
+    // passes — split by what they actually gate: allreduce results
+    // (capacity headroom) gate the whole pass, incoming label ships only
+    // its boundary portion (interior/boundary comm/compute overlap).
+    let mut halo_ops: Vec<(EventId, f64)> = Vec::new();
+    let mut caps_deps: Vec<Vec<EventId>> = vec![Vec::new(); d];
+    let mut ghost_deps: Vec<Vec<EventId>> = vec![Vec::new(); d];
     for step in 0..lmax {
         // Orchestrator: schedule, ghost views and halo layouts.
         let mut active = vec![false; d];
@@ -493,6 +617,7 @@ pub fn partition_multi(
         let mut layouts: Vec<Option<HaloLayout>> = (0..d).map(|_| None).collect();
         let mut routes: Vec<BTreeMap<u32, Vec<(usize, u32)>>> =
             (0..d).map(|_| BTreeMap::new()).collect();
+        let mut layout_ids: Vec<Option<EventId>> = vec![None; d];
         {
             let sts = lock_all(&states);
             for i in 0..d {
@@ -578,8 +703,19 @@ pub fn partition_multi(
                     extra_w[c] = w;
                     cursor[n_local + slot as usize] += 1;
                 }
-                halo_edge_works[j] += (sh.stubs.len() + total_extra) as u64;
-                halo_vert_works[j] += n_aug as u64;
+                let e_inc = (sh.stubs.len() + total_extra) as u64;
+                let v_inc = n_aug as u64;
+                halo_edge_works[j] += e_inc;
+                halo_vert_works[j] += v_inc;
+                if let Some(tl) = tl.as_mut() {
+                    // Layouts read only coarsening-era data (shard stubs
+                    // and bmap snapshots), so the CPU lane prepares step
+                    // s+1's layouts while the devices still refine step s.
+                    let w = Work::new(e_inc, v_inc).seconds(&model);
+                    let id = tl.record(EngineId::Cpu, "cpu:mg:halo", w, &[]);
+                    layout_ids[j] = Some(id);
+                    halo_ops.push((id, w));
+                }
                 layouts[j] = Some(HaloLayout { aug_xadj, extra_off, extra_adj, extra_w });
                 gviews[j] = Some((slots, fine_to_slot));
             }
@@ -629,11 +765,38 @@ pub fn partition_multi(
             Ok(())
         }))?;
         gpu_uncoarsen_secs += max_delta(&group, &before);
+        if let Some(tl) = tl.as_mut() {
+            for (i, &dur) in deltas(&group, &before).iter().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                // projection + halo-graph assembly: needs this step's
+                // layout (CPU lane) and, on the first active step, the
+                // scattered coarse slice
+                let deps = [layout_ids[i].unwrap(), scatter_ids[i]];
+                last_comp[i] =
+                    tl.record(EngineId::Compute(i as u32), "gpu:uncoarsen:project", dur, &deps);
+            }
+        }
 
         // Full ghost-label exchange: after projection every active device
         // needs its ghosts' labels at the new granularity.
+        let mut bfrac = vec![0.0f64; d];
         {
             let sts = lock_all(&states);
+            // Boundary share of each device's pass work at this
+            // granularity: ghost slots plus ghosted border vertices over
+            // the augmented vertex count. Splits the modeled pass op so
+            // only this fraction waits on label traffic.
+            for j in 0..d {
+                let Some((slots, _)) = &gviews[j] else { continue };
+                let ghosts = slots.len() as f64;
+                let border = routes[j].len() as f64;
+                let aug = sts[j].n_local as f64 + ghosts;
+                if aug > 0.0 {
+                    bfrac[j] = ((ghosts + border) / aug).min(1.0);
+                }
+            }
             let mut comm = CommStep::default();
             for j in 0..d {
                 let Some((slots, _)) = &gviews[j] else { continue };
@@ -646,7 +809,20 @@ pub fn partition_multi(
                     *per_owner.entry(own).or_default() += 4;
                 }
                 for (own, bytes) in per_owner {
-                    comm.add(ic.record(own, j as u32, bytes), own, j as u32);
+                    let secs = ic.record(own, j as u32, bytes);
+                    comm.add(secs, own, j as u32);
+                    if let Some(tl) = tl.as_mut() {
+                        // reads the owner's projected labels, lands in the
+                        // receiver's ghost slots
+                        let deps = [last_comp[own as usize], last_comp[j]];
+                        let id = tl.record(
+                            EngineId::Link(own, j as u32),
+                            "ic:refine:labels",
+                            secs,
+                            &deps,
+                        );
+                        ghost_deps[j].push(id);
+                    }
                 }
             }
             ic_label_secs += comm.max();
@@ -701,6 +877,34 @@ pub fn partition_multi(
                     )
                 }))?;
             gpu_uncoarsen_secs += max_delta(&group, &before);
+            if let Some(tl) = tl.as_mut() {
+                for (i, &dur) in deltas(&group, &before).iter().enumerate() {
+                    if !active[i] {
+                        continue;
+                    }
+                    // Interior vertices carry no ghost edges, so their
+                    // share of the pass needs only the previous pass's
+                    // allreduce result (capacity headroom) and runs while
+                    // the boundary's label traffic is still in flight; the
+                    // boundary portion then consumes the shipped labels
+                    // (two kernel launches, interior first).
+                    let f = bfrac[i];
+                    let caps = std::mem::take(&mut caps_deps[i]);
+                    tl.record(
+                        EngineId::Compute(i as u32),
+                        "gpu:uncoarsen:pass",
+                        dur * (1.0 - f),
+                        &caps,
+                    );
+                    let ghosts = std::mem::take(&mut ghost_deps[i]);
+                    last_comp[i] = tl.record(
+                        EngineId::Compute(i as u32),
+                        "gpu:uncoarsen:pass:boundary",
+                        dur * f,
+                        &ghosts,
+                    );
+                }
+            }
             let total: u64 = res.iter().map(|r| r.0).sum();
             {
                 let sts = lock_all(&states);
@@ -723,6 +927,15 @@ pub fn partition_multi(
                     entries.sort_unstable();
                     let secs = ic.record(i as u32, j as u32, 4 * entries.len() as u64);
                     comm.add(secs, i as u32, j as u32);
+                    if let Some(tl) = tl.as_mut() {
+                        let id = tl.record(
+                            EngineId::Link(i as u32, j as u32),
+                            "ic:refine:labels",
+                            secs,
+                            &[last_comp[i]],
+                        );
+                        ghost_deps[j].push(id);
+                    }
                     let base_slot = sts[j].n_local;
                     let jpart = sts[j].part.as_ref().unwrap();
                     for (slot, label) in entries {
@@ -737,10 +950,14 @@ pub fn partition_multi(
                 ic_label_secs += comm.max();
                 // Partition-weight allreduce (star through the lowest
                 // active device): gather per-device deltas, scatter the
-                // new global weights.
+                // new global weights. The orchestrator (host) performs the
+                // reduction itself, so each leg is host-terminated and
+                // pays one link traversal — not a full device-to-device
+                // staged hop (see `Interconnect::record_host_leg`).
                 let root = active.iter().position(|&a| a).unwrap() as u32;
                 let mut comm = CommStep::default();
                 let mut next: Vec<i64> = snap.iter().map(|&v| v as i64).collect();
+                let mut gather_ids: Vec<EventId> = Vec::new();
                 for (i, st) in sts.iter().enumerate() {
                     if !active[i] {
                         continue;
@@ -750,9 +967,38 @@ pub fn partition_multi(
                         *nw += pwb.load(q) as i64 - snap[q] as i64;
                     }
                     if i as u32 != root {
-                        comm.add(ic.record(i as u32, root, 4 * k as u64), i as u32, root);
-                        comm.add(ic.record(root, i as u32, 4 * k as u64), root, i as u32);
+                        let secs = ic.record_host_leg(i as u32, root, 4 * k as u64);
+                        comm.add(secs, i as u32, root);
+                        if let Some(tl) = tl.as_mut() {
+                            gather_ids.push(tl.record(
+                                EngineId::Link(i as u32, root),
+                                "ic:refine:allreduce",
+                                secs,
+                                &[last_comp[i]],
+                            ));
+                        }
                     }
+                }
+                // scatter legs: the reduced weights leave only after every
+                // gather arrived, and the next pass waits for its copy
+                for i in 0..d {
+                    if !active[i] || i as u32 == root {
+                        continue;
+                    }
+                    let secs = ic.record_host_leg(root, i as u32, 4 * k as u64);
+                    comm.add(secs, root, i as u32);
+                    if let Some(tl) = tl.as_mut() {
+                        let id = tl.record(
+                            EngineId::Link(root, i as u32),
+                            "ic:refine:allreduce",
+                            secs,
+                            &gather_ids,
+                        );
+                        caps_deps[i].push(id);
+                    }
+                }
+                if tl.is_some() {
+                    caps_deps[root as usize].extend(gather_ids);
                 }
                 ic_allreduce_secs += comm.max();
                 for (q, nw) in next.iter().enumerate() {
@@ -783,6 +1029,16 @@ pub fn partition_multi(
     let works: Vec<Work> =
         halo_edge_works.iter().zip(&halo_vert_works).map(|(&e, &v)| Work::new(e, v)).collect();
     ledger.parallel("cpu:mg:halo", &model, &works, lmax as u64);
+    if let Some(tl) = tl.as_mut() {
+        // Rescale the provisional layout ops so the CPU lane's busy time
+        // equals the phase charge exactly (the ledger models the layouts
+        // as thread-parallel; the lane runs at that wall-clock rate).
+        let t_halo = ledger.phases.last().map_or(0.0, |(_, s)| *s);
+        let wsum: f64 = halo_ops.iter().map(|&(_, w)| w).sum();
+        for &(id, w) in &halo_ops {
+            tl.set_duration(id, if wsum > 0.0 { t_halo * (w / wsum) } else { 0.0 });
+        }
+    }
     ledger.seconds("gpu:uncoarsen(multi,max)", gpu_uncoarsen_secs);
     ledger.seconds("ic:refine:labels", ic_label_secs);
     ledger.seconds("ic:refine:allreduce", ic_allreduce_secs);
@@ -795,6 +1051,11 @@ pub fn partition_multi(
         group.device(i).d2h(&dpart)
     }))?;
     ledger.seconds("xfer:d2h:part(multi,max)", max_delta(&group, &before));
+    if let Some(tl) = tl.as_mut() {
+        for (i, &dur) in deltas(&group, &before).iter().enumerate() {
+            tl.record(EngineId::D2H(i as u32), "xfer:d2h:part", dur, &[last_comp[i]]);
+        }
+    }
     let mut part = vec![0u32; n];
     let (gpu_levels, peaks, transfer_bytes) = {
         let sts = lock_all(&states);
@@ -815,6 +1076,7 @@ pub fn partition_multi(
     let edge_cut = gpm_graph::metrics::edge_cut(g, &part);
     let imbalance = gpm_graph::metrics::imbalance(g, &part, k);
     let levels = gpu_levels.iter().max().copied().unwrap_or(0) + mid.levels;
+    let overlap = tl.map(|t| t.report(ledger.total()));
     Ok(MultiGpuResult {
         result: PartitionResult {
             part,
@@ -834,6 +1096,7 @@ pub fn partition_multi(
         interconnect_seconds: ic.total_seconds(),
         boundary_vertices: tracker.boundary_count(),
         report: RunReport::default(),
+        overlap,
     })
 }
 
@@ -891,7 +1154,7 @@ pub fn partition_multi_stitch(
         let dev = Device::new(base.gpu.clone());
         let g0 = GpuCsr::upload(&dev, sub)?;
         let outcome: CoarsenOutcome =
-            gpu_coarsen_loop(&dev, g0, sub.uniform_edge_weights(), max_vwgt, base, None)?;
+            gpu_coarsen_loop(&dev, g0, sub.uniform_edge_weights(), max_vwgt, base, None, None)?;
         // compose the cmap chain on the host (the merge step needs the
         // fine-to-coarsest mapping for the held-out cross edges)
         let mut composed: Vec<u32> = (0..sub.n() as u32).collect();
@@ -969,7 +1232,7 @@ pub fn partition_multi_stitch(
         let slice: Vec<u32> =
             (offsets[i]..offsets[i + 1]).map(|c| merged_part[c as usize]).collect();
         let dpart = s.dev.h2d(&slice)?;
-        let (dpart, _) = gpu_uncoarsen_loop(&s.dev, &s.levels, dpart, maxw, base)?;
+        let (dpart, _) = gpu_uncoarsen_loop(&s.dev, &s.levels, dpart, maxw, base, None)?;
         let fine = s.dev.d2h(&dpart)?;
         for (lid, &old) in subgraphs[i].1.iter().enumerate() {
             part[old as usize] = fine[lid];
@@ -1022,6 +1285,7 @@ pub fn partition_multi_stitch(
         interconnect_seconds: 0.0,
         boundary_vertices,
         report: RunReport::default(),
+        overlap: None,
     })
 }
 

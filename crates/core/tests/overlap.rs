@@ -1,0 +1,195 @@
+//! The overlap timeline is *pure accounting* (DESIGN.md §16): recording
+//! and evaluating it must not perturb the partition or the serialized
+//! cost ledger by a single bit, and the schedule it produces must never
+//! claim to be slower than the serialized sum it re-arranges.
+//!
+//! The seed pins at the top were captured on the pre-overlap tree
+//! (FNV-1a over the partition labels, the ledger phase names + charge
+//! bits, and the modeled-seconds bits), so they also guard the whole
+//! single-GPU pipeline against accidental cost-model drift.
+
+use gp_metis::multi_gpu::{partition_multi, MultiGpuConfig};
+use gp_metis::{partition, GpMetisConfig};
+use gpm_faults::{FaultKind, FaultPlan, Selector};
+use gpm_gpu_sim::LinkConfig;
+use gpm_graph::csr::CsrGraph;
+use gpm_graph::gen::{delaunay_like, grid2d, hugebubbles_like, usa_roads_like};
+use gpm_metis::PartitionResult;
+
+/// Relative tolerance for makespan-vs-serialized comparisons: op
+/// durations tile each ledger phase, but a telescoped sum of clock marks
+/// differs from the single-subtraction phase charge by ULPs.
+const REL_EPS: f64 = 1e-9;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn part_hash(r: &PartitionResult) -> u64 {
+    r.part.iter().fold(0xcbf29ce484222325, |h, p| fnv(h, &p.to_le_bytes()))
+}
+
+fn ledger_hash(r: &PartitionResult) -> u64 {
+    r.ledger
+        .phases
+        .iter()
+        .fold(0xcbf29ce484222325, |h, (n, s)| fnv(fnv(h, n.as_bytes()), &s.to_bits().to_le_bytes()))
+}
+
+fn pin_codes() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("grid", grid2d(60, 60)),
+        ("delaunay", delaunay_like(3_000, 2)),
+        ("hugebubbles", hugebubbles_like(6_000)),
+        ("usa-roads", usa_roads_like(4_000, 5)),
+    ]
+}
+
+fn pin_cfg() -> GpMetisConfig {
+    GpMetisConfig::new(8).with_seed(1).with_gpu_threshold(400)
+}
+
+/// (name, partition hash, ledger hash, modeled-seconds bits) captured on
+/// the tree *before* the overlap timeline existed.
+const SEED_PINS: [(&str, u64, u64, u64); 4] = [
+    ("grid", 0xa17051d71c53dfd6, 0xcc6f7295f1c6bfa1, 0x3f6c6053ccf61bea),
+    ("delaunay", 0x8079c090b8795941, 0xff996f50e9bd349f, 0x3f63985a68a5c8a1),
+    ("hugebubbles", 0x34bab8cb19bb02a6, 0x911ddab2f810c4ed, 0x3f703d4f3709c893),
+    ("usa-roads", 0xfd6e2f57ae258a90, 0xe092f7dd58e681c1, 0x3f73b60701d92c3c),
+];
+
+#[test]
+fn seed_pins_hold_with_overlap_on_and_off() {
+    for (name, g) in pin_codes() {
+        let pin = SEED_PINS.iter().find(|p| p.0 == name).unwrap();
+        for overlap in [true, false] {
+            let r = partition(&g, &pin_cfg().with_overlap(overlap)).unwrap();
+            assert_eq!(part_hash(&r.result), pin.1, "{name} partition (overlap={overlap})");
+            assert_eq!(ledger_hash(&r.result), pin.2, "{name} ledger (overlap={overlap})");
+            assert_eq!(
+                r.result.modeled_seconds().to_bits(),
+                pin.3,
+                "{name} modeled seconds (overlap={overlap})"
+            );
+            assert_eq!(r.overlap.is_some(), overlap, "{name} report presence");
+        }
+    }
+}
+
+#[test]
+fn multi_gpu_overlap_off_is_byte_identical_to_on() {
+    let g = delaunay_like(6_000, 2);
+    for d in [2usize, 4] {
+        let on = partition_multi(&g, &MultiGpuConfig::new(pin_cfg(), d)).unwrap();
+        let off =
+            partition_multi(&g, &MultiGpuConfig::new(pin_cfg().with_overlap(false), d)).unwrap();
+        assert_eq!(on.result.part, off.result.part, "d={d} partition");
+        assert_eq!(ledger_hash(&on.result), ledger_hash(&off.result), "d={d} ledger");
+        assert_eq!(
+            on.result.modeled_seconds().to_bits(),
+            off.result.modeled_seconds().to_bits(),
+            "d={d} modeled seconds"
+        );
+        assert!(on.overlap.is_some() && off.overlap.is_none(), "d={d} report presence");
+    }
+}
+
+#[test]
+fn makespan_never_exceeds_serialized() {
+    for (name, g) in pin_codes() {
+        let r = partition(&g, &pin_cfg()).unwrap();
+        let ov = r.overlap.unwrap();
+        assert!(
+            ov.makespan <= ov.serialized * (1.0 + REL_EPS),
+            "{name}: makespan {} > serialized {}",
+            ov.makespan,
+            ov.serialized
+        );
+        assert_eq!(ov.serialized, r.result.ledger.total(), "{name}: serialized is the ledger");
+    }
+    let g = grid2d(160, 160);
+    for d in [2usize, 4] {
+        for link in [LinkConfig::pcie_gen2(), LinkConfig::nvlink()] {
+            let cfg = MultiGpuConfig::new(pin_cfg(), d).with_link(link);
+            let r = partition_multi(&g, &cfg).unwrap();
+            let ov = r.overlap.unwrap();
+            assert!(
+                ov.makespan <= ov.serialized * (1.0 + REL_EPS),
+                "d={d}: makespan {} > serialized {}",
+                ov.makespan,
+                ov.serialized
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_gpu_overlap_is_strictly_faster() {
+    // big enough that layout prefetch, chunked uploads and label-traffic
+    // hiding all engage — the schedule must beat the serialized fold
+    let g = grid2d(400, 400);
+    for d in [2usize, 4] {
+        let r = partition_multi(&g, &MultiGpuConfig::new(GpMetisConfig::new(8).with_seed(1), d))
+            .unwrap();
+        let ov = r.overlap.unwrap();
+        assert!(ov.speedup() > 1.01, "d={d}: speedup {:.4} not > 1.01", ov.speedup());
+    }
+}
+
+#[test]
+fn checkpoint_download_streams_behind_next_level() {
+    // An armed checkpoint (fallback + an active plan whose single
+    // transient fault is retried away, clean finish) downloads every
+    // level on the D2H copy engine while the next level's kernels run —
+    // the schedule must come in under the serialized sum, which charges
+    // those downloads end-to-end.
+    let g = delaunay_like(6_000, 2);
+    let cfg = pin_cfg().with_fallback(true);
+    let r = partition(&g, &cfg).unwrap();
+    assert!(r.overlap.as_ref().unwrap().speedup() == 1.0, "no checkpoints → serial chain");
+    let plan = FaultPlan::new(11).with("gpu.h2d", Selector::One(1), FaultKind::TransferError);
+    let ck = gp_metis::partition_with_plan(&g, &cfg, Some(plan)).unwrap();
+    assert!(!ck.report.degraded);
+    assert!(ck.report.checkpoint_gpu_levels >= 1, "checkpoint must be armed");
+    let ov = ck.overlap.unwrap();
+    assert!(
+        ov.makespan < ov.serialized,
+        "checkpoint streaming must overlap: makespan {} vs serialized {}",
+        ov.makespan,
+        ov.serialized
+    );
+    assert_eq!(ck.result.part, r.result.part, "checkpointing must not change the answer");
+}
+
+#[test]
+fn no_report_on_cpu_only_or_degraded_paths() {
+    let g = delaunay_like(3_000, 2);
+    // the pure-CPU engine never builds a timeline
+    let r = gp_metis::cpu_only_partition(&g, &GpMetisConfig::new(8).with_seed(1));
+    assert!(r.overlap.is_none(), "CPU-only engine must not report a schedule");
+    // degraded: device lost mid-coarsening, CPU resumes from checkpoint —
+    // the schedule would misrepresent a run that left the modeled device
+    let cfg = pin_cfg().with_fallback(true);
+    let plan = FaultPlan::new(7).with("gpu.launch", Selector::One(8), FaultKind::DeviceLost);
+    let r = gp_metis::partition_with_plan(&g, &cfg, Some(plan)).unwrap();
+    assert!(r.report.degraded, "fault plan must actually degrade the run");
+    assert!(r.overlap.is_none(), "degraded run must not report a schedule");
+    // overlap off → no timeline even on the clean GPU path
+    let r = partition(&g, &pin_cfg().with_overlap(false)).unwrap();
+    assert!(r.overlap.is_none());
+}
+
+#[test]
+fn overlap_report_is_reproducible() {
+    let g = grid2d(200, 200);
+    let cfg = MultiGpuConfig::new(pin_cfg(), 4);
+    let a = partition_multi(&g, &cfg).unwrap().overlap.unwrap();
+    let b = partition_multi(&g, &cfg).unwrap().overlap.unwrap();
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.serialized.to_bits(), b.serialized.to_bits());
+    assert_eq!(a.render(), b.render());
+}

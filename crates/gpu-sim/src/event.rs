@@ -1,0 +1,113 @@
+//! Events and engines for the overlap-aware execution timeline.
+//!
+//! Production CUDA stacks expose *streams* (independently-progressing
+//! command queues) and *events* (cross-stream dependencies). The modeled
+//! analogue here is an [`EngineId`] per independently-progressing
+//! resource — each device's compute pipeline, its H2D and D2H copy
+//! engines, one comm engine per ordered interconnect link, and the host
+//! CPU lane — plus explicit event dependencies between the operations
+//! enqueued on them (see [`crate::stream::Timeline`]).
+//!
+//! Engines are totally ordered (`Ord`) so every iteration over a set of
+//! engines is deterministic regardless of insertion order.
+
+/// An independently-progressing execution resource in the overlap model.
+///
+/// Operations on the *same* engine serialize (a copy engine moves one
+/// buffer at a time; a device runs one kernel at a time); operations on
+/// *different* engines overlap freely unless an event dependency orders
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EngineId {
+    /// Device `d`'s kernel pipeline.
+    Compute(u32),
+    /// Device `d`'s host-to-device copy engine.
+    H2D(u32),
+    /// Device `d`'s device-to-host copy engine.
+    D2H(u32),
+    /// The ordered interconnect link `src -> dst`.
+    Link(u32, u32),
+    /// The host CPU lane (the modeled multicore runs as one lane; see
+    /// DESIGN.md §16 on how ledger-parallel phases map onto it).
+    Cpu,
+}
+
+impl EngineId {
+    /// Short stable name, used in occupancy reports and telemetry.
+    pub fn name(&self) -> String {
+        match self {
+            EngineId::Compute(d) => format!("compute{d}"),
+            EngineId::H2D(d) => format!("h2d{d}"),
+            EngineId::D2H(d) => format!("d2h{d}"),
+            EngineId::Link(s, d) => format!("link{s}-{d}"),
+            EngineId::Cpu => "cpu".to_string(),
+        }
+    }
+
+    /// Whether this engine moves data (copy or comm) rather than
+    /// computing — the distinction behind the transfer-stall accounting.
+    pub fn is_transfer(&self) -> bool {
+        matches!(self, EngineId::H2D(_) | EngineId::D2H(_) | EngineId::Link(_, _))
+    }
+}
+
+/// Handle to one recorded operation; dependencies are expressed as lists
+/// of `EventId`s. Indices are dense and allocated in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// The dense index of this event in its timeline.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One operation on the timeline: `duration` modeled seconds on `engine`,
+/// eligible to start once every dependency (and the previous operation on
+/// the same engine) has finished.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// The engine this op occupies.
+    pub engine: EngineId,
+    /// Modeled seconds of occupancy.
+    pub duration: f64,
+    /// Events that must finish before this op starts. The implicit
+    /// same-engine predecessor is materialized here at record time, so
+    /// evaluation is a pure function of the op list (order-independent).
+    pub deps: Vec<EventId>,
+    /// Ledger-phase label (e.g. `gpu:coarsen`), used by occupancy reports.
+    pub label: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_names_are_stable() {
+        assert_eq!(EngineId::Compute(0).name(), "compute0");
+        assert_eq!(EngineId::H2D(3).name(), "h2d3");
+        assert_eq!(EngineId::D2H(1).name(), "d2h1");
+        assert_eq!(EngineId::Link(2, 0).name(), "link2-0");
+        assert_eq!(EngineId::Cpu.name(), "cpu");
+    }
+
+    #[test]
+    fn transfer_classification() {
+        assert!(EngineId::H2D(0).is_transfer());
+        assert!(EngineId::D2H(0).is_transfer());
+        assert!(EngineId::Link(0, 1).is_transfer());
+        assert!(!EngineId::Compute(0).is_transfer());
+        assert!(!EngineId::Cpu.is_transfer());
+    }
+
+    #[test]
+    fn engines_totally_ordered() {
+        let mut v =
+            [EngineId::Cpu, EngineId::Link(0, 1), EngineId::Compute(1), EngineId::Compute(0)];
+        v.sort();
+        assert_eq!(v[0], EngineId::Compute(0));
+        assert_eq!(v[1], EngineId::Compute(1));
+    }
+}

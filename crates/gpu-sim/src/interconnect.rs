@@ -112,7 +112,26 @@ impl Interconnect {
     /// Record one `src → dst` transfer of `bytes` and return its modeled
     /// seconds.
     pub fn record(&self, src: u32, dst: u32, bytes: u64) -> f64 {
-        let secs = self.cfg.transfer_seconds(bytes);
+        self.record_secs(src, dst, bytes, self.cfg.transfer_seconds(bytes))
+    }
+
+    /// Record a *host-terminated* leg of `bytes` on the ordered link
+    /// `(src, dst)` and return its modeled seconds.
+    ///
+    /// On a staged (non-p2p) fabric, [`Interconnect::record`] charges two
+    /// traversals — device→host and host→device — which is correct for a
+    /// device-to-device copy. When the *host itself* is one endpoint
+    /// (e.g. the partition-weight allreduce, where the orchestrator
+    /// performs the reduction in host memory), the payload crosses the
+    /// bus exactly once; charging the staged 2x would count the host hop
+    /// on both the source and host lanes. This method always charges one
+    /// traversal, so on a p2p fabric it is identical to `record`.
+    pub fn record_host_leg(&self, src: u32, dst: u32, bytes: u64) -> f64 {
+        let secs = self.cfg.latency + bytes as f64 / self.cfg.bandwidth;
+        self.record_secs(src, dst, bytes, secs)
+    }
+
+    fn record_secs(&self, src: u32, dst: u32, bytes: u64, secs: f64) -> f64 {
         let mut links = self.links.lock().unwrap();
         let e = links.entry((src, dst)).or_default();
         e.bytes += bytes;
@@ -247,6 +266,30 @@ mod tests {
             let two = staged.transfer_seconds(bytes);
             assert!((two - 2.0 * one).abs() < 1e-18, "bytes={bytes}");
         }
+    }
+
+    #[test]
+    fn host_leg_counts_the_host_hop_once() {
+        // Staged fabric: a device-to-device copy pays two traversals, but
+        // a host-terminated leg (allreduce gather/scatter) pays exactly
+        // one — the double-charge this distinguishes is the superstep
+        // fold counting the host hop on both the source and host lanes.
+        let staged = Interconnect::new(LinkConfig::pcie_gen2());
+        let bytes = 1u64 << 16;
+        let one_way = staged.config().latency + bytes as f64 / staged.config().bandwidth;
+        let leg = staged.record_host_leg(0, 1, bytes);
+        assert!((leg - one_way).abs() < 1e-18);
+        let d2d = staged.record(0, 1, bytes);
+        assert!((d2d - 2.0 * one_way).abs() < 1e-18);
+        // both recordings land in the same per-link ledger entry
+        let links = staged.links();
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].2.bytes, 2 * bytes);
+        assert_eq!(links[0].2.transfers, 2);
+        assert!((links[0].2.seconds - 3.0 * one_way).abs() < 1e-18);
+        // on a p2p fabric the host leg and a direct copy cost the same
+        let p2p = Interconnect::new(LinkConfig::nvlink());
+        assert_eq!(p2p.record_host_leg(0, 1, bytes).to_bits(), p2p.record(0, 1, bytes).to_bits());
     }
 
     #[test]

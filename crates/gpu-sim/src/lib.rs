@@ -19,14 +19,17 @@
 pub mod buffer;
 pub mod config;
 pub mod device;
+pub mod event;
 pub mod interconnect;
 pub mod lane;
 pub mod reduce;
 pub mod scan;
+pub mod stream;
 
 pub use buffer::{DBuf, DeviceInt, DeviceWord};
 pub use config::GpuConfig;
 pub use device::{Device, DeviceError, GpuOom, KernelStats, KernelSummary};
+pub use event::{EngineId, EventId};
 pub use interconnect::{DeviceGroup, Interconnect, LinkConfig, LinkStats};
 pub use lane::Lane;
 pub use reduce::{reduce_max_u32, reduce_sum_u32};
@@ -34,3 +37,4 @@ pub use scan::{
     exclusive_scan_prefix_u32, exclusive_scan_u32, inclusive_scan_prefix_u32, inclusive_scan_u32,
     ScanScratch,
 };
+pub use stream::{EngineReport, OverlapReport, Schedule, Timeline};

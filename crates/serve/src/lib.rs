@@ -138,6 +138,12 @@ struct Counters {
     conns_closed_idle: AtomicU64,
     conns_closed_slow: AtomicU64,
     conns_closed_budget: AtomicU64,
+    /// Overlap-timeline telemetry (DESIGN.md §16): jobs that produced a
+    /// schedule, and cumulative makespan vs serialized ledger time in µs —
+    /// the gap is the modeled win from comm/compute overlap.
+    overlap_jobs: AtomicU64,
+    overlap_makespan_us: AtomicU64,
+    overlap_serialized_us: AtomicU64,
 }
 
 /// A job admitted to the queue: the decoded request, its admission
@@ -898,6 +904,14 @@ fn execute(
                         t.breaker_state = s.state.wire();
                         t.breaker_trips = s.trips;
                     }
+                    if let Some(ov) = &r.overlap {
+                        let c = &sh.counters;
+                        c.overlap_jobs.fetch_add(1, Ordering::SeqCst);
+                        c.overlap_makespan_us
+                            .fetch_add((ov.makespan * 1e6) as u64, Ordering::SeqCst);
+                        c.overlap_serialized_us
+                            .fetch_add((ov.serialized * 1e6) as u64, Ordering::SeqCst);
+                    }
                     Ok((r.result.part, t))
                 }
                 // Fatal device error with no (or failed) engine fallback:
@@ -984,6 +998,9 @@ fn snapshot_stats(sh: &Arc<Shared>) -> Vec<(String, u64)> {
         ("breaker_state".into(), brk.state.wire() as u64),
         ("breaker_trips".into(), brk.trips),
         ("breaker_cpu_only".into(), brk.cpu_only_jobs),
+        ("overlap_jobs".into(), c.overlap_jobs.load(Ordering::SeqCst)),
+        ("overlap_makespan_us".into(), c.overlap_makespan_us.load(Ordering::SeqCst)),
+        ("overlap_serialized_us".into(), c.overlap_serialized_us.load(Ordering::SeqCst)),
     ]
 }
 

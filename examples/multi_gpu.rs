@@ -60,6 +60,11 @@ fn main() {
                 ls.bytes, ls.transfers, ls.seconds
             );
         }
+        // the overlap-aware schedule: same ops, explicit dependencies,
+        // per-engine occupancy instead of a serialized sum (DESIGN.md §16)
+        if let Some(ov) = &r.overlap {
+            print!("{}", ov.render());
+        }
     }
 
     // the fabric prices the exchange without changing the answer: NVLink

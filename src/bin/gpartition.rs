@@ -7,6 +7,7 @@
 //!            [--gpu-threshold N] [--fallback] [--output out.part] [--quiet]
 //!            [--mmap] [--compressed] [--eval existing.part]
 //!            [--devices D] [--interconnect pcie|nvlink]
+//!            [--overlap on|off] [--timeline]
 //! ```
 //!
 //! The input is a Metis `.graph` file (or a DIMACS9 `.gr` file when the
@@ -21,6 +22,13 @@
 //! validated against `k`). The run always reports its peak heap use.
 //!
 //! [`PackedCsr`]: gp_metis_repro::graph::packed::PackedCsr
+//!
+//! Overlap: the gpmetis engines evaluate an overlap-aware execution
+//! timeline (streams, double-buffered transfers, comm/compute overlap —
+//! DESIGN.md §16) alongside the serialized ledger. `--overlap off`
+//! disables it (pure accounting: the partition and the serialized ledger
+//! are byte-identical either way); `--timeline` prints the per-engine
+//! occupancy/stall ledger to stderr. `--overlap=on|off` is accepted too.
 //!
 //! Multi-GPU: `--devices D` (gpmetis only) shards the graph across `D`
 //! simulated GPUs joined by the `--interconnect` fabric (`pcie` default,
@@ -68,6 +76,8 @@ struct Args {
     eval: Option<String>,
     devices: Option<usize>,
     interconnect: String,
+    overlap: bool,
+    timeline: bool,
 }
 
 fn usage() -> ! {
@@ -76,7 +86,8 @@ fn usage() -> ! {
          \x20                [--ub 1.03] [--seed 1] [--threads 8] [--ranks 8]\n\
          \x20                [--gpu-threshold N] [--fallback] [--output out.part] [--quiet]\n\
          \x20                [--mmap] [--compressed] [--eval existing.part]\n\
-         \x20                [--devices D] [--interconnect pcie|nvlink]"
+         \x20                [--devices D] [--interconnect pcie|nvlink]\n\
+         \x20                [--overlap on|off] [--timeline]"
     );
     std::process::exit(2);
 }
@@ -102,9 +113,21 @@ fn parse_args() -> Args {
         eval: None,
         devices: None,
         interconnect: "pcie".into(),
+        overlap: true,
+        timeline: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
+            "--overlap" => {
+                args.overlap = match argv.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--overlap=on" => args.overlap = true,
+            "--overlap=off" => args.overlap = false,
+            "--timeline" => args.timeline = true,
             "--algo" => args.algo = argv.next().unwrap_or_else(|| usage()),
             "--ub" => args.ub = argv.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
             "--seed" => {
@@ -223,30 +246,31 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let (part, modeled, name) = match a.algo.as_str() {
+    let (part, modeled, name, overlap) = match a.algo.as_str() {
         "metis" => {
             let mut c = metis::MetisConfig::new(a.k).with_seed(a.seed);
             c.ubfactor = a.ub;
             let r = metis::partition(&g, &c);
-            (r.part, r.ledger.total(), "Metis (serial)")
+            (r.part, r.ledger.total(), "Metis (serial)", None)
         }
         "mtmetis" => {
             let mut c = mtmetis::MtMetisConfig::new(a.k).with_threads(a.threads).with_seed(a.seed);
             c.ubfactor = a.ub;
             let r = mtmetis::partition(&g, &c);
-            (r.part, r.ledger.total(), "mt-metis (shared-memory)")
+            (r.part, r.ledger.total(), "mt-metis (shared-memory)", None)
         }
         "parmetis" => {
             let mut c = parmetis::ParMetisConfig::new(a.k).with_ranks(a.ranks).with_seed(a.seed);
             c.ubfactor = a.ub;
             let r = parmetis::partition(&g, &c);
-            (r.part, r.ledger.total(), "ParMetis (distributed)")
+            (r.part, r.ledger.total(), "ParMetis (distributed)", None)
         }
         "gpmetis" => {
             let mut c = gpmetis::GpMetisConfig::new(a.k).with_seed(a.seed);
             c.ubfactor = a.ub;
             c.cpu_threads = a.threads;
             c.fallback = a.fallback;
+            c.overlap = a.overlap;
             if let Some(t) = a.gpu_threshold {
                 c.gpu_threshold = t;
             }
@@ -284,7 +308,7 @@ fn main() -> ExitCode {
                                 r.interconnect_bytes, r.interconnect_seconds, r.boundary_vertices
                             );
                         }
-                        (r.result.part, r.result.ledger.total(), "GP-metis (multi-GPU)")
+                        (r.result.part, r.result.ledger.total(), "GP-metis (multi-GPU)", r.overlap)
                     }
                     Err(e) => {
                         eprintln!("error: {e}");
@@ -309,7 +333,12 @@ fn main() -> ExitCode {
                                 r.report.checkpoint_gpu_levels
                             );
                         }
-                        (r.result.part, r.result.ledger.total(), "GP-metis (hybrid CPU-GPU)")
+                        (
+                            r.result.part,
+                            r.result.ledger.total(),
+                            "GP-metis (hybrid CPU-GPU)",
+                            r.overlap,
+                        )
                     }
                     Err(e) => {
                         eprintln!("error: {e}");
@@ -330,7 +359,23 @@ fn main() -> ExitCode {
         eprintln!("imbalance      : {:.4} (tolerance {:.2})", imbalance(&g, &part, a.k), a.ub);
         eprintln!("comm volume    : {}", comm_volume(&g, &part));
         eprintln!("modeled time   : {modeled:.4} s (paper-testbed model)");
+        if let Some(ov) = &overlap {
+            eprintln!(
+                "overlapped     : {:.4} s ({:.2}x vs serialized, {:.1}% transfer stall)",
+                ov.makespan,
+                ov.speedup(),
+                100.0 * ov.transfer_stall_fraction()
+            );
+        }
         eprintln!("peak heap      : {:.1} MiB", ALLOC.peak_bytes() as f64 / (1 << 20) as f64);
+    }
+    if a.timeline {
+        match &overlap {
+            Some(ov) => eprint!("{}", ov.render()),
+            None => eprintln!(
+                "timeline       : none (overlap off, non-gpmetis engine, or degraded/CPU-only run)"
+            ),
+        }
     }
 
     if let Some(out) = &a.output {
